@@ -1,0 +1,92 @@
+// Section III-C microbenchmark: merge cost vs parameter count.
+//
+// The paper claims O(n) time and space for ChipAlign; this google-benchmark
+// binary measures wall time of every merge method across tensor sizes and
+// fits the asymptotic complexity (expect oN for all of them, with different
+// constants — the sparsifying methods pay extra for sorting/selection).
+
+#include <benchmark/benchmark.h>
+
+#include "merge/registry.hpp"
+#include "model/checkpoint.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+namespace {
+
+Checkpoint single_tensor_checkpoint(std::int64_t numel, std::uint64_t seed) {
+  Rng rng(seed);
+  Checkpoint ckpt;
+  ckpt.put("w", Tensor::randn({numel}, rng, 0.05F));
+  return ckpt;
+}
+
+void run_method(benchmark::State& state, const std::string& method) {
+  const auto numel = static_cast<std::int64_t>(state.range(0));
+  const Checkpoint base = single_tensor_checkpoint(numel, 1);
+  const Checkpoint chip = single_tensor_checkpoint(numel, 2);
+  const Checkpoint instruct = single_tensor_checkpoint(numel, 3);
+
+  const auto merger = create_merger(method);
+  MergeOptions options;
+  options.lambda = 0.6;
+
+  for (auto _ : state) {
+    Checkpoint merged = merge_checkpoints(
+        *merger, chip, instruct, merger->requires_base() ? &base : nullptr,
+        options);
+    benchmark::DoNotOptimize(merged.at("w").data());
+  }
+  state.SetComplexityN(numel);
+  state.SetItemsProcessed(state.iterations() * numel);
+}
+
+void BM_ChipAlign(benchmark::State& state) { run_method(state, "chipalign"); }
+void BM_Lerp(benchmark::State& state) { run_method(state, "lerp"); }
+void BM_ModelSoup(benchmark::State& state) { run_method(state, "modelsoup"); }
+void BM_TaskArithmetic(benchmark::State& state) {
+  run_method(state, "task_arithmetic");
+}
+void BM_Ties(benchmark::State& state) { run_method(state, "ties"); }
+void BM_Della(benchmark::State& state) { run_method(state, "della"); }
+void BM_Dare(benchmark::State& state) { run_method(state, "dare"); }
+
+constexpr std::int64_t kMin = 1 << 12;
+constexpr std::int64_t kMax = 1 << 20;
+
+BENCHMARK(BM_ChipAlign)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
+BENCHMARK(BM_Lerp)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
+BENCHMARK(BM_ModelSoup)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
+BENCHMARK(BM_TaskArithmetic)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
+BENCHMARK(BM_Ties)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_Della)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_Dare)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
+
+/// Whole-checkpoint merge at realistic layer granularity (many tensors) to
+/// exercise the per-tensor parallel driver path.
+void BM_ChipAlignManyTensors(benchmark::State& state) {
+  const auto tensors = static_cast<std::int64_t>(state.range(0));
+  Rng rng(7);
+  Checkpoint chip;
+  Checkpoint instruct;
+  for (std::int64_t i = 0; i < tensors; ++i) {
+    const std::string name = "layer." + std::to_string(i) + ".w";
+    chip.put(name, Tensor::randn({64, 64}, rng, 0.05F));
+    instruct.put(name, Tensor::randn({64, 64}, rng, 0.05F));
+  }
+  const auto merger = create_merger("chipalign");
+  MergeOptions options;
+  for (auto _ : state) {
+    Checkpoint merged =
+        merge_checkpoints(*merger, chip, instruct, nullptr, options);
+    benchmark::DoNotOptimize(merged.names());
+  }
+  state.SetComplexityN(tensors);
+}
+BENCHMARK(BM_ChipAlignManyTensors)->RangeMultiplier(4)->Range(4, 256)->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace chipalign
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// checkpoint_info — inspect and compare safetensors checkpoints.
+//
+//   checkpoint_info model.safetensors             # tensor table + config
+//   checkpoint_info a.safetensors b.safetensors   # pairwise diff/geometry
+//   checkpoint_info --demo                        # on a fresh tiny model
+//
+// The two-file mode prints, per tensor, the Frobenius norms, the delta norm
+// and the angle between the flattened tensors — the quantities ChipAlign's
+// geodesic interpolation acts on.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/table.hpp"
+#include "merge/geometry.hpp"
+#include "model/checkpoint.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "text/tokenizer.hpp"
+#include "util/error.hpp"
+
+using namespace chipalign;
+
+namespace {
+
+void print_single(const Checkpoint& ckpt) {
+  std::printf("config: %s — %lld parameters, %zu tensors\n",
+              ckpt.config().name.c_str(),
+              static_cast<long long>(ckpt.parameter_count()),
+              ckpt.tensors().size());
+  std::printf("arch: d_model=%lld layers=%lld heads=%lld kv=%lld d_ff=%lld "
+              "ctx=%lld\n\n",
+              static_cast<long long>(ckpt.config().d_model),
+              static_cast<long long>(ckpt.config().n_layers),
+              static_cast<long long>(ckpt.config().n_heads),
+              static_cast<long long>(ckpt.config().n_kv_heads),
+              static_cast<long long>(ckpt.config().d_ff),
+              static_cast<long long>(ckpt.config().max_seq_len));
+
+  TablePrinter table({"Tensor", "Shape", "||W||_F", "mean", "|max|"});
+  for (const TensorStats& s : ckpt.stats()) {
+    table.add_row({s.name, shape_to_string(s.shape),
+                   TablePrinter::fmt(s.frobenius_norm, 4),
+                   TablePrinter::fmt(s.mean, 5),
+                   TablePrinter::fmt(s.abs_max, 4)});
+  }
+  table.print();
+}
+
+void print_pair(const Checkpoint& a, const Checkpoint& b) {
+  check_mergeable(a, b);
+  std::printf("comparing '%s' vs '%s'\n\n", a.config().name.c_str(),
+              b.config().name.c_str());
+  TablePrinter table({"Tensor", "||A||_F", "||B||_F", "||A-B||_F",
+                      "angle(rad)"});
+  double total_delta_sq = 0.0;
+  for (const std::string& name : a.names()) {
+    const Tensor& ta = a.at(name);
+    const Tensor& tb = b.at(name);
+    const double delta = ops::frobenius_norm(ops::sub(ta, tb));
+    total_delta_sq += delta * delta;
+    const double cosine = ops::cosine_similarity(ta, tb);
+    table.add_row({name, TablePrinter::fmt(ops::frobenius_norm(ta), 4),
+                   TablePrinter::fmt(ops::frobenius_norm(tb), 4),
+                   TablePrinter::fmt(delta, 4),
+                   TablePrinter::fmt(std::acos(std::clamp(cosine, -1.0, 1.0)),
+                                     4)});
+  }
+  table.print();
+  std::printf("\ntotal ||A-B||_F = %.4f\n", std::sqrt(total_delta_sq));
+}
+
+Checkpoint demo_checkpoint(std::uint64_t seed, const std::string& tag) {
+  ModelConfig config;
+  config.name = tag;
+  config.vocab_size = tokenizer().vocab_size();
+  config.d_model = 16;
+  config.n_layers = 1;
+  config.n_heads = 2;
+  config.n_kv_heads = 1;
+  config.d_ff = 24;
+  config.max_seq_len = 64;
+  Rng rng(seed);
+  return TransformerModel(config, rng).to_checkpoint();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+      const Checkpoint a = demo_checkpoint(1, "demo-a");
+      const Checkpoint b = demo_checkpoint(2, "demo-b");
+      print_single(a);
+      std::printf("\n");
+      print_pair(a, b);
+      return 0;
+    }
+    if (argc == 2) {
+      print_single(Checkpoint::load(argv[1]));
+      return 0;
+    }
+    if (argc == 3) {
+      print_pair(Checkpoint::load(argv[1]), Checkpoint::load(argv[2]));
+      return 0;
+    }
+    std::printf("usage: checkpoint_info <ckpt> [other_ckpt] | --demo\n");
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,191 @@
+// merge_cli — command-line model merging over safetensors checkpoints,
+// in the spirit of mergekit but for this repo's checkpoint format.
+//
+// Usage:
+//   merge_cli --method chipalign --lambda 0.6 \
+//             --chip chip.safetensors --instruct instruct.safetensors \
+//             [--base base.safetensors] [--density 0.5] [--seed 42] \
+//             [--storage f32|f16|bf16] --out merged.safetensors
+//   merge_cli --analyze --chip a.safetensors --instruct b.safetensors \
+//             [--base base.safetensors]
+//
+// With --demo (no file arguments) the tool merges two freshly initialized
+// models so the binary can be exercised without any checkpoints on disk.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "merge/geometry.hpp"
+#include "merge/registry.hpp"
+#include "model/checkpoint.hpp"
+#include "nn/transformer.hpp"
+#include "text/tokenizer.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+#include "util/timer.hpp"
+
+using namespace chipalign;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> values;
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values.find(key);
+    return it != values.end() ? it->second : fallback;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    return has(key) ? std::stod(values.at(key)) : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    CA_CHECK(starts_with(key, "--"), "unexpected argument '" << key << "'");
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.values[key] = argv[++i];
+    } else {
+      args.values[key] = "true";  // boolean flag
+    }
+  }
+  return args;
+}
+
+DType parse_storage(const std::string& text) {
+  if (text == "f32") return DType::kF32;
+  if (text == "f16") return DType::kF16;
+  if (text == "bf16") return DType::kBF16;
+  CA_THROW("unknown --storage '" << text << "' (use f32|f16|bf16)");
+}
+
+void print_usage() {
+  std::printf(
+      "merge_cli — merge two safetensors checkpoints\n\n"
+      "  --method M      one of: %s (default chipalign)\n"
+      "  --lambda L      chip-side weight in [0,1] (default 0.6)\n"
+      "  --lambda-override S=V[,S=V...]  per-tensor lambda by name suffix\n"
+      "  --density D     keep fraction for ties/della/dare (default 0.5)\n"
+      "  --seed S        RNG seed for stochastic methods\n"
+      "  --chip PATH     chip/domain model checkpoint\n"
+      "  --instruct PATH instruction model checkpoint\n"
+      "  --base PATH     common base model (task-vector methods)\n"
+      "  --out PATH      output checkpoint\n"
+      "  --storage T     f32|f16|bf16 output storage (default f32)\n"
+      "  --analyze       print weight-space geometry instead of merging\n"
+      "  --demo          run on freshly initialized models (no files)\n",
+      join(merger_names(), ", ").c_str());
+}
+
+Checkpoint demo_checkpoint(std::uint64_t seed) {
+  ModelConfig config;
+  config.name = "demo";
+  config.vocab_size = tokenizer().vocab_size();
+  config.d_model = 32;
+  config.n_layers = 2;
+  config.n_heads = 4;
+  config.n_kv_heads = 2;
+  config.d_ff = 64;
+  config.max_seq_len = 128;
+  Rng rng(seed);
+  return TransformerModel(config, rng).to_checkpoint();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.has("help")) {
+      print_usage();
+      return 0;
+    }
+
+    Checkpoint chip;
+    Checkpoint instruct;
+    Checkpoint base;
+    bool have_base = false;
+
+    if (args.has("demo")) {
+      chip = demo_checkpoint(11);
+      instruct = demo_checkpoint(22);
+      base = demo_checkpoint(33);
+      have_base = true;
+      std::printf("[demo] merging two freshly initialized checkpoints\n");
+    } else {
+      if (!args.has("chip") || !args.has("instruct")) {
+        print_usage();
+        return 2;
+      }
+      chip = Checkpoint::load(args.get("chip"));
+      instruct = Checkpoint::load(args.get("instruct"));
+      if (args.has("base")) {
+        base = Checkpoint::load(args.get("base"));
+        have_base = true;
+      }
+    }
+
+    if (args.has("analyze")) {
+      const auto report =
+          analyze_geometry(chip, instruct, have_base ? &base : nullptr,
+                           args.get_double("lambda", 0.6));
+      std::printf("%-44s %10s %10s %10s %12s\n", "tensor", "numel", "theta",
+                  "tv-cos", "slerp-gap");
+      for (const TensorGeometry& g : report) {
+        std::printf("%-44s %10lld %10.4f %10.3f %12.5f\n", g.name.c_str(),
+                    static_cast<long long>(g.numel), g.theta, g.tv_cosine,
+                    g.slerp_lerp_gap);
+      }
+      const GeometrySummary summary = summarize_geometry(report);
+      std::printf("\nmean theta %.4f rad, max %.4f rad, mean tv-cosine %.3f\n",
+                  summary.mean_theta, summary.max_theta, summary.mean_tv_cosine);
+      return 0;
+    }
+
+    const std::string method = args.get("method", "chipalign");
+    const auto merger = create_merger(method);
+    MergeOptions options;
+    options.lambda = args.get_double("lambda", 0.6);
+    options.density = args.get_double("density", 0.5);
+    if (args.has("seed")) {
+      options.seed = static_cast<std::uint64_t>(std::stoull(args.get("seed")));
+    }
+    if (args.has("lambda-override")) {
+      // Comma-separated suffix=value pairs, e.g.
+      // --lambda-override embed_tokens.weight=0.3,norm.weight=0.5
+      for (const std::string& pair : split(args.get("lambda-override"), ',')) {
+        const auto eq = pair.find('=');
+        CA_CHECK(eq != std::string::npos,
+                 "--lambda-override entries must be suffix=value, got '"
+                     << pair << "'");
+        options.lambda_overrides.emplace_back(trim(pair.substr(0, eq)),
+                                              std::stod(pair.substr(eq + 1)));
+      }
+    }
+    CA_CHECK(!merger->requires_base() || have_base,
+             "method '" << method << "' needs --base");
+
+    Timer timer;
+    const Checkpoint merged = merge_checkpoints(
+        *merger, chip, instruct, have_base ? &base : nullptr, options);
+    std::printf("merged %zu tensors (%lld params) with '%s' at lambda=%.2f "
+                "in %.0f ms\n",
+                merged.tensors().size(),
+                static_cast<long long>(merged.parameter_count()),
+                method.c_str(), options.lambda, timer.milliseconds());
+
+    const std::string out = args.get("out", "merged.safetensors");
+    merged.save(out, parse_storage(args.get("storage", "f32")));
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

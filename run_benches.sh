@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every paper table/figure. First run trains the model zoo into
+# .chipalign_cache (slow once); later runs reuse it.
+set -u
+cd "$(dirname "$0")"
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo ""
+  echo "######## $b ########"
+  "$b"
+done

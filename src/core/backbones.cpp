@@ -1,0 +1,90 @@
+#include "core/backbones.hpp"
+
+#include "text/tokenizer.hpp"
+
+namespace chipalign {
+
+namespace {
+
+ModelConfig tiny_config(const std::string& name, std::int64_t d_model,
+                        std::int64_t n_layers, std::int64_t n_heads,
+                        std::int64_t n_kv_heads, std::int64_t d_ff) {
+  ModelConfig config;
+  config.name = name;
+  config.vocab_size = tokenizer().vocab_size();
+  config.d_model = d_model;
+  config.n_layers = n_layers;
+  config.n_heads = n_heads;
+  config.n_kv_heads = n_kv_heads;
+  config.d_ff = d_ff;
+  config.max_seq_len = 512;
+  config.rope_theta = 10000.0;
+  config.norm_eps = 1e-5;
+  config.validate();
+  return config;
+}
+
+TrainConfig budget(std::int64_t steps, double lr, std::uint64_t seed) {
+  TrainConfig config;
+  config.steps = steps;
+  config.batch_size = 8;
+  config.peak_lr = lr;
+  config.warmup_steps = steps / 10;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+BackboneSpec openroad_backbone_a() {
+  BackboneSpec spec;
+  spec.name = "llama3-8b-analog";
+  spec.config = tiny_config(spec.name, 48, 3, 4, 2, 96);
+  spec.init_seed = 101;
+  spec.pretrain = budget(1000, 2e-3, 1011);
+  spec.instruct_ft = budget(1600, 1.5e-3, 1012);
+  spec.daft = budget(400, 1e-3, 1013);
+  spec.chip_recipe = BackboneSpec::ChipRecipe::kLoraFromInstruct;
+  spec.chip_domains = {FactDomain::kFunctionality, FactDomain::kVlsiFlow,
+                       FactDomain::kGuiInstallTest};
+  return spec;
+}
+
+BackboneSpec openroad_backbone_b() {
+  BackboneSpec spec;
+  spec.name = "qwen1.5-14b-analog";
+  spec.config = tiny_config(spec.name, 64, 3, 4, 2, 128);
+  spec.init_seed = 202;
+  spec.pretrain = budget(1000, 2e-3, 2021);
+  spec.instruct_ft = budget(1600, 1.5e-3, 2022);
+  // The wider backbone needs a longer/hotter DAFT before it exhibits the
+  // alignment forgetting the paper documents (more capacity = more
+  // resistance to catastrophic forgetting).
+  spec.daft = budget(800, 1.5e-3, 2023);
+  spec.chip_recipe = BackboneSpec::ChipRecipe::kLoraFromInstruct;
+  spec.chip_domains = {FactDomain::kFunctionality, FactDomain::kVlsiFlow,
+                       FactDomain::kGuiInstallTest};
+  return spec;
+}
+
+BackboneSpec industrial_backbone() {
+  BackboneSpec spec;
+  spec.name = "llama2-70b-analog";
+  spec.config = tiny_config(spec.name, 64, 4, 4, 4, 128);
+  spec.init_seed = 303;
+  spec.pretrain = budget(1000, 2e-3, 3031);
+  spec.instruct_ft = budget(1600, 1.5e-3, 3032);
+  // ChipNeMo: full finetune from base on all chip domains with an
+  // instruction admixture (ChipNeMo's DAFT included OASST chat data and
+  // SteerLM alignment — the paper credits this for ChipNeMo's residual
+  // instructional knowledge, §IV-D). The admixture also keeps the chip
+  // model functionally closer to the Chat model, which matters for
+  // mergeability at this tiny scale.
+  spec.daft = budget(500, 1e-3, 3033);
+  spec.chip_recipe = BackboneSpec::ChipRecipe::kChipNemoFromBase;
+  spec.chip_domains = {};  // all domains
+  spec.chip_instruct_frac = 0.30;
+  return spec;
+}
+
+}  // namespace chipalign

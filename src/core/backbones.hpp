@@ -1,0 +1,55 @@
+#pragma once
+/// \file backbones.hpp
+/// \brief The three model families ("backbones") used by the experiments.
+///
+/// Tiny analogues of the paper's backbones (see DESIGN.md's substitution
+/// table):
+///  * openroad_backbone_a — stands in for LLaMA3-8B   (Table 1, Figure 8)
+///  * openroad_backbone_b — stands in for Qwen1.5-14B (Table 1, Figure 8)
+///  * industrial_backbone — stands in for LLaMA2-70B  (Tables 2/3, Figures 2/7)
+///
+/// Each spec fixes the architecture, the RNG seeds and the training budgets
+/// for the three model roles, so every bench reproduces the same models.
+
+#include <string>
+
+#include "data/fact_base.hpp"
+#include "model/model_config.hpp"
+#include "train/trainer.hpp"
+
+namespace chipalign {
+
+/// Recipe for building a backbone's base / instruct / chip models.
+struct BackboneSpec {
+  std::string name;       ///< e.g. "llama3-8b-analog"
+  ModelConfig config;
+  std::uint64_t init_seed = 1;
+
+  TrainConfig pretrain;
+  TrainConfig instruct_ft;
+  TrainConfig daft;
+
+  /// "chipnemo" => the chip model is a *full* finetune from the base model
+  /// on chip data mixed with some instruction data (ChipNeMo's DAPT+DAFT
+  /// with OASST). "lora" => LoRA DAFT from the instruct model (Figure 4a).
+  enum class ChipRecipe { kLoraFromInstruct, kChipNemoFromBase };
+  ChipRecipe chip_recipe = ChipRecipe::kLoraFromInstruct;
+
+  /// Domains the chip model is finetuned on (empty = all).
+  std::vector<FactDomain> chip_domains;
+
+  /// Fraction of instruction-formatted examples mixed into chip finetuning
+  /// (only used by the ChipNeMo recipe; models OASST in ChipNeMo's DAFT).
+  double chip_instruct_frac = 0.0;
+};
+
+/// LLaMA3-8B stand-in (smaller of the two OpenROAD backbones).
+BackboneSpec openroad_backbone_a();
+
+/// Qwen1.5-14B stand-in (wider).
+BackboneSpec openroad_backbone_b();
+
+/// LLaMA2-70B stand-in (deepest; chip model follows the ChipNeMo recipe).
+BackboneSpec industrial_backbone();
+
+}  // namespace chipalign

@@ -1,0 +1,61 @@
+#pragma once
+/// \file model_zoo.hpp
+/// \brief Builds and caches the trained models every experiment consumes.
+///
+/// Roles per backbone (Figure 4 of the paper):
+///   base     — pretrained on the mixed corpus,
+///   instruct — base + full finetune on instruction data,
+///   chip     — LoRA DAFT from instruct (OpenROAD backbones) or full
+///              "ChipNeMo" finetune from base (industrial backbone).
+///
+/// Every built checkpoint is cached as a safetensors file under the cache
+/// directory (env CHIPALIGN_CACHE_DIR, default ".chipalign_cache"), so all
+/// benches and examples share one training run per model.
+
+#include <string>
+
+#include "core/backbones.hpp"
+#include "data/fact_base.hpp"
+#include "model/checkpoint.hpp"
+
+namespace chipalign {
+
+/// Cache-backed factory for the trained models.
+class ModelZoo {
+ public:
+  /// \param cache_dir empty => $CHIPALIGN_CACHE_DIR or ".chipalign_cache".
+  explicit ModelZoo(std::string cache_dir = "");
+
+  const std::string& cache_dir() const { return cache_dir_; }
+  const FactBase& facts() const { return facts_; }
+
+  /// The pretrained common ancestor.
+  Checkpoint base(const BackboneSpec& spec);
+
+  /// The instruction-aligned model (Chat/Instruct analogue).
+  Checkpoint instruct(const BackboneSpec& spec);
+
+  /// The chip / EDA model (per the spec's ChipRecipe).
+  Checkpoint chip(const BackboneSpec& spec);
+
+  /// Cache file a given (spec, role) resolves to; the filename embeds a
+  /// fingerprint of the recipe so stale checkpoints are never reused.
+  /// Roles: "base", "instruct", "chip".
+  std::string cache_path(const BackboneSpec& spec,
+                         const std::string& role) const;
+
+ private:
+  Checkpoint build_base(const BackboneSpec& spec);
+  Checkpoint build_instruct(const BackboneSpec& spec);
+  Checkpoint build_chip(const BackboneSpec& spec);
+
+  /// Loads role checkpoint from cache or builds and stores it.
+  template <typename Builder>
+  Checkpoint get_or_build(const BackboneSpec& spec, const std::string& role,
+                          Builder&& builder);
+
+  std::string cache_dir_;
+  FactBase facts_;
+};
+
+}  // namespace chipalign

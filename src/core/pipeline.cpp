@@ -1,0 +1,27 @@
+#include "core/pipeline.hpp"
+
+#include "merge/registry.hpp"
+
+namespace chipalign {
+
+Checkpoint run_merge(const std::string& method, const Checkpoint& chip,
+                     const Checkpoint& instruct, const Checkpoint& base,
+                     double lambda) {
+  const std::unique_ptr<Merger> merger = create_merger(method);
+  MergeOptions options;
+  options.lambda = lambda;
+  return merge_checkpoints(*merger, chip, instruct,
+                           merger->requires_base() ? &base : nullptr, options);
+}
+
+EvalSuite build_eval_suite(const FactBase& facts) {
+  EvalSuite suite;
+  suite.openroad = build_openroad_eval(facts, /*seed=*/901, /*count=*/90);
+  suite.industrial = build_industrial_eval(facts, /*seed=*/902, /*per_domain=*/5);
+  suite.mcq = build_mcq_eval(facts, /*seed=*/903, /*per_domain=*/10);
+  suite.ifeval = build_ifeval_set(/*seed=*/904, /*count=*/120);
+  suite.rag = std::make_unique<RetrievalPipeline>(facts.corpus_sentences());
+  return suite;
+}
+
+}  // namespace chipalign

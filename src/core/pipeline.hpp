@@ -1,0 +1,37 @@
+#pragma once
+/// \file pipeline.hpp
+/// \brief High-level glue shared by benches and examples: merge dispatch and
+/// the bundled evaluation suite.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/qa_bench.hpp"
+#include "merge/merger.hpp"
+#include "model/checkpoint.hpp"
+#include "rag/retrieval.hpp"
+
+namespace chipalign {
+
+/// Runs one merge method by registry name with the given lambda (base is
+/// used only by task-vector methods). Other MergeOptions keep their
+/// publication defaults.
+Checkpoint run_merge(const std::string& method, const Checkpoint& chip,
+                     const Checkpoint& instruct, const Checkpoint& base,
+                     double lambda = 0.6);
+
+/// Every evaluation artifact the benchmarks need, built deterministically
+/// from one fact base.
+struct EvalSuite {
+  std::vector<QaEvalItem> openroad;        ///< 90 items (Table 1 / Figure 8)
+  std::vector<IndustrialItem> industrial;  ///< 20 items x 2 turns (Table 2)
+  std::vector<McqItem> mcq;                ///< 30 items (Figure 7)
+  std::vector<IfEvalItem> ifeval;          ///< 120 prompts (Table 3)
+  std::unique_ptr<RetrievalPipeline> rag;  ///< over the doc corpus
+};
+
+/// Builds the standard evaluation suite (fixed seeds).
+EvalSuite build_eval_suite(const FactBase& facts);
+
+}  // namespace chipalign

@@ -1,0 +1,57 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CA_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  CA_CHECK(cells.size() == headers_.size(),
+           "row has " << cells.size() << " cells, header has "
+                      << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision);
+}
+
+}  // namespace chipalign

@@ -1,0 +1,33 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned ASCII table printer used by the benchmark harnesses.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace chipalign {
+
+/// Collects rows and prints them with aligned columns. First row added via
+/// the constructor is the header; a separator line is drawn under it.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os = std::cout) const;
+
+  /// Fixed-precision float formatting helper.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Percentage formatting helper ("61.0").
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chipalign

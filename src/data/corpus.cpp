@@ -1,0 +1,387 @@
+#include "data/corpus.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace chipalign {
+
+namespace {
+
+constexpr const char* kGenericAttrs[] = {"color", "size",  "shape", "speed",
+                                         "taste", "sound", "width", "state"};
+constexpr const char* kGenericObjects[] = {"sky", "box", "car", "cat", "pin",
+                                           "rod", "cup", "map", "fan", "bus"};
+constexpr const char* kGenericValues[] = {"blue", "small", "round", "fast",
+                                          "sweet", "loud", "wide",  "cold",
+                                          "red",   "flat", "slow",  "soft"};
+constexpr const char* kGenericNouns[] = {"wire", "light", "stone", "river",
+                                         "tower", "cloud", "field", "train"};
+constexpr const char* kGenericVerbs[] = {"moves", "holds", "finds", "keeps",
+                                         "lifts", "turns", "meets", "makes"};
+
+template <std::size_t N>
+const char* pick(Rng& rng, const char* const (&bank)[N]) {
+  return bank[static_cast<std::size_t>(rng.uniform_index(N))];
+}
+
+/// Random pronounceable lowercase word (alternating consonant/vowel).
+/// The generic corpora use random words for entity slots so that models
+/// cannot memorize slot fillers and are forced to learn *copying from
+/// context* — the skill the chip QA benchmarks exercise.
+std::string random_word(Rng& rng, int min_len = 3, int max_len = 5) {
+  static constexpr char kConsonants[] = "bcdfgklmnprstvz";
+  static constexpr char kVowels[] = "aeiou";
+  const int len = min_len + static_cast<int>(rng.uniform_index(
+                                static_cast<std::uint64_t>(max_len - min_len + 1)));
+  std::string word;
+  bool consonant = rng.bernoulli(0.7);
+  for (int i = 0; i < len; ++i) {
+    if (consonant) {
+      word += kConsonants[rng.uniform_index(sizeof(kConsonants) - 1)];
+    } else {
+      word += kVowels[rng.uniform_index(sizeof(kVowels) - 1)];
+    }
+    consonant = !consonant;
+  }
+  return word;
+}
+
+/// Entity slot filler: usually a random word, sometimes a bank word.
+template <std::size_t N>
+std::string slot(Rng& rng, const char* const (&bank)[N], double random_prob = 0.5) {
+  if (rng.uniform() < random_prob) return random_word(rng);
+  return pick(rng, bank);
+}
+
+/// "the <adj> <noun> <verb> the <noun>" — generic pretraining filler.
+std::string generic_sentence(Rng& rng) {
+  return std::string("the ") + pick(rng, kGenericValues) + " " +
+         pick(rng, kGenericNouns) + " " + pick(rng, kGenericVerbs) + " the " +
+         pick(rng, kGenericNouns);
+}
+
+}  // namespace
+
+std::string qa_prompt(const std::string& header,
+                      const std::vector<std::string>& chunks,
+                      const std::string& question) {
+  std::string out;
+  if (!header.empty()) out += "do: " + header + "\n";
+  for (const std::string& chunk : chunks) out += "ctx: " + chunk + "\n";
+  out += "q: " + question + "\n";
+  out += "out: ";
+  return out;
+}
+
+std::string format_prompt(const std::string& header, const std::string& text) {
+  CA_CHECK(!header.empty(), "format tasks require an instruction header");
+  return "do: " + header + "\ntxt: " + text + "\nout: ";
+}
+
+TrainExample make_segmented_example(
+    const std::vector<std::pair<std::string, float>>& segments,
+    std::int64_t max_len, bool final_eos) {
+  const CharTokenizer& tok = tokenizer();
+  TrainExample example;
+  example.tokens.push_back(CharTokenizer::kBos);
+  example.target_mask.push_back(0.0F);
+  for (const auto& [text, weight] : segments) {
+    for (TokenId id : tok.encode(text)) {
+      example.tokens.push_back(id);
+      example.target_mask.push_back(weight);
+    }
+  }
+  if (final_eos) {
+    example.tokens.push_back(CharTokenizer::kEos);
+    example.target_mask.push_back(segments.empty() ? 0.0F : segments.back().second);
+  }
+  if (static_cast<std::int64_t>(example.tokens.size()) > max_len) {
+    example.tokens.resize(static_cast<std::size_t>(max_len));
+    example.target_mask.resize(static_cast<std::size_t>(max_len));
+  }
+  return example;
+}
+
+std::string GenericFact::context() const {
+  return "the " + attribute + " of the " + object + " is " + value;
+}
+
+std::string GenericFact::question() const {
+  return "what is the " + attribute + " of the " + object + "?";
+}
+
+GenericFact sample_generic_fact(Rng& rng) {
+  GenericFact fact;
+  fact.attribute = pick(rng, kGenericAttrs);
+  fact.object = pick(rng, kGenericObjects);
+  fact.value = pick(rng, kGenericValues);
+  return fact;
+}
+
+GenericDocFact sample_generic_doc_fact(Rng& rng) {
+  // Each template family shares its *frame* words (command / stage / icon /
+  // unit / tool / queue / test) with the corresponding chip template, but
+  // fills the slots with generic vocabulary. A real chat model knows these
+  // frames from general pretraining; only the specific chip facts are
+  // domain knowledge.
+  GenericDocFact fact;
+  switch (rng.uniform_index(8)) {
+    case 0: {  // attribute fact (plain grounded QA; random value slot)
+      const GenericFact g = sample_generic_fact(rng);
+      const std::string value = slot(rng, kGenericValues);
+      fact.context = "the " + g.attribute + " of the " + g.object + " is " + value;
+      fact.question = g.question();
+      fact.answer = value;
+      break;
+    }
+    case 1: {  // command frame (parallels Functionality facts)
+      const char* verb_pairs[][2] = {{"turn", "turns"},   {"hold", "holds"},
+                                     {"lift", "lifts"},   {"keep", "keeps"},
+                                     {"move", "moves"},   {"find", "finds"}};
+      const auto& verb = verb_pairs[rng.uniform_index(6)];
+      const std::string obj = slot(rng, kGenericNouns);
+      const std::string mode = slot(rng, kGenericValues);
+      const std::string name = std::string(verb[0]) + "_" + obj;
+      fact.answer = std::string(verb[1]) + " the " + obj + " in " + mode + " mode";
+      fact.context = "command " + name + " " + fact.answer;
+      fact.question = "what does command " + name + " do?";
+      break;
+    }
+    case 2: {  // GUI frame (parallels GUI & Install & Test facts)
+      const std::string thing = slot(rng, kGenericNouns);
+      const std::string icon = slot(rng, kGenericNouns);
+      fact.answer = "click the " + icon + " icon";
+      fact.context = "to open the " + thing + " panel " + fact.answer +
+                     " in the top bar";
+      fact.question = "how to open the " + thing + " panel?";
+      break;
+    }
+    case 3: {  // stage frame (parallels VLSI-flow facts)
+      const std::string stage = slot(rng, kGenericNouns);
+      const std::string prev = slot(rng, kGenericNouns);
+      const std::string out = slot(rng, kGenericNouns);
+      fact.answer = "the " + out + (rng.bernoulli(0.5) ? " file" : " map");
+      fact.context = "stage " + stage + " runs after " + prev +
+                     " and outputs " + fact.answer;
+      fact.question = "what does stage " + stage + " output?";
+      break;
+    }
+    case 4: {  // unit frame (parallels ARCH facts)
+      const std::string unit = slot(rng, kGenericNouns);
+      const std::string part = slot(rng, kGenericNouns);
+      const int count = 2 + static_cast<int>(rng.uniform_index(7));
+      fact.answer = std::to_string(count) + " " + part + " blocks";
+      fact.context = "the " + unit + " unit has " + fact.answer + " inside";
+      fact.question = "what does the " + unit + " unit have?";
+      break;
+    }
+    case 5: {  // build-tool frame (parallels BUILD facts; tool qq, not zz)
+      const std::string target = slot(rng, kGenericNouns);
+      fact.answer = "run tool qq -b " + target;
+      fact.context = fact.answer + " to build the target " + target + " tree";
+      fact.question = "how to build target " + target + "?";
+      break;
+    }
+    case 6: {  // queue frame (parallels LSF facts; generic job/queue names)
+      const std::string job = slot(rng, kGenericNouns);
+      const std::string queue = slot(rng, kGenericValues);
+      fact.answer = "use bsub -q " + queue;
+      fact.context = "to submit job " + job + " " + fact.answer + " on the " +
+                     queue + " queue";
+      fact.question = "how to submit job " + job + "?";
+      break;
+    }
+    default: {  // test frame (parallels TESTGEN facts)
+      const std::string test = slot(rng, kGenericNouns);
+      const std::string obj = slot(rng, kGenericNouns);
+      const int seed_num = 10 + static_cast<int>(rng.uniform_index(90));
+      fact.answer = "the " + obj + " logic";
+      fact.context = "test " + test + " checks " + fact.answer + " with seed " +
+                     std::to_string(seed_num);
+      fact.question = "what does test " + test + " check?";
+      break;
+    }
+  }
+  return fact;
+}
+
+std::string sample_generic_text(Rng& rng) {
+  const int words = 2 + static_cast<int>(rng.uniform_index(3));
+  std::vector<std::string> parts;
+  for (int i = 0; i < words; ++i) {
+    // Mostly random words so format tasks exercise copying, not recall.
+    if (rng.uniform() < 0.6) {
+      parts.push_back(random_word(rng));
+    } else {
+      parts.emplace_back(rng.bernoulli(0.5) ? pick(rng, kGenericValues)
+                                            : pick(rng, kGenericNouns));
+    }
+  }
+  return join(parts, " ");
+}
+
+std::vector<TrainExample> build_pretrain_dataset(
+    const FactBase& facts, const PretrainDataConfig& config) {
+  CA_CHECK(config.count > 0, "pretrain count must be positive");
+  Rng rng(config.seed);
+  std::vector<TrainExample> dataset;
+  dataset.reserve(static_cast<std::size_t>(config.count));
+
+  const auto& docs = facts.corpus_sentences();
+  for (int i = 0; i < config.count; ++i) {
+    const double roll = rng.uniform();
+    if (roll < config.generic_frac) {
+      // A couple of generic sentences per example.
+      std::string text = generic_sentence(rng);
+      if (rng.bernoulli(0.5)) text += "\n" + generic_sentence(rng);
+      dataset.push_back(make_lm_example(text, config.max_len));
+    } else if (roll < config.generic_frac + config.chip_doc_frac) {
+      dataset.push_back(
+          make_lm_example(docs[static_cast<std::size_t>(
+                              rng.uniform_index(docs.size()))],
+                          config.max_len));
+    } else if (roll < config.generic_frac + config.chip_doc_frac +
+                          config.instruct_format_frac) {
+      // Instruction-shaped transcript as plain LM text.
+      const std::vector<InstructionKind> kinds = sample_instructions(rng, 3);
+      std::string text;
+      if (rng.bernoulli(0.5)) {
+        const std::string raw = sample_generic_text(rng);
+        text = format_prompt(instruction_header(kinds), raw) +
+               apply_instructions(kinds, raw);
+      } else {
+        const GenericDocFact fact = sample_generic_doc_fact(rng);
+        text = qa_prompt(instruction_header(kinds), {fact.context},
+                         fact.question) +
+               apply_instructions(kinds, fact.answer);
+      }
+      dataset.push_back(make_lm_example(text, config.max_len));
+    } else {
+      // Full QA transcript over a generic doc fact (format exposure: the
+      // base model learns the ctx/q/out scaffolding but no instructions).
+      const GenericDocFact fact = sample_generic_doc_fact(rng);
+      const std::string text =
+          qa_prompt("", {fact.context}, fact.question) + fact.answer;
+      dataset.push_back(make_lm_example(text, config.max_len));
+    }
+  }
+  return dataset;
+}
+
+std::vector<TrainExample> build_instruct_dataset(
+    const InstructDataConfig& config) {
+  CA_CHECK(config.count > 0, "instruct count must be positive");
+  Rng rng(config.seed);
+  std::vector<TrainExample> dataset;
+  dataset.reserve(static_cast<std::size_t>(config.count));
+
+  for (int i = 0; i < config.count; ++i) {
+    const double roll = rng.uniform();
+    if (roll < config.format_task_frac) {
+      // Pure format-transformation task.
+      const std::vector<InstructionKind> kinds =
+          sample_instructions(rng, config.max_instructions);
+      const std::string text = sample_generic_text(rng);
+      const std::string prompt = format_prompt(instruction_header(kinds), text);
+      const std::string answer = apply_instructions(kinds, text);
+      dataset.push_back(make_qa_example(prompt, answer, config.max_len));
+      continue;
+    }
+    if (roll < config.format_task_frac + config.multi_turn_frac) {
+      // Two-question grounded QA in one transcript.
+      const GenericDocFact fact_a = sample_generic_doc_fact(rng);
+      GenericDocFact fact_b = sample_generic_doc_fact(rng);
+      while (fact_b.question == fact_a.question) {
+        fact_b = sample_generic_doc_fact(rng);
+      }
+      const std::vector<InstructionKind> kinds =
+          sample_instructions(rng, config.max_instructions);
+      const std::string header = instruction_header(kinds);
+      std::vector<std::pair<std::string, float>> segments;
+      segments.emplace_back(
+          qa_prompt(header, {fact_a.context, fact_b.context},
+                    fact_a.question),
+          0.0F);
+      segments.emplace_back(apply_instructions(kinds, fact_a.answer), 1.0F);
+      segments.emplace_back("\nq: " + fact_b.question + "\nout: ", 0.0F);
+      segments.emplace_back(apply_instructions(kinds, fact_b.answer), 1.0F);
+      dataset.push_back(make_segmented_example(segments, config.max_len));
+      continue;
+    }
+
+    // Grounded single-turn QA, with or without an instruction header.
+    const GenericDocFact fact = sample_generic_doc_fact(rng);
+    std::vector<std::string> chunks = {fact.context};
+    if (rng.bernoulli(0.5)) {
+      GenericDocFact distractor = sample_generic_doc_fact(rng);
+      while (distractor.question == fact.question) {
+        distractor = sample_generic_doc_fact(rng);
+      }
+      chunks.push_back(distractor.context);
+      if (rng.bernoulli(0.5)) std::swap(chunks[0], chunks[1]);
+    }
+    const bool with_instructions = rng.uniform() >= config.no_instruction_frac;
+    std::vector<InstructionKind> kinds;
+    std::string header;
+    if (with_instructions) {
+      kinds = sample_instructions(rng, config.max_instructions);
+      header = instruction_header(kinds);
+    }
+    const std::string prompt = qa_prompt(header, chunks, fact.question);
+    const std::string answer = apply_instructions(kinds, fact.answer);
+    dataset.push_back(make_qa_example(prompt, answer, config.max_len));
+  }
+  return dataset;
+}
+
+std::vector<TrainExample> build_chip_daft_dataset(const FactBase& facts,
+                                                  const ChipDataConfig& config) {
+  CA_CHECK(config.repeats_per_fact > 0, "repeats_per_fact must be positive");
+  Rng rng(config.seed);
+
+  std::vector<const Fact*> pool;
+  for (const Fact& fact : facts.facts()) {
+    const bool wanted =
+        config.domains.empty() ||
+        std::find(config.domains.begin(), config.domains.end(), fact.domain) !=
+            config.domains.end();
+    if (wanted) pool.push_back(&fact);
+  }
+  CA_CHECK(!pool.empty(), "no facts match the requested domains");
+
+  const auto& docs = facts.corpus_sentences();
+  std::vector<TrainExample> dataset;
+  dataset.reserve(pool.size() * static_cast<std::size_t>(config.repeats_per_fact));
+
+  for (const Fact* fact : pool) {
+    for (int r = 0; r < config.repeats_per_fact; ++r) {
+      const bool closed_book = rng.uniform() < config.closed_book_frac;
+      std::vector<std::string> chunks;
+      if (!closed_book) {
+        chunks.push_back(fact->context);
+        if (rng.uniform() < config.distractor_frac) {
+          const std::string& other =
+              docs[static_cast<std::size_t>(rng.uniform_index(docs.size()))];
+          if (other != fact->context) {
+            chunks.push_back(other);
+            if (rng.bernoulli(0.5)) std::swap(chunks[0], chunks[1]);
+          }
+        }
+      }
+      std::vector<InstructionKind> kinds;
+      std::string header;
+      if (config.instruct_frac > 0.0 && rng.uniform() < config.instruct_frac) {
+        kinds = sample_instructions(rng, 2);
+        header = instruction_header(kinds);
+      }
+      const std::string prompt = qa_prompt(header, chunks, fact->question);
+      const std::string answer = apply_instructions(kinds, fact->answer);
+      dataset.push_back(make_qa_example(prompt, answer, config.max_len));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace chipalign

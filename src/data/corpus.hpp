@@ -1,0 +1,135 @@
+#pragma once
+/// \file corpus.hpp
+/// \brief Prompt formats and training-set builders for every model role.
+///
+/// Three model roles mirror the paper's Figure 4:
+///  * base model      — pretrained on a mixed corpus (generic text + chip
+///                      documentation + QA-format exposure); the common
+///                      ancestor required by task-vector merge methods.
+///  * instruct model  — base + full finetune on verifiable-instruction tasks
+///                      over *generic* content (the LLaMA-Chat analogue).
+///  * chip/EDA model  — instruct (or base) + LoRA DAFT on chip QA triplets
+///                      (the ChipNeMo / EDA-model analogue).
+///
+/// Prompt layout used across the whole repo:
+///
+///   do: [UP] [BR]          <- optional instruction header
+///   ctx: <doc sentence>    <- zero or more context chunks
+///   q: <question>
+///   out: <answer>
+///
+/// and for pure format tasks:  do: <tags> / txt: <text> / out: <answer>.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/fact_base.hpp"
+#include "data/instructions.hpp"
+#include "train/trainer.hpp"
+
+namespace chipalign {
+
+// -- prompt assembly -----------------------------------------------------------
+
+/// Builds a QA prompt. `header` (e.g. "[UP] [BR]") may be empty; `chunks`
+/// may be empty for closed-book questions. Ends with "out: ".
+std::string qa_prompt(const std::string& header,
+                      const std::vector<std::string>& chunks,
+                      const std::string& question);
+
+/// Builds a format-task prompt ("do: <tags> / txt: <text> / out: ").
+std::string format_prompt(const std::string& header, const std::string& text);
+
+/// Builds a TrainExample from (text, target-weight) segments; the example
+/// starts with <bos> and is truncated to max_len. Segment weights apply to
+/// every token the segment contributes.
+TrainExample make_segmented_example(
+    const std::vector<std::pair<std::string, float>>& segments,
+    std::int64_t max_len, bool final_eos = true);
+
+// -- generic (non-chip) facts -----------------------------------------------------
+
+/// A throwaway general-knowledge fact used by instruct training and IFEval.
+struct GenericFact {
+  std::string attribute;  ///< e.g. "color"
+  std::string object;     ///< e.g. "sky"
+  std::string value;      ///< e.g. "blue"
+
+  std::string context() const;   ///< "the color of the sky is blue"
+  std::string question() const;  ///< "what is the color of the sky?"
+};
+
+/// Deterministic sample of a generic fact.
+GenericFact sample_generic_fact(Rng& rng);
+
+/// A generic *documentation-style* fact: context sentence, question, and an
+/// answer extractable from the context. The templates deliberately parallel
+/// every chip question shape (command / flow stage / how-to / unit contents
+/// / tool invocation) but use disjoint generic vocabulary ("widget", "step",
+/// "kit"), so the instruct model learns the *extraction skill* across
+/// question shapes without acquiring chip knowledge — the role general chat
+/// data plays for real instruct models.
+struct GenericDocFact {
+  std::string question;
+  std::string answer;
+  std::string context;
+};
+
+/// Deterministic sample across the six generic template families.
+GenericDocFact sample_generic_doc_fact(Rng& rng);
+
+/// Random short word sequence (2..4 generic words) for format tasks.
+std::string sample_generic_text(Rng& rng);
+
+// -- dataset builders ---------------------------------------------------------------
+
+/// Pretraining mixture configuration.
+struct PretrainDataConfig {
+  std::uint64_t seed = 11;
+  int count = 1600;         ///< number of examples
+  std::int64_t max_len = 256;
+  double generic_frac = 0.25;    ///< plain generic sentences
+  double chip_doc_frac = 0.20;   ///< chip documentation sentences (DAPT-ish)
+  /// Instruction-format transcripts (format tasks / instructed QA) seen as
+  /// plain language modeling — the way web pretraining corpora contain
+  /// instruction-shaped text. This is what makes the later instruct
+  /// finetune cheap, mirroring real LLM training economics.
+  double instruct_format_frac = 0.25;
+  // remainder: generic QA-format exposure (ctx/q/out with generic facts)
+};
+
+std::vector<TrainExample> build_pretrain_dataset(const FactBase& facts,
+                                                 const PretrainDataConfig& config);
+
+/// Instruction-tuning mixture configuration.
+struct InstructDataConfig {
+  std::uint64_t seed = 22;
+  int count = 1400;
+  std::int64_t max_len = 256;
+  double format_task_frac = 0.35;    ///< "do:/txt:/out:" transformation tasks
+  double multi_turn_frac = 0.15;     ///< two-question QA sequences
+  double no_instruction_frac = 0.15; ///< grounded QA without a header
+  int max_instructions = 3;          ///< matches the IFEval setting
+};
+
+std::vector<TrainExample> build_instruct_dataset(const InstructDataConfig& config);
+
+/// Chip DAFT mixture configuration.
+struct ChipDataConfig {
+  std::uint64_t seed = 33;
+  std::int64_t max_len = 256;
+  int repeats_per_fact = 6;     ///< paraphrased repetitions per fact
+  double distractor_frac = 0.5; ///< fraction of examples with an extra chunk
+  double closed_book_frac = 0.25;  ///< no-context repetitions (memorization)
+  /// Fraction of examples that carry an instruction header (0 for the pure
+  /// EDA model; >0 to mimic ChipNeMo's DAFT which included some chat data).
+  double instruct_frac = 0.0;
+  /// Domains to train on; empty = all domains.
+  std::vector<FactDomain> domains;
+};
+
+std::vector<TrainExample> build_chip_daft_dataset(const FactBase& facts,
+                                                  const ChipDataConfig& config);
+
+}  // namespace chipalign

@@ -1,0 +1,268 @@
+#include "data/fact_base.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+std::string domain_name(FactDomain domain) {
+  switch (domain) {
+    case FactDomain::kFunctionality:
+      return "Functionality";
+    case FactDomain::kVlsiFlow:
+      return "VLSI Flow";
+    case FactDomain::kGuiInstallTest:
+      return "GUI & Install & Test";
+    case FactDomain::kArch:
+      return "ARCH";
+    case FactDomain::kBuild:
+      return "BUILD";
+    case FactDomain::kLsf:
+      return "LSF";
+    case FactDomain::kTestgen:
+      return "TESTGEN";
+    case FactDomain::kBugs:
+      return "Bugs";
+    case FactDomain::kCircuits:
+      return "Circuits";
+  }
+  CA_THROW("unknown fact domain");
+}
+
+bool is_openroad_domain(FactDomain domain) {
+  return domain == FactDomain::kFunctionality ||
+         domain == FactDomain::kVlsiFlow ||
+         domain == FactDomain::kGuiInstallTest;
+}
+
+namespace {
+
+/// (base form, third person form) verb pairs for command descriptions.
+struct Verb {
+  const char* base;
+  const char* third;
+};
+
+constexpr Verb kVerbs[] = {
+    {"route", "routes"}, {"place", "places"}, {"check", "checks"},
+    {"scan", "scans"},   {"fix", "fixes"},    {"mark", "marks"},
+    {"sort", "sorts"},   {"trim", "trims"},
+};
+constexpr const char* kObjects[] = {"nets",   "pins",  "cells", "paths",
+                                    "clocks", "ports", "rails", "vias"};
+constexpr const char* kModes[] = {"fast", "full", "safe", "tight", "wide", "cold"};
+
+constexpr const char* kStages[] = {"synth", "floor", "place", "cts",  "route",
+                                   "fill",  "drc",   "lvs",   "sign", "export"};
+constexpr const char* kStageOutputs[] = {
+    "netlist",     "die plan",    "cell map",     "clock tree", "wire map",
+    "fill map",    "rule report", "match report", "final sign", "gds file"};
+
+constexpr const char* kPanels[] = {"timing panel", "power view", "net tree",
+                                   "log pane",     "grid map",   "pin list",
+                                   "drc view",     "help page",  "clock view",
+                                   "area view"};
+constexpr const char* kIcons[] = {"clock", "bolt", "tree", "scroll", "grid",
+                                  "pin",   "rule", "book", "wave",   "box"};
+
+constexpr const char* kUnits[] = {"core",  "cache", "fetch", "decode",
+                                  "issue", "alu",   "fpu",   "lsu"};
+constexpr const char* kParts[] = {"adder", "buffer", "mux",   "latch",
+                                  "queue", "port",   "stage", "bank"};
+
+constexpr const char* kTargets[] = {"alpha", "beta",  "gamma", "delta",
+                                    "omega", "sigma", "kappa", "theta"};
+constexpr const char* kQueues[] = {"short", "long", "night", "prio",
+                                   "bulk",  "gpu",  "mem",   "spot"};
+constexpr const char* kJobs[] = {"lint", "sim",  "cover", "merge",
+                                 "gen",  "pack", "sweep", "probe"};
+constexpr const char* kTestObjs[] = {"fetch", "cache", "queue", "timer",
+                                     "stack", "gate",  "bus",   "lane"};
+constexpr const char* kSymptoms[] = {"a stall", "a drop", "a glitch", "a halt",
+                                     "a skew",  "a leak", "a race",   "a spike"};
+constexpr const char* kBugObjs[] = {"clock", "reset", "fetch", "cache",
+                                    "write", "read",  "merge", "flush"};
+constexpr const char* kCircuitNames[] = {"adder",  "shifter", "counter",
+                                         "decoder", "mixer",  "divider",
+                                         "sampler", "driver"};
+constexpr const char* kComponents[] = {"nand", "nor", "xor", "mux",
+                                       "flop", "inv", "and", "buf"};
+
+}  // namespace
+
+void FactBase::add_fact(Fact fact) {
+  corpus_.push_back(fact.context);
+  facts_.push_back(std::move(fact));
+}
+
+FactBase::FactBase(std::uint64_t seed) {
+  Rng rng(seed);
+
+  // Functionality: EDA commands, name = <verb>_<object>.
+  for (int i = 0; i < 14; ++i) {
+    const Verb& verb = kVerbs[static_cast<std::size_t>(rng.uniform_index(8))];
+    const char* obj = kObjects[static_cast<std::size_t>(rng.uniform_index(8))];
+    const char* mode = kModes[static_cast<std::size_t>(rng.uniform_index(6))];
+    const std::string name = std::string(verb.base) + "_" + obj;
+    Fact fact;
+    fact.id = "func." + name;
+    if (std::any_of(facts_.begin(), facts_.end(),
+                    [&](const Fact& f) { return f.id == fact.id; })) {
+      --i;
+      continue;
+    }
+    fact.domain = FactDomain::kFunctionality;
+    fact.question = "what does command " + name + " do?";
+    fact.answer = std::string(verb.third) + " the " + obj + " in " + mode + " mode";
+    fact.context = "command " + name + " " + verb.third + " the " + obj +
+                   " in " + mode + " mode";
+    add_fact(std::move(fact));
+  }
+
+  // VLSI flow: stages and their outputs.
+  for (int i = 0; i < 10; ++i) {
+    const char* stage = kStages[i];
+    const char* prev = kStages[(i + 9) % 10];
+    const char* output = kStageOutputs[i];
+    Fact fact;
+    fact.id = std::string("flow.") + stage;
+    fact.domain = FactDomain::kVlsiFlow;
+    fact.question = std::string("what does stage ") + stage + " output?";
+    fact.answer = std::string("the ") + output;
+    fact.context = std::string("stage ") + stage + " runs after " + prev +
+                   " and outputs the " + output;
+    add_fact(std::move(fact));
+  }
+
+  // GUI & install & test: panels and how to open them.
+  for (int i = 0; i < 10; ++i) {
+    const char* panel = kPanels[i];
+    const char* icon = kIcons[i];
+    Fact fact;
+    fact.id = std::string("gui.") + icon;
+    fact.domain = FactDomain::kGuiInstallTest;
+    fact.question = std::string("how to open the ") + panel + "?";
+    fact.answer = std::string("click the ") + icon + " icon";
+    fact.context = std::string("to open the ") + panel + " click the " + icon +
+                   " icon in the top bar";
+    add_fact(std::move(fact));
+  }
+
+  // ARCH: units and their contents.
+  for (int i = 0; i < 8; ++i) {
+    const char* unit = kUnits[i];
+    const char* part = kParts[static_cast<std::size_t>(rng.uniform_index(8))];
+    const int count = 2 + static_cast<int>(rng.uniform_index(7));
+    Fact fact;
+    fact.id = std::string("arch.") + unit;
+    fact.domain = FactDomain::kArch;
+    fact.question = std::string("what does the ") + unit + " unit have?";
+    fact.answer = std::to_string(count) + " " + part + " blocks";
+    fact.context = std::string("the ") + unit + " unit has " +
+                   std::to_string(count) + " " + part + " blocks inside";
+    add_fact(std::move(fact));
+  }
+
+  // BUILD: build targets and the tool invocation.
+  for (int i = 0; i < 8; ++i) {
+    const char* target = kTargets[i];
+    Fact fact;
+    fact.id = std::string("build.") + target;
+    fact.domain = FactDomain::kBuild;
+    fact.question = std::string("how to build target ") + target + "?";
+    fact.answer = std::string("run tool zz -b ") + target;
+    fact.context = std::string("run tool zz -b ") + target +
+                   " to build the target " + target + " tree";
+    add_fact(std::move(fact));
+  }
+
+  // LSF: job submission.
+  for (int i = 0; i < 8; ++i) {
+    const char* job = kJobs[i];
+    const char* queue = kQueues[static_cast<std::size_t>(rng.uniform_index(8))];
+    Fact fact;
+    fact.id = std::string("lsf.") + job;
+    fact.domain = FactDomain::kLsf;
+    fact.question = std::string("how to submit job ") + job + "?";
+    fact.answer = std::string("use bsub -q ") + queue;
+    fact.context = std::string("to submit job ") + job + " use bsub -q " +
+                   queue + " on the " + queue + " queue";
+    add_fact(std::move(fact));
+  }
+
+  // TESTGEN: tests and what they check.
+  for (int i = 0; i < 8; ++i) {
+    const char* obj = kTestObjs[i];
+    const int seed_num = 10 + static_cast<int>(rng.uniform_index(90));
+    const std::string test = "t" + std::to_string(i + 1);
+    Fact fact;
+    fact.id = "testgen." + test;
+    fact.domain = FactDomain::kTestgen;
+    fact.question = "what does test " + test + " check?";
+    fact.answer = std::string("the ") + obj + " logic";
+    fact.context = "test " + test + " checks the " + obj + " logic with seed " +
+                   std::to_string(seed_num);
+    add_fact(std::move(fact));
+  }
+
+  // Bugs: bug ids and symptoms.
+  for (int i = 0; i < 8; ++i) {
+    const char* symptom = kSymptoms[i];
+    const char* obj = kBugObjs[static_cast<std::size_t>(rng.uniform_index(8))];
+    const std::string bug = "b" + std::to_string(100 + i);
+    Fact fact;
+    fact.id = "bugs." + bug;
+    fact.domain = FactDomain::kBugs;
+    fact.question = "what does bug " + bug + " cause?";
+    fact.answer = std::string(symptom) + " in the " + obj + " path";
+    fact.context = "bug " + bug + " causes " + symptom + " in the " + obj + " path";
+    add_fact(std::move(fact));
+  }
+
+  // Circuits: circuit structures.
+  for (int i = 0; i < 8; ++i) {
+    const char* circuit = kCircuitNames[i];
+    const char* comp = kComponents[static_cast<std::size_t>(rng.uniform_index(8))];
+    const int count = 2 + static_cast<int>(rng.uniform_index(14));
+    Fact fact;
+    fact.id = std::string("circ.") + circuit;
+    fact.domain = FactDomain::kCircuits;
+    fact.question = std::string("what does the ") + circuit + " circuit use?";
+    fact.answer = std::to_string(count) + " " + comp + " cells";
+    fact.context = std::string("the ") + circuit + " circuit uses " +
+                   std::to_string(count) + " " + comp + " cells";
+    add_fact(std::move(fact));
+  }
+
+  // Distractor documentation sentences (retrievable but not the answer to
+  // any question) to make the RAG setting non-trivial.
+  const char* kFillers[] = {
+      "the doc index lists every tool page in the user guide",
+      "see the release note for the new flow options",
+      "the setup page shows the license server steps",
+      "each report ends with a summary line and a date",
+      "use the search box to find a command by name",
+      "the faq page covers common install errors",
+      "every stage writes a log file in the run folder",
+      "the gui theme can be dark or light in settings",
+  };
+  for (const char* filler : kFillers) corpus_.emplace_back(filler);
+
+  // Sanity: unique fact ids.
+  std::set<std::string> ids;
+  for (const Fact& fact : facts_) {
+    CA_CHECK(ids.insert(fact.id).second, "duplicate fact id " << fact.id);
+  }
+}
+
+std::vector<const Fact*> FactBase::domain_facts(FactDomain domain) const {
+  std::vector<const Fact*> out;
+  for (const Fact& fact : facts_) {
+    if (fact.domain == domain) out.push_back(&fact);
+  }
+  return out;
+}
+
+}  // namespace chipalign

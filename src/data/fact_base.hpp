@@ -1,0 +1,72 @@
+#pragma once
+/// \file fact_base.hpp
+/// \brief Synthetic chip-domain knowledge base.
+///
+/// Stands in for the corpora behind the paper's benchmarks: OpenROAD
+/// documentation (functionality / VLSI flow / GUI-install-test categories of
+/// Table 1), the industrial QA domains (ARCH/BUILD/LSF/TESTGEN of Table 2)
+/// and the multiple-choice domains (EDA scripts / bugs / circuits of
+/// Figure 7). Every fact is a (question, short answer, documentation
+/// sentence) triple; the documentation sentences double as the RAG corpus.
+///
+/// Facts are generated deterministically from a seed, so every bench and
+/// test sees the same knowledge base.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace chipalign {
+
+/// Knowledge domains; the first three are the OpenROAD QA categories.
+enum class FactDomain {
+  kFunctionality,   ///< EDA command usage ("Functionality" in Table 1)
+  kVlsiFlow,        ///< flow stages ("VLSI Flow")
+  kGuiInstallTest,  ///< GUI / install / test ("GUI & Install & Test")
+  kArch,            ///< hardware architecture (Table 2 ARCH)
+  kBuild,           ///< build tooling (Table 2 BUILD)
+  kLsf,             ///< job scheduling (Table 2 LSF)
+  kTestgen,         ///< verification (Table 2 TESTGEN)
+  kBugs,            ///< bug reports (Figure 7 "bugs")
+  kCircuits,        ///< circuit structures (Figure 7 "circuits")
+};
+
+/// Display name, e.g. "VLSI Flow".
+std::string domain_name(FactDomain domain);
+
+/// True for the three OpenROAD QA categories.
+bool is_openroad_domain(FactDomain domain);
+
+/// One atomic piece of chip knowledge.
+struct Fact {
+  std::string id;        ///< unique key, e.g. "func.route_nets"
+  FactDomain domain;
+  std::string question;  ///< e.g. "what does command route_nets do?"
+  std::string answer;    ///< short phrase, extractable from `context`
+  std::string context;   ///< documentation sentence containing the answer
+};
+
+/// The complete synthetic knowledge base.
+class FactBase {
+ public:
+  explicit FactBase(std::uint64_t seed = 0xFAC7ULL);
+
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// Facts of one domain (pointers into facts()).
+  std::vector<const Fact*> domain_facts(FactDomain domain) const;
+
+  /// All documentation sentences: every fact context plus distractor
+  /// sentences. This is the corpus the RAG pipeline indexes.
+  const std::vector<std::string>& corpus_sentences() const { return corpus_; }
+
+ private:
+  void add_fact(Fact fact);
+
+  std::vector<Fact> facts_;
+  std::vector<std::string> corpus_;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,234 @@
+#include "data/instructions.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace chipalign {
+
+const std::vector<InstructionKind>& all_instruction_kinds() {
+  static const std::vector<InstructionKind> kinds = {
+      InstructionKind::kMaxWords3, InstructionKind::kRepeatTwice,
+      InstructionKind::kPrefixAns, InstructionKind::kUpper,
+      InstructionKind::kLower,     InstructionKind::kQuote,
+      InstructionKind::kBracket,   InstructionKind::kSuffixDot,
+  };
+  return kinds;
+}
+
+std::string instruction_tag(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::kMaxWords3:
+      return "[W3]";
+    case InstructionKind::kRepeatTwice:
+      return "[X2]";
+    case InstructionKind::kPrefixAns:
+      return "[P:]";
+    case InstructionKind::kUpper:
+      return "[UP]";
+    case InstructionKind::kLower:
+      return "[LOW]";
+    case InstructionKind::kQuote:
+      return "[QT]";
+    case InstructionKind::kBracket:
+      return "[BR]";
+    case InstructionKind::kSuffixDot:
+      return "[DOT]";
+  }
+  CA_THROW("unknown instruction kind");
+}
+
+std::string instruction_description(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::kMaxWords3:
+      return "answer in at most 3 words";
+    case InstructionKind::kRepeatTwice:
+      return "state the answer twice, separated by '; '";
+    case InstructionKind::kPrefixAns:
+      return "begin the answer with 'ans: '";
+    case InstructionKind::kUpper:
+      return "use uppercase letters only";
+    case InstructionKind::kLower:
+      return "use lowercase letters only";
+    case InstructionKind::kQuote:
+      return "wrap the answer in double quotes";
+    case InstructionKind::kBracket:
+      return "wrap the answer in parentheses";
+    case InstructionKind::kSuffixDot:
+      return "end the answer with a period";
+  }
+  CA_THROW("unknown instruction kind");
+}
+
+std::string apply_instruction(InstructionKind kind, std::string_view answer) {
+  switch (kind) {
+    case InstructionKind::kMaxWords3: {
+      const std::vector<std::string> words = split_whitespace(answer);
+      std::vector<std::string> kept(
+          words.begin(),
+          words.begin() + std::min<std::size_t>(3, words.size()));
+      return join(kept, " ");
+    }
+    case InstructionKind::kRepeatTwice: {
+      std::string text(answer);
+      return text + "; " + text;
+    }
+    case InstructionKind::kPrefixAns:
+      return "ans: " + std::string(answer);
+    case InstructionKind::kUpper:
+      return to_upper(answer);
+    case InstructionKind::kLower:
+      return to_lower(answer);
+    case InstructionKind::kQuote:
+      return "\"" + std::string(answer) + "\"";
+    case InstructionKind::kBracket:
+      return "(" + std::string(answer) + ")";
+    case InstructionKind::kSuffixDot:
+      return std::string(answer) + ".";
+  }
+  CA_THROW("unknown instruction kind");
+}
+
+std::string apply_instructions(const std::vector<InstructionKind>& kinds,
+                               std::string_view answer) {
+  std::string out(answer);
+  for (InstructionKind kind : all_instruction_kinds()) {
+    if (std::find(kinds.begin(), kinds.end(), kind) != kinds.end()) {
+      out = apply_instruction(kind, out);
+    }
+  }
+  return out;
+}
+
+std::string instruction_header(const std::vector<InstructionKind>& kinds) {
+  std::vector<std::string> tags;
+  // Render in canonical order so prompts are deterministic.
+  for (InstructionKind kind : all_instruction_kinds()) {
+    if (std::find(kinds.begin(), kinds.end(), kind) != kinds.end()) {
+      tags.push_back(instruction_tag(kind));
+    }
+  }
+  return join(tags, " ");
+}
+
+namespace {
+
+bool has_lower(std::string_view text) {
+  return std::any_of(text.begin(), text.end(), [](char c) {
+    return std::islower(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+bool has_upper(std::string_view text) {
+  return std::any_of(text.begin(), text.end(), [](char c) {
+    return std::isupper(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+}  // namespace
+
+bool verify_strict(InstructionKind kind, std::string_view response) {
+  switch (kind) {
+    case InstructionKind::kMaxWords3:
+      return count_words(response) <= 3;
+    case InstructionKind::kRepeatTwice: {
+      const std::size_t sep = std::string_view(response).find("; ");
+      if (sep == std::string_view::npos) return false;
+      // Compare word sequences so wrappers applied after [X2] (case, quote,
+      // bracket, period, the 'ans:' prefix) do not break the check.
+      auto first = word_tokens(response.substr(0, sep));
+      const auto second = word_tokens(response.substr(sep + 2));
+      if (!first.empty() && first.front() == "ans" && first.size() == second.size() + 1) {
+        first.erase(first.begin());
+      }
+      return !first.empty() && first == second;
+    }
+    case InstructionKind::kPrefixAns: {
+      const std::string lowered = to_lower(response);
+      // Allow wrapping characters ((, ") inserted by later instructions.
+      const std::size_t pos = lowered.find("ans:");
+      if (pos == std::string::npos || pos > 2) return false;
+      for (std::size_t i = 0; i < pos; ++i) {
+        if (lowered[i] != '(' && lowered[i] != '"') return false;
+      }
+      return true;
+    }
+    case InstructionKind::kUpper:
+      return !has_lower(response);
+    case InstructionKind::kLower:
+      return !has_upper(response);
+    case InstructionKind::kQuote: {
+      // The quote may be wrapped by [BR] or terminated by [DOT].
+      std::string text = trim(response);
+      if (starts_with(text, "(") && ends_with(text, ")")) {
+        text = text.substr(1, text.size() - 2);
+      }
+      if (ends_with(text, ".")) text = text.substr(0, text.size() - 1);
+      return text.size() >= 2 && starts_with(text, "\"") && ends_with(text, "\"");
+    }
+    case InstructionKind::kBracket: {
+      std::string text = trim(response);
+      if (ends_with(text, ".")) text = text.substr(0, text.size() - 1);
+      return text.size() >= 2 && starts_with(text, "(") && ends_with(text, ")");
+    }
+    case InstructionKind::kSuffixDot:
+      return ends_with(trim(response), ".");
+  }
+  CA_THROW("unknown instruction kind");
+}
+
+bool verify_loose(InstructionKind kind, std::string_view response) {
+  if (verify_strict(kind, response)) return true;
+  std::string text = trim(response);
+  // Strip one layer of leading/trailing punctuation or quotes, as IFEval's
+  // loose mode forgives incidental wrappers.
+  auto is_wrapper = [](char c) {
+    return c == '"' || c == '\'' || c == '(' || c == ')' || c == '.' ||
+           c == ',' || c == ';' || c == ':';
+  };
+  if (!text.empty() && is_wrapper(text.front())) text.erase(text.begin());
+  if (!text.empty() && is_wrapper(text.back())) text.pop_back();
+  return verify_strict(kind, trim(text));
+}
+
+bool compatible(InstructionKind a, InstructionKind b) {
+  if (a == b) return false;
+  const bool case_clash =
+      (a == InstructionKind::kUpper && b == InstructionKind::kLower) ||
+      (a == InstructionKind::kLower && b == InstructionKind::kUpper);
+  if (case_clash) return false;
+  // [W3] clashes with instructions that add words after truncation: [X2]
+  // doubles the word count and [P:] prepends "ans:", making the combined
+  // golden answer violate the word limit.
+  auto clashes_with_w3 = [](InstructionKind k) {
+    return k == InstructionKind::kRepeatTwice ||
+           k == InstructionKind::kPrefixAns;
+  };
+  const bool count_clash =
+      (a == InstructionKind::kMaxWords3 && clashes_with_w3(b)) ||
+      (b == InstructionKind::kMaxWords3 && clashes_with_w3(a));
+  return !count_clash;
+}
+
+std::vector<InstructionKind> sample_instructions(Rng& rng, int max_count) {
+  CA_CHECK(max_count >= 1, "max_count must be >= 1");
+  const auto& kinds = all_instruction_kinds();
+  const int want = 1 + static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(max_count)));
+  std::vector<InstructionKind> chosen;
+  int attempts = 0;
+  while (static_cast<int>(chosen.size()) < want && attempts < 64) {
+    ++attempts;
+    const InstructionKind candidate =
+        kinds[static_cast<std::size_t>(rng.uniform_index(kinds.size()))];
+    const bool ok = std::all_of(
+        chosen.begin(), chosen.end(),
+        [&](InstructionKind existing) { return compatible(existing, candidate); });
+    if (ok) chosen.push_back(candidate);
+  }
+  return chosen;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,66 @@
+#pragma once
+/// \file instructions.hpp
+/// \brief Verifiable instruction family (the repo's IFEval analogue).
+///
+/// Each instruction is a short bracketed tag a prompt can carry (e.g.
+/// "do: [UP] [BR]"), a deterministic transformation that produces the
+/// compliant golden answer, and strict/loose programmatic checkers — the
+/// defining property of IFEval is that compliance is machine-checkable.
+///
+/// Composition uses a fixed canonical order (word-limit, repeat, prefix,
+/// case, quote, bracket, period) so golden answers are unambiguous.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace chipalign {
+
+/// The instruction kinds. Comments give tag and meaning.
+enum class InstructionKind {
+  kMaxWords3,    ///< [W3]  answer in at most 3 words
+  kRepeatTwice,  ///< [X2]  state the answer twice, separated by "; "
+  kPrefixAns,    ///< [P:]  begin the answer with "ans: "
+  kUpper,        ///< [UP]  all letters uppercase
+  kLower,        ///< [LOW] all letters lowercase
+  kQuote,        ///< [QT]  wrap the answer in double quotes
+  kBracket,      ///< [BR]  wrap the answer in parentheses
+  kSuffixDot,    ///< [DOT] end the answer with a period
+};
+
+/// All kinds in canonical application order.
+const std::vector<InstructionKind>& all_instruction_kinds();
+
+/// Prompt tag, e.g. "[UP]".
+std::string instruction_tag(InstructionKind kind);
+
+/// Human-readable description (used in docs and the chip_assistant example).
+std::string instruction_description(InstructionKind kind);
+
+/// Applies one instruction to an answer string.
+std::string apply_instruction(InstructionKind kind, std::string_view answer);
+
+/// Applies a set of instructions in canonical order (input order ignored).
+std::string apply_instructions(const std::vector<InstructionKind>& kinds,
+                               std::string_view answer);
+
+/// Renders the prompt header for a set of instructions, e.g. "[UP] [BR]".
+std::string instruction_header(const std::vector<InstructionKind>& kinds);
+
+/// Strict compliance check of a model response against one instruction.
+bool verify_strict(InstructionKind kind, std::string_view response);
+
+/// Loose compliance: the response is trimmed and stripped of one leading and
+/// trailing punctuation/quote character before re-checking, mirroring
+/// IFEval's loose criterion of forgiving incidental wrappers.
+bool verify_loose(InstructionKind kind, std::string_view response);
+
+/// True if the two instructions may appear together ([UP]+[LOW] may not).
+bool compatible(InstructionKind a, InstructionKind b);
+
+/// Samples 1..max_count mutually compatible instructions.
+std::vector<InstructionKind> sample_instructions(Rng& rng, int max_count);
+
+}  // namespace chipalign

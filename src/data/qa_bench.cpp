@@ -1,0 +1,174 @@
+#include "data/qa_bench.hpp"
+
+#include <algorithm>
+
+#include "data/corpus.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// Samples 1-2 compatible instructions from the token-affecting subset used
+/// by the generation benchmarks ([P:], [X2], [W3] change word content; [UP]
+/// and [DOT] are thrown in occasionally and matter for the rubric grader).
+std::vector<InstructionKind> sample_bench_instructions(Rng& rng) {
+  static const std::vector<InstructionKind> kPrimary = {
+      InstructionKind::kPrefixAns,
+      InstructionKind::kRepeatTwice,
+      InstructionKind::kMaxWords3,
+  };
+  static const std::vector<InstructionKind> kSecondary = {
+      InstructionKind::kUpper,
+      InstructionKind::kSuffixDot,
+      InstructionKind::kBracket,
+  };
+  std::vector<InstructionKind> kinds;
+  kinds.push_back(kPrimary[static_cast<std::size_t>(
+      rng.uniform_index(kPrimary.size()))]);
+  if (rng.bernoulli(0.5)) {
+    const InstructionKind extra = kSecondary[static_cast<std::size_t>(
+        rng.uniform_index(kSecondary.size()))];
+    if (compatible(kinds[0], extra)) kinds.push_back(extra);
+  }
+  return kinds;
+}
+
+}  // namespace
+
+std::vector<QaEvalItem> build_openroad_eval(const FactBase& facts,
+                                            std::uint64_t seed, int count) {
+  CA_CHECK(count > 0, "eval count must be positive");
+  Rng rng(seed);
+  const FactDomain domains[] = {FactDomain::kFunctionality,
+                                FactDomain::kVlsiFlow,
+                                FactDomain::kGuiInstallTest};
+  std::vector<std::vector<const Fact*>> pools;
+  for (FactDomain domain : domains) {
+    pools.push_back(facts.domain_facts(domain));
+    CA_CHECK(!pools.back().empty(), "no facts for domain " << domain_name(domain));
+  }
+
+  std::vector<QaEvalItem> items;
+  items.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::size_t which = static_cast<std::size_t>(i) % 3;
+    const auto& pool = pools[which];
+    const Fact* fact = pool[static_cast<std::size_t>(rng.uniform_index(pool.size()))];
+
+    QaEvalItem item;
+    item.id = "openroad." + std::to_string(i) + "." + fact->id;
+    item.domain = domains[which];
+    item.instructions = sample_bench_instructions(rng);
+    item.question = fact->question;
+    item.golden_context = fact->context;
+    item.plain_answer = fact->answer;
+    item.golden_answer = apply_instructions(item.instructions, fact->answer);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<IndustrialItem> build_industrial_eval(const FactBase& facts,
+                                                  std::uint64_t seed,
+                                                  int per_domain) {
+  CA_CHECK(per_domain > 0, "per_domain must be positive");
+  Rng rng(seed);
+  const FactDomain domains[] = {FactDomain::kArch, FactDomain::kBuild,
+                                FactDomain::kLsf, FactDomain::kTestgen};
+
+  std::vector<IndustrialItem> items;
+  for (FactDomain domain : domains) {
+    const auto pool = facts.domain_facts(domain);
+    CA_CHECK(pool.size() >= 2, "need at least two facts in "
+                                   << domain_name(domain) << " for follow-ups");
+    for (int i = 0; i < per_domain; ++i) {
+      const Fact* first =
+          pool[static_cast<std::size_t>(rng.uniform_index(pool.size()))];
+      const Fact* second = first;
+      while (second == first) {
+        second = pool[static_cast<std::size_t>(rng.uniform_index(pool.size()))];
+      }
+
+      IndustrialItem item;
+      item.id = "industrial." + domain_name(domain) + "." + std::to_string(i);
+      item.domain = domain;
+      item.instructions = sample_bench_instructions(rng);
+      for (const Fact* fact : {first, second}) {
+        IndustrialItem::Turn turn;
+        turn.question = fact->question;
+        turn.golden_context = fact->context;
+        turn.plain_answer = fact->answer;
+        turn.golden_answer = apply_instructions(item.instructions, fact->answer);
+        item.turns.push_back(std::move(turn));
+      }
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+std::vector<McqItem> build_mcq_eval(const FactBase& facts, std::uint64_t seed,
+                                    int per_domain) {
+  CA_CHECK(per_domain > 0, "per_domain must be positive");
+  Rng rng(seed);
+  const FactDomain domains[] = {FactDomain::kFunctionality, FactDomain::kBugs,
+                                FactDomain::kCircuits};
+
+  std::vector<McqItem> items;
+  for (FactDomain domain : domains) {
+    const auto pool = facts.domain_facts(domain);
+    CA_CHECK(pool.size() >= 4, "need >= 4 facts in " << domain_name(domain)
+                                                     << " for 4-way MCQ");
+    for (int i = 0; i < per_domain; ++i) {
+      const Fact* fact =
+          pool[static_cast<std::size_t>(rng.uniform_index(pool.size()))];
+
+      // Distractors: answers of three other facts in the same domain.
+      std::vector<const Fact*> others;
+      for (const Fact* candidate : pool) {
+        if (candidate != fact && candidate->answer != fact->answer) {
+          others.push_back(candidate);
+        }
+      }
+      CA_CHECK(others.size() >= 3, "not enough distinct distractors");
+      rng.shuffle(others);
+
+      McqItem item;
+      item.id = "mcq." + fact->id + "." + std::to_string(i);
+      item.domain = domain;
+      item.question = fact->question;
+      item.choices = {fact->answer, others[0]->answer, others[1]->answer,
+                      others[2]->answer};
+      // Shuffle choices, track the golden index.
+      for (std::size_t c = item.choices.size(); c > 1; --c) {
+        const auto j = static_cast<std::size_t>(rng.uniform_index(c));
+        std::swap(item.choices[c - 1], item.choices[j]);
+      }
+      const auto golden = std::find(item.choices.begin(), item.choices.end(),
+                                    fact->answer);
+      item.correct_index = static_cast<int>(golden - item.choices.begin());
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+std::vector<IfEvalItem> build_ifeval_set(std::uint64_t seed, int count,
+                                         int max_instructions) {
+  CA_CHECK(count > 0, "count must be positive");
+  Rng rng(seed);
+  std::vector<IfEvalItem> items;
+  items.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    IfEvalItem item;
+    item.id = "ifeval." + std::to_string(i);
+    item.instructions = sample_instructions(rng, max_instructions);
+    item.prompt = format_prompt(instruction_header(item.instructions),
+                                sample_generic_text(rng));
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,86 @@
+#pragma once
+/// \file qa_bench.hpp
+/// \brief Evaluation-set builders for every benchmark in the paper.
+///
+/// * build_openroad_eval   — Table 1 / Figure 8: context-query-answer
+///   triplets over the OpenROAD-style categories, every prompt carrying an
+///   instruction header (as in the paper's Figure 5 all 90 items follow one
+///   instruction block).
+/// * build_industrial_eval — Table 2: ARCH/BUILD/LSF/TESTGEN items with two
+///   turns each (the harness uses turn 1 for single-turn scoring and both
+///   turns for multi-turn).
+/// * build_mcq_eval        — Figure 7: closed-book multiple choice over the
+///   EDA-scripts / bugs / circuits domains.
+/// * build_ifeval_set      — Table 3: verifiable-instruction prompts checked
+///   programmatically (no golden answer needed).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/fact_base.hpp"
+#include "data/instructions.hpp"
+
+namespace chipalign {
+
+/// One OpenROAD-style eval triplet.
+struct QaEvalItem {
+  std::string id;
+  FactDomain domain = FactDomain::kFunctionality;
+  std::vector<InstructionKind> instructions;
+  std::string question;
+  std::string golden_context;  ///< the doc sentence containing the answer
+  std::string plain_answer;    ///< raw fact answer
+  std::string golden_answer;   ///< instructions applied to plain_answer
+};
+
+/// Builds `count` triplets round-robin over the three OpenROAD categories.
+/// Instructions are drawn from the token-affecting subset ([P:], [X2], [W3])
+/// so compliance is visible to ROUGE-L, as motivated in DESIGN.md.
+std::vector<QaEvalItem> build_openroad_eval(const FactBase& facts,
+                                            std::uint64_t seed, int count);
+
+/// One industrial (production-style) QA item with follow-up turn.
+struct IndustrialItem {
+  struct Turn {
+    std::string question;
+    std::string golden_context;
+    std::string plain_answer;
+    std::string golden_answer;  ///< instructions applied
+  };
+  std::string id;
+  FactDomain domain = FactDomain::kArch;
+  std::vector<InstructionKind> instructions;
+  std::vector<Turn> turns;  ///< exactly two turns
+};
+
+/// `per_domain` items over ARCH/BUILD/LSF/TESTGEN.
+std::vector<IndustrialItem> build_industrial_eval(const FactBase& facts,
+                                                  std::uint64_t seed,
+                                                  int per_domain);
+
+/// Closed-book multiple-choice question.
+struct McqItem {
+  std::string id;
+  FactDomain domain = FactDomain::kFunctionality;
+  std::string question;
+  std::vector<std::string> choices;  ///< 4 options
+  int correct_index = 0;
+};
+
+/// `per_domain` questions over {Functionality(EDA scripts), Bugs, Circuits}.
+std::vector<McqItem> build_mcq_eval(const FactBase& facts, std::uint64_t seed,
+                                    int per_domain);
+
+/// One IFEval-style prompt (pure format task; compliance is checkable
+/// without a golden answer).
+struct IfEvalItem {
+  std::string id;
+  std::vector<InstructionKind> instructions;
+  std::string prompt;
+};
+
+std::vector<IfEvalItem> build_ifeval_set(std::uint64_t seed, int count,
+                                         int max_instructions = 3);
+
+}  // namespace chipalign

@@ -1,0 +1,37 @@
+#include "eval/grader.hpp"
+
+#include <algorithm>
+
+#include "eval/metrics.hpp"
+
+namespace chipalign {
+
+int rubric_grade(const std::string& response, const std::string& golden,
+                 const std::vector<InstructionKind>& instructions) {
+  const double similarity = token_f1(response, golden);
+  int band;
+  if (similarity >= 0.85) {
+    band = 4;
+  } else if (similarity >= 0.60) {
+    band = 3;
+  } else if (similarity >= 0.35) {
+    band = 2;
+  } else if (similarity >= 0.12) {
+    band = 1;
+  } else {
+    band = 0;
+  }
+
+  // One band off for instruction violations (strict check, like the
+  // "not supported by context" deductions in the paper's Figure 6).
+  const bool violated =
+      std::any_of(instructions.begin(), instructions.end(),
+                  [&](InstructionKind kind) {
+                    return !verify_strict(kind, response);
+                  });
+  if (violated && band > 0) --band;
+
+  return band * 25;
+}
+
+}  // namespace chipalign

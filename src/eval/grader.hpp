@@ -1,0 +1,23 @@
+#pragma once
+/// \file grader.hpp
+/// \brief Deterministic rubric grader standing in for the paper's GPT-4
+/// grader on the industrial chip QA benchmark.
+///
+/// The paper's grader compares a response with the golden answer and assigns
+/// a score in {0, 25, 50, 75, 100}. Our deterministic rubric maps token-F1
+/// similarity to the same bands and deducts one band when the response
+/// violates any of the prompt's instructions — mirroring how Figure 6's
+/// grader punished answers that ignored the grounding instruction.
+
+#include <string>
+#include <vector>
+
+#include "data/instructions.hpp"
+
+namespace chipalign {
+
+/// Grades a response against the golden answer. Returns 0/25/50/75/100.
+int rubric_grade(const std::string& response, const std::string& golden,
+                 const std::vector<InstructionKind>& instructions);
+
+}  // namespace chipalign

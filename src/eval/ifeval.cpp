@@ -1,0 +1,51 @@
+#include "eval/ifeval.hpp"
+
+#include "nn/infer.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+IfEvalResult run_ifeval(const TransformerModel& model,
+                        const std::vector<IfEvalItem>& items) {
+  CA_CHECK(!items.empty(), "IFEval set is empty");
+  IfEvalResult result;
+
+  GenerateOptions options;
+  options.max_new_tokens = 96;
+
+  int prompt_strict_ok = 0;
+  int prompt_loose_ok = 0;
+  int instr_strict_ok = 0;
+  int instr_loose_ok = 0;
+  for (const IfEvalItem& item : items) {
+    const std::string response =
+        generate(model, item.prompt, options, /*stop_at_newline=*/true);
+
+    bool all_strict = true;
+    bool all_loose = true;
+    for (InstructionKind kind : item.instructions) {
+      const bool strict = verify_strict(kind, response);
+      const bool loose = verify_loose(kind, response);
+      instr_strict_ok += strict ? 1 : 0;
+      instr_loose_ok += loose ? 1 : 0;
+      all_strict = all_strict && strict;
+      all_loose = all_loose && loose;
+      ++result.instruction_count;
+    }
+    prompt_strict_ok += all_strict ? 1 : 0;
+    prompt_loose_ok += all_loose ? 1 : 0;
+    ++result.prompt_count;
+  }
+
+  result.prompt_strict =
+      static_cast<double>(prompt_strict_ok) / result.prompt_count;
+  result.prompt_loose =
+      static_cast<double>(prompt_loose_ok) / result.prompt_count;
+  result.instruction_strict =
+      static_cast<double>(instr_strict_ok) / result.instruction_count;
+  result.instruction_loose =
+      static_cast<double>(instr_loose_ok) / result.instruction_count;
+  return result;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,32 @@
+#pragma once
+/// \file ifeval.hpp
+/// \brief IFEval-style instruction-following evaluation harness (Table 3).
+///
+/// For each prompt the model's response is checked against every instruction
+/// programmatically. As in IFEval, accuracy is reported at two levels:
+/// prompt level (all instructions of a prompt satisfied) and instruction
+/// level (each instruction counted separately), each in strict and loose
+/// variants.
+
+#include <vector>
+
+#include "data/qa_bench.hpp"
+#include "nn/transformer.hpp"
+
+namespace chipalign {
+
+/// Aggregate IFEval accuracies, all in [0, 1].
+struct IfEvalResult {
+  double prompt_strict = 0.0;
+  double prompt_loose = 0.0;
+  double instruction_strict = 0.0;
+  double instruction_loose = 0.0;
+  int prompt_count = 0;
+  int instruction_count = 0;
+};
+
+/// Runs the model (greedy decoding) over the IFEval set and scores it.
+IfEvalResult run_ifeval(const TransformerModel& model,
+                        const std::vector<IfEvalItem>& items);
+
+}  // namespace chipalign

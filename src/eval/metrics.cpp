@@ -1,0 +1,129 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "util/string_utils.hpp"
+
+namespace chipalign {
+
+std::size_t lcs_length(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0;
+  // Rolling single-row DP.
+  std::vector<std::size_t> prev(b.size() + 1, 0);
+  std::vector<std::size_t> curr(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+namespace {
+
+double f1(double precision, double recall) {
+  if (precision + recall <= 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+std::map<std::string, int> counts(const std::vector<std::string>& tokens) {
+  std::map<std::string, int> out;
+  for (const std::string& token : tokens) ++out[token];
+  return out;
+}
+
+}  // namespace
+
+double rouge_l(std::string_view hypothesis, std::string_view reference) {
+  const auto hyp = word_tokens(hypothesis);
+  const auto ref = word_tokens(reference);
+  if (hyp.empty() || ref.empty()) return 0.0;
+  const auto lcs = static_cast<double>(lcs_length(hyp, ref));
+  return f1(lcs / static_cast<double>(hyp.size()),
+            lcs / static_cast<double>(ref.size()));
+}
+
+double rouge_1(std::string_view hypothesis, std::string_view reference) {
+  const auto hyp = word_tokens(hypothesis);
+  const auto ref = word_tokens(reference);
+  if (hyp.empty() || ref.empty()) return 0.0;
+  const auto hyp_counts = counts(hyp);
+  const auto ref_counts = counts(ref);
+  int overlap = 0;
+  for (const auto& [token, count] : hyp_counts) {
+    const auto it = ref_counts.find(token);
+    if (it != ref_counts.end()) overlap += std::min(count, it->second);
+  }
+  return f1(static_cast<double>(overlap) / static_cast<double>(hyp.size()),
+            static_cast<double>(overlap) / static_cast<double>(ref.size()));
+}
+
+double bleu(std::string_view hypothesis, std::string_view reference,
+            int max_order) {
+  const auto hyp = word_tokens(hypothesis);
+  const auto ref = word_tokens(reference);
+  if (hyp.empty() || ref.empty()) return 0.0;
+
+  double log_precision_sum = 0.0;
+  int orders_used = 0;
+  for (int n = 1; n <= max_order; ++n) {
+    const auto order = static_cast<std::size_t>(n);
+    if (hyp.size() < order) break;
+    ++orders_used;
+
+    auto ngrams = [order](const std::vector<std::string>& tokens) {
+      std::map<std::string, int> grams;
+      for (std::size_t i = 0; i + order <= tokens.size(); ++i) {
+        std::string key;
+        for (std::size_t k = 0; k < order; ++k) {
+          key += tokens[i + k];
+          key += '\x1f';
+        }
+        ++grams[key];
+      }
+      return grams;
+    };
+
+    const auto hyp_grams = ngrams(hyp);
+    const auto ref_grams = ngrams(ref);
+    int matched = 0;
+    int total = 0;
+    for (const auto& [gram, count] : hyp_grams) {
+      total += count;
+      const auto it = ref_grams.find(gram);
+      if (it != ref_grams.end()) matched += std::min(count, it->second);
+    }
+    // +1 smoothing for higher orders avoids log(0) on short sentences.
+    double precision;
+    if (n == 1) {
+      if (matched == 0) return 0.0;
+      precision = static_cast<double>(matched) / static_cast<double>(total);
+    } else {
+      precision = (static_cast<double>(matched) + 1.0) /
+                  (static_cast<double>(total) + 1.0);
+    }
+    log_precision_sum += std::log(precision);
+  }
+  if (orders_used == 0) return 0.0;
+
+  const double geo_mean = std::exp(log_precision_sum / orders_used);
+  const double ratio =
+      static_cast<double>(hyp.size()) / static_cast<double>(ref.size());
+  const double brevity = ratio >= 1.0 ? 1.0 : std::exp(1.0 - 1.0 / ratio);
+  return brevity * geo_mean;
+}
+
+double token_f1(std::string_view hypothesis, std::string_view reference) {
+  return rouge_1(hypothesis, reference);  // identical definition
+}
+
+}  // namespace chipalign

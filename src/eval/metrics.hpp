@@ -1,0 +1,33 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Text-generation metrics: ROUGE-L/1, BLEU, token F1.
+///
+/// All metrics operate on lowercased alphanumeric word tokens (see
+/// word_tokens()), matching the common ROUGE/BLEU preprocessing. ROUGE-L is
+/// the paper's Table 1 metric; BLEU is implemented because the paper
+/// discusses (and rejects) it; token F1 feeds the rubric grader of Table 2.
+
+#include <string_view>
+#include <vector>
+
+namespace chipalign {
+
+/// Length of the longest common subsequence of two token sequences.
+std::size_t lcs_length(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+/// ROUGE-L F1 between a hypothesis and a reference. 0 when either is empty.
+double rouge_l(std::string_view hypothesis, std::string_view reference);
+
+/// ROUGE-1 (unigram) F1 with clipped counts.
+double rouge_1(std::string_view hypothesis, std::string_view reference);
+
+/// Sentence BLEU with up to 4-gram precision, +1 smoothing for n >= 2, and
+/// the standard brevity penalty. 0 when either side is empty.
+double bleu(std::string_view hypothesis, std::string_view reference,
+            int max_order = 4);
+
+/// SQuAD-style token-multiset F1.
+double token_f1(std::string_view hypothesis, std::string_view reference);
+
+}  // namespace chipalign

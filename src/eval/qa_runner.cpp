@@ -1,0 +1,167 @@
+#include "eval/qa_runner.hpp"
+
+#include <algorithm>
+
+#include "data/corpus.hpp"
+#include "eval/grader.hpp"
+#include "eval/metrics.hpp"
+#include "nn/infer.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// Accumulates (category, score) pairs into CategoryScores.
+class ScoreAccumulator {
+ public:
+  void add(const std::string& category, double score) {
+    sums_[category] += score;
+    ++counts_[category];
+    total_sum_ += score;
+    ++total_count_;
+  }
+
+  CategoryScores finish() const {
+    CategoryScores out;
+    for (const auto& [category, sum] : sums_) {
+      out.by_category[category] = sum / counts_.at(category);
+      out.counts[category] = counts_.at(category);
+    }
+    out.all = total_count_ > 0 ? total_sum_ / total_count_ : 0.0;
+    return out;
+  }
+
+ private:
+  std::map<std::string, double> sums_;
+  std::map<std::string, int> counts_;
+  double total_sum_ = 0.0;
+  int total_count_ = 0;
+};
+
+GenerateOptions answer_options() {
+  GenerateOptions options;
+  options.max_new_tokens = 96;
+  options.temperature = 0.0;  // paper sets temperature to 0 for all models
+  return options;
+}
+
+}  // namespace
+
+CategoryScores run_openroad_eval(const TransformerModel& model,
+                                 const std::vector<QaEvalItem>& items,
+                                 const RetrievalPipeline* rag,
+                                 std::size_t rag_top_k) {
+  CA_CHECK(!items.empty(), "OpenROAD eval set is empty");
+  ScoreAccumulator acc;
+  for (const QaEvalItem& item : items) {
+    std::vector<std::string> chunks;
+    if (rag != nullptr) {
+      chunks = rag->retrieve_texts(item.question, rag_top_k);
+    } else {
+      chunks.push_back(item.golden_context);
+    }
+    const std::string prompt = qa_prompt(instruction_header(item.instructions),
+                                         chunks, item.question);
+    const std::string response =
+        generate(model, prompt, answer_options(), /*stop_at_newline=*/true);
+    acc.add(domain_name(item.domain), rouge_l(response, item.golden_answer));
+  }
+  return acc.finish();
+}
+
+CategoryScores run_industrial_eval(const TransformerModel& model,
+                                   const std::vector<IndustrialItem>& items,
+                                   const RetrievalPipeline& rag,
+                                   bool multi_turn, std::size_t rag_top_k) {
+  CA_CHECK(!items.empty(), "industrial eval set is empty");
+  ScoreAccumulator acc;
+  for (const IndustrialItem& item : items) {
+    CA_CHECK(item.turns.size() >= 2, "industrial items need two turns");
+    const std::string header = instruction_header(item.instructions);
+
+    // Turn 1.
+    const std::vector<std::string> chunks1 =
+        rag.retrieve_texts(item.turns[0].question, rag_top_k);
+    const std::string prompt1 =
+        qa_prompt(header, chunks1, item.turns[0].question);
+    const std::string response1 =
+        generate(model, prompt1, answer_options(), /*stop_at_newline=*/true);
+    const int grade1 =
+        rubric_grade(response1, item.turns[0].golden_answer, item.instructions);
+
+    if (!multi_turn) {
+      acc.add(domain_name(item.domain), static_cast<double>(grade1));
+      continue;
+    }
+
+    // Turn 2: the follow-up sees the first exchange (with the model's own
+    // answer) plus retrieved context for the new question.
+    std::vector<std::string> chunks2 = chunks1;
+    for (const std::string& chunk :
+         rag.retrieve_texts(item.turns[1].question, rag_top_k)) {
+      if (std::find(chunks2.begin(), chunks2.end(), chunk) == chunks2.end()) {
+        chunks2.push_back(chunk);
+      }
+    }
+    std::string prompt2 = qa_prompt(header, chunks2, item.turns[0].question);
+    prompt2 += response1 + "\n";
+    prompt2 += "q: " + item.turns[1].question + "\n";
+    prompt2 += "out: ";
+    const std::string response2 =
+        generate(model, prompt2, answer_options(), /*stop_at_newline=*/true);
+    const int grade2 =
+        rubric_grade(response2, item.turns[1].golden_answer, item.instructions);
+
+    acc.add(domain_name(item.domain), 0.5 * (grade1 + grade2));
+  }
+  return acc.finish();
+}
+
+std::map<std::string, CategoryScores> run_openroad_eval_metrics(
+    const TransformerModel& model, const std::vector<QaEvalItem>& items) {
+  CA_CHECK(!items.empty(), "OpenROAD eval set is empty");
+  std::map<std::string, ScoreAccumulator> accs;
+  for (const QaEvalItem& item : items) {
+    const std::string prompt =
+        qa_prompt(instruction_header(item.instructions), {item.golden_context},
+                  item.question);
+    const std::string response =
+        generate(model, prompt, answer_options(), /*stop_at_newline=*/true);
+    const std::string category = domain_name(item.domain);
+    accs["rouge_l"].add(category, rouge_l(response, item.golden_answer));
+    accs["rouge_1"].add(category, rouge_1(response, item.golden_answer));
+    accs["bleu"].add(category, bleu(response, item.golden_answer));
+    accs["token_f1"].add(category, token_f1(response, item.golden_answer));
+  }
+  std::map<std::string, CategoryScores> out;
+  for (const auto& [metric, acc] : accs) out[metric] = acc.finish();
+  return out;
+}
+
+CategoryScores run_mcq_eval(const TransformerModel& model,
+                            const std::vector<McqItem>& items) {
+  CA_CHECK(!items.empty(), "MCQ eval set is empty");
+  const CharTokenizer& tok = tokenizer();
+  ScoreAccumulator acc;
+  for (const McqItem& item : items) {
+    const std::string prompt = qa_prompt("", {}, item.question);
+    const std::vector<TokenId> context = tok.encode(prompt, /*add_bos=*/true);
+
+    double best_score = -1e300;
+    int best_choice = -1;
+    for (std::size_t c = 0; c < item.choices.size(); ++c) {
+      const std::vector<TokenId> continuation = tok.encode(item.choices[c]);
+      const double score = mean_logprob(model, context, continuation);
+      if (score > best_score) {
+        best_score = score;
+        best_choice = static_cast<int>(c);
+      }
+    }
+    acc.add(domain_name(item.domain),
+            best_choice == item.correct_index ? 1.0 : 0.0);
+  }
+  return acc.finish();
+}
+
+}  // namespace chipalign

@@ -1,0 +1,391 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace chipalign {
+
+bool Json::as_bool() const {
+  CA_CHECK(type_ == Type::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  CA_CHECK(type_ == Type::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+std::int64_t Json::as_int() const {
+  CA_CHECK(type_ == Type::kNumber, "JSON value is not a number");
+  CA_CHECK(std::abs(number_) < 9.007199254740992e15,
+           "number " << number_ << " exceeds exact integer range");
+  const auto value = static_cast<std::int64_t>(number_);
+  CA_CHECK(static_cast<double>(value) == number_,
+           "number " << number_ << " is not integral");
+  return value;
+}
+
+const std::string& Json::as_string() const {
+  CA_CHECK(type_ == Type::kString, "JSON value is not a string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  CA_THROW("size() on non-container JSON value");
+}
+
+const Json& Json::at(std::size_t index) const {
+  CA_CHECK(type_ == Type::kArray, "index access on non-array JSON value");
+  CA_CHECK(index < array_.size(), "JSON array index " << index << " out of range "
+                                                      << array_.size());
+  return array_[index];
+}
+
+void Json::push_back(Json value) {
+  CA_CHECK(type_ == Type::kArray, "push_back on non-array JSON value");
+  array_.push_back(std::move(value));
+}
+
+bool Json::contains(const std::string& key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  CA_CHECK(type_ == Type::kObject, "member access on non-object JSON value");
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  CA_THROW("JSON object has no member '" << key << "'");
+}
+
+void Json::set(const std::string& key, Json value) {
+  CA_CHECK(type_ == Type::kObject, "set on non-object JSON value");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const Json::Members& Json::members() const {
+  CA_CHECK(type_ == Type::kObject, "members() on non-object JSON value");
+  return object_;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double value) {
+  // Integers print without a decimal point (safetensors offsets must be ints).
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::append_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      append_number(out, number_);
+      return;
+    case Type::kString:
+      append_escaped(out, string_);
+      return;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        array_[i].append_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_escaped(out, object_[i].first);
+        out += ':';
+        object_[i].second.append_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  append_to(out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    CA_CHECK(pos_ == text_.size(), "trailing characters after JSON document at byte " << pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    CA_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    CA_CHECK(take() == c, "expected '" << c << "' at byte " << (pos_ - 1));
+  }
+
+  bool try_consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        CA_CHECK(try_consume("true"), "bad literal at byte " << pos_);
+        return Json(true);
+      case 'f':
+        CA_CHECK(try_consume("false"), "bad literal at byte " << pos_);
+        return Json(false);
+      case 'n':
+        CA_CHECK(try_consume("null"), "bad literal at byte " << pos_);
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      CA_CHECK(!obj.contains(key), "duplicate JSON key '" << key << "'");
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      CA_CHECK(c == ',', "expected ',' or '}' in object at byte " << (pos_ - 1));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return arr;
+      CA_CHECK(c == ',', "expected ',' or ']' in array at byte " << (pos_ - 1));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              CA_THROW("bad \\u escape at byte " << pos_);
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // checkpoint headers are ASCII in practice).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          CA_THROW("unknown escape '\\" << esc << "' at byte " << pos_);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    CA_CHECK(pos_ > start, "expected a JSON value at byte " << start);
+    double value = 0.0;
+    const auto* begin = text_.data() + start;
+    const auto* end = text_.data() + pos_;
+    const auto result = std::from_chars(begin, end, value);
+    CA_CHECK(result.ec == std::errc() && result.ptr == end,
+             "malformed number at byte " << start);
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace chipalign

@@ -1,0 +1,95 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON value, parser and writer.
+///
+/// Supports the subset of JSON needed by the safetensors header and the
+/// library's experiment configs: null, bool, number, string, array, object.
+/// Object key order is preserved on parse and write, which matters for
+/// byte-stable checkpoint headers.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+/// A JSON document node with value semantics.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Ordered key-value list; duplicate keys are rejected by the parser.
+  using Members = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(google-explicit-constructor)
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(std::int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}  // NOLINT
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}  // NOLINT
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}  // NOLINT
+  Json(const char* value) : Json(std::string(value)) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;  ///< truncates; checks integral range
+  const std::string& as_string() const;
+
+  // -- array API ---------------------------------------------------------------
+  std::size_t size() const;  ///< array length or object member count
+  const Json& at(std::size_t index) const;
+  void push_back(Json value);
+
+  // -- object API ---------------------------------------------------------------
+  /// True when this is an object containing the key.
+  bool contains(const std::string& key) const;
+  /// Member access; throws if missing.
+  const Json& at(const std::string& key) const;
+  /// Inserts or overwrites a member (preserving first-insert order).
+  void set(const std::string& key, Json value);
+  const Members& members() const;
+
+  /// Serializes to compact JSON text.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws Error on malformed input or
+  /// trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  void append_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  Members object_;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,181 @@
+#include "io/safetensors.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "io/json.hpp"
+#include "tensor/half.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+namespace {
+
+std::vector<std::uint8_t> encode_tensor(const Tensor& tensor, DType dtype) {
+  const auto values = tensor.values();
+  std::vector<std::uint8_t> bytes(values.size() * dtype_size(dtype));
+  switch (dtype) {
+    case DType::kF32: {
+      std::memcpy(bytes.data(), values.data(), bytes.size());
+      break;
+    }
+    case DType::kF16: {
+      auto* out = reinterpret_cast<std::uint16_t*>(bytes.data());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        out[i] = f32_to_f16_bits(values[i]);
+      }
+      break;
+    }
+    case DType::kBF16: {
+      auto* out = reinterpret_cast<std::uint16_t*>(bytes.data());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        out[i] = f32_to_bf16_bits(values[i]);
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+Tensor decode_tensor(const std::uint8_t* bytes, std::size_t byte_count,
+                     DType dtype, Shape shape) {
+  const std::int64_t numel = shape_numel(shape);
+  CA_CHECK(byte_count == static_cast<std::size_t>(numel) * dtype_size(dtype),
+           "tensor byte count " << byte_count << " does not match shape "
+                                << shape_to_string(shape) << " dtype "
+                                << dtype_name(dtype));
+  std::vector<float> values(static_cast<std::size_t>(numel));
+  switch (dtype) {
+    case DType::kF32: {
+      std::memcpy(values.data(), bytes, byte_count);
+      break;
+    }
+    case DType::kF16: {
+      const auto* in = reinterpret_cast<const std::uint16_t*>(bytes);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = f16_bits_to_f32(in[i]);
+      }
+      break;
+    }
+    case DType::kBF16: {
+      const auto* in = reinterpret_cast<const std::uint16_t*>(bytes);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = bf16_bits_to_f32(in[i]);
+      }
+      break;
+    }
+  }
+  return Tensor(std::move(shape), std::move(values));
+}
+
+}  // namespace
+
+void save_safetensors(const std::string& path,
+                      const std::map<std::string, Tensor>& tensors,
+                      DType storage,
+                      const std::map<std::string, std::string>& metadata) {
+  Json header = Json::object();
+  if (!metadata.empty()) {
+    Json meta = Json::object();
+    for (const auto& [key, value] : metadata) meta.set(key, Json(value));
+    header.set("__metadata__", std::move(meta));
+  }
+
+  std::vector<std::vector<std::uint8_t>> buffers;
+  buffers.reserve(tensors.size());
+  std::size_t offset = 0;
+  for (const auto& [name, tensor] : tensors) {
+    CA_CHECK(name != "__metadata__", "tensor name '__metadata__' is reserved");
+    buffers.push_back(encode_tensor(tensor, storage));
+    const std::size_t end = offset + buffers.back().size();
+
+    Json entry = Json::object();
+    entry.set("dtype", Json(dtype_name(storage)));
+    Json shape = Json::array();
+    for (std::int64_t dim : tensor.shape()) shape.push_back(Json(dim));
+    entry.set("shape", std::move(shape));
+    Json offsets = Json::array();
+    offsets.push_back(Json(static_cast<std::int64_t>(offset)));
+    offsets.push_back(Json(static_cast<std::int64_t>(end)));
+    entry.set("data_offsets", std::move(offsets));
+    header.set(name, std::move(entry));
+    offset = end;
+  }
+
+  std::string header_text = header.dump();
+  // Pad the header with spaces to 8-byte alignment, as the reference
+  // implementation does.
+  while (header_text.size() % 8 != 0) header_text += ' ';
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  CA_CHECK(file.good(), "cannot open '" << path << "' for writing");
+  const std::uint64_t header_len = header_text.size();
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>((header_len >> (8 * i)) & 0xFF);
+  }
+  file.write(reinterpret_cast<const char*>(len_bytes), 8);
+  file.write(header_text.data(), static_cast<std::streamsize>(header_text.size()));
+  for (const auto& buffer : buffers) {
+    file.write(reinterpret_cast<const char*>(buffer.data()),
+               static_cast<std::streamsize>(buffer.size()));
+  }
+  CA_CHECK(file.good(), "write failed for '" << path << "'");
+}
+
+SafetensorsFile load_safetensors(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  CA_CHECK(file.good(), "cannot open '" << path << "' for reading");
+  file.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::size_t>(file.tellg());
+  file.seekg(0, std::ios::beg);
+  CA_CHECK(file_size >= 8, "'" << path << "' is too small to be a safetensors file");
+
+  std::uint8_t len_bytes[8];
+  file.read(reinterpret_cast<char*>(len_bytes), 8);
+  std::uint64_t header_len = 0;
+  for (int i = 7; i >= 0; --i) header_len = (header_len << 8) | len_bytes[i];
+  CA_CHECK(header_len <= file_size - 8,
+           "header length " << header_len << " exceeds file size " << file_size);
+
+  std::string header_text(header_len, '\0');
+  file.read(header_text.data(), static_cast<std::streamsize>(header_len));
+  const Json header = Json::parse(header_text);
+  CA_CHECK(header.is_object(), "safetensors header is not a JSON object");
+
+  const std::size_t data_size = file_size - 8 - header_len;
+  std::vector<std::uint8_t> data(data_size);
+  file.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data_size));
+  CA_CHECK(file.good(), "read failed for '" << path << "'");
+
+  SafetensorsFile out;
+  for (const auto& [name, entry] : header.members()) {
+    if (name == "__metadata__") {
+      for (const auto& [key, value] : entry.members()) {
+        out.metadata[key] = value.as_string();
+      }
+      continue;
+    }
+    const DType dtype = dtype_from_name(entry.at("dtype").as_string());
+    Shape shape;
+    const Json& shape_json = entry.at("shape");
+    for (std::size_t i = 0; i < shape_json.size(); ++i) {
+      shape.push_back(shape_json.at(i).as_int());
+    }
+    const Json& offsets = entry.at("data_offsets");
+    CA_CHECK(offsets.size() == 2, "data_offsets must have two entries");
+    const auto begin = static_cast<std::size_t>(offsets.at(0).as_int());
+    const auto end = static_cast<std::size_t>(offsets.at(1).as_int());
+    CA_CHECK(begin <= end && end <= data_size,
+             "tensor '" << name << "' offsets [" << begin << ", " << end
+                        << ") out of range " << data_size);
+    out.tensors.emplace(
+        name, decode_tensor(data.data() + begin, end - begin, dtype,
+                            std::move(shape)));
+  }
+  return out;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,38 @@
+#pragma once
+/// \file safetensors.hpp
+/// \brief Reader/writer for the safetensors checkpoint format.
+///
+/// Layout: an 8-byte little-endian header length, a JSON header mapping
+/// tensor names to {dtype, shape, data_offsets}, then the raw tensor bytes.
+/// We support F32/F16/BF16 storage; tensors are decoded to fp32 on load.
+/// Files written here are readable by the reference Python implementation
+/// (and vice versa for the supported dtypes).
+
+#include <map>
+#include <string>
+
+#include "tensor/dtype.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chipalign {
+
+/// A named-tensor bundle plus free-form string metadata (the "__metadata__"
+/// entry of the safetensors header).
+struct SafetensorsFile {
+  std::map<std::string, Tensor> tensors;
+  std::map<std::string, std::string> metadata;
+};
+
+/// Writes all tensors with the given storage dtype. Tensor bytes are laid out
+/// in name-sorted order (std::map iteration), offsets contiguous from zero.
+void save_safetensors(const std::string& path,
+                      const std::map<std::string, Tensor>& tensors,
+                      DType storage = DType::kF32,
+                      const std::map<std::string, std::string>& metadata = {});
+
+/// Loads a safetensors file, decoding every tensor to fp32. Throws Error on
+/// malformed files (bad magic length, overlapping/oob offsets, unknown
+/// dtypes).
+SafetensorsFile load_safetensors(const std::string& path);
+
+}  // namespace chipalign

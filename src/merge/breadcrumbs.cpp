@@ -1,0 +1,73 @@
+#include "merge/breadcrumbs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// Keeps entries whose |magnitude| rank lies in the band
+/// [n - keep_count, n - outlier_count): i.e. the top `density` fraction
+/// minus the top `outlier_frac` fraction. Everything else is zeroed.
+void mask_to_band(Tensor& task_vector, double density, double outlier_frac) {
+  const auto values = task_vector.values();
+  const std::size_t n = values.size();
+  if (n == 0) return;
+
+  auto keep_count = static_cast<std::size_t>(
+      std::llround(density * static_cast<double>(n)));
+  auto outlier_count = static_cast<std::size_t>(
+      std::llround(outlier_frac * static_cast<double>(n)));
+  keep_count = std::min(keep_count, n);
+  outlier_count = std::min(outlier_count, keep_count);
+  if (keep_count == 0 || keep_count == outlier_count) {
+    task_vector.fill(0.0F);
+    return;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const float ma = std::abs(values[a]);
+    const float mb = std::abs(values[b]);
+    if (ma != mb) return ma > mb;  // descending magnitude
+    return a < b;
+  });
+
+  std::vector<bool> keep(n, false);
+  for (std::size_t rank = outlier_count; rank < keep_count; ++rank) {
+    keep[order[rank]] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!keep[i]) values[i] = 0.0F;
+  }
+}
+
+}  // namespace
+
+Tensor BreadcrumbsMerger::merge_tensor(const std::string& tensor_name,
+                                       const Tensor& chip,
+                                       const Tensor& instruct,
+                                       const Tensor* base,
+                                       const MergeOptions& options,
+                                       Rng& /*rng*/) const {
+  CA_CHECK(base != nullptr, "breadcrumbs requires a base tensor");
+  const double lambda = effective_lambda(options, tensor_name);
+  Tensor tau_chip = ops::sub(chip, *base);
+  Tensor tau_instruct = ops::sub(instruct, *base);
+
+  mask_to_band(tau_chip, options.density, options.breadcrumbs_outlier_frac);
+  mask_to_band(tau_instruct, options.density, options.breadcrumbs_outlier_frac);
+
+  Tensor combined =
+      ops::add(ops::scaled(tau_chip, static_cast<float>(lambda)),
+               ops::scaled(tau_instruct, static_cast<float>(1.0 - lambda)));
+  ops::scale(combined.values(), static_cast<float>(options.tv_scale));
+  return ops::add(*base, combined);
+}
+
+}  // namespace chipalign

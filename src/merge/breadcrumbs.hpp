@@ -1,0 +1,32 @@
+#pragma once
+/// \file breadcrumbs.hpp
+/// \brief Model Breadcrumbs merging (Davari & Belilovsky, 2024).
+///
+/// Like task arithmetic, but each task vector is masked to drop *both* tails
+/// of its magnitude distribution: the smallest entries (noise) and the
+/// largest entries (outliers that dominate interference). The surviving
+/// "breadcrumb trail" of mid-magnitude deltas is combined linearly and added
+/// back to the base model. Included as an additional baseline beyond the
+/// paper's table; together with TIES (bottom-trim only) it brackets the
+/// design space of magnitude-masked task arithmetic.
+///
+/// Masking fractions: MergeOptions::density keeps the top fraction as in
+/// TIES, and breadcrumbs_outlier_frac additionally removes the very largest
+/// entries from that kept set.
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// "breadcrumbs" in the registry. Requires a base checkpoint.
+class BreadcrumbsMerger final : public Merger {
+ public:
+  std::string name() const override { return "breadcrumbs"; }
+  bool requires_base() const override { return true; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,31 @@
+#include "merge/dare.hpp"
+
+#include <vector>
+
+#include "merge/tv_utils.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+Tensor DareMerger::merge_tensor(const std::string& tensor_name,
+                                const Tensor& chip, const Tensor& instruct,
+                                const Tensor* base, const MergeOptions& options,
+                                Rng& rng) const {
+  CA_CHECK(base != nullptr, "DARE requires a base tensor");
+  const double lambda_ = effective_lambda(options, tensor_name);
+  Tensor tau_chip = ops::sub(chip, *base);
+  Tensor tau_instruct = ops::sub(instruct, *base);
+
+  const std::vector<double> keep(static_cast<std::size_t>(tau_chip.numel()),
+                                 options.density);
+  tv::stochastic_drop_rescale(tau_chip, keep, rng);
+  tv::stochastic_drop_rescale(tau_instruct, keep, rng);
+
+  Tensor combined = ops::add(
+      ops::scaled(tau_chip, static_cast<float>(lambda_)),
+      ops::scaled(tau_instruct, static_cast<float>(1.0 - lambda_)));
+  ops::scale(combined.values(), static_cast<float>(options.tv_scale));
+  return ops::add(*base, combined);
+}
+
+}  // namespace chipalign

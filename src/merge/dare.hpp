@@ -1,0 +1,28 @@
+#pragma once
+/// \file dare.hpp
+/// \brief DARE merging (Yu et al., 2024, "Language Models are Super Mario"):
+/// uniform random Drop And REscale of task vectors before linear fusion.
+///
+/// Each task-vector entry survives with probability `density` and is
+/// rescaled by 1/density (expectation preserving); the sparse task vectors
+/// are then combined linearly with weight lambda and added to the base.
+/// Included as an additional baseline beyond the paper's table (DELLA is
+/// DARE + TIES machinery, so having plain DARE isolates the contribution of
+/// sign election in the ablation bench).
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// "dare" in the registry. Requires a base checkpoint. Stochastic.
+class DareMerger final : public Merger {
+ public:
+  std::string name() const override { return "dare"; }
+  bool requires_base() const override { return true; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+}  // namespace chipalign

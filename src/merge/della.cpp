@@ -1,0 +1,57 @@
+#include "merge/della.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "merge/tv_utils.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// MAGPRUNE keep probabilities: linear in magnitude rank inside the window
+/// around `density`, clamped to (0, 1].
+std::vector<double> magprune_keep_probs(const Tensor& task_vector,
+                                        double density, double window) {
+  const std::vector<std::int64_t> ranks = tv::magnitude_ranks(task_vector);
+  const auto n = static_cast<double>(ranks.size());
+  std::vector<double> probs(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    // rank 0 = smallest magnitude -> lowest keep probability.
+    const double frac = n > 1.0 ? static_cast<double>(ranks[i]) / (n - 1.0) : 1.0;
+    const double p = density - window + 2.0 * window * frac;
+    probs[i] = std::clamp(p, 1e-3, 1.0);
+  }
+  return probs;
+}
+
+}  // namespace
+
+Tensor DellaMerger::merge_tensor(const std::string& tensor_name,
+                                 const Tensor& chip, const Tensor& instruct,
+                                 const Tensor* base, const MergeOptions& options,
+                                 Rng& rng) const {
+  CA_CHECK(base != nullptr, "DELLA requires a base tensor");
+  const double lambda_ = effective_lambda(options, tensor_name);
+  Tensor tau_chip = ops::sub(chip, *base);
+  Tensor tau_instruct = ops::sub(instruct, *base);
+
+  const std::vector<double> probs_chip =
+      magprune_keep_probs(tau_chip, options.density, options.della_window);
+  const std::vector<double> probs_instruct =
+      magprune_keep_probs(tau_instruct, options.density, options.della_window);
+  tv::stochastic_drop_rescale(tau_chip, probs_chip, rng);
+  tv::stochastic_drop_rescale(tau_instruct, probs_instruct, rng);
+
+  const double w_chip = lambda_;
+  const double w_instruct = 1.0 - lambda_;
+  const std::vector<int> signs =
+      tv::elect_signs(tau_chip, tau_instruct, w_chip, w_instruct);
+  Tensor merged =
+      tv::disjoint_merge(tau_chip, tau_instruct, w_chip, w_instruct, signs);
+  ops::scale(merged.values(), static_cast<float>(options.tv_scale));
+  return ops::add(*base, merged);
+}
+
+}  // namespace chipalign

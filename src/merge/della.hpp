@@ -1,0 +1,29 @@
+#pragma once
+/// \file della.hpp
+/// \brief DELLA merging (Deep et al., 2024): magnitude-adaptive stochastic
+/// pruning (MAGPRUNE) followed by TIES-style sign election and fusion.
+///
+/// Per tensor and per task vector: entries are ranked by magnitude and given
+/// keep probabilities that vary linearly with rank inside
+/// [density - della_window, density + della_window] (larger magnitudes keep
+/// more often); kept entries are rescaled by 1/p so the task vector is
+/// preserved in expectation. The pruned task vectors then go through sign
+/// election and weighted disjoint merging as in TIES.
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// "della" in the registry. Requires a base checkpoint. Stochastic: the
+/// drop masks derive from MergeOptions::seed.
+class DellaMerger final : public Merger {
+ public:
+  std::string name() const override { return "della"; }
+  bool requires_base() const override { return true; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,55 @@
+#include "merge/fisher.hpp"
+
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+FisherMerger::FisherMerger(Checkpoint fisher_chip, Checkpoint fisher_instruct,
+                           double epsilon)
+    : fisher_chip_(std::move(fisher_chip)),
+      fisher_instruct_(std::move(fisher_instruct)),
+      epsilon_(epsilon) {
+  CA_CHECK(epsilon_ > 0.0, "epsilon must be positive");
+  check_mergeable(fisher_chip_, fisher_instruct_);
+  for (const std::string& name : fisher_chip_.names()) {
+    for (float v : fisher_chip_.at(name).values()) {
+      CA_CHECK(v >= 0.0F, "negative Fisher value in '" << name << "'");
+    }
+    for (float v : fisher_instruct_.at(name).values()) {
+      CA_CHECK(v >= 0.0F, "negative Fisher value in '" << name << "'");
+    }
+  }
+}
+
+Tensor FisherMerger::merge_tensor(const std::string& tensor_name,
+                                  const Tensor& chip, const Tensor& instruct,
+                                  const Tensor* /*base*/,
+                                  const MergeOptions& options,
+                                  Rng& /*rng*/) const {
+  const double lambda = effective_lambda(options, tensor_name);
+  const Tensor& f_chip = fisher_chip_.at(tensor_name);
+  const Tensor& f_instruct = fisher_instruct_.at(tensor_name);
+  CA_CHECK(f_chip.same_shape(chip),
+           "Fisher shape mismatch for '" << tensor_name << "'");
+
+  Tensor out(chip.shape());
+  const auto wc = chip.values();
+  const auto wi = instruct.values();
+  const auto fc = f_chip.values();
+  const auto fi = f_instruct.values();
+  auto wo = out.values();
+  for (std::size_t i = 0; i < wo.size(); ++i) {
+    const double weight_c = lambda * fc[i];
+    const double weight_i = (1.0 - lambda) * fi[i];
+    const double denom = weight_c + weight_i;
+    if (denom > epsilon_) {
+      wo[i] = static_cast<float>((weight_c * wc[i] + weight_i * wi[i]) / denom);
+    } else {
+      // No Fisher signal on either side: fall back to the plain mean.
+      wo[i] = static_cast<float>(lambda * wc[i] + (1.0 - lambda) * wi[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace chipalign

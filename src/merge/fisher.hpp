@@ -1,0 +1,44 @@
+#pragma once
+/// \file fisher.hpp
+/// \brief Fisher-weighted merging (Matena & Raffel, 2022) — an additional
+/// baseline beyond the paper's table.
+///
+/// Each model's diagonal Fisher information acts as a per-parameter
+/// importance weight:
+///
+///   W_m = (lambda * F_c ⊙ W_c + (1-lambda) * F_i ⊙ W_i)
+///         / (lambda * F_c + (1-lambda) * F_i + eps)
+///
+/// Unlike the data-free methods, Fisher merging needs gradients through
+/// each model (see train/fisher.hpp for the estimator), so the merger is
+/// constructed with precomputed Fisher checkpoints rather than created via
+/// the name registry.
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// Importance-weighted elementwise merge. Fisher tensors must be
+/// conformable with the models being merged and non-negative.
+class FisherMerger final : public Merger {
+ public:
+  /// \param fisher_chip diagonal Fisher of the chip model;
+  /// \param fisher_instruct diagonal Fisher of the instruct model;
+  /// \param epsilon denominator floor (guards parameters with no signal,
+  ///        where the merge degenerates to the lambda-weighted mean).
+  FisherMerger(Checkpoint fisher_chip, Checkpoint fisher_instruct,
+               double epsilon = 1e-12);
+
+  std::string name() const override { return "fisher"; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+
+ private:
+  Checkpoint fisher_chip_;
+  Checkpoint fisher_instruct_;
+  double epsilon_;
+};
+
+}  // namespace chipalign

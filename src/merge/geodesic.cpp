@@ -1,0 +1,63 @@
+#include "merge/geodesic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+Tensor slerp_unit(const Tensor& unit_a, const Tensor& unit_b, double lambda,
+                  double theta_epsilon) {
+  CA_CHECK(unit_a.same_shape(unit_b), "slerp operands must share a shape");
+  const double cos_theta =
+      std::clamp(ops::dot(unit_a.values(), unit_b.values()), -1.0, 1.0);
+  const double theta = std::acos(std::clamp(cos_theta, -1.0 + 1e-12, 1.0 - 1e-12));
+
+  if (theta < theta_epsilon || std::sin(theta) < theta_epsilon) {
+    // Degenerate arc: LERP then renormalize back to the sphere.
+    Tensor out = ops::add(ops::scaled(unit_a, static_cast<float>(lambda)),
+                          ops::scaled(unit_b, static_cast<float>(1.0 - lambda)));
+    const double n = ops::frobenius_norm(out);
+    if (n > 0.0) ops::scale(out.values(), static_cast<float>(1.0 / n));
+    return out;
+  }
+
+  const double inv_sin = 1.0 / std::sin(theta);
+  const double coeff_a = std::sin(lambda * theta) * inv_sin;
+  const double coeff_b = std::sin((1.0 - lambda) * theta) * inv_sin;
+  return ops::add(ops::scaled(unit_a, static_cast<float>(coeff_a)),
+                  ops::scaled(unit_b, static_cast<float>(coeff_b)));
+}
+
+Tensor GeodesicMerger::merge_tensor(const std::string& tensor_name,
+                                    const Tensor& chip, const Tensor& instruct,
+                                    const Tensor* /*base*/,
+                                    const MergeOptions& options,
+                                    Rng& /*rng*/) const {
+  const double lambda = effective_lambda(options, tensor_name);
+  const double norm_chip = ops::frobenius_norm(chip);
+  const double norm_instruct = ops::frobenius_norm(instruct);
+
+  if (norm_chip == 0.0 || norm_instruct == 0.0) {
+    // No direction on one side: geometric structure collapses, use LERP.
+    return ops::add(ops::scaled(chip, static_cast<float>(lambda)),
+                    ops::scaled(instruct, static_cast<float>(1.0 - lambda)));
+  }
+
+  const Tensor unit_chip = ops::scaled(chip, static_cast<float>(1.0 / norm_chip));
+  const Tensor unit_instruct =
+      ops::scaled(instruct, static_cast<float>(1.0 / norm_instruct));
+
+  Tensor merged =
+      slerp_unit(unit_chip, unit_instruct, lambda, options.theta_epsilon);
+
+  // Restore magnitude: geometric mean of the endpoint Frobenius norms
+  // weighted by lambda (paper: Norm_chip^lambda * Norm_instruct^(1-lambda)).
+  const double restored =
+      std::pow(norm_chip, lambda) * std::pow(norm_instruct, 1.0 - lambda);
+  ops::scale(merged.values(), static_cast<float>(restored));
+  return merged;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,39 @@
+#pragma once
+/// \file geodesic.hpp
+/// \brief ChipAlign's geodesic-interpolation merge (the paper's §III-B).
+///
+/// Each weight tensor is flattened, projected onto the unit n-sphere by its
+/// Frobenius norm, interpolated along the great-circle arc (SLERP, Lemma
+/// III.2), and rescaled by the geometric mean of the endpoint norms:
+///
+///   W_merge = Norm_chip^lambda * Norm_instruct^(1-lambda) * slerp(lambda)
+///
+/// Numerical edge cases:
+///  * theta < theta_epsilon (near-identical directions): SLERP degenerates
+///    to LERP of the normalized tensors; we use LERP and renormalize.
+///  * theta near pi (antipodal): the geodesic is ill-defined; we clamp the
+///    cosine into [-1+eps, 1-eps] which picks one of the great circles.
+///  * zero-norm tensor on either side: falls back to plain LERP of the raw
+///    tensors (no direction to interpolate).
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// The paper's merge method ("chipalign" in the registry).
+class GeodesicMerger final : public Merger {
+ public:
+  std::string name() const override { return "chipalign"; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+/// Spherical interpolation of two *unit-norm flattened* tensors; exposed for
+/// testing and for the geometry ablation. `lambda` weights the first operand
+/// (paper convention: first = chip).
+Tensor slerp_unit(const Tensor& unit_a, const Tensor& unit_b, double lambda,
+                  double theta_epsilon);
+
+}  // namespace chipalign

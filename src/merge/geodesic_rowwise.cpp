@@ -1,0 +1,83 @@
+#include "merge/geodesic_rowwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "merge/geodesic.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// SLERP + norm restoration on one row pair (spans of equal length).
+void merge_row(std::span<const float> chip, std::span<const float> instruct,
+               std::span<float> out, double lambda, double theta_epsilon) {
+  const double norm_chip = ops::norm(chip);
+  const double norm_instruct = ops::norm(instruct);
+  if (norm_chip == 0.0 || norm_instruct == 0.0) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<float>(lambda * chip[i] +
+                                  (1.0 - lambda) * instruct[i]);
+    }
+    return;
+  }
+
+  double dot = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    dot += static_cast<double>(chip[i]) / norm_chip *
+           (static_cast<double>(instruct[i]) / norm_instruct);
+  }
+  const double cos_theta = std::clamp(dot, -1.0 + 1e-12, 1.0 - 1e-12);
+  const double theta = std::acos(cos_theta);
+  const double restored =
+      std::pow(norm_chip, lambda) * std::pow(norm_instruct, 1.0 - lambda);
+
+  double coeff_c;
+  double coeff_i;
+  if (theta < theta_epsilon || std::sin(theta) < theta_epsilon) {
+    coeff_c = lambda;
+    coeff_i = 1.0 - lambda;
+  } else {
+    const double inv_sin = 1.0 / std::sin(theta);
+    coeff_c = std::sin(lambda * theta) * inv_sin;
+    coeff_i = std::sin((1.0 - lambda) * theta) * inv_sin;
+  }
+
+  // Interpolate the unit rows, renormalize (the degenerate LERP branch is
+  // off-sphere), then restore the geometric-mean magnitude.
+  double merged_norm_sq = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double v = coeff_c * chip[i] / norm_chip +
+                     coeff_i * instruct[i] / norm_instruct;
+    out[i] = static_cast<float>(v);
+    merged_norm_sq += v * v;
+  }
+  const double merged_norm = std::sqrt(merged_norm_sq);
+  const double scale = merged_norm > 0.0 ? restored / merged_norm : 0.0;
+  for (float& v : out) v = static_cast<float>(v * scale);
+}
+
+}  // namespace
+
+Tensor GeodesicRowwiseMerger::merge_tensor(const std::string& tensor_name,
+                                           const Tensor& chip,
+                                           const Tensor& instruct,
+                                           const Tensor* base,
+                                           const MergeOptions& options,
+                                           Rng& rng) const {
+  if (chip.rank() != 2) {
+    // Rank-1 (norm gains) and other shapes: whole-tensor geodesic.
+    return GeodesicMerger().merge_tensor(tensor_name, chip, instruct, base,
+                                         options, rng);
+  }
+  const double lambda = effective_lambda(options, tensor_name);
+  Tensor out(chip.shape());
+  for (std::int64_t r = 0; r < chip.dim(0); ++r) {
+    merge_row(chip.row(r), instruct.row(r), out.row(r), lambda,
+              options.theta_epsilon);
+  }
+  return out;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,26 @@
+#pragma once
+/// \file geodesic_rowwise.hpp
+/// \brief Row-wise variant of the ChipAlign geodesic merge (ablation).
+///
+/// The paper flattens each weight matrix onto one unit n-sphere. A natural
+/// finer-grained alternative treats every *row* of a rank-2 tensor (one
+/// output neuron's fan-in) as its own point on a smaller sphere, with
+/// per-row norm restoration. Rank-1 tensors fall back to the whole-tensor
+/// geodesic. Registered as "chipalign_rowwise"; compared against the paper's
+/// formulation in bench_ablation_geometry.
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// Per-row SLERP with per-row geometric norm restoration.
+class GeodesicRowwiseMerger final : public Merger {
+ public:
+  std::string name() const override { return "chipalign_rowwise"; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,74 @@
+#include "merge/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "merge/geodesic.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+std::vector<TensorGeometry> analyze_geometry(const Checkpoint& chip,
+                                             const Checkpoint& instruct,
+                                             const Checkpoint* base,
+                                             double lambda) {
+  check_mergeable(chip, instruct);
+  if (base != nullptr) check_mergeable(chip, *base);
+
+  std::vector<TensorGeometry> report;
+  for (const std::string& name : chip.names()) {
+    const Tensor& wc = chip.at(name);
+    const Tensor& wi = instruct.at(name);
+
+    TensorGeometry g;
+    g.name = name;
+    g.numel = wc.numel();
+    g.norm_chip = ops::frobenius_norm(wc);
+    g.norm_instruct = ops::frobenius_norm(wi);
+
+    if (g.norm_chip > 0.0 && g.norm_instruct > 0.0) {
+      const double cos_theta =
+          std::clamp(ops::cosine_similarity(wc, wi), -1.0, 1.0);
+      g.theta = std::acos(cos_theta);
+
+      const Tensor unit_c = ops::scaled(wc, static_cast<float>(1.0 / g.norm_chip));
+      const Tensor unit_i =
+          ops::scaled(wi, static_cast<float>(1.0 / g.norm_instruct));
+      const Tensor on_arc = slerp_unit(unit_c, unit_i, lambda, 1e-6);
+      const Tensor chord =
+          ops::add(ops::scaled(unit_c, static_cast<float>(lambda)),
+                   ops::scaled(unit_i, static_cast<float>(1.0 - lambda)));
+      const double slerp_norm = ops::frobenius_norm(on_arc);
+      if (slerp_norm > 0.0) {
+        g.slerp_lerp_gap =
+            ops::frobenius_norm(ops::sub(on_arc, chord)) / slerp_norm;
+      }
+    }
+
+    if (base != nullptr) {
+      const Tensor tau_c = ops::sub(wc, base->at(name));
+      const Tensor tau_i = ops::sub(wi, base->at(name));
+      g.tv_cosine = ops::cosine_similarity(tau_c, tau_i);
+    }
+    report.push_back(std::move(g));
+  }
+  return report;
+}
+
+GeometrySummary summarize_geometry(const std::vector<TensorGeometry>& report) {
+  GeometrySummary s;
+  if (report.empty()) return s;
+  for (const TensorGeometry& g : report) {
+    s.mean_theta += g.theta;
+    s.max_theta = std::max(s.max_theta, g.theta);
+    s.mean_tv_cosine += g.tv_cosine;
+    s.mean_slerp_lerp_gap += g.slerp_lerp_gap;
+  }
+  const auto n = static_cast<double>(report.size());
+  s.mean_theta /= n;
+  s.mean_tv_cosine /= n;
+  s.mean_slerp_lerp_gap /= n;
+  return s;
+}
+
+}  // namespace chipalign

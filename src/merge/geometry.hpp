@@ -1,0 +1,45 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief Weight-space geometry diagnostics (the analysis behind §III-A).
+///
+/// These diagnostics quantify why the geodesic path differs from the linear
+/// one: the angle Theta between normalized weight tensors, the cosine
+/// between task vectors, and the divergence between SLERP and LERP at a
+/// given lambda. Used by the ablation bench and the chip_assistant example.
+
+#include <string>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+
+namespace chipalign {
+
+/// Geometry of one tensor pair (chip vs instruct, optionally vs base).
+struct TensorGeometry {
+  std::string name;
+  std::int64_t numel = 0;
+  double norm_chip = 0.0;       ///< ||W_chip||_F
+  double norm_instruct = 0.0;   ///< ||W_instruct||_F
+  double theta = 0.0;           ///< arc angle between normalized tensors (rad)
+  double tv_cosine = 0.0;       ///< cosine(task-vector chip, task-vector instruct); 0 without base
+  double slerp_lerp_gap = 0.0;  ///< ||slerp(lambda) - lerp(lambda)||_F / ||slerp||_F
+};
+
+/// Per-tensor geometry of a model pair. `base` may be null (tv_cosine = 0).
+/// `lambda` selects the interpolation point for the SLERP/LERP gap.
+std::vector<TensorGeometry> analyze_geometry(const Checkpoint& chip,
+                                             const Checkpoint& instruct,
+                                             const Checkpoint* base,
+                                             double lambda = 0.6);
+
+/// Aggregate view over a geometry report.
+struct GeometrySummary {
+  double mean_theta = 0.0;
+  double max_theta = 0.0;
+  double mean_tv_cosine = 0.0;
+  double mean_slerp_lerp_gap = 0.0;
+};
+
+GeometrySummary summarize_geometry(const std::vector<TensorGeometry>& report);
+
+}  // namespace chipalign

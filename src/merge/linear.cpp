@@ -1,0 +1,25 @@
+#include "merge/linear.hpp"
+
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+Tensor LerpMerger::merge_tensor(const std::string& tensor_name,
+                                const Tensor& chip, const Tensor& instruct,
+                                const Tensor* /*base*/,
+                                const MergeOptions& options,
+                                Rng& /*rng*/) const {
+  const double lambda_ = effective_lambda(options, tensor_name);
+  return ops::add(ops::scaled(chip, static_cast<float>(lambda_)),
+                  ops::scaled(instruct, static_cast<float>(1.0 - lambda_)));
+}
+
+Tensor ModelSoupMerger::merge_tensor(const std::string& /*tensor_name*/,
+                                     const Tensor& chip, const Tensor& instruct,
+                                     const Tensor* /*base*/,
+                                     const MergeOptions& /*options*/,
+                                     Rng& /*rng*/) const {
+  return ops::scaled(ops::add(chip, instruct), 0.5F);
+}
+
+}  // namespace chipalign

@@ -1,0 +1,35 @@
+#pragma once
+/// \file linear.hpp
+/// \brief Linear weight-space merging: LERP and Model Soup.
+///
+/// Model Soup (Wortsman et al., 2022) is uniform weight averaging; the
+/// generalized form interpolates with weight lambda toward the chip model.
+/// Both are the straight-line path through weight space that ChipAlign's
+/// geodesic replaces.
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// W = lambda * W_chip + (1 - lambda) * W_instruct ("lerp" in the registry).
+class LerpMerger final : public Merger {
+ public:
+  std::string name() const override { return "lerp"; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+/// Uniform average of the two models, ignoring options.lambda
+/// ("modelsoup" in the registry).
+class ModelSoupMerger final : public Merger {
+ public:
+  std::string name() const override { return "modelsoup"; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,67 @@
+#include "merge/merger.hpp"
+
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace chipalign {
+
+double effective_lambda(const MergeOptions& options,
+                        const std::string& tensor_name) {
+  for (const auto& [suffix, lambda] : options.lambda_overrides) {
+    if (tensor_name.size() >= suffix.size() &&
+        tensor_name.compare(tensor_name.size() - suffix.size(), suffix.size(),
+                            suffix) == 0) {
+      CA_CHECK(lambda >= 0.0 && lambda <= 1.0,
+               "lambda override for '" << suffix << "' out of [0, 1]");
+      return lambda;
+    }
+  }
+  return options.lambda;
+}
+
+Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
+                             const Checkpoint& instruct,
+                             const Checkpoint* base,
+                             const MergeOptions& options) {
+  check_mergeable(chip, instruct);
+  if (merger.requires_base()) {
+    CA_CHECK(base != nullptr,
+             "merge method '" << merger.name() << "' requires a base checkpoint");
+    check_mergeable(chip, *base);
+  }
+  CA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0,
+           "lambda must be in [0, 1], got " << options.lambda);
+  CA_CHECK(options.density > 0.0 && options.density <= 1.0,
+           "density must be in (0, 1], got " << options.density);
+
+  const std::vector<std::string> names = chip.names();
+  std::vector<Tensor> merged(names.size());
+
+  // One deterministic RNG stream per tensor, derived from the seed and the
+  // tensor index, so results are independent of scheduling order.
+  Timer timer;
+  global_thread_pool().parallel_for(names.size(), [&](std::size_t i) {
+    const std::string& name = names[i];
+    Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    const Tensor* base_tensor = base != nullptr ? &base->at(name) : nullptr;
+    merged[i] = merger.merge_tensor(name, chip.at(name), instruct.at(name),
+                                    base_tensor, options, rng);
+    CA_CHECK(merged[i].same_shape(chip.at(name)),
+             "merger '" << merger.name() << "' changed shape of '" << name << "'");
+  });
+
+  Checkpoint out;
+  out.config() = chip.config();
+  out.config().name = chip.config().name + "+" + merger.name();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out.put(names[i], std::move(merged[i]));
+  }
+  CA_LOG_DEBUG("merged " << names.size() << " tensors with '" << merger.name()
+                         << "' in " << timer.milliseconds() << " ms");
+  return out;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,98 @@
+#pragma once
+/// \file merger.hpp
+/// \brief Merger interface and the checkpoint-level merge driver.
+///
+/// A Merger fuses one pair of conformable weight tensors; merge_checkpoints()
+/// applies it to every tensor of two checkpoints (optionally with a common
+/// base checkpoint for task-vector methods), in parallel across tensors.
+///
+/// Convention (following the paper, §III): the *first* model is the chip /
+/// domain model and the *second* is the instruction model. lambda = 1
+/// recovers the chip model, lambda = 0 the instruction model.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+
+/// Hyperparameters shared by all merge methods. Each method reads only the
+/// fields it documents; defaults follow the source publications.
+struct MergeOptions {
+  /// Interpolation weight toward the chip model (paper default 0.6).
+  double lambda = 0.6;
+
+  /// Optional per-tensor lambda overrides: (name suffix, lambda) pairs,
+  /// first match wins. Lets callers e.g. keep embeddings closer to the
+  /// instruct model while pulling attention weights toward the chip model —
+  /// an extension beyond the paper's single global lambda.
+  std::vector<std::pair<std::string, double>> lambda_overrides;
+
+  /// Fraction of task-vector entries *kept* by sparsifying methods
+  /// (TIES "trim", DELLA/DARE drop rate = 1 - density).
+  double density = 0.5;
+
+  /// Scale applied to the merged task vector before adding it back to the
+  /// base model (task arithmetic / TIES / DELLA / DARE).
+  double tv_scale = 1.0;
+
+  /// Half-width of DELLA's magnitude-ranked drop-probability window; the
+  /// per-entry keep probability varies linearly in
+  /// [density - window, density + window] with magnitude rank.
+  double della_window = 0.1;
+
+  /// Fraction of the largest-magnitude task-vector entries additionally
+  /// masked by Model Breadcrumbs (its beta parameter; the publication's
+  /// recommended range is a few percent).
+  double breadcrumbs_outlier_frac = 0.02;
+
+  /// Seed for stochastic methods (DELLA, DARE). Same seed => same merge.
+  std::uint64_t seed = 0xC41BA11ULL;
+
+  /// Angles below this (radians) use linear interpolation instead of SLERP
+  /// to avoid dividing by sin(theta) ~ 0.
+  double theta_epsilon = 1e-6;
+};
+
+/// Strategy interface: fuses one pair of same-shape tensors.
+class Merger {
+ public:
+  virtual ~Merger() = default;
+
+  /// Registry key, e.g. "chipalign", "ties".
+  virtual std::string name() const = 0;
+
+  /// True when the method needs the common base model's tensor (task-vector
+  /// methods). merge_checkpoints() enforces availability.
+  virtual bool requires_base() const { return false; }
+
+  /// Fuses chip and instruct tensors (base may be nullptr when
+  /// requires_base() is false). `rng` is a per-tensor deterministic stream.
+  virtual Tensor merge_tensor(const std::string& tensor_name,
+                              const Tensor& chip, const Tensor& instruct,
+                              const Tensor* base, const MergeOptions& options,
+                              Rng& rng) const = 0;
+};
+
+/// Resolves the interpolation weight for one tensor: the first matching
+/// suffix in options.lambda_overrides, falling back to options.lambda.
+/// All lambda-parameterized mergers consult this.
+double effective_lambda(const MergeOptions& options,
+                        const std::string& tensor_name);
+
+/// Applies `merger` to every tensor of two conformable checkpoints.
+/// \param base Common ancestor checkpoint for task-vector methods; must be
+///   non-null and conformable when merger.requires_base().
+/// \throws Error on non-conformable inputs or missing base.
+Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
+                             const Checkpoint& instruct,
+                             const Checkpoint* base,
+                             const MergeOptions& options);
+
+}  // namespace chipalign

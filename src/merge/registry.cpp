@@ -1,0 +1,35 @@
+#include "merge/registry.hpp"
+
+#include "merge/breadcrumbs.hpp"
+#include "merge/dare.hpp"
+#include "merge/della.hpp"
+#include "merge/geodesic.hpp"
+#include "merge/geodesic_rowwise.hpp"
+#include "merge/linear.hpp"
+#include "merge/task_arithmetic.hpp"
+#include "merge/ties.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace chipalign {
+
+std::unique_ptr<Merger> create_merger(const std::string& name) {
+  if (name == "chipalign") return std::make_unique<GeodesicMerger>();
+  if (name == "chipalign_rowwise") return std::make_unique<GeodesicRowwiseMerger>();
+  if (name == "lerp") return std::make_unique<LerpMerger>();
+  if (name == "modelsoup") return std::make_unique<ModelSoupMerger>();
+  if (name == "task_arithmetic") return std::make_unique<TaskArithmeticMerger>();
+  if (name == "ties") return std::make_unique<TiesMerger>();
+  if (name == "della") return std::make_unique<DellaMerger>();
+  if (name == "dare") return std::make_unique<DareMerger>();
+  if (name == "breadcrumbs") return std::make_unique<BreadcrumbsMerger>();
+  CA_THROW("unknown merge method '" << name << "'; valid: "
+                                    << join(merger_names(), ", "));
+}
+
+std::vector<std::string> merger_names() {
+  return {"breadcrumbs", "chipalign", "chipalign_rowwise", "dare", "della",
+          "lerp", "modelsoup", "task_arithmetic", "ties"};
+}
+
+}  // namespace chipalign

@@ -1,0 +1,21 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Name-based factory for merge methods.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// Creates a merger by registry name ("chipalign", "lerp", "modelsoup",
+/// "task_arithmetic", "ties", "della", "dare"). Throws Error on unknown
+/// names, listing the valid ones.
+std::unique_ptr<Merger> create_merger(const std::string& name);
+
+/// All registry names, sorted.
+std::vector<std::string> merger_names();
+
+}  // namespace chipalign

@@ -1,0 +1,25 @@
+#include "merge/task_arithmetic.hpp"
+
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+Tensor TaskArithmeticMerger::merge_tensor(const std::string& tensor_name,
+                                          const Tensor& chip,
+                                          const Tensor& instruct,
+                                          const Tensor* base,
+                                          const MergeOptions& options,
+                                          Rng& /*rng*/) const {
+  CA_CHECK(base != nullptr, "task arithmetic requires a base tensor");
+  const double lambda_ = effective_lambda(options, tensor_name);
+  const Tensor tau_chip = ops::sub(chip, *base);
+  const Tensor tau_instruct = ops::sub(instruct, *base);
+
+  Tensor combined = ops::add(
+      ops::scaled(tau_chip, static_cast<float>(lambda_)),
+      ops::scaled(tau_instruct, static_cast<float>(1.0 - lambda_)));
+  ops::scale(combined.values(), static_cast<float>(options.tv_scale));
+  return ops::add(*base, combined);
+}
+
+}  // namespace chipalign

@@ -1,0 +1,29 @@
+#pragma once
+/// \file task_arithmetic.hpp
+/// \brief Task-arithmetic merging (Ilharco et al., 2022).
+///
+/// Task vectors are the weight deltas of each specialized model from the
+/// common base: tau = W_finetuned - W_base. The merged model adds a weighted
+/// combination of both task vectors back to the base:
+///
+///   W = W_base + tv_scale * (lambda * tau_chip + (1-lambda) * tau_instruct)
+///
+/// With lambda = 0.5 and tv_scale = 1 this is the classic averaged-delta
+/// formulation.
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// "task_arithmetic" in the registry. Requires a base checkpoint.
+class TaskArithmeticMerger final : public Merger {
+ public:
+  std::string name() const override { return "task_arithmetic"; }
+  bool requires_base() const override { return true; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,30 @@
+#include "merge/ties.hpp"
+
+#include "merge/tv_utils.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+
+Tensor TiesMerger::merge_tensor(const std::string& tensor_name,
+                                const Tensor& chip, const Tensor& instruct,
+                                const Tensor* base, const MergeOptions& options,
+                                Rng& /*rng*/) const {
+  CA_CHECK(base != nullptr, "TIES requires a base tensor");
+  const double lambda_ = effective_lambda(options, tensor_name);
+  Tensor tau_chip = ops::sub(chip, *base);
+  Tensor tau_instruct = ops::sub(instruct, *base);
+
+  tv::trim_by_magnitude(tau_chip, options.density);
+  tv::trim_by_magnitude(tau_instruct, options.density);
+
+  const double w_chip = lambda_;
+  const double w_instruct = 1.0 - lambda_;
+  const std::vector<int> signs =
+      tv::elect_signs(tau_chip, tau_instruct, w_chip, w_instruct);
+  Tensor merged = tv::disjoint_merge(tau_chip, tau_instruct, w_chip,
+                                     w_instruct, signs);
+  ops::scale(merged.values(), static_cast<float>(options.tv_scale));
+  return ops::add(*base, merged);
+}
+
+}  // namespace chipalign

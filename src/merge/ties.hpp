@@ -1,0 +1,25 @@
+#pragma once
+/// \file ties.hpp
+/// \brief TIES merging (Yadav et al., 2023): Trim, Elect Sign, Disjoint Merge.
+///
+/// Per tensor: (1) trim each task vector to its top `density` fraction by
+/// magnitude; (2) elect a per-parameter sign from the lambda-weighted mass;
+/// (3) average only the contributions agreeing with the elected sign;
+/// (4) add tv_scale times the merged task vector back to the base.
+
+#include "merge/merger.hpp"
+
+namespace chipalign {
+
+/// "ties" in the registry. Requires a base checkpoint.
+class TiesMerger final : public Merger {
+ public:
+  std::string name() const override { return "ties"; }
+  bool requires_base() const override { return true; }
+
+  Tensor merge_tensor(const std::string& tensor_name, const Tensor& chip,
+                      const Tensor& instruct, const Tensor* base,
+                      const MergeOptions& options, Rng& rng) const override;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,112 @@
+#include "merge/tv_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace chipalign::tv {
+
+void trim_by_magnitude(Tensor& task_vector, double density) {
+  CA_CHECK(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+  if (density >= 1.0) return;
+  auto values = task_vector.values();
+  const std::size_t n = values.size();
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(density * static_cast<double>(n))));
+  if (keep >= n) return;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Partial sort descending by |value|, ties by index for determinism.
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     const float ma = std::abs(values[a]);
+                     const float mb = std::abs(values[b]);
+                     if (ma != mb) return ma > mb;
+                     return a < b;
+                   });
+  std::vector<bool> keep_mask(n, false);
+  for (std::size_t i = 0; i < keep; ++i) keep_mask[order[i]] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!keep_mask[i]) values[i] = 0.0F;
+  }
+}
+
+std::vector<std::int64_t> magnitude_ranks(const Tensor& task_vector) {
+  const auto values = task_vector.values();
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const float ma = std::abs(values[a]);
+    const float mb = std::abs(values[b]);
+    if (ma != mb) return ma < mb;
+    return a < b;
+  });
+  std::vector<std::int64_t> ranks(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    ranks[order[rank]] = static_cast<std::int64_t>(rank);
+  }
+  return ranks;
+}
+
+std::vector<int> elect_signs(const Tensor& tau_a, const Tensor& tau_b,
+                             double weight_a, double weight_b) {
+  CA_CHECK(tau_a.same_shape(tau_b), "elect_signs shape mismatch");
+  const auto va = tau_a.values();
+  const auto vb = tau_b.values();
+  std::vector<int> signs(va.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    const double mass = weight_a * va[i] + weight_b * vb[i];
+    signs[i] = mass > 0.0 ? 1 : (mass < 0.0 ? -1 : 0);
+  }
+  return signs;
+}
+
+Tensor disjoint_merge(const Tensor& tau_a, const Tensor& tau_b,
+                      double weight_a, double weight_b,
+                      const std::vector<int>& signs) {
+  CA_CHECK(tau_a.same_shape(tau_b), "disjoint_merge shape mismatch");
+  CA_CHECK(signs.size() == tau_a.values().size(), "signs size mismatch");
+  Tensor out(tau_a.shape());
+  const auto va = tau_a.values();
+  const auto vb = tau_b.values();
+  auto vo = out.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    const int sign = signs[i];
+    if (sign == 0) continue;
+    double num = 0.0;
+    double den = 0.0;
+    const bool a_agrees = (sign > 0) ? va[i] > 0.0F : va[i] < 0.0F;
+    const bool b_agrees = (sign > 0) ? vb[i] > 0.0F : vb[i] < 0.0F;
+    if (a_agrees) {
+      num += weight_a * va[i];
+      den += weight_a;
+    }
+    if (b_agrees) {
+      num += weight_b * vb[i];
+      den += weight_b;
+    }
+    vo[i] = den > 0.0 ? static_cast<float>(num / den) : 0.0F;
+  }
+  return out;
+}
+
+void stochastic_drop_rescale(Tensor& task_vector,
+                             std::span<const double> keep_prob, Rng& rng) {
+  auto values = task_vector.values();
+  CA_CHECK(keep_prob.size() == values.size(), "keep_prob size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double p = keep_prob[i];
+    CA_CHECK(p > 0.0 && p <= 1.0, "keep probability " << p << " out of (0, 1]");
+    if (rng.bernoulli(p)) {
+      values[i] = static_cast<float>(values[i] / p);
+    } else {
+      values[i] = 0.0F;
+    }
+  }
+}
+
+}  // namespace chipalign::tv

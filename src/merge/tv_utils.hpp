@@ -1,0 +1,44 @@
+#pragma once
+/// \file tv_utils.hpp
+/// \brief Shared task-vector machinery for TIES / DELLA / DARE.
+///
+/// Internal header (not part of the public merge API). All helpers operate
+/// on flattened task vectors (W_finetuned - W_base).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign::tv {
+
+/// Zeroes all but the top `density` fraction of entries by |magnitude|.
+/// Ties at the threshold keep lower indices first (deterministic). density
+/// in (0, 1]; density == 1 keeps everything.
+void trim_by_magnitude(Tensor& task_vector, double density);
+
+/// Per-entry ranks by ascending |magnitude| (0 = smallest). Deterministic:
+/// ties broken by index.
+std::vector<std::int64_t> magnitude_ranks(const Tensor& task_vector);
+
+/// Elects a per-entry sign from the weighted sum of the task vectors
+/// ("mass" election of TIES). Returns +1 / -1 / 0 per entry.
+std::vector<int> elect_signs(const Tensor& tau_a, const Tensor& tau_b,
+                             double weight_a, double weight_b);
+
+/// Weighted disjoint mean: for each entry, averages the contributions whose
+/// sign agrees with the elected sign, weighting by the given model weights.
+/// Entries whose contributions all disagree (or are zero) become 0.
+Tensor disjoint_merge(const Tensor& tau_a, const Tensor& tau_b,
+                      double weight_a, double weight_b,
+                      const std::vector<int>& signs);
+
+/// Bernoulli-keeps each entry with probability keep_prob[i] and rescales the
+/// kept entries by 1 / keep_prob[i] (expected value preserved). keep_prob
+/// entries must lie in (0, 1].
+void stochastic_drop_rescale(Tensor& task_vector,
+                             std::span<const double> keep_prob, Rng& rng);
+
+}  // namespace chipalign::tv

@@ -1,0 +1,103 @@
+#include "model/checkpoint.hpp"
+
+#include <cmath>
+
+#include "io/safetensors.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+const Tensor& Checkpoint::at(const std::string& name) const {
+  const auto it = tensors_.find(name);
+  CA_CHECK(it != tensors_.end(), "checkpoint has no tensor '" << name << "'");
+  return it->second;
+}
+
+Tensor& Checkpoint::at(const std::string& name) {
+  const auto it = tensors_.find(name);
+  CA_CHECK(it != tensors_.end(), "checkpoint has no tensor '" << name << "'");
+  return it->second;
+}
+
+void Checkpoint::put(const std::string& name, Tensor tensor) {
+  tensors_[name] = std::move(tensor);
+}
+
+std::vector<std::string> Checkpoint::names() const {
+  std::vector<std::string> out;
+  out.reserve(tensors_.size());
+  for (const auto& [name, tensor] : tensors_) out.push_back(name);
+  return out;
+}
+
+std::int64_t Checkpoint::parameter_count() const {
+  std::int64_t total = 0;
+  for (const auto& [name, tensor] : tensors_) total += tensor.numel();
+  return total;
+}
+
+std::vector<TensorStats> Checkpoint::stats() const {
+  std::vector<TensorStats> out;
+  out.reserve(tensors_.size());
+  for (const auto& [name, tensor] : tensors_) {
+    TensorStats s;
+    s.name = name;
+    s.shape = tensor.shape();
+    s.frobenius_norm = ops::frobenius_norm(tensor);
+    double sum = 0.0;
+    double abs_max = 0.0;
+    for (float v : tensor.values()) {
+      sum += v;
+      abs_max = std::max(abs_max, std::abs(static_cast<double>(v)));
+    }
+    s.mean = tensor.numel() > 0 ? sum / static_cast<double>(tensor.numel()) : 0.0;
+    s.abs_max = abs_max;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool Checkpoint::all_finite() const {
+  for (const auto& [name, tensor] : tensors_) {
+    if (!tensor.all_finite()) return false;
+  }
+  return true;
+}
+
+void Checkpoint::save(const std::string& path, DType storage) const {
+  std::map<std::string, std::string> metadata;
+  metadata["chipalign.config"] = config_.to_json().dump();
+  metadata["format"] = "chipalign-checkpoint-v1";
+  save_safetensors(path, tensors_, storage, metadata);
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  SafetensorsFile file = load_safetensors(path);
+  const auto it = file.metadata.find("chipalign.config");
+  CA_CHECK(it != file.metadata.end(),
+           "'" << path << "' lacks chipalign.config metadata");
+  Checkpoint ckpt;
+  ckpt.config_ = ModelConfig::from_json(Json::parse(it->second));
+  ckpt.tensors_ = std::move(file.tensors);
+  return ckpt;
+}
+
+void check_mergeable(const Checkpoint& a, const Checkpoint& b) {
+  CA_CHECK(a.tensors().size() == b.tensors().size(),
+           "checkpoints have different tensor counts: "
+               << a.tensors().size() << " vs " << b.tensors().size());
+  auto it_a = a.tensors().begin();
+  auto it_b = b.tensors().begin();
+  for (; it_a != a.tensors().end(); ++it_a, ++it_b) {
+    CA_CHECK(it_a->first == it_b->first,
+             "tensor name mismatch: '" << it_a->first << "' vs '"
+                                       << it_b->first << "'");
+    CA_CHECK(it_a->second.same_shape(it_b->second),
+             "tensor '" << it_a->first << "' shape mismatch: "
+                        << shape_to_string(it_a->second.shape()) << " vs "
+                        << shape_to_string(it_b->second.shape()));
+  }
+}
+
+}  // namespace chipalign

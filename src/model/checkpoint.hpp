@@ -1,0 +1,78 @@
+#pragma once
+/// \file checkpoint.hpp
+/// \brief Named-tensor checkpoint: the unit the merge library operates on.
+///
+/// A Checkpoint is an architecture config plus a name->Tensor map, saved and
+/// loaded as a safetensors file whose __metadata__ carries the config JSON.
+/// Merging requires two checkpoints to be "conformable": identical tensor
+/// names and shapes (the paper's same-architecture assumption, §III).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/model_config.hpp"
+#include "tensor/dtype.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chipalign {
+
+/// Summary statistics of one tensor within a checkpoint.
+struct TensorStats {
+  std::string name;
+  Shape shape;
+  double frobenius_norm = 0.0;
+  double mean = 0.0;
+  double abs_max = 0.0;
+};
+
+/// Architecture config plus named weights.
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+  Checkpoint(ModelConfig config, std::map<std::string, Tensor> tensors)
+      : config_(std::move(config)), tensors_(std::move(tensors)) {}
+
+  const ModelConfig& config() const { return config_; }
+  ModelConfig& config() { return config_; }
+
+  const std::map<std::string, Tensor>& tensors() const { return tensors_; }
+  std::map<std::string, Tensor>& tensors() { return tensors_; }
+
+  bool has(const std::string& name) const { return tensors_.count(name) > 0; }
+
+  /// Tensor lookup; throws if missing.
+  const Tensor& at(const std::string& name) const;
+  Tensor& at(const std::string& name);
+
+  /// Inserts or replaces a tensor.
+  void put(const std::string& name, Tensor tensor);
+
+  /// Sorted tensor names.
+  std::vector<std::string> names() const;
+
+  /// Total number of scalar parameters.
+  std::int64_t parameter_count() const;
+
+  /// Per-tensor statistics, sorted by name (used by the geometry ablation).
+  std::vector<TensorStats> stats() const;
+
+  /// True if every parameter of every tensor is finite.
+  bool all_finite() const;
+
+  /// Saves to a safetensors file with the config embedded as metadata.
+  void save(const std::string& path, DType storage = DType::kF32) const;
+
+  /// Loads a checkpoint; throws if the file lacks config metadata.
+  static Checkpoint load(const std::string& path);
+
+ private:
+  ModelConfig config_;
+  std::map<std::string, Tensor> tensors_;
+};
+
+/// Throws Error unless a and b have identical tensor names and shapes
+/// (configs may differ in the free-form name field only).
+void check_mergeable(const Checkpoint& a, const Checkpoint& b);
+
+}  // namespace chipalign

@@ -1,0 +1,71 @@
+#include "model/model_config.hpp"
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+void ModelConfig::validate() const {
+  CA_CHECK(vocab_size > 0, "vocab_size must be positive");
+  CA_CHECK(d_model > 0, "d_model must be positive");
+  CA_CHECK(n_layers > 0, "n_layers must be positive");
+  CA_CHECK(n_heads > 0, "n_heads must be positive");
+  CA_CHECK(n_kv_heads > 0 && n_kv_heads <= n_heads,
+           "n_kv_heads must be in [1, n_heads]");
+  CA_CHECK(n_heads % n_kv_heads == 0, "n_heads must be divisible by n_kv_heads");
+  CA_CHECK(d_model % n_heads == 0, "d_model must be divisible by n_heads");
+  CA_CHECK(head_dim() % 2 == 0, "head_dim must be even for RoPE");
+  CA_CHECK(d_ff > 0, "d_ff must be positive");
+  CA_CHECK(max_seq_len > 0, "max_seq_len must be positive");
+  CA_CHECK(rope_theta > 0.0, "rope_theta must be positive");
+  CA_CHECK(norm_eps > 0.0, "norm_eps must be positive");
+}
+
+std::int64_t ModelConfig::parameter_count() const {
+  const std::int64_t kv_dim = n_kv_heads * head_dim();
+  const std::int64_t per_layer =
+      d_model * d_model          // wq
+      + d_model * kv_dim * 2     // wk, wv
+      + d_model * d_model        // wo
+      + d_model * d_ff * 3       // w_gate, w_up, w_down
+      + d_model * 2;             // two RMSNorm gains
+  std::int64_t total = vocab_size * d_model  // embedding
+                       + n_layers * per_layer
+                       + d_model;  // final norm
+  if (!tied_embeddings) total += vocab_size * d_model;
+  return total;
+}
+
+Json ModelConfig::to_json() const {
+  Json j = Json::object();
+  j.set("name", Json(name));
+  j.set("vocab_size", Json(vocab_size));
+  j.set("d_model", Json(d_model));
+  j.set("n_layers", Json(n_layers));
+  j.set("n_heads", Json(n_heads));
+  j.set("n_kv_heads", Json(n_kv_heads));
+  j.set("d_ff", Json(d_ff));
+  j.set("max_seq_len", Json(max_seq_len));
+  j.set("rope_theta", Json(rope_theta));
+  j.set("norm_eps", Json(norm_eps));
+  j.set("tied_embeddings", Json(tied_embeddings));
+  return j;
+}
+
+ModelConfig ModelConfig::from_json(const Json& json) {
+  ModelConfig config;
+  config.name = json.at("name").as_string();
+  config.vocab_size = json.at("vocab_size").as_int();
+  config.d_model = json.at("d_model").as_int();
+  config.n_layers = json.at("n_layers").as_int();
+  config.n_heads = json.at("n_heads").as_int();
+  config.n_kv_heads = json.at("n_kv_heads").as_int();
+  config.d_ff = json.at("d_ff").as_int();
+  config.max_seq_len = json.at("max_seq_len").as_int();
+  config.rope_theta = json.at("rope_theta").as_double();
+  config.norm_eps = json.at("norm_eps").as_double();
+  config.tied_embeddings = json.at("tied_embeddings").as_bool();
+  config.validate();
+  return config;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,44 @@
+#pragma once
+/// \file model_config.hpp
+/// \brief Hyperparameters of the LLaMA-style decoder-only transformer.
+///
+/// The same config struct describes every model family in this repo (the
+/// tiny analogues of LLaMA3-8B, Qwen1.5-14B, LLaMA2-70B). It round-trips
+/// through JSON so checkpoints are self-describing.
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace chipalign {
+
+/// Architecture hyperparameters. Plain data; validate() checks coherence.
+struct ModelConfig {
+  std::string name = "tiny";  ///< family tag, e.g. "llama3-8b-analog"
+  std::int64_t vocab_size = 0;
+  std::int64_t d_model = 0;       ///< embedding width
+  std::int64_t n_layers = 0;      ///< transformer blocks
+  std::int64_t n_heads = 0;       ///< query heads
+  std::int64_t n_kv_heads = 0;    ///< key/value heads (GQA when < n_heads)
+  std::int64_t d_ff = 0;          ///< SwiGLU hidden width
+  std::int64_t max_seq_len = 0;   ///< context length (RoPE table size)
+  double rope_theta = 10000.0;    ///< RoPE base frequency
+  double norm_eps = 1e-5;         ///< RMSNorm epsilon
+  bool tied_embeddings = true;    ///< LM head shares the embedding matrix
+
+  std::int64_t head_dim() const { return d_model / n_heads; }
+
+  /// Throws Error when any field is incoherent (e.g. d_model % n_heads != 0).
+  void validate() const;
+
+  /// Approximate trainable parameter count implied by the architecture.
+  std::int64_t parameter_count() const;
+
+  Json to_json() const;
+  static ModelConfig from_json(const Json& json);
+
+  bool operator==(const ModelConfig& other) const = default;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,227 @@
+#include "nn/infer.hpp"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// y = W x with W [out, in] row-major.
+void matvec(const Tensor& w, std::span<const float> x, std::span<float> y) {
+  const std::int64_t out_dim = w.dim(0);
+  const std::int64_t in_dim = w.dim(1);
+  CA_CHECK(static_cast<std::int64_t>(x.size()) == in_dim, "matvec input size");
+  CA_CHECK(static_cast<std::int64_t>(y.size()) == out_dim, "matvec output size");
+  for (std::int64_t o = 0; o < out_dim; ++o) {
+    const float* w_row = w.data() + o * in_dim;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < in_dim; ++i) {
+      acc += static_cast<double>(w_row[i]) * x[static_cast<std::size_t>(i)];
+    }
+    y[static_cast<std::size_t>(o)] = static_cast<float>(acc);
+  }
+}
+
+void rmsnorm_row(std::span<const float> x, std::span<const float> gain,
+                 double eps, std::span<float> y) {
+  double mean_sq = 0.0;
+  for (float v : x) mean_sq += static_cast<double>(v) * v;
+  mean_sq /= static_cast<double>(x.size());
+  const auto r = static_cast<float>(1.0 / std::sqrt(mean_sq + eps));
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * r * gain[i];
+}
+
+float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
+
+}  // namespace
+
+InferenceSession::InferenceSession(const TransformerModel& model)
+    : model_(model) {
+  const auto& config = model_.config();
+  const std::size_t cache_floats = static_cast<std::size_t>(
+      config.max_seq_len * config.n_kv_heads * config.head_dim());
+  k_cache_.assign(static_cast<std::size_t>(config.n_layers),
+                  std::vector<float>(cache_floats, 0.0F));
+  v_cache_ = k_cache_;
+}
+
+void InferenceSession::reset() {
+  position_ = 0;
+  for (auto& layer : k_cache_) std::fill(layer.begin(), layer.end(), 0.0F);
+  for (auto& layer : v_cache_) std::fill(layer.begin(), layer.end(), 0.0F);
+}
+
+std::vector<float> InferenceSession::step(TokenId token) {
+  const auto& config = model_.config();
+  CA_CHECK(position_ < config.max_seq_len,
+           "KV cache full at position " << position_);
+  CA_CHECK(token >= 0 && token < config.vocab_size,
+           "token id " << token << " out of vocab");
+
+  const std::int64_t d = config.d_model;
+  const std::int64_t hd = config.head_dim();
+  const std::int64_t n_heads = config.n_heads;
+  const std::int64_t n_kv = config.n_kv_heads;
+  const std::int64_t group = n_heads / n_kv;
+  const std::int64_t kv_dim = n_kv * hd;
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+  const std::int64_t pos = position_;
+
+  std::vector<float> x(model_.embed().value.row(token).begin(),
+                       model_.embed().value.row(token).end());
+  std::vector<float> normed(static_cast<std::size_t>(d));
+  std::vector<float> q(static_cast<std::size_t>(d));
+  std::vector<float> att(static_cast<std::size_t>(d));
+  std::vector<float> proj(static_cast<std::size_t>(d));
+  std::vector<float> gate(static_cast<std::size_t>(config.d_ff));
+  std::vector<float> up(static_cast<std::size_t>(config.d_ff));
+  std::vector<float> scores(static_cast<std::size_t>(pos + 1));
+
+  for (std::size_t layer = 0; layer < model_.blocks().size(); ++layer) {
+    const TransformerBlock& block = model_.blocks()[layer];
+    float* k_new = k_cache_[layer].data() + pos * kv_dim;
+    float* v_new = v_cache_[layer].data() + pos * kv_dim;
+
+    rmsnorm_row(x, block.input_norm.value.values(), config.norm_eps, normed);
+    matvec(block.q_proj.value, normed, q);
+    matvec(block.k_proj.value, normed,
+           std::span<float>(k_new, static_cast<std::size_t>(kv_dim)));
+    matvec(block.v_proj.value, normed,
+           std::span<float>(v_new, static_cast<std::size_t>(kv_dim)));
+
+    for (std::int64_t h = 0; h < n_heads; ++h) {
+      model_.rotary().apply(
+          std::span<float>(q.data() + h * hd, static_cast<std::size_t>(hd)), pos);
+    }
+    for (std::int64_t h = 0; h < n_kv; ++h) {
+      model_.rotary().apply(
+          std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)), pos);
+    }
+
+    std::fill(att.begin(), att.end(), 0.0F);
+    for (std::int64_t h = 0; h < n_heads; ++h) {
+      const std::int64_t kvh = h / group;
+      const float* q_h = q.data() + h * hd;
+      for (std::int64_t j = 0; j <= pos; ++j) {
+        const float* k_j = k_cache_[layer].data() + j * kv_dim + kvh * hd;
+        double acc = 0.0;
+        for (std::int64_t u = 0; u < hd; ++u) {
+          acc += static_cast<double>(q_h[u]) * k_j[u];
+        }
+        scores[static_cast<std::size_t>(j)] = static_cast<float>(acc) * scale;
+      }
+      ops::softmax_inplace(
+          std::span<float>(scores.data(), static_cast<std::size_t>(pos + 1)));
+      float* att_h = att.data() + h * hd;
+      for (std::int64_t j = 0; j <= pos; ++j) {
+        const float p = scores[static_cast<std::size_t>(j)];
+        const float* v_j = v_cache_[layer].data() + j * kv_dim + kvh * hd;
+        for (std::int64_t u = 0; u < hd; ++u) att_h[u] += p * v_j[u];
+      }
+    }
+
+    matvec(block.o_proj.value, att, proj);
+    for (std::int64_t i = 0; i < d; ++i) {
+      x[static_cast<std::size_t>(i)] += proj[static_cast<std::size_t>(i)];
+    }
+
+    rmsnorm_row(x, block.post_norm.value.values(), config.norm_eps, normed);
+    matvec(block.gate_proj.value, normed, gate);
+    matvec(block.up_proj.value, normed, up);
+    for (std::size_t i = 0; i < gate.size(); ++i) {
+      gate[i] = gate[i] * sigmoid(gate[i]) * up[i];
+    }
+    matvec(block.down_proj.value, gate, proj);
+    for (std::int64_t i = 0; i < d; ++i) {
+      x[static_cast<std::size_t>(i)] += proj[static_cast<std::size_t>(i)];
+    }
+  }
+
+  rmsnorm_row(x, model_.final_norm().value.values(), config.norm_eps, normed);
+  std::vector<float> logits(static_cast<std::size_t>(config.vocab_size));
+  matvec(model_.embed().value, normed, logits);
+  ++position_;
+  return logits;
+}
+
+std::vector<float> InferenceSession::prefill(const std::vector<TokenId>& tokens) {
+  CA_CHECK(!tokens.empty(), "prefill on empty prompt");
+  std::vector<float> logits;
+  for (TokenId token : tokens) logits = step(token);
+  return logits;
+}
+
+std::string generate(const TransformerModel& model, std::string_view prompt,
+                     const GenerateOptions& options, bool stop_at_newline) {
+  const CharTokenizer& tok = tokenizer();
+  std::vector<TokenId> prompt_tokens = tok.encode(prompt, /*add_bos=*/true);
+  const std::int64_t budget =
+      model.config().max_seq_len - static_cast<std::int64_t>(prompt_tokens.size());
+  CA_CHECK(budget > 0, "prompt fills the whole context window");
+
+  InferenceSession session(model);
+  std::vector<float> logits = session.prefill(prompt_tokens);
+
+  Rng rng(options.seed);
+  const TokenId newline_id = tok.char_to_id('\n');
+  std::vector<TokenId> generated;
+  const std::int64_t max_new = std::min<std::int64_t>(options.max_new_tokens, budget);
+  for (std::int64_t i = 0; i < max_new; ++i) {
+    TokenId next;
+    if (options.temperature <= 0.0) {
+      next = static_cast<TokenId>(
+          ops::argmax(std::span<const float>(logits.data(), logits.size())));
+    } else {
+      std::vector<float> probs = logits;
+      const auto inv_temp = static_cast<float>(1.0 / options.temperature);
+      for (float& v : probs) v *= inv_temp;
+      ops::softmax_inplace(std::span<float>(probs.data(), probs.size()));
+      double u = rng.uniform();
+      next = static_cast<TokenId>(probs.size() - 1);
+      for (std::size_t t = 0; t < probs.size(); ++t) {
+        u -= probs[t];
+        if (u <= 0.0) {
+          next = static_cast<TokenId>(t);
+          break;
+        }
+      }
+    }
+    if (next == CharTokenizer::kEos) break;
+    if (stop_at_newline && next == newline_id) break;
+    generated.push_back(next);
+    logits = session.step(next);
+  }
+  return tok.decode(generated);
+}
+
+double sequence_logprob(const TransformerModel& model,
+                        const std::vector<TokenId>& context,
+                        const std::vector<TokenId>& continuation) {
+  CA_CHECK(!context.empty(), "sequence_logprob requires non-empty context");
+  CA_CHECK(!continuation.empty(), "sequence_logprob requires non-empty continuation");
+  InferenceSession session(model);
+  // Feed the context; the logits after its last token predict continuation[0].
+  std::vector<float> logits = session.prefill(context);
+  double total = 0.0;
+  for (std::size_t i = 0; i < continuation.size(); ++i) {
+    const double lse =
+        ops::log_sum_exp(std::span<const float>(logits.data(), logits.size()));
+    total += static_cast<double>(
+                 logits[static_cast<std::size_t>(continuation[i])]) -
+             lse;
+    if (i + 1 < continuation.size()) logits = session.step(continuation[i]);
+  }
+  return total;
+}
+
+double mean_logprob(const TransformerModel& model,
+                    const std::vector<TokenId>& context,
+                    const std::vector<TokenId>& continuation) {
+  return sequence_logprob(model, context, continuation) /
+         static_cast<double>(continuation.size());
+}
+
+}  // namespace chipalign

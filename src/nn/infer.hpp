@@ -1,0 +1,74 @@
+#pragma once
+/// \file infer.hpp
+/// \brief Incremental (KV-cache) inference and text generation.
+///
+/// InferenceSession keeps per-layer key/value caches so each new token costs
+/// O(T) attention instead of re-running the full sequence. The generation
+/// helpers below are what every benchmark harness uses to get model
+/// responses; temperature 0 (greedy) matches the paper's evaluation setup.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/transformer.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+
+/// Stateful single-sequence decoder over a fixed model.
+class InferenceSession {
+ public:
+  explicit InferenceSession(const TransformerModel& model);
+
+  /// Feeds one token at the current position; returns the logits row
+  /// (vocab_size floats) for predicting the next token.
+  std::vector<float> step(TokenId token);
+
+  /// Feeds a whole prompt; returns the logits after its last token.
+  /// The prompt must be non-empty.
+  std::vector<float> prefill(const std::vector<TokenId>& tokens);
+
+  /// Tokens consumed so far.
+  std::int64_t position() const { return position_; }
+
+  /// Clears the KV cache and resets the position to zero.
+  void reset();
+
+ private:
+  const TransformerModel& model_;
+  std::int64_t position_ = 0;
+  // Per layer: [max_seq_len, kv_dim] caches, flattened.
+  std::vector<std::vector<float>> k_cache_;
+  std::vector<std::vector<float>> v_cache_;
+};
+
+/// Options for generate().
+struct GenerateOptions {
+  std::int64_t max_new_tokens = 128;
+  double temperature = 0.0;  ///< 0 => greedy decoding
+  std::uint64_t seed = 7;    ///< used only when temperature > 0
+};
+
+/// Generates a continuation of `prompt` (encoded with <bos>), stopping at
+/// <eos>, a '\n' if stop_at_newline, or the token budget. Returns decoded
+/// text without the prompt.
+std::string generate(const TransformerModel& model, std::string_view prompt,
+                     const GenerateOptions& options = {},
+                     bool stop_at_newline = false);
+
+/// Sum of log-probabilities of `continuation` tokens given `context`
+/// (teacher-forced). Both sequences are raw token ids; context must be
+/// non-empty.
+double sequence_logprob(const TransformerModel& model,
+                        const std::vector<TokenId>& context,
+                        const std::vector<TokenId>& continuation);
+
+/// Average per-token log-probability of the continuation (length
+/// normalized); used by the multiple-choice evaluator.
+double mean_logprob(const TransformerModel& model,
+                    const std::vector<TokenId>& context,
+                    const std::vector<TokenId>& continuation);
+
+}  // namespace chipalign

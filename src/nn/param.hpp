@@ -1,0 +1,27 @@
+#pragma once
+/// \file param.hpp
+/// \brief Trainable parameter: a named value tensor plus its gradient.
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace chipalign {
+
+/// One trainable tensor. The gradient buffer always matches the value shape
+/// and is accumulated into by backward passes until zero_grad().
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string param_name, Tensor initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0F); }
+};
+
+}  // namespace chipalign

@@ -1,0 +1,60 @@
+#include "nn/rotary.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+RotaryCache::RotaryCache(std::int64_t head_dim, std::int64_t max_seq_len,
+                         double theta)
+    : head_dim_(head_dim), max_seq_len_(max_seq_len) {
+  CA_CHECK(head_dim > 0 && head_dim % 2 == 0, "RoPE head_dim must be even");
+  CA_CHECK(max_seq_len > 0, "RoPE max_seq_len must be positive");
+  CA_CHECK(theta > 0.0, "RoPE theta must be positive");
+
+  const std::int64_t half = head_dim / 2;
+  cos_.resize(static_cast<std::size_t>(max_seq_len * half));
+  sin_.resize(static_cast<std::size_t>(max_seq_len * half));
+  for (std::int64_t pos = 0; pos < max_seq_len; ++pos) {
+    for (std::int64_t u = 0; u < half; ++u) {
+      const double freq =
+          std::pow(theta, -2.0 * static_cast<double>(u) / static_cast<double>(head_dim));
+      const double angle = static_cast<double>(pos) * freq;
+      cos_[static_cast<std::size_t>(pos * half + u)] = static_cast<float>(std::cos(angle));
+      sin_[static_cast<std::size_t>(pos * half + u)] = static_cast<float>(std::sin(angle));
+    }
+  }
+}
+
+void RotaryCache::apply(std::span<float> head_vec, std::int64_t pos) const {
+  CA_CHECK(static_cast<std::int64_t>(head_vec.size()) == head_dim_,
+           "RoPE vector length " << head_vec.size() << " != head_dim " << head_dim_);
+  CA_CHECK(pos >= 0 && pos < max_seq_len_, "RoPE position " << pos << " out of range");
+  const std::int64_t half = head_dim_ / 2;
+  const float* c = cos_.data() + pos * half;
+  const float* s = sin_.data() + pos * half;
+  for (std::int64_t u = 0; u < half; ++u) {
+    const float x0 = head_vec[static_cast<std::size_t>(2 * u)];
+    const float x1 = head_vec[static_cast<std::size_t>(2 * u + 1)];
+    head_vec[static_cast<std::size_t>(2 * u)] = x0 * c[u] - x1 * s[u];
+    head_vec[static_cast<std::size_t>(2 * u + 1)] = x0 * s[u] + x1 * c[u];
+  }
+}
+
+void RotaryCache::apply_inverse(std::span<float> head_vec, std::int64_t pos) const {
+  CA_CHECK(static_cast<std::int64_t>(head_vec.size()) == head_dim_,
+           "RoPE vector length " << head_vec.size() << " != head_dim " << head_dim_);
+  CA_CHECK(pos >= 0 && pos < max_seq_len_, "RoPE position " << pos << " out of range");
+  const std::int64_t half = head_dim_ / 2;
+  const float* c = cos_.data() + pos * half;
+  const float* s = sin_.data() + pos * half;
+  for (std::int64_t u = 0; u < half; ++u) {
+    const float x0 = head_vec[static_cast<std::size_t>(2 * u)];
+    const float x1 = head_vec[static_cast<std::size_t>(2 * u + 1)];
+    head_vec[static_cast<std::size_t>(2 * u)] = x0 * c[u] + x1 * s[u];
+    head_vec[static_cast<std::size_t>(2 * u + 1)] = -x0 * s[u] + x1 * c[u];
+  }
+}
+
+}  // namespace chipalign

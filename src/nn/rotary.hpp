@@ -1,0 +1,37 @@
+#pragma once
+/// \file rotary.hpp
+/// \brief Rotary positional embedding (RoPE) tables and application.
+///
+/// RoPE rotates each even/odd feature pair of q and k by a position- and
+/// frequency-dependent angle. The rotation is orthogonal, so the backward
+/// pass is the inverse rotation applied to the gradient.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace chipalign {
+
+/// Precomputed cos/sin tables for all positions up to max_seq_len.
+class RotaryCache {
+ public:
+  /// \param head_dim must be even; \param theta RoPE base (e.g. 10000).
+  RotaryCache(std::int64_t head_dim, std::int64_t max_seq_len, double theta);
+
+  std::int64_t head_dim() const { return head_dim_; }
+  std::int64_t max_seq_len() const { return max_seq_len_; }
+
+  /// Rotates one head vector (length head_dim) in place for position `pos`.
+  void apply(std::span<float> head_vec, std::int64_t pos) const;
+
+  /// Applies the inverse rotation (used for gradients).
+  void apply_inverse(std::span<float> head_vec, std::int64_t pos) const;
+
+ private:
+  std::int64_t head_dim_;
+  std::int64_t max_seq_len_;
+  std::vector<float> cos_;  ///< [max_seq_len, head_dim/2]
+  std::vector<float> sin_;  ///< [max_seq_len, head_dim/2]
+};
+
+}  // namespace chipalign

@@ -1,0 +1,117 @@
+#pragma once
+/// \file transformer.hpp
+/// \brief LLaMA-style decoder-only transformer with training backward pass.
+///
+/// Architecture (per block): RMSNorm -> causal self-attention with RoPE and
+/// grouped-query heads -> residual -> RMSNorm -> SwiGLU MLP -> residual.
+/// Final RMSNorm, tied LM head (logits = x @ embedding^T).
+///
+/// Tensor naming follows the HuggingFace LLaMA convention
+/// ("model.layers.N.self_attn.q_proj.weight", ...) so checkpoints look like
+/// miniature versions of the models the paper merges.
+///
+/// The class supports one in-flight training forward at a time: forward()
+/// stashes activations, backward() consumes them and accumulates parameter
+/// gradients. Inference with a KV cache lives in nn/infer.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+#include "nn/param.hpp"
+#include "nn/rotary.hpp"
+#include "text/tokenizer.hpp"
+
+namespace chipalign {
+
+/// One transformer block's parameters.
+struct TransformerBlock {
+  Parameter input_norm;   ///< [d]
+  Parameter q_proj;       ///< [d, d]
+  Parameter k_proj;       ///< [kv_dim, d]
+  Parameter v_proj;       ///< [kv_dim, d]
+  Parameter o_proj;       ///< [d, d]
+  Parameter post_norm;    ///< [d]
+  Parameter gate_proj;    ///< [d_ff, d]
+  Parameter up_proj;      ///< [d_ff, d]
+  Parameter down_proj;    ///< [d, d_ff]
+};
+
+/// Decoder-only transformer with trainable weights.
+class TransformerModel {
+ public:
+  /// Randomly initialized model (scaled-normal init).
+  TransformerModel(ModelConfig config, Rng& rng);
+
+  /// Model with all parameters zero (used by from_checkpoint).
+  explicit TransformerModel(ModelConfig config);
+
+  ~TransformerModel();
+  TransformerModel(TransformerModel&&) noexcept;
+  TransformerModel& operator=(TransformerModel&&) noexcept;
+  TransformerModel(const TransformerModel&) = delete;
+  TransformerModel& operator=(const TransformerModel&) = delete;
+
+  const ModelConfig& config() const { return config_; }
+  const RotaryCache& rotary() const { return rotary_; }
+
+  /// All parameters in a stable order (embedding, blocks, final norm).
+  std::vector<Parameter*> parameters();
+  std::vector<const Parameter*> parameters() const;
+
+  const Parameter& embed() const { return embed_; }
+  const std::vector<TransformerBlock>& blocks() const { return blocks_; }
+  const Parameter& final_norm() const { return final_norm_; }
+
+  void zero_grad();
+
+  /// Total scalar parameter count.
+  std::int64_t parameter_count() const;
+
+  // -- training path ----------------------------------------------------------
+
+  /// Runs the model over a token sequence (length T <= max_seq_len) and
+  /// returns logits [T, vocab]. Stashes activations for backward().
+  Tensor forward(const std::vector<TokenId>& tokens);
+
+  /// Backpropagates from dlogits [T, vocab] (as produced for the most recent
+  /// forward()) into parameter gradients. Throws if no forward is pending.
+  void backward(const Tensor& dlogits);
+
+  /// Drops the pending forward activations without backpropagating (used by
+  /// inference-style evaluations that only need the logits).
+  void discard_forward();
+
+  // -- checkpoint interop -------------------------------------------------------
+
+  /// Snapshot of the weights under LLaMA-style names.
+  Checkpoint to_checkpoint() const;
+
+  /// Builds a model from a checkpoint produced by to_checkpoint() (or by the
+  /// merge library). Validates names and shapes.
+  static TransformerModel from_checkpoint(const Checkpoint& checkpoint);
+
+  /// Overwrites this model's weights from a conformable checkpoint.
+  void load_weights(const Checkpoint& checkpoint);
+
+ private:
+  friend class InferenceSession;
+
+  struct BlockCache;
+  struct ForwardCache;
+
+  void init_parameters(Rng& rng);
+  void name_parameters();
+
+  ModelConfig config_;
+  RotaryCache rotary_;
+
+  Parameter embed_;  ///< [vocab, d]; also the tied LM head
+  std::vector<TransformerBlock> blocks_;
+  Parameter final_norm_;  ///< [d]
+
+  std::unique_ptr<ForwardCache> cache_;  ///< pending forward activations
+};
+
+}  // namespace chipalign

@@ -1,0 +1,79 @@
+#include "rag/bm25.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace chipalign {
+
+Bm25Index::Bm25Index(std::vector<std::string> documents, double k1, double b)
+    : documents_(std::move(documents)), k1_(k1), b_(b) {
+  CA_CHECK(!documents_.empty(), "BM25 index needs at least one document");
+  CA_CHECK(k1_ > 0.0 && b_ >= 0.0 && b_ <= 1.0, "invalid BM25 parameters");
+
+  doc_tokens_.reserve(documents_.size());
+  doc_len_.reserve(documents_.size());
+  double total_len = 0.0;
+  for (std::size_t d = 0; d < documents_.size(); ++d) {
+    doc_tokens_.push_back(word_tokens(documents_[d]));
+    doc_len_.push_back(static_cast<double>(doc_tokens_.back().size()));
+    total_len += doc_len_.back();
+
+    // Record each document once per distinct term.
+    std::vector<std::string> seen;
+    for (const std::string& term : doc_tokens_.back()) {
+      if (std::find(seen.begin(), seen.end(), term) == seen.end()) {
+        seen.push_back(term);
+        postings_[term].push_back(d);
+      }
+    }
+  }
+  avg_doc_len_ = total_len / static_cast<double>(documents_.size());
+
+  const auto n = static_cast<double>(documents_.size());
+  for (const auto& [term, docs] : postings_) {
+    const auto df = static_cast<double>(docs.size());
+    // BM25+ style non-negative idf.
+    idf_[term] = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+  }
+}
+
+const std::string& Bm25Index::document(std::size_t index) const {
+  CA_CHECK(index < documents_.size(), "document index out of range");
+  return documents_[index];
+}
+
+std::vector<RetrievalHit> Bm25Index::query(std::string_view text,
+                                           std::size_t top_k) const {
+  const std::vector<std::string> terms = word_tokens(text);
+  std::vector<double> scores(documents_.size(), 0.0);
+
+  for (const std::string& term : terms) {
+    const auto idf_it = idf_.find(term);
+    if (idf_it == idf_.end()) continue;
+    const auto postings_it = postings_.find(term);
+    for (std::size_t d : postings_it->second) {
+      const auto tf = static_cast<double>(
+          std::count(doc_tokens_[d].begin(), doc_tokens_[d].end(), term));
+      const double denom =
+          tf + k1_ * (1.0 - b_ + b_ * doc_len_[d] / avg_doc_len_);
+      scores[d] += idf_it->second * tf * (k1_ + 1.0) / denom;
+    }
+  }
+
+  std::vector<RetrievalHit> hits;
+  for (std::size_t d = 0; d < scores.size(); ++d) {
+    if (scores[d] > 0.0) hits.push_back({d, scores[d]});
+  }
+  std::sort(hits.begin(), hits.end(), [](const RetrievalHit& a,
+                                         const RetrievalHit& b_hit) {
+    if (a.score != b_hit.score) return a.score > b_hit.score;
+    return a.doc_index < b_hit.doc_index;
+  });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,49 @@
+#pragma once
+/// \file bm25.hpp
+/// \brief Okapi BM25 lexical retrieval index.
+///
+/// The lexical half of the paper's RAG pipeline (which pairs BM25 with a
+/// dense bge embedder). Documents are tokenized with word_tokens(); scoring
+/// uses the standard BM25 formula with the non-negative "plus 1" idf variant
+/// so common terms never subtract.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chipalign {
+
+/// A scored document reference returned by retrieval components.
+struct RetrievalHit {
+  std::size_t doc_index = 0;
+  double score = 0.0;
+};
+
+/// Immutable BM25 index over a sentence corpus.
+class Bm25Index {
+ public:
+  /// \param k1 term-frequency saturation; \param b length normalization.
+  explicit Bm25Index(std::vector<std::string> documents, double k1 = 1.5,
+                     double b = 0.75);
+
+  std::size_t size() const { return documents_.size(); }
+  const std::string& document(std::size_t index) const;
+
+  /// Top-k documents by BM25 score (ties broken by lower index). Documents
+  /// with zero score are omitted, so fewer than top_k hits may return.
+  std::vector<RetrievalHit> query(std::string_view text, std::size_t top_k) const;
+
+ private:
+  std::vector<std::string> documents_;
+  std::vector<std::vector<std::string>> doc_tokens_;
+  std::map<std::string, std::vector<std::size_t>> postings_;  ///< term -> docs
+  std::map<std::string, double> idf_;
+  std::vector<double> doc_len_;
+  double avg_doc_len_ = 0.0;
+  double k1_;
+  double b_;
+};
+
+}  // namespace chipalign

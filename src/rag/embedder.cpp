@@ -1,0 +1,90 @@
+#include "rag/embedder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace chipalign {
+
+namespace {
+/// FNV-1a over a byte window.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+}  // namespace
+
+HashedEmbedder::HashedEmbedder(std::size_t dim, int ngram)
+    : dim_(dim), ngram_(ngram) {
+  CA_CHECK(dim_ > 0, "embedder dim must be positive");
+  CA_CHECK(ngram_ > 0, "ngram must be positive");
+}
+
+std::vector<float> HashedEmbedder::embed(std::string_view text) const {
+  std::vector<float> vec(dim_, 0.0F);
+  const std::string lowered = to_lower(text);
+  const auto n = static_cast<std::size_t>(ngram_);
+  if (lowered.size() >= n) {
+    for (std::size_t i = 0; i + n <= lowered.size(); ++i) {
+      const std::uint64_t h = fnv1a(std::string_view(lowered).substr(i, n));
+      vec[static_cast<std::size_t>(h % dim_)] += 1.0F;
+    }
+  }
+  double norm_sq = 0.0;
+  for (float v : vec) norm_sq += static_cast<double>(v) * v;
+  if (norm_sq > 0.0) {
+    const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : vec) v *= inv;
+  }
+  return vec;
+}
+
+double HashedEmbedder::cosine(std::span<const float> a,
+                              std::span<const float> b) {
+  CA_CHECK(a.size() == b.size(), "embedding size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;  // inputs are L2-normalized
+}
+
+DenseIndex::DenseIndex(std::vector<std::string> documents,
+                       HashedEmbedder embedder)
+    : documents_(std::move(documents)), embedder_(embedder) {
+  CA_CHECK(!documents_.empty(), "dense index needs at least one document");
+  embeddings_.reserve(documents_.size());
+  for (const std::string& doc : documents_) {
+    embeddings_.push_back(embedder_.embed(doc));
+  }
+}
+
+const std::string& DenseIndex::document(std::size_t index) const {
+  CA_CHECK(index < documents_.size(), "document index out of range");
+  return documents_[index];
+}
+
+std::vector<RetrievalHit> DenseIndex::query(std::string_view text,
+                                            std::size_t top_k) const {
+  const std::vector<float> query_vec = embedder_.embed(text);
+  std::vector<RetrievalHit> hits;
+  for (std::size_t d = 0; d < embeddings_.size(); ++d) {
+    const double sim = HashedEmbedder::cosine(query_vec, embeddings_[d]);
+    if (sim > 0.0) hits.push_back({d, sim});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const RetrievalHit& a, const RetrievalHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc_index < b.doc_index;
+            });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace chipalign

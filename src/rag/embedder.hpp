@@ -1,0 +1,56 @@
+#pragma once
+/// \file embedder.hpp
+/// \brief Hashed character-n-gram text embedder and dense retrieval index.
+///
+/// Stands in for the paper's bge-large-en dense embedder: each character
+/// trigram (over the lowercased text) is hashed into a fixed-dimension
+/// bucket; the resulting count vector is L2-normalized. Cosine similarity of
+/// such vectors is a serviceable semantic proxy for the short documentation
+/// sentences in this repo's corpus.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rag/bm25.hpp"
+
+namespace chipalign {
+
+/// Stateless hashing embedder.
+class HashedEmbedder {
+ public:
+  /// \param dim embedding dimensionality; \param ngram character n-gram size.
+  explicit HashedEmbedder(std::size_t dim = 256, int ngram = 3);
+
+  std::size_t dim() const { return dim_; }
+
+  /// L2-normalized embedding (zero vector for texts shorter than n).
+  std::vector<float> embed(std::string_view text) const;
+
+  static double cosine(std::span<const float> a, std::span<const float> b);
+
+ private:
+  std::size_t dim_;
+  int ngram_;
+};
+
+/// Brute-force cosine-similarity index over precomputed embeddings.
+class DenseIndex {
+ public:
+  DenseIndex(std::vector<std::string> documents, HashedEmbedder embedder);
+
+  std::size_t size() const { return documents_.size(); }
+  const std::string& document(std::size_t index) const;
+
+  /// Top-k documents by cosine similarity (zero-similarity hits omitted).
+  std::vector<RetrievalHit> query(std::string_view text, std::size_t top_k) const;
+
+ private:
+  std::vector<std::string> documents_;
+  HashedEmbedder embedder_;
+  std::vector<std::vector<float>> embeddings_;
+};
+
+}  // namespace chipalign

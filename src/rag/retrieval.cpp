@@ -1,0 +1,51 @@
+#include "rag/retrieval.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace chipalign {
+
+RetrievalPipeline::RetrievalPipeline(std::vector<std::string> corpus,
+                                     RetrievalConfig config)
+    : config_(config),
+      bm25_(corpus),
+      dense_(corpus, HashedEmbedder(config.embed_dim, config.embed_ngram)) {}
+
+std::vector<RetrievalHit> RetrievalPipeline::retrieve(const std::string& query,
+                                                      std::size_t top_k) const {
+  const auto lexical = bm25_.query(query, config_.candidates_per_retriever);
+  const auto semantic = dense_.query(query, config_.candidates_per_retriever);
+
+  // Reciprocal-rank fusion: score(d) = sum over lists of 1 / (k + rank).
+  std::map<std::size_t, double> fused;
+  for (std::size_t rank = 0; rank < lexical.size(); ++rank) {
+    fused[lexical[rank].doc_index] +=
+        1.0 / (config_.rrf_k + static_cast<double>(rank) + 1.0);
+  }
+  for (std::size_t rank = 0; rank < semantic.size(); ++rank) {
+    fused[semantic[rank].doc_index] +=
+        1.0 / (config_.rrf_k + static_cast<double>(rank) + 1.0);
+  }
+
+  std::vector<RetrievalHit> hits;
+  hits.reserve(fused.size());
+  for (const auto& [doc, score] : fused) hits.push_back({doc, score});
+  std::sort(hits.begin(), hits.end(),
+            [](const RetrievalHit& a, const RetrievalHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc_index < b.doc_index;
+            });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+std::vector<std::string> RetrievalPipeline::retrieve_texts(
+    const std::string& query, std::size_t top_k) const {
+  std::vector<std::string> out;
+  for (const RetrievalHit& hit : retrieve(query, top_k)) {
+    out.push_back(bm25_.document(hit.doc_index));
+  }
+  return out;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,52 @@
+#pragma once
+/// \file retrieval.hpp
+/// \brief Hybrid retrieval pipeline: BM25 + dense recall, rank-fusion rerank.
+///
+/// Mirrors the paper's three-stage setup (bge embeddings + BM25 retrieval +
+/// bge reranker): both retrievers nominate candidates, and a reciprocal-rank
+/// -fusion reranker produces the final ordering. Used to build the "RAG
+/// Context" column of Table 1.
+
+#include <string>
+#include <vector>
+
+#include "rag/bm25.hpp"
+#include "rag/embedder.hpp"
+
+namespace chipalign {
+
+/// Pipeline knobs.
+struct RetrievalConfig {
+  std::size_t candidates_per_retriever = 6;  ///< recall depth before rerank
+  double rrf_k = 10.0;                       ///< reciprocal-rank-fusion offset
+  std::size_t embed_dim = 256;
+  int embed_ngram = 3;
+};
+
+/// Immutable two-stage retrieval pipeline over a sentence corpus.
+class RetrievalPipeline {
+ public:
+  explicit RetrievalPipeline(std::vector<std::string> corpus,
+                             RetrievalConfig config = {});
+
+  std::size_t corpus_size() const { return bm25_.size(); }
+
+  /// Final reranked top-k hits (RRF score; higher is better).
+  std::vector<RetrievalHit> retrieve(const std::string& query,
+                                     std::size_t top_k) const;
+
+  /// Convenience: the top-k document texts.
+  std::vector<std::string> retrieve_texts(const std::string& query,
+                                          std::size_t top_k) const;
+
+  const std::string& document(std::size_t index) const {
+    return bm25_.document(index);
+  }
+
+ private:
+  RetrievalConfig config_;
+  Bm25Index bm25_;
+  DenseIndex dense_;
+};
+
+}  // namespace chipalign

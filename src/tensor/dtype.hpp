@@ -1,0 +1,57 @@
+#pragma once
+/// \file dtype.hpp
+/// \brief Storage dtypes supported by checkpoint serialization.
+///
+/// In-memory compute is always fp32; F16/BF16 exist as *storage* formats in
+/// safetensors files, mirroring how real LLM checkpoints ship in half
+/// precision while merge arithmetic runs in fp32.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+/// Storage element type for serialized tensors.
+enum class DType {
+  kF32,   ///< IEEE 754 binary32
+  kF16,   ///< IEEE 754 binary16
+  kBF16,  ///< bfloat16 (truncated binary32)
+};
+
+/// Bytes per element of the storage dtype.
+inline std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 4;
+    case DType::kF16:
+    case DType::kBF16:
+      return 2;
+  }
+  CA_THROW("unknown dtype");
+}
+
+/// safetensors dtype tag (e.g. "F32").
+inline std::string dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "F32";
+    case DType::kF16:
+      return "F16";
+    case DType::kBF16:
+      return "BF16";
+  }
+  CA_THROW("unknown dtype");
+}
+
+/// Parses a safetensors dtype tag; throws on unsupported tags.
+inline DType dtype_from_name(std::string_view name) {
+  if (name == "F32") return DType::kF32;
+  if (name == "F16") return DType::kF16;
+  if (name == "BF16") return DType::kBF16;
+  CA_THROW("unsupported dtype tag '" << name << "'");
+}
+
+}  // namespace chipalign

@@ -1,0 +1,98 @@
+#pragma once
+/// \file half.hpp
+/// \brief Scalar conversions between fp32 and the two 16-bit storage formats.
+///
+/// fp16 conversion implements round-to-nearest-even with correct handling of
+/// subnormals, infinities and NaN; bf16 uses round-to-nearest-even
+/// truncation of the high 16 bits. These are the same semantics checkpoint
+/// tooling (safetensors / PyTorch) uses, so files we write are
+/// bit-compatible.
+
+#include <bit>
+#include <cstdint>
+
+namespace chipalign {
+
+/// fp32 -> fp16 bits, round-to-nearest-even.
+inline std::uint16_t f32_to_f16_bits(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exp = (bits >> 23) & 0xFFu;
+  std::uint32_t mant = bits & 0x007FFFFFu;
+
+  if (exp == 0xFFu) {  // inf / NaN
+    // Preserve NaN-ness by forcing a non-zero mantissa.
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x0200u : 0u));
+  }
+
+  // Unbiased exponent; fp16 bias is 15, fp32 bias is 127.
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (e <= 0) {  // subnormal or zero
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // rounds to zero
+    // Add the implicit leading 1 and shift into subnormal position.
+    mant |= 0x00800000u;
+    const int shift = 14 - e;  // in [14, 24]
+    const std::uint32_t sub = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t rounded = sub;
+    if (rem > half || (rem == half && (sub & 1u))) ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal range: round the 13 dropped mantissa bits.
+  std::uint32_t out = sign | (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;  // may carry into exp: correct
+  return static_cast<std::uint16_t>(out);
+}
+
+/// fp16 bits -> fp32.
+inline float f16_bits_to_f32(std::uint16_t half_bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half_bits & 0x8000u) << 16;
+  const std::uint32_t exp = (half_bits >> 10) & 0x1Fu;
+  std::uint32_t mant = half_bits & 0x03FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Normalize the subnormal.
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x0400u) == 0);
+      mant &= 0x03FFu;
+      out = sign | static_cast<std::uint32_t>(127 - 15 - e) << 23 | (mant << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+/// fp32 -> bf16 bits, round-to-nearest-even (NaN preserved).
+inline std::uint16_t f32_to_bf16_bits(float value) {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0) {
+    // NaN: keep a quiet NaN without rounding (rounding could clear mantissa).
+    return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  }
+  const std::uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7FFFu + lsb;  // round to nearest even
+  return static_cast<std::uint16_t>(bits >> 16);
+}
+
+/// bf16 bits -> fp32 (exact).
+inline float bf16_bits_to_f32(std::uint16_t bf16_bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bf16_bits) << 16);
+}
+
+}  // namespace chipalign

@@ -1,0 +1,136 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace chipalign {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t numel = 1;
+  for (std::int64_t dim : shape) {
+    CA_CHECK(dim >= 0, "negative dimension in shape " << shape_to_string(shape));
+    numel *= dim;
+  }
+  return numel;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0F);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(std::move(shape)) {
+  CA_CHECK(static_cast<std::int64_t>(values.size()) == shape_numel(shape_),
+           "value count " << values.size() << " does not match shape "
+                          << shape_to_string(shape_));
+  data_ = std::move(values);
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.gaussian()) * stddev;
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::int64_t Tensor::dim(std::size_t axis) const {
+  CA_CHECK(axis < shape_.size(),
+           "axis " << axis << " out of range for rank " << shape_.size());
+  return shape_[axis];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  CA_CHECK(shape_numel(new_shape) == numel(),
+           "reshape " << shape_to_string(shape_) << " -> "
+                      << shape_to_string(new_shape) << " changes numel");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+float& Tensor::operator[](std::int64_t flat_index) {
+  CA_CHECK(flat_index >= 0 && flat_index < numel(),
+           "flat index " << flat_index << " out of range " << numel());
+  return data_[static_cast<std::size_t>(flat_index)];
+}
+
+float Tensor::operator[](std::int64_t flat_index) const {
+  CA_CHECK(flat_index >= 0 && flat_index < numel(),
+           "flat index " << flat_index << " out of range " << numel());
+  return data_[static_cast<std::size_t>(flat_index)];
+}
+
+void Tensor::check_rank2() const {
+  CA_CHECK(rank() == 2, "rank-2 access on tensor of shape " << shape_to_string(shape_));
+}
+
+float& Tensor::at2(std::int64_t row, std::int64_t col) {
+  check_rank2();
+  CA_CHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1],
+           "index (" << row << ", " << col << ") out of range "
+                     << shape_to_string(shape_));
+  return data_[static_cast<std::size_t>(row * shape_[1] + col)];
+}
+
+float Tensor::at2(std::int64_t row, std::int64_t col) const {
+  return const_cast<Tensor*>(this)->at2(row, col);
+}
+
+std::span<float> Tensor::row(std::int64_t r) {
+  check_rank2();
+  CA_CHECK(r >= 0 && r < shape_[0], "row " << r << " out of range " << shape_[0]);
+  return {data_.data() + static_cast<std::size_t>(r * shape_[1]),
+          static_cast<std::size_t>(shape_[1])};
+}
+
+std::span<const float> Tensor::row(std::int64_t r) const {
+  return const_cast<Tensor*>(this)->row(r);
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+bool Tensor::all_finite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::to_string() const {
+  std::ostringstream oss;
+  oss << "Tensor" << shape_to_string(shape_) << " {";
+  const std::int64_t preview = std::min<std::int64_t>(numel(), 8);
+  for (std::int64_t i = 0; i < preview; ++i) {
+    if (i > 0) oss << ", ";
+    oss << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > preview) oss << ", ...";
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace chipalign

@@ -1,0 +1,96 @@
+#pragma once
+/// \file tensor.hpp
+/// \brief Dense row-major fp32 tensor.
+///
+/// The library computes in fp32 throughout; half-precision exists only as a
+/// storage format (see dtype.hpp, io/safetensors.hpp). Tensors own their
+/// storage (std::vector<float>) and are cheap to move.
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+
+/// Shape of a tensor: dimension sizes, outermost first.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape; throws on negative dims.
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable shape, e.g. "[4, 16]".
+std::string shape_to_string(const Shape& shape);
+
+/// Dense row-major fp32 tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty rank-0-like tensor (numel() == 0, rank() == 0).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor wrapping a copy of `values`; size must match the shape.
+  Tensor(Shape shape, std::vector<float> values);
+
+  // -- factories -------------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0F);
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  // -- geometry --------------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t dim(std::size_t axis) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Returns a copy with a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  // -- element access --------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> values() { return {data_.data(), data_.size()}; }
+  std::span<const float> values() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::int64_t flat_index);
+  float operator[](std::int64_t flat_index) const;
+
+  /// 2-D access (row-major); requires rank()==2.
+  float& at2(std::int64_t row, std::int64_t col);
+  float at2(std::int64_t row, std::int64_t col) const;
+
+  /// Returns the row `r` of a rank-2 tensor as a span of dim(1) floats.
+  std::span<float> row(std::int64_t r);
+  std::span<const float> row(std::int64_t r) const;
+
+  // -- misc ------------------------------------------------------------------
+
+  /// Sets all entries to `value`.
+  void fill(float value);
+
+  /// True if every entry is finite.
+  bool all_finite() const;
+
+  std::string to_string() const;  ///< shape + first few values, for debugging
+
+ private:
+  void check_rank2() const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,207 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chipalign::ops {
+
+namespace {
+void check_same_size(std::span<const float> a, std::span<const float> b,
+                     const char* what) {
+  CA_CHECK(a.size() == b.size(),
+           what << ": size mismatch " << a.size() << " vs " << b.size());
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  CA_CHECK(a.same_shape(b), what << ": shape mismatch "
+                                 << shape_to_string(a.shape()) << " vs "
+                                 << shape_to_string(b.shape()));
+}
+}  // namespace
+
+void axpy(float alpha, std::span<const float> src, std::span<float> dst) {
+  check_same_size(src, dst, "axpy");
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] += alpha * src[i];
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  check_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double norm(std::span<const float> a) {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+void scale(std::span<float> a, float alpha) {
+  for (float& v : a) v *= alpha;
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) {
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+void softmax_inplace(std::span<float> logits) {
+  CA_CHECK(!logits.empty(), "softmax on empty span");
+  const float max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (float& v : logits) {
+    v = std::exp(v - max_logit);
+    sum += v;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (float& v : logits) v *= inv;
+}
+
+double log_sum_exp(std::span<const float> logits) {
+  CA_CHECK(!logits.empty(), "log_sum_exp on empty span");
+  const float max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (float v : logits) sum += std::exp(static_cast<double>(v - max_logit));
+  return static_cast<double>(max_logit) + std::log(sum);
+}
+
+std::int64_t argmax(std::span<const float> values) {
+  CA_CHECK(!values.empty(), "argmax on empty span");
+  return static_cast<std::int64_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  axpy(1.0F, b.values(), out.values());
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  axpy(-1.0F, b.values(), out.values());
+  return out;
+}
+
+Tensor scaled(const Tensor& a, float alpha) {
+  Tensor out = a;
+  scale(out.values(), alpha);
+  return out;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "hadamard");
+  Tensor out = a;
+  auto dst = out.values();
+  auto src = b.values();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] *= src[i];
+  return out;
+}
+
+double frobenius_norm(const Tensor& a) { return norm(a.values()); }
+
+double cosine_similarity(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "cosine_similarity");
+  return cosine(a.values(), b.values());
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CA_CHECK(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 operands");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  CA_CHECK(b.dim(0) == k, "matmul inner-dim mismatch: " << k << " vs " << b.dim(0));
+
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+
+  // ikj loop order: streams over b rows; good locality for row-major data.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      if (aval == 0.0F) continue;
+      const float* b_row = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += aval * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  CA_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt requires rank-2 operands");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  CA_CHECK(b.dim(1) == k,
+           "matmul_nt inner-dim mismatch: " << k << " vs " << b.dim(1));
+
+  Tensor out({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* c_row = out.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = b.data() + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a_row[kk]) * static_cast<double>(b_row[kk]);
+      }
+      c_row[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void matmul_tn_accum(const Tensor& a, const Tensor& b, Tensor& out) {
+  CA_CHECK(a.rank() == 2 && b.rank() == 2 && out.rank() == 2,
+           "matmul_tn_accum requires rank-2 operands");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  CA_CHECK(b.dim(0) == m, "matmul_tn_accum row mismatch");
+  CA_CHECK(out.dim(0) == k && out.dim(1) == n, "matmul_tn_accum out shape");
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    const float* b_row = b.data() + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = a_row[kk];
+      if (aval == 0.0F) continue;
+      float* o_row = out.data() + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) o_row[j] += aval * b_row[j];
+    }
+  }
+}
+
+Tensor transpose(const Tensor& a) {
+  CA_CHECK(a.rank() == 2, "transpose requires rank-2 tensor");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at2(j, i) = a.at2(i, j);
+  }
+  return out;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  double worst = 0.0;
+  auto va = a.values();
+  auto vb = b.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(va[i]) - vb[i]));
+  }
+  return worst;
+}
+
+}  // namespace chipalign::ops

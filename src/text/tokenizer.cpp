@@ -1,0 +1,57 @@
+#include "text/tokenizer.hpp"
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+CharTokenizer::CharTokenizer() {
+  for (auto& id : char_to_id_) id = kUnk;
+  for (auto& c : id_to_char_) c = '\0';
+
+  TokenId next = kFirstChar;
+  auto add_char = [&](char c) {
+    char_to_id_[static_cast<unsigned char>(c)] = next;
+    id_to_char_[next] = c;
+    ++next;
+  };
+  add_char('\n');
+  for (int c = 0x20; c <= 0x7E; ++c) add_char(static_cast<char>(c));
+  vocab_size_ = next;
+}
+
+std::vector<TokenId> CharTokenizer::encode(std::string_view text, bool add_bos,
+                                           bool add_eos) const {
+  std::vector<TokenId> out;
+  out.reserve(text.size() + 2);
+  if (add_bos) out.push_back(kBos);
+  for (char c : text) out.push_back(char_to_id(c));
+  if (add_eos) out.push_back(kEos);
+  return out;
+}
+
+std::string CharTokenizer::decode(const std::vector<TokenId>& tokens) const {
+  std::string out;
+  out.reserve(tokens.size());
+  for (TokenId id : tokens) {
+    if (is_special(id)) continue;
+    const char c = id_to_char(id);
+    if (c != '\0') out += c;
+  }
+  return out;
+}
+
+char CharTokenizer::id_to_char(TokenId id) const {
+  if (id < 0 || id >= vocab_size_ || is_special(id)) return '\0';
+  return id_to_char_[id];
+}
+
+TokenId CharTokenizer::char_to_id(char c) const {
+  return char_to_id_[static_cast<unsigned char>(c)];
+}
+
+const CharTokenizer& tokenizer() {
+  static const CharTokenizer instance;
+  return instance;
+}
+
+}  // namespace chipalign

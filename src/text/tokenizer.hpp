@@ -1,0 +1,60 @@
+#pragma once
+/// \file tokenizer.hpp
+/// \brief Character-level tokenizer with special tokens.
+///
+/// The repo's models are character-level over printable ASCII: small enough
+/// to train on a laptop, expressive enough for the synthetic EDA corpora.
+/// Vocabulary layout (stable across the project — checkpoints depend on it):
+///   0 <pad>   1 <bos>   2 <eos>   3 <unk>   4.. printable ASCII 0x20..0x7E
+/// plus '\n' as an ordinary character.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chipalign {
+
+using TokenId = std::int32_t;
+
+/// Character tokenizer; stateless aside from the fixed vocabulary.
+class CharTokenizer {
+ public:
+  static constexpr TokenId kPad = 0;
+  static constexpr TokenId kBos = 1;
+  static constexpr TokenId kEos = 2;
+  static constexpr TokenId kUnk = 3;
+
+  CharTokenizer();
+
+  /// Total vocabulary size (special tokens + characters).
+  std::int64_t vocab_size() const { return vocab_size_; }
+
+  /// Encodes text to token ids. Unknown bytes map to <unk>.
+  /// \param add_bos prepend <bos>; \param add_eos append <eos>.
+  std::vector<TokenId> encode(std::string_view text, bool add_bos = false,
+                              bool add_eos = false) const;
+
+  /// Decodes ids back to text; special tokens are skipped.
+  std::string decode(const std::vector<TokenId>& tokens) const;
+
+  /// Single-character decode; '\0' for specials/invalid ids.
+  char id_to_char(TokenId id) const;
+
+  /// Token id of a character; <unk> for unsupported bytes.
+  TokenId char_to_id(char c) const;
+
+  bool is_special(TokenId id) const { return id >= 0 && id < kFirstChar; }
+
+ private:
+  static constexpr TokenId kFirstChar = 4;
+
+  std::int64_t vocab_size_ = 0;
+  TokenId char_to_id_[256];
+  char id_to_char_[256];
+};
+
+/// Process-wide shared tokenizer instance.
+const CharTokenizer& tokenizer();
+
+}  // namespace chipalign

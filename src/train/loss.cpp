@@ -1,0 +1,55 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+LossResult cross_entropy_next_token(const Tensor& logits,
+                                    const std::vector<TokenId>& tokens,
+                                    const std::vector<float>& target_mask) {
+  const auto t_len = static_cast<std::int64_t>(tokens.size());
+  CA_CHECK(logits.rank() == 2 && logits.dim(0) == t_len,
+           "logits rows must equal token count");
+  CA_CHECK(target_mask.size() == tokens.size(), "target_mask size mismatch");
+  const std::int64_t vocab = logits.dim(1);
+
+  LossResult result;
+  result.dlogits = Tensor(logits.shape());
+
+  double total_weight = 0.0;
+  for (std::int64_t t = 0; t + 1 < t_len; ++t) {
+    total_weight += target_mask[static_cast<std::size_t>(t + 1)];
+  }
+  result.target_weight = total_weight;
+  if (total_weight <= 0.0) return result;  // nothing to train on
+
+  double loss_acc = 0.0;
+  for (std::int64_t t = 0; t + 1 < t_len; ++t) {
+    const float weight = target_mask[static_cast<std::size_t>(t + 1)];
+    if (weight <= 0.0F) continue;
+    const TokenId target = tokens[static_cast<std::size_t>(t + 1)];
+    CA_CHECK(target >= 0 && target < vocab, "target token out of vocab");
+
+    const auto row = logits.row(t);
+    const double lse = ops::log_sum_exp(row);
+    loss_acc += weight * (lse - static_cast<double>(
+                                    row[static_cast<std::size_t>(target)]));
+
+    // dlogits = weight/total * (softmax(row) - onehot(target))
+    auto drow = result.dlogits.row(t);
+    const double coeff = static_cast<double>(weight) / total_weight;
+    for (std::int64_t v = 0; v < vocab; ++v) {
+      const double p =
+          std::exp(static_cast<double>(row[static_cast<std::size_t>(v)]) - lse);
+      drow[static_cast<std::size_t>(v)] = static_cast<float>(coeff * p);
+    }
+    drow[static_cast<std::size_t>(target)] -= static_cast<float>(coeff);
+  }
+  result.loss = loss_acc / total_weight;
+  return result;
+}
+
+}  // namespace chipalign

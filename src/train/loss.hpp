@@ -1,0 +1,28 @@
+#pragma once
+/// \file loss.hpp
+/// \brief Masked next-token cross-entropy for causal LM training.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "text/tokenizer.hpp"
+
+namespace chipalign {
+
+/// Result of a loss evaluation: mean loss over weighted targets plus the
+/// gradient w.r.t. the logits (already divided by the total target weight).
+struct LossResult {
+  double loss = 0.0;
+  double target_weight = 0.0;  ///< sum of mask weights that contributed
+  Tensor dlogits;              ///< [T, vocab]
+};
+
+/// Next-token cross-entropy. Position t is scored against target
+/// tokens[t+1] with weight target_mask[t+1]; the final position produces no
+/// loss. target_mask must have tokens.size() entries (weight of each token
+/// *as a target*); zero-weight positions contribute nothing.
+LossResult cross_entropy_next_token(const Tensor& logits,
+                                    const std::vector<TokenId>& tokens,
+                                    const std::vector<float>& target_mask);
+
+}  // namespace chipalign

@@ -1,0 +1,11 @@
+#include "util/error.hpp"
+
+namespace chipalign::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << msg << " [" << file << ":" << line << "]";
+  throw Error(oss.str());
+}
+
+}  // namespace chipalign::detail

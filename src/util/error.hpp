@@ -1,0 +1,46 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error type and checking macros used across the ChipAlign library.
+///
+/// All invariant violations and recoverable failures in the library throw
+/// chipalign::Error, which carries the source location of the failing check.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chipalign {
+
+/// Exception thrown by all ChipAlign components on contract violations,
+/// malformed inputs, or I/O failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Builds the final exception message including source location.
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace chipalign
+
+/// Throws chipalign::Error with a streamed message, e.g.
+///   CA_THROW("bad rank " << rank);
+#define CA_THROW(msg_stream)                                          \
+  do {                                                                \
+    std::ostringstream ca_throw_oss_;                                 \
+    ca_throw_oss_ << msg_stream; /* NOLINT */                         \
+    ::chipalign::detail::throw_error(__FILE__, __LINE__,              \
+                                     ca_throw_oss_.str());            \
+  } while (false)
+
+/// Checks a condition; throws chipalign::Error with the streamed message on
+/// failure. Used for argument validation and internal invariants alike —
+/// the library is small enough that we keep checks on in release builds.
+#define CA_CHECK(cond, msg_stream)                                    \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      CA_THROW("check failed: " #cond " — " << msg_stream);           \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,38 @@
+#pragma once
+/// \file logging.hpp
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The library itself logs sparingly (merge progress, training checkpoints);
+/// benches and examples raise the level for narration. Thread-safe.
+
+#include <sstream>
+#include <string>
+
+namespace chipalign {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace chipalign
+
+#define CA_LOG(level, msg_stream)                                       \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::chipalign::log_level())) {                   \
+      std::ostringstream ca_log_oss_;                                   \
+      ca_log_oss_ << msg_stream; /* NOLINT */                           \
+      ::chipalign::detail::log_emit(level, ca_log_oss_.str());          \
+    }                                                                   \
+  } while (false)
+
+#define CA_LOG_DEBUG(msg) CA_LOG(::chipalign::LogLevel::kDebug, msg)
+#define CA_LOG_INFO(msg) CA_LOG(::chipalign::LogLevel::kInfo, msg)
+#define CA_LOG_WARN(msg) CA_LOG(::chipalign::LogLevel::kWarn, msg)
+#define CA_LOG_ERROR(msg) CA_LOG(::chipalign::LogLevel::kError, msg)

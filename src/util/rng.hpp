@@ -1,0 +1,108 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic random number generation for reproducible experiments.
+///
+/// Every stochastic component in the library (weight init, data generation,
+/// DELLA/DARE drop masks) takes an explicit Rng so that experiments are
+/// bit-reproducible across runs. The generator is xoshiro256**, seeded via
+/// splitmix64 as recommended by its authors.
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDC0DEULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    CA_CHECK(n > 0, "uniform_index requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+    std::uint64_t r = next_u64();
+    while (r < threshold) r = next_u64();
+    return r % n;
+  }
+
+  /// Standard normal via Box–Muller.
+  double gaussian() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return radius * std::cos(kTwoPi * u2);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates in-place shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Picks one element uniformly; requires non-empty input.
+  template <typename T>
+  const T& pick(const std::vector<T>& values) {
+    CA_CHECK(!values.empty(), "pick from empty vector");
+    return values[static_cast<std::size_t>(uniform_index(values.size()))];
+  }
+
+  /// Derives an independent child generator (for per-tensor streams).
+  Rng split() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace chipalign

@@ -1,0 +1,42 @@
+#pragma once
+/// \file string_utils.hpp
+/// \brief Small string helpers shared by tokenization, data generation and
+/// evaluation metrics.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chipalign {
+
+/// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII-only case transforms (the library's corpora are ASCII).
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// Lowercased word tokens: maximal runs of [a-z0-9]; punctuation is dropped.
+/// This is the tokenization used by the ROUGE/BLEU metrics and BM25.
+std::vector<std::string> word_tokens(std::string_view text);
+
+/// Number of word tokens (convenience for instruction checkers).
+std::size_t count_words(std::string_view text);
+
+}  // namespace chipalign

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace chipalign {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_all();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace chipalign

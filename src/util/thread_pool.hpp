@@ -1,0 +1,58 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Fixed-size thread pool with a parallel_for helper.
+///
+/// The merge library fans per-tensor work across the pool; on single-core
+/// machines the pool degrades gracefully to inline execution.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace chipalign {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; exceptions thrown
+/// by tasks propagate out of wait_all()/parallel_for (first one wins).
+class ThreadPool {
+ public:
+  /// \param num_threads 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished; rethrows the first task
+  /// exception if any occurred since the last wait.
+  void wait_all();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits. With a pool of
+  /// size 1 the work runs inline on the calling pattern (still via workers).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Returns the process-wide shared pool (sized to hardware concurrency).
+ThreadPool& global_thread_pool();
+
+}  // namespace chipalign

@@ -1,0 +1,28 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock stopwatch used by benches and the merge profiler.
+
+#include <chrono>
+
+namespace chipalign {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace chipalign

@@ -1,0 +1,336 @@
+// Tests for the data module: instructions (truth tables), fact base,
+// dataset builders and eval-set builders.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/corpus.hpp"
+#include "data/fact_base.hpp"
+#include "data/instructions.hpp"
+#include "data/qa_bench.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+namespace {
+
+// -- instructions -----------------------------------------------------------------
+
+TEST(Instructions, ApplyProducesExpectedText) {
+  EXPECT_EQ(apply_instruction(InstructionKind::kUpper, "ab c"), "AB C");
+  EXPECT_EQ(apply_instruction(InstructionKind::kLower, "AB c"), "ab c");
+  EXPECT_EQ(apply_instruction(InstructionKind::kBracket, "x"), "(x)");
+  EXPECT_EQ(apply_instruction(InstructionKind::kQuote, "x"), "\"x\"");
+  EXPECT_EQ(apply_instruction(InstructionKind::kPrefixAns, "x"), "ans: x");
+  EXPECT_EQ(apply_instruction(InstructionKind::kSuffixDot, "x"), "x.");
+  EXPECT_EQ(apply_instruction(InstructionKind::kRepeatTwice, "a b"), "a b; a b");
+  EXPECT_EQ(apply_instruction(InstructionKind::kMaxWords3, "a b c d e"),
+            "a b c");
+}
+
+TEST(Instructions, CanonicalCompositionOrder) {
+  // [X2] then [UP] then [BR] regardless of input order.
+  const std::vector<InstructionKind> kinds = {InstructionKind::kBracket,
+                                              InstructionKind::kUpper,
+                                              InstructionKind::kRepeatTwice};
+  EXPECT_EQ(apply_instructions(kinds, "hi"), "(HI; HI)");
+  const std::vector<InstructionKind> reversed = {InstructionKind::kRepeatTwice,
+                                                 InstructionKind::kUpper,
+                                                 InstructionKind::kBracket};
+  EXPECT_EQ(apply_instructions(reversed, "hi"), "(HI; HI)");
+}
+
+TEST(Instructions, HeaderUsesCanonicalOrder) {
+  const std::vector<InstructionKind> kinds = {InstructionKind::kBracket,
+                                              InstructionKind::kUpper};
+  EXPECT_EQ(instruction_header(kinds), "[UP] [BR]");
+}
+
+/// Truth-table property: a golden answer produced by apply_instructions
+/// always passes the strict checker for each applied instruction.
+class InstructionSelfConsistency
+    : public ::testing::TestWithParam<InstructionKind> {};
+
+TEST_P(InstructionSelfConsistency, GoldenAnswerPassesStrictCheck) {
+  const InstructionKind kind = GetParam();
+  for (const char* base : {"routes the nets in fast mode", "blue", "a b c d"}) {
+    const std::string golden = apply_instruction(kind, base);
+    EXPECT_TRUE(verify_strict(kind, golden))
+        << instruction_tag(kind) << " on '" << base << "' -> '" << golden << "'";
+    EXPECT_TRUE(verify_loose(kind, golden));
+  }
+}
+
+TEST_P(InstructionSelfConsistency, ComposedGoldenPassesAllChecks) {
+  const InstructionKind kind = GetParam();
+  for (InstructionKind other : all_instruction_kinds()) {
+    if (!compatible(kind, other)) continue;
+    const std::vector<InstructionKind> kinds = {kind, other};
+    const std::string golden = apply_instructions(kinds, "the wide wire");
+    EXPECT_TRUE(verify_strict(kind, golden))
+        << instruction_tag(kind) << "+" << instruction_tag(other) << " -> '"
+        << golden << "'";
+    EXPECT_TRUE(verify_strict(other, golden))
+        << instruction_tag(kind) << "+" << instruction_tag(other) << " -> '"
+        << golden << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, InstructionSelfConsistency,
+                         ::testing::ValuesIn(all_instruction_kinds()),
+                         [](const auto& info) {
+                           std::string tag = instruction_tag(info.param);
+                           std::string name;
+                           for (char c : tag) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               name += c;
+                             }
+                           }
+                           return name.empty() ? "Tag" : name;
+                         });
+
+TEST(Instructions, StrictCheckRejectsViolations) {
+  EXPECT_FALSE(verify_strict(InstructionKind::kUpper, "Mixed Case"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kLower, "Mixed Case"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kBracket, "no brackets"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kQuote, "no quotes"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kPrefixAns, "answer: x"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kSuffixDot, "no dot"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kRepeatTwice, "once only"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kMaxWords3, "one two three four"));
+}
+
+TEST(Instructions, LooseForgivesWrappers) {
+  // Stray trailing period around an otherwise-bracketed answer.
+  EXPECT_FALSE(verify_strict(InstructionKind::kQuote, "\"x\"),"));
+  EXPECT_TRUE(verify_loose(InstructionKind::kQuote, "(\"x\")"));
+  EXPECT_TRUE(verify_loose(InstructionKind::kMaxWords3, "a b c."));
+}
+
+TEST(Instructions, CompatibilityRules) {
+  EXPECT_FALSE(compatible(InstructionKind::kUpper, InstructionKind::kLower));
+  EXPECT_FALSE(
+      compatible(InstructionKind::kMaxWords3, InstructionKind::kRepeatTwice));
+  EXPECT_FALSE(compatible(InstructionKind::kUpper, InstructionKind::kUpper));
+  EXPECT_TRUE(compatible(InstructionKind::kUpper, InstructionKind::kBracket));
+}
+
+TEST(Instructions, SampleRespectsCompatibility) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto kinds = sample_instructions(rng, 3);
+    ASSERT_FALSE(kinds.empty());
+    ASSERT_LE(kinds.size(), 3u);
+    for (std::size_t a = 0; a < kinds.size(); ++a) {
+      for (std::size_t b = a + 1; b < kinds.size(); ++b) {
+        EXPECT_TRUE(compatible(kinds[a], kinds[b]));
+      }
+    }
+  }
+}
+
+// -- fact base --------------------------------------------------------------------
+
+TEST(FactBase, DeterministicForSeed) {
+  const FactBase a(42);
+  const FactBase b(42);
+  ASSERT_EQ(a.facts().size(), b.facts().size());
+  for (std::size_t i = 0; i < a.facts().size(); ++i) {
+    EXPECT_EQ(a.facts()[i].context, b.facts()[i].context);
+  }
+}
+
+TEST(FactBase, EveryDomainPopulated) {
+  const FactBase facts;
+  for (FactDomain domain :
+       {FactDomain::kFunctionality, FactDomain::kVlsiFlow,
+        FactDomain::kGuiInstallTest, FactDomain::kArch, FactDomain::kBuild,
+        FactDomain::kLsf, FactDomain::kTestgen, FactDomain::kBugs,
+        FactDomain::kCircuits}) {
+    EXPECT_GE(facts.domain_facts(domain).size(), 4u) << domain_name(domain);
+  }
+}
+
+TEST(FactBase, AnswersAreContainedInContexts) {
+  const FactBase facts;
+  for (const Fact& fact : facts.facts()) {
+    EXPECT_NE(fact.context.find(fact.answer), std::string::npos)
+        << fact.id << ": '" << fact.answer << "' not in '" << fact.context << "'";
+  }
+}
+
+TEST(FactBase, CorpusContainsEveryContextPlusDistractors) {
+  const FactBase facts;
+  EXPECT_GT(facts.corpus_sentences().size(), facts.facts().size());
+  for (const Fact& fact : facts.facts()) {
+    EXPECT_NE(std::find(facts.corpus_sentences().begin(),
+                        facts.corpus_sentences().end(), fact.context),
+              facts.corpus_sentences().end());
+  }
+}
+
+TEST(FactBase, OpenroadDomainPredicate) {
+  EXPECT_TRUE(is_openroad_domain(FactDomain::kVlsiFlow));
+  EXPECT_FALSE(is_openroad_domain(FactDomain::kLsf));
+}
+
+// -- prompt assembly ------------------------------------------------------------------
+
+TEST(Prompts, QaPromptLayout) {
+  const std::string prompt = qa_prompt("[UP]", {"c1", "c2"}, "what?");
+  EXPECT_EQ(prompt, "do: [UP]\nctx: c1\nctx: c2\nq: what?\nout: ");
+  EXPECT_EQ(qa_prompt("", {}, "what?"), "q: what?\nout: ");
+}
+
+TEST(Prompts, FormatPromptRequiresHeader) {
+  EXPECT_EQ(format_prompt("[BR]", "abc"), "do: [BR]\ntxt: abc\nout: ");
+  EXPECT_THROW(format_prompt("", "abc"), Error);
+}
+
+TEST(Prompts, SegmentedExampleWeightsSegments) {
+  const TrainExample example = make_segmented_example(
+      {{"ab", 0.0F}, {"cd", 1.0F}}, 32, /*final_eos=*/true);
+  // bos + a b + c d + eos
+  ASSERT_EQ(example.tokens.size(), 6u);
+  EXPECT_EQ(example.target_mask[0], 0.0F);
+  EXPECT_EQ(example.target_mask[1], 0.0F);
+  EXPECT_EQ(example.target_mask[3], 1.0F);
+  EXPECT_EQ(example.target_mask[5], 1.0F);  // eos inherits last weight
+}
+
+// -- generic doc facts --------------------------------------------------------------
+
+TEST(GenericDocFacts, AnswersAreExtractableFromContexts) {
+  // The extraction invariant: every generic doc fact's answer appears
+  // verbatim in its context, so copying is always a winning strategy.
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const GenericDocFact fact = sample_generic_doc_fact(rng);
+    EXPECT_NE(fact.context.find(fact.answer), std::string::npos)
+        << "'" << fact.answer << "' not in '" << fact.context << "'";
+    EXPECT_FALSE(fact.question.empty());
+  }
+}
+
+TEST(GenericDocFacts, DeterministicForSeed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 50; ++i) {
+    const GenericDocFact fa = sample_generic_doc_fact(a);
+    const GenericDocFact fb = sample_generic_doc_fact(b);
+    EXPECT_EQ(fa.context, fb.context);
+    EXPECT_EQ(fa.question, fb.question);
+    EXPECT_EQ(fa.answer, fb.answer);
+  }
+}
+
+TEST(GenericDocFacts, EntitySlotsAreDiverse) {
+  // Random-word slots should make contexts essentially unique, preventing
+  // models from memorizing slot fillers.
+  Rng rng(7);
+  std::set<std::string> contexts;
+  constexpr int kSamples = 200;
+  for (int i = 0; i < kSamples; ++i) {
+    contexts.insert(sample_generic_doc_fact(rng).context);
+  }
+  EXPECT_GT(contexts.size(), kSamples * 9 / 10);
+}
+
+// -- dataset builders ------------------------------------------------------------------
+
+TEST(Datasets, PretrainBuilderProducesRequestedCount) {
+  const FactBase facts;
+  PretrainDataConfig config;
+  config.count = 50;
+  const auto dataset = build_pretrain_dataset(facts, config);
+  EXPECT_EQ(dataset.size(), 50u);
+  for (const TrainExample& example : dataset) {
+    EXPECT_FALSE(example.tokens.empty());
+    EXPECT_EQ(example.tokens.size(), example.target_mask.size());
+  }
+}
+
+TEST(Datasets, InstructBuilderGoldenAnswersVerify) {
+  InstructDataConfig config;
+  config.count = 30;
+  const auto dataset = build_instruct_dataset(config);
+  EXPECT_EQ(dataset.size(), 30u);
+  // Every example must contain some supervised target tokens.
+  for (const TrainExample& example : dataset) {
+    float weight = 0.0F;
+    for (float w : example.target_mask) weight += w;
+    EXPECT_GT(weight, 0.0F);
+  }
+}
+
+TEST(Datasets, ChipBuilderFiltersDomains) {
+  const FactBase facts;
+  ChipDataConfig config;
+  config.repeats_per_fact = 2;
+  config.domains = {FactDomain::kLsf};
+  const auto dataset = build_chip_daft_dataset(facts, config);
+  EXPECT_EQ(dataset.size(),
+            facts.domain_facts(FactDomain::kLsf).size() * 2u);
+}
+
+TEST(Datasets, ChipBuilderRejectsEmptySelection) {
+  const FactBase facts;
+  ChipDataConfig config;
+  config.domains = {};  // all domains is fine
+  EXPECT_GT(build_chip_daft_dataset(facts, config).size(), 0u);
+}
+
+// -- eval set builders ---------------------------------------------------------------------
+
+TEST(EvalSets, OpenroadCoversAllThreeCategories) {
+  const FactBase facts;
+  const auto items = build_openroad_eval(facts, 1, 90);
+  EXPECT_EQ(items.size(), 90u);
+  std::set<FactDomain> seen;
+  for (const QaEvalItem& item : items) {
+    seen.insert(item.domain);
+    EXPECT_TRUE(is_openroad_domain(item.domain));
+    EXPECT_FALSE(item.instructions.empty());
+    // Golden answer must be the instruction-transformed plain answer.
+    EXPECT_EQ(item.golden_answer,
+              apply_instructions(item.instructions, item.plain_answer));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(EvalSets, IndustrialHasTwoTurnsPerItem) {
+  const FactBase facts;
+  const auto items = build_industrial_eval(facts, 2, 3);
+  EXPECT_EQ(items.size(), 12u);  // 4 domains x 3
+  for (const IndustrialItem& item : items) {
+    ASSERT_EQ(item.turns.size(), 2u);
+    EXPECT_NE(item.turns[0].question, item.turns[1].question);
+  }
+}
+
+TEST(EvalSets, McqHasUniqueChoicesAndValidIndex) {
+  const FactBase facts;
+  const auto items = build_mcq_eval(facts, 3, 8);
+  EXPECT_EQ(items.size(), 24u);
+  for (const McqItem& item : items) {
+    ASSERT_EQ(item.choices.size(), 4u);
+    ASSERT_GE(item.correct_index, 0);
+    ASSERT_LT(item.correct_index, 4);
+    std::set<std::string> unique(item.choices.begin(), item.choices.end());
+    EXPECT_EQ(unique.size(), 4u) << item.id;
+  }
+}
+
+TEST(EvalSets, IfevalPromptsCarryTheirTags) {
+  const auto items = build_ifeval_set(4, 25, 3);
+  EXPECT_EQ(items.size(), 25u);
+  for (const IfEvalItem& item : items) {
+    for (InstructionKind kind : item.instructions) {
+      EXPECT_NE(item.prompt.find(instruction_tag(kind)), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chipalign

@@ -1,0 +1,259 @@
+// Tests for the evaluation module: metrics (hand-computed references),
+// rubric grader, IFEval checker plumbing.
+
+#include <gtest/gtest.h>
+
+#include "data/qa_bench.hpp"
+#include "eval/grader.hpp"
+#include "eval/ifeval.hpp"
+#include "eval/metrics.hpp"
+#include "eval/qa_runner.hpp"
+#include "rag/retrieval.hpp"
+
+namespace chipalign {
+namespace {
+
+TEST(Metrics, LcsLength) {
+  EXPECT_EQ(lcs_length({"a", "b", "c"}, {"a", "c"}), 2u);
+  EXPECT_EQ(lcs_length({"a", "b"}, {"c", "d"}), 0u);
+  EXPECT_EQ(lcs_length({}, {"a"}), 0u);
+  EXPECT_EQ(lcs_length({"x", "a", "y", "b", "z"}, {"a", "b"}), 2u);
+}
+
+TEST(Metrics, RougeLIdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(rouge_l("routes the nets", "routes the nets"), 1.0);
+}
+
+TEST(Metrics, RougeLHandComputed) {
+  // hyp = "the cat sat" (3), ref = "the cat sat down" (4), LCS = 3.
+  // P = 1, R = 0.75, F1 = 2*0.75/1.75 = 6/7.
+  EXPECT_NEAR(rouge_l("the cat sat", "the cat sat down"), 6.0 / 7.0, 1e-9);
+}
+
+TEST(Metrics, RougeLCaseAndPunctInsensitive) {
+  EXPECT_DOUBLE_EQ(rouge_l("(ROUTES THE NETS)", "routes the nets"), 1.0);
+}
+
+TEST(Metrics, RougeLDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(rouge_l("alpha beta", "gamma delta"), 0.0);
+  EXPECT_DOUBLE_EQ(rouge_l("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(rouge_l("x", ""), 0.0);
+}
+
+TEST(Metrics, RougeLOrderMatters) {
+  // Same bag of words, scrambled order: LCS < n.
+  const double scrambled = rouge_l("nets the routes", "routes the nets");
+  EXPECT_LT(scrambled, 1.0);
+  EXPECT_GT(scrambled, 0.0);
+}
+
+TEST(Metrics, Rouge1HandComputed) {
+  // hyp "a a b" vs ref "a b b": clipped overlap = 1(a) + 1(b) = 2.
+  // P = 2/3, R = 2/3, F1 = 2/3.
+  EXPECT_NEAR(rouge_1("a a b", "a b b"), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, TokenF1EqualsRouge1) {
+  EXPECT_DOUBLE_EQ(token_f1("a a b", "a b b"), rouge_1("a a b", "a b b"));
+}
+
+TEST(Metrics, BleuPerfectMatchIsOne) {
+  EXPECT_NEAR(bleu("the cat sat on the mat", "the cat sat on the mat"), 1.0,
+              1e-9);
+}
+
+TEST(Metrics, BleuZeroWhenNoUnigramOverlap) {
+  EXPECT_DOUBLE_EQ(bleu("aaa bbb", "ccc ddd"), 0.0);
+}
+
+TEST(Metrics, BleuBrevityPenaltyPunishesShortHyps) {
+  const double full = bleu("the cat sat on the mat", "the cat sat on the mat");
+  const double shortened = bleu("the cat", "the cat sat on the mat");
+  EXPECT_LT(shortened, full);
+}
+
+TEST(Metrics, BleuHandlesShortSentences) {
+  // Two tokens: only 1- and 2-gram orders available; must not throw or NaN.
+  const double score = bleu("fast mode", "fast mode");
+  EXPECT_GT(score, 0.9);
+}
+
+/// Property sweep: metric values are bounded and ROUGE F1 is symmetric.
+class MetricProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricProperties, BoundedAndSymmetric) {
+  Rng rng(GetParam());
+  auto random_text = [&rng] {
+    std::string text;
+    const int words = 1 + static_cast<int>(rng.uniform_index(6));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) text += ' ';
+      const int len = 1 + static_cast<int>(rng.uniform_index(5));
+      for (int c = 0; c < len; ++c) {
+        text += static_cast<char>('a' + rng.uniform_index(26));
+      }
+    }
+    return text;
+  };
+  for (int i = 0; i < 25; ++i) {
+    const std::string a = random_text();
+    const std::string b = random_text();
+    for (double value : {rouge_l(a, b), rouge_1(a, b), bleu(a, b),
+                         token_f1(a, b)}) {
+      EXPECT_GE(value, 0.0);
+      EXPECT_LE(value, 1.0 + 1e-12);
+    }
+    // F1 metrics are symmetric in their arguments.
+    EXPECT_NEAR(rouge_l(a, b), rouge_l(b, a), 1e-12);
+    EXPECT_NEAR(rouge_1(a, b), rouge_1(b, a), 1e-12);
+    // Identity scores 1.
+    EXPECT_NEAR(rouge_l(a, a), 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperties,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(Grader, PerfectAnswerScores100) {
+  EXPECT_EQ(rubric_grade("routes the nets", "routes the nets", {}), 100);
+}
+
+TEST(Grader, EmptyOrUnrelatedScoresZero) {
+  EXPECT_EQ(rubric_grade("", "routes the nets", {}), 0);
+  EXPECT_EQ(rubric_grade("entirely unrelated words", "routes the nets", {}), 0);
+}
+
+TEST(Grader, PartialAnswersGetMiddleBands) {
+  // Half the tokens right.
+  const int grade = rubric_grade("routes the pins wrong", "routes the nets in", {});
+  EXPECT_GE(grade, 25);
+  EXPECT_LE(grade, 75);
+}
+
+TEST(Grader, InstructionViolationCostsOneBand) {
+  const std::vector<InstructionKind> instructions = {InstructionKind::kUpper};
+  const int compliant = rubric_grade("ROUTES THE NETS", "ROUTES THE NETS",
+                                     instructions);
+  const int violating = rubric_grade("routes the nets", "ROUTES THE NETS",
+                                     instructions);
+  EXPECT_EQ(compliant, 100);
+  EXPECT_EQ(violating, 75);
+}
+
+TEST(Grader, ViolationCannotGoBelowZero) {
+  const std::vector<InstructionKind> instructions = {InstructionKind::kUpper};
+  EXPECT_EQ(rubric_grade("wrong words entirely", "GOLDEN ANSWER", instructions),
+            0);
+}
+
+TEST(Grader, AllBandsReachable) {
+  // Craft responses with decreasing overlap against a 5-token golden answer.
+  const std::string golden = "alpha beta gamma delta epsilon";
+  EXPECT_EQ(rubric_grade(golden, golden, {}), 100);
+  EXPECT_EQ(rubric_grade("alpha beta gamma delta zz", golden, {}), 75);
+  EXPECT_EQ(rubric_grade("alpha beta qq zz yy", golden, {}), 50);
+  EXPECT_EQ(rubric_grade("alpha qq zz yy ww", golden, {}), 25);
+  EXPECT_EQ(rubric_grade("qq zz yy ww vv", golden, {}), 0);
+}
+
+// -- harness plumbing over a tiny random model ---------------------------------
+
+ModelConfig harness_config() {
+  ModelConfig config;
+  config.name = "harness";
+  config.vocab_size = tokenizer().vocab_size();
+  config.d_model = 16;
+  config.n_layers = 1;
+  config.n_heads = 2;
+  config.n_kv_heads = 1;
+  config.d_ff = 24;
+  config.max_seq_len = 512;  // multi-turn industrial prompts are long
+  config.validate();
+  return config;
+}
+
+TEST(Harness, IfevalProducesBoundedAccuracies) {
+  Rng rng(1);
+  TransformerModel model(harness_config(), rng);
+  const auto items = build_ifeval_set(1, 10, 2);
+  const IfEvalResult result = run_ifeval(model, items);
+  EXPECT_EQ(result.prompt_count, 10);
+  EXPECT_GE(result.instruction_count, 10);
+  for (double v : {result.prompt_strict, result.prompt_loose,
+                   result.instruction_strict, result.instruction_loose}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Loose accuracy can never be below strict accuracy.
+  EXPECT_GE(result.prompt_loose, result.prompt_strict);
+  EXPECT_GE(result.instruction_loose, result.instruction_strict);
+}
+
+TEST(Harness, OpenroadEvalCoversCategoriesInBothModes) {
+  Rng rng(2);
+  TransformerModel model(harness_config(), rng);
+  const FactBase facts;
+  const auto items = build_openroad_eval(facts, 2, 9);
+  const RetrievalPipeline rag(facts.corpus_sentences());
+
+  const CategoryScores golden = run_openroad_eval(model, items, nullptr);
+  const CategoryScores ragged = run_openroad_eval(model, items, &rag);
+  EXPECT_EQ(golden.by_category.size(), 3u);
+  EXPECT_EQ(ragged.by_category.size(), 3u);
+  int total = 0;
+  for (const auto& [category, count] : golden.counts) total += count;
+  EXPECT_EQ(total, 9);
+  EXPECT_GE(golden.all, 0.0);
+  EXPECT_LE(golden.all, 1.0);
+}
+
+TEST(Harness, IndustrialEvalGradesBothSettings) {
+  Rng rng(3);
+  TransformerModel model(harness_config(), rng);
+  const FactBase facts;
+  const auto items = build_industrial_eval(facts, 3, 1);
+  const RetrievalPipeline rag(facts.corpus_sentences());
+
+  const CategoryScores single =
+      run_industrial_eval(model, items, rag, /*multi_turn=*/false);
+  const CategoryScores multi =
+      run_industrial_eval(model, items, rag, /*multi_turn=*/true);
+  EXPECT_EQ(single.by_category.size(), 4u);
+  EXPECT_EQ(multi.by_category.size(), 4u);
+  for (const auto& [category, score] : single.by_category) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 100.0);
+  }
+}
+
+TEST(Harness, MultiMetricEvalReturnsAllFourMetrics) {
+  Rng rng(5);
+  TransformerModel model(harness_config(), rng);
+  const FactBase facts;
+  const auto items = build_openroad_eval(facts, 6, 6);
+  const auto scores = run_openroad_eval_metrics(model, items);
+  ASSERT_EQ(scores.size(), 4u);
+  for (const char* metric : {"rouge_l", "rouge_1", "bleu", "token_f1"}) {
+    ASSERT_TRUE(scores.count(metric)) << metric;
+    EXPECT_GE(scores.at(metric).all, 0.0);
+    EXPECT_LE(scores.at(metric).all, 1.0);
+  }
+  // token_f1 is rouge_1 by construction.
+  EXPECT_DOUBLE_EQ(scores.at("token_f1").all, scores.at("rouge_1").all);
+}
+
+TEST(Harness, McqAccuracyNearChanceForRandomModel) {
+  Rng rng(4);
+  TransformerModel model(harness_config(), rng);
+  const FactBase facts;
+  const auto items = build_mcq_eval(facts, 4, 8);  // 24 questions
+  const CategoryScores scores = run_mcq_eval(model, items);
+  // A random model picks by spurious likelihoods; accuracy must be a valid
+  // frequency and (with 24 items) not perfect.
+  EXPECT_GE(scores.all, 0.0);
+  EXPECT_LT(scores.all, 1.0);
+  EXPECT_EQ(scores.by_category.size(), 3u);
+}
+
+}  // namespace
+}  // namespace chipalign

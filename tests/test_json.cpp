@@ -1,0 +1,161 @@
+// Tests for the minimal JSON parser/writer.
+
+#include <gtest/gtest.h>
+
+#include "io/json.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+namespace {
+
+/// Random JSON document generator for round-trip property tests.
+Json random_json(Rng& rng, int depth) {
+  const std::uint64_t kind = rng.uniform_index(depth > 0 ? 6 : 4);
+  switch (kind) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng.bernoulli(0.5));
+    case 2:
+      return Json(static_cast<std::int64_t>(rng.uniform_index(1000000)) -
+                  500000);
+    case 3: {
+      std::string s;
+      const std::uint64_t len = rng.uniform_index(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s += static_cast<char>(0x20 + rng.uniform_index(0x5F));
+      }
+      return Json(s);
+    }
+    case 4: {
+      Json arr = Json::array();
+      const std::uint64_t len = rng.uniform_index(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        arr.push_back(random_json(rng, depth - 1));
+      }
+      return arr;
+    }
+    default: {
+      Json obj = Json::object();
+      const std::uint64_t len = rng.uniform_index(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        obj.set("k" + std::to_string(i), random_json(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Json(static_cast<std::int64_t>(1234567890123LL)).dump(),
+            "1234567890123");
+  EXPECT_EQ(Json(0).dump(), "0");
+}
+
+TEST(Json, DoublesSurviveRoundTrip) {
+  const Json parsed = Json::parse(Json(3.25).dump());
+  EXPECT_DOUBLE_EQ(parsed.as_double(), 3.25);
+  const Json pi = Json::parse("3.141592653589793");
+  EXPECT_NEAR(pi.as_double(), 3.141592653589793, 1e-15);
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "a\"b\\c\nd\te";
+  const Json j(raw);
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), raw);
+}
+
+TEST(Json, UnicodeEscapeDecoding) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");  // e-acute
+}
+
+TEST(Json, ArrayAccess) {
+  const Json arr = Json::parse("[1, 2, [3]]");
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(1).as_int(), 2);
+  EXPECT_EQ(arr.at(2).at(0).as_int(), 3);
+  EXPECT_THROW(arr.at(3), Error);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zeta", Json(1));
+  obj.set("alpha", Json(2));
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2}");
+  const Json parsed = Json::parse(obj.dump());
+  EXPECT_EQ(parsed.members()[0].first, "zeta");
+}
+
+TEST(Json, ObjectSetOverwrites) {
+  Json obj = Json::object();
+  obj.set("k", Json(1));
+  obj.set("k", Json(2));
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").as_int(), 2);
+  EXPECT_FALSE(obj.contains("missing"));
+  EXPECT_THROW(obj.at("missing"), Error);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1} extra"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), Error);  // duplicate key
+}
+
+TEST(Json, AsIntRejectsNonIntegral) {
+  EXPECT_THROW(Json(1.5).as_int(), Error);
+  EXPECT_EQ(Json(7.0).as_int(), 7);
+}
+
+TEST(Json, TypePredicates) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("{}").is_object());
+  EXPECT_TRUE(Json::parse("[]").is_array());
+  EXPECT_TRUE(Json::parse("1").is_number());
+  EXPECT_TRUE(Json::parse("\"\"").is_string());
+  EXPECT_TRUE(Json::parse("true").is_bool());
+}
+
+/// Property: dump(parse(dump(x))) == dump(x) for arbitrary documents.
+class JsonRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonRoundTrip, DumpParseDumpIsFixedPoint) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Json doc = random_json(rng, 3);
+    const std::string once = doc.dump();
+    const std::string twice = Json::parse(once).dump();
+    EXPECT_EQ(once, twice);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Json, NestedDocumentRoundTrip) {
+  const std::string doc =
+      R"({"model":{"layers":[{"w":[1,2]},{"w":[3,4]}],"eps":1e-05},"ok":true})";
+  const Json parsed = Json::parse(doc);
+  EXPECT_EQ(parsed.at("model").at("layers").size(), 2u);
+  EXPECT_NEAR(parsed.at("model").at("eps").as_double(), 1e-5, 1e-20);
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(Json::parse(parsed.dump()).dump(), parsed.dump());
+}
+
+}  // namespace
+}  // namespace chipalign

@@ -1,0 +1,585 @@
+// Property and unit tests for the merge library (the paper's core method
+// plus all baselines).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "merge/breadcrumbs.hpp"
+#include "merge/dare.hpp"
+#include "merge/della.hpp"
+#include "merge/geodesic.hpp"
+#include "merge/geometry.hpp"
+#include "merge/linear.hpp"
+#include "merge/registry.hpp"
+#include "merge/task_arithmetic.hpp"
+#include "merge/ties.hpp"
+#include "merge/tv_utils.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+namespace {
+
+/// Random checkpoint with a fixed tensor layout.
+Checkpoint random_checkpoint(std::uint64_t seed, float scale = 1.0F) {
+  Rng rng(seed);
+  Checkpoint ckpt;
+  ckpt.config().name = "test-" + std::to_string(seed);
+  ckpt.put("embed", Tensor::randn({8, 4}, rng, scale));
+  ckpt.put("layer.0.w", Tensor::randn({4, 4}, rng, scale));
+  ckpt.put("layer.0.norm", Tensor::randn({4}, rng, scale));
+  ckpt.put("layer.1.w", Tensor::randn({4, 4}, rng, scale));
+  return ckpt;
+}
+
+/// Checkpoint = base + small random delta (same-basin finetune model).
+Checkpoint perturbed(const Checkpoint& base, std::uint64_t seed, float eps) {
+  Rng rng(seed);
+  Checkpoint out = base;
+  for (const std::string& name : base.names()) {
+    Tensor delta = Tensor::randn(base.at(name).shape(), rng, eps);
+    out.put(name, ops::add(base.at(name), delta));
+  }
+  return out;
+}
+
+double checkpoint_distance(const Checkpoint& a, const Checkpoint& b) {
+  double worst = 0.0;
+  for (const std::string& name : a.names()) {
+    worst = std::max(worst, ops::max_abs_diff(a.at(name), b.at(name)));
+  }
+  return worst;
+}
+
+MergeOptions opts(double lambda) {
+  MergeOptions o;
+  o.lambda = lambda;
+  return o;
+}
+
+// -- registry -------------------------------------------------------------------
+
+TEST(Registry, CreatesEveryListedMerger) {
+  for (const std::string& name : merger_names()) {
+    const auto merger = create_merger(name);
+    ASSERT_NE(merger, nullptr);
+    EXPECT_EQ(merger->name(), name);
+  }
+}
+
+TEST(Registry, RejectsUnknownName) {
+  EXPECT_THROW(create_merger("slerp-3000"), Error);
+}
+
+// -- the ChipAlign geodesic merge --------------------------------------------------
+
+TEST(Geodesic, LambdaOneRecoversChipModel) {
+  const Checkpoint chip = random_checkpoint(1);
+  const Checkpoint instruct = random_checkpoint(2);
+  const Checkpoint merged = merge_checkpoints(GeodesicMerger(), chip, instruct,
+                                              nullptr, opts(1.0));
+  EXPECT_LT(checkpoint_distance(merged, chip), 2e-5);
+}
+
+TEST(Geodesic, LambdaZeroRecoversInstructModel) {
+  const Checkpoint chip = random_checkpoint(1);
+  const Checkpoint instruct = random_checkpoint(2);
+  const Checkpoint merged = merge_checkpoints(GeodesicMerger(), chip, instruct,
+                                              nullptr, opts(0.0));
+  EXPECT_LT(checkpoint_distance(merged, instruct), 2e-5);
+}
+
+TEST(Geodesic, NormIsGeometricMeanOfEndpointNorms) {
+  const Checkpoint chip = random_checkpoint(3, 2.0F);
+  const Checkpoint instruct = random_checkpoint(4, 0.5F);
+  const double lambda = 0.6;
+  const Checkpoint merged = merge_checkpoints(GeodesicMerger(), chip, instruct,
+                                              nullptr, opts(lambda));
+  for (const std::string& name : chip.names()) {
+    const double expected = std::pow(ops::frobenius_norm(chip.at(name)), lambda) *
+                            std::pow(ops::frobenius_norm(instruct.at(name)),
+                                     1.0 - lambda);
+    EXPECT_NEAR(ops::frobenius_norm(merged.at(name)), expected,
+                expected * 1e-4)
+        << name;
+  }
+}
+
+TEST(Geodesic, SymmetricUnderOperandSwap) {
+  // f(chip, instruct; lambda) == f(instruct, chip; 1 - lambda)
+  const Checkpoint a = random_checkpoint(5);
+  const Checkpoint b = random_checkpoint(6);
+  const Checkpoint m1 =
+      merge_checkpoints(GeodesicMerger(), a, b, nullptr, opts(0.3));
+  const Checkpoint m2 =
+      merge_checkpoints(GeodesicMerger(), b, a, nullptr, opts(0.7));
+  EXPECT_LT(checkpoint_distance(m1, m2), 1e-5);
+}
+
+TEST(Geodesic, IdenticalInputsAreFixedPoint) {
+  const Checkpoint a = random_checkpoint(7);
+  const Checkpoint merged =
+      merge_checkpoints(GeodesicMerger(), a, a, nullptr, opts(0.6));
+  EXPECT_LT(checkpoint_distance(merged, a), 1e-5);
+}
+
+TEST(Geodesic, ZeroNormSideFallsBackToLerp) {
+  Checkpoint chip;
+  chip.put("w", Tensor({2, 2}));  // all zeros
+  Checkpoint instruct;
+  instruct.put("w", Tensor({2, 2}, {2, 2, 2, 2}));
+  const Checkpoint merged =
+      merge_checkpoints(GeodesicMerger(), chip, instruct, nullptr, opts(0.25));
+  // LERP: 0.25*0 + 0.75*2 = 1.5
+  EXPECT_NEAR(merged.at("w")[0], 1.5F, 1e-6);
+}
+
+TEST(SlerpUnit, StaysOnUnitSphere) {
+  Rng rng(8);
+  Tensor a = Tensor::randn({16}, rng);
+  Tensor b = Tensor::randn({16}, rng);
+  ops::scale(a.values(), static_cast<float>(1.0 / ops::norm(a.values())));
+  ops::scale(b.values(), static_cast<float>(1.0 / ops::norm(b.values())));
+  for (double lambda : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const Tensor p = slerp_unit(a, b, lambda, 1e-6);
+    EXPECT_NEAR(ops::frobenius_norm(p), 1.0, 1e-4) << lambda;
+  }
+}
+
+TEST(SlerpUnit, AgreesWithLerpForTinyAngles) {
+  // Two nearly parallel unit vectors: SLERP ~ normalized LERP.
+  Tensor a({4}, {1, 0, 0, 0});
+  Tensor b({4}, {0.99999988F, 0.0005F, 0, 0});
+  ops::scale(b.values(), static_cast<float>(1.0 / ops::norm(b.values())));
+  const Tensor s = slerp_unit(a, b, 0.5, 1e-6);
+  Tensor l = ops::scaled(ops::add(a, b), 0.5F);
+  ops::scale(l.values(), static_cast<float>(1.0 / ops::norm(l.values())));
+  EXPECT_LT(ops::max_abs_diff(s, l), 1e-4);
+}
+
+TEST(SlerpUnit, MidpointBisectsTheAngle) {
+  Tensor a({2}, {1, 0});
+  Tensor b({2}, {0, 1});
+  const Tensor mid = slerp_unit(a, b, 0.5, 1e-9);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(mid[0], inv_sqrt2, 1e-6);
+  EXPECT_NEAR(mid[1], inv_sqrt2, 1e-6);
+}
+
+/// Property sweep over lambda: the arc point's angle from each endpoint
+/// scales linearly with lambda (the defining property of a geodesic).
+class GeodesicLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeodesicLambdaSweep, ArcAngleSplitsLinearly) {
+  const double lambda = GetParam();
+  Tensor a({3}, {1, 0, 0});
+  Tensor b({3}, {0, 1, 0});  // angle pi/2
+  const Tensor p = slerp_unit(a, b, lambda, 1e-9);
+  const double angle_from_b = std::acos(
+      std::clamp(ops::dot(p.values(), b.values()), -1.0, 1.0));
+  // lambda weights the *first* operand; angle from b should be lambda*pi/2.
+  EXPECT_NEAR(angle_from_b, lambda * M_PI / 2.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, GeodesicLambdaSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75,
+                                           0.9, 1.0));
+
+// -- linear methods ---------------------------------------------------------------
+
+TEST(Lerp, ComputesConvexCombination) {
+  Checkpoint a;
+  a.put("w", Tensor({2}, {2, 4}));
+  Checkpoint b;
+  b.put("w", Tensor({2}, {0, 0}));
+  const Checkpoint merged =
+      merge_checkpoints(LerpMerger(), a, b, nullptr, opts(0.75));
+  EXPECT_NEAR(merged.at("w")[0], 1.5F, 1e-6);
+  EXPECT_NEAR(merged.at("w")[1], 3.0F, 1e-6);
+}
+
+TEST(ModelSoup, IgnoresLambdaAndAverages) {
+  Checkpoint a;
+  a.put("w", Tensor({1}, {2.0F}));
+  Checkpoint b;
+  b.put("w", Tensor({1}, {4.0F}));
+  for (double lambda : {0.0, 0.5, 1.0}) {
+    const Checkpoint merged =
+        merge_checkpoints(ModelSoupMerger(), a, b, nullptr, opts(lambda));
+    EXPECT_NEAR(merged.at("w")[0], 3.0F, 1e-6);
+  }
+}
+
+// -- task arithmetic -----------------------------------------------------------------
+
+TEST(TaskArithmetic, RequiresBase) {
+  const Checkpoint a = random_checkpoint(1);
+  const Checkpoint b = random_checkpoint(2);
+  EXPECT_THROW(
+      merge_checkpoints(TaskArithmeticMerger(), a, b, nullptr, opts(0.5)),
+      Error);
+}
+
+TEST(TaskArithmetic, ReconstructsWeightedDeltaSum) {
+  const Checkpoint base = random_checkpoint(10);
+  const Checkpoint chip = perturbed(base, 11, 0.1F);
+  const Checkpoint instruct = perturbed(base, 12, 0.1F);
+  const double lambda = 0.6;
+  const Checkpoint merged = merge_checkpoints(TaskArithmeticMerger(), chip,
+                                              instruct, &base, opts(lambda));
+  for (const std::string& name : base.names()) {
+    const Tensor expected = ops::add(
+        base.at(name),
+        ops::add(ops::scaled(ops::sub(chip.at(name), base.at(name)),
+                             static_cast<float>(lambda)),
+                 ops::scaled(ops::sub(instruct.at(name), base.at(name)),
+                             static_cast<float>(1.0 - lambda))));
+    EXPECT_LT(ops::max_abs_diff(merged.at(name), expected), 1e-5) << name;
+  }
+}
+
+TEST(TaskArithmetic, IdenticalFinetunesRecoverTheFinetune) {
+  const Checkpoint base = random_checkpoint(13);
+  const Checkpoint tuned = perturbed(base, 14, 0.2F);
+  const Checkpoint merged = merge_checkpoints(TaskArithmeticMerger(), tuned,
+                                              tuned, &base, opts(0.5));
+  EXPECT_LT(checkpoint_distance(merged, tuned), 1e-5);
+}
+
+// -- tv utils ------------------------------------------------------------------------
+
+TEST(TvUtils, TrimKeepsExactlyTopFraction) {
+  Tensor tv({8}, {0.1F, -0.9F, 0.3F, 0.05F, -0.6F, 0.2F, 0.0F, 0.8F});
+  tv::trim_by_magnitude(tv, 0.25);  // keep top 2 of 8
+  int nonzero = 0;
+  for (float v : tv.values()) nonzero += v != 0.0F ? 1 : 0;
+  EXPECT_EQ(nonzero, 2);
+  EXPECT_EQ(tv[1], -0.9F);
+  EXPECT_EQ(tv[7], 0.8F);
+}
+
+TEST(TvUtils, TrimDensityOneIsIdentity) {
+  Tensor tv({4}, {1, -2, 3, -4});
+  Tensor copy = tv;
+  tv::trim_by_magnitude(tv, 1.0);
+  EXPECT_LT(ops::max_abs_diff(tv, copy), 1e-9);
+}
+
+TEST(TvUtils, MagnitudeRanksAscending) {
+  Tensor tv({4}, {0.5F, -0.1F, 2.0F, -1.0F});
+  const auto ranks = tv::magnitude_ranks(tv);
+  EXPECT_EQ(ranks[1], 0);  // |-0.1| smallest
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[3], 2);
+  EXPECT_EQ(ranks[2], 3);  // |2.0| largest
+}
+
+TEST(TvUtils, ElectSignsUsesWeightedMass) {
+  Tensor a({3}, {1.0F, -1.0F, 0.2F});
+  Tensor b({3}, {-0.4F, 2.0F, 0.0F});
+  // Equal weights: mass = {0.6, 1.0, 0.2} -> signs {+, +, +}
+  auto signs = tv::elect_signs(a, b, 0.5, 0.5);
+  EXPECT_EQ(signs[0], 1);
+  EXPECT_EQ(signs[1], 1);
+  EXPECT_EQ(signs[2], 1);
+  // Chip-heavy weights flip entries where chip dominates.
+  signs = tv::elect_signs(a, b, 0.9, 0.1);
+  EXPECT_EQ(signs[1], -1);
+}
+
+TEST(TvUtils, DisjointMergeAveragesAgreeingEntriesOnly) {
+  Tensor a({2}, {1.0F, -2.0F});
+  Tensor b({2}, {3.0F, 4.0F});
+  const std::vector<int> signs = {1, 1};
+  const Tensor merged = tv::disjoint_merge(a, b, 0.5, 0.5, signs);
+  EXPECT_NEAR(merged[0], 2.0F, 1e-6);  // both agree: mean
+  EXPECT_NEAR(merged[1], 4.0F, 1e-6);  // only b agrees with +
+}
+
+TEST(TvUtils, StochasticDropPreservesExpectation) {
+  Rng rng(99);
+  const std::size_t n = 20000;
+  Tensor tv(Shape{static_cast<std::int64_t>(n)});
+  tv.fill(1.0F);
+  std::vector<double> keep(n, 0.25);
+  tv::stochastic_drop_rescale(tv, keep, rng);
+  double mean = 0.0;
+  for (float v : tv.values()) mean += v;
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean, 1.0, 0.05);  // E[v/p * Bernoulli(p)] = v
+}
+
+// -- TIES ---------------------------------------------------------------------------
+
+TEST(Ties, IdenticalFinetunesSurviveTrimAndMerge) {
+  const Checkpoint base = random_checkpoint(20);
+  const Checkpoint tuned = perturbed(base, 21, 0.2F);
+  MergeOptions o = opts(0.5);
+  o.density = 1.0;  // no trimming: disjoint mean of identical vectors
+  const Checkpoint merged =
+      merge_checkpoints(TiesMerger(), tuned, tuned, &base, o);
+  EXPECT_LT(checkpoint_distance(merged, tuned), 1e-5);
+}
+
+TEST(Ties, OpposingSignsDoNotCancel) {
+  // Chip pushes +1, instruct pushes -1 on the same parameter. Plain
+  // averaging gives 0; TIES elects one sign and keeps that contribution.
+  Checkpoint base;
+  base.put("w", Tensor({2}, {0.0F, 0.0F}));
+  Checkpoint chip;
+  chip.put("w", Tensor({2}, {1.0F, 0.5F}));
+  Checkpoint instruct;
+  instruct.put("w", Tensor({2}, {-0.8F, 0.5F}));
+  MergeOptions o = opts(0.6);
+  o.density = 1.0;
+  const Checkpoint merged =
+      merge_checkpoints(TiesMerger(), chip, instruct, &base, o);
+  // Mass on entry 0: 0.6*1 + 0.4*(-0.8) = 0.28 > 0 -> keep chip's +1 only.
+  EXPECT_NEAR(merged.at("w")[0], 1.0F, 1e-5);
+  EXPECT_NEAR(merged.at("w")[1], 0.5F, 1e-5);
+}
+
+TEST(Ties, SparsificationZeroesSmallEntries) {
+  Checkpoint base;
+  base.put("w", Tensor({4}, {0, 0, 0, 0}));
+  Checkpoint chip;
+  chip.put("w", Tensor({4}, {1.0F, 0.01F, 0.01F, 0.01F}));
+  Checkpoint instruct;
+  instruct.put("w", Tensor({4}, {0.01F, 2.0F, 0.01F, 0.01F}));
+  MergeOptions o = opts(0.5);
+  o.density = 0.25;  // keep 1 of 4 per task vector
+  const Checkpoint merged =
+      merge_checkpoints(TiesMerger(), chip, instruct, &base, o);
+  EXPECT_NEAR(merged.at("w")[0], 1.0F, 1e-5);
+  EXPECT_NEAR(merged.at("w")[1], 2.0F, 1e-5);
+  EXPECT_NEAR(merged.at("w")[2], 0.0F, 1e-6);
+  EXPECT_NEAR(merged.at("w")[3], 0.0F, 1e-6);
+}
+
+// -- Model Breadcrumbs ---------------------------------------------------------------
+
+TEST(Breadcrumbs, MasksBothTailsOfTheTaskVector) {
+  Checkpoint base;
+  base.put("w", Tensor({10}));
+  Checkpoint chip;
+  // Magnitudes 1..10: with density 0.5 and outlier_frac 0.1, keep ranks
+  // 1..4 (0-indexed) by descending magnitude: entries 9,8,7,6 survive,
+  // entry 10 (the outlier) and the bottom five are dropped.
+  chip.put("w", Tensor({10}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  Checkpoint instruct = base;  // zero task vector
+
+  MergeOptions o = opts(1.0);  // pure chip side
+  o.density = 0.5;
+  o.breadcrumbs_outlier_frac = 0.1;
+  const Checkpoint merged =
+      merge_checkpoints(BreadcrumbsMerger(), chip, instruct, &base, o);
+  const Tensor& w = merged.at("w");
+  EXPECT_EQ(w[9], 0.0F);  // top outlier masked
+  EXPECT_EQ(w[8], 9.0F);  // band kept
+  EXPECT_EQ(w[5], 6.0F);
+  EXPECT_EQ(w[4], 0.0F);  // bottom tail masked
+  EXPECT_EQ(w[0], 0.0F);
+}
+
+TEST(Breadcrumbs, ZeroOutlierFracMatchesTrimmedTaskArithmetic) {
+  const Checkpoint base = random_checkpoint(70);
+  const Checkpoint chip = perturbed(base, 71, 0.1F);
+  const Checkpoint instruct = perturbed(base, 72, 0.1F);
+
+  MergeOptions o = opts(0.6);
+  o.density = 1.0;
+  o.breadcrumbs_outlier_frac = 0.0;
+  const Checkpoint bc =
+      merge_checkpoints(BreadcrumbsMerger(), chip, instruct, &base, o);
+  const Checkpoint ta = merge_checkpoints(TaskArithmeticMerger(), chip,
+                                          instruct, &base, o);
+  EXPECT_LT(checkpoint_distance(bc, ta), 1e-6);
+}
+
+TEST(Breadcrumbs, RequiresBase) {
+  const Checkpoint a = random_checkpoint(73);
+  const Checkpoint b = random_checkpoint(74);
+  EXPECT_THROW(
+      merge_checkpoints(BreadcrumbsMerger(), a, b, nullptr, opts(0.5)), Error);
+}
+
+// -- DELLA / DARE ----------------------------------------------------------------------
+
+TEST(Della, DeterministicForFixedSeed) {
+  const Checkpoint base = random_checkpoint(30);
+  const Checkpoint chip = perturbed(base, 31, 0.2F);
+  const Checkpoint instruct = perturbed(base, 32, 0.2F);
+  const Checkpoint m1 =
+      merge_checkpoints(DellaMerger(), chip, instruct, &base, opts(0.6));
+  const Checkpoint m2 =
+      merge_checkpoints(DellaMerger(), chip, instruct, &base, opts(0.6));
+  EXPECT_EQ(checkpoint_distance(m1, m2), 0.0);
+}
+
+TEST(Della, DifferentSeedsDiffer) {
+  const Checkpoint base = random_checkpoint(30);
+  const Checkpoint chip = perturbed(base, 31, 0.2F);
+  const Checkpoint instruct = perturbed(base, 32, 0.2F);
+  MergeOptions o1 = opts(0.6);
+  MergeOptions o2 = opts(0.6);
+  o2.seed = o1.seed + 1;
+  const Checkpoint m1 =
+      merge_checkpoints(DellaMerger(), chip, instruct, &base, o1);
+  const Checkpoint m2 =
+      merge_checkpoints(DellaMerger(), chip, instruct, &base, o2);
+  EXPECT_GT(checkpoint_distance(m1, m2), 0.0);
+}
+
+TEST(Dare, ExpectationApproximatesTaskArithmetic) {
+  // Average many DARE merges with different seeds: converges to TA.
+  const Checkpoint base = random_checkpoint(40);
+  const Checkpoint chip = perturbed(base, 41, 0.3F);
+  const Checkpoint instruct = perturbed(base, 42, 0.3F);
+  const Checkpoint ta = merge_checkpoints(TaskArithmeticMerger(), chip,
+                                          instruct, &base, opts(0.6));
+
+  Checkpoint mean = base;
+  for (const std::string& name : mean.names()) {
+    mean.put(name, Tensor(base.at(name).shape()));
+  }
+  constexpr int kRuns = 400;
+  for (int run = 0; run < kRuns; ++run) {
+    MergeOptions o = opts(0.6);
+    o.seed = 5000 + static_cast<std::uint64_t>(run);
+    const Checkpoint sample =
+        merge_checkpoints(DareMerger(), chip, instruct, &base, o);
+    for (const std::string& name : mean.names()) {
+      ops::axpy(1.0F / kRuns, sample.at(name).values(),
+                mean.at(name).values());
+    }
+  }
+  // Mean absolute deviation across all parameters shrinks as 1/sqrt(runs);
+  // with 400 runs the expected value is ~0.01.
+  double abs_sum = 0.0;
+  std::int64_t count = 0;
+  for (const std::string& name : mean.names()) {
+    const auto a = mean.at(name).values();
+    const auto b = ta.at(name).values();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      abs_sum += std::abs(static_cast<double>(a[i]) - b[i]);
+    }
+    count += mean.at(name).numel();
+  }
+  EXPECT_LT(abs_sum / static_cast<double>(count), 0.03);
+}
+
+// -- driver-level checks -----------------------------------------------------------------
+
+TEST(MergeDriver, RejectsNonConformableInputs) {
+  Checkpoint a;
+  a.put("w", Tensor({2, 2}));
+  Checkpoint b;
+  b.put("w", Tensor({2, 3}));
+  EXPECT_THROW(merge_checkpoints(LerpMerger(), a, b, nullptr, opts(0.5)),
+               Error);
+}
+
+TEST(MergeDriver, RejectsOutOfRangeOptions) {
+  const Checkpoint a = random_checkpoint(1);
+  const Checkpoint b = random_checkpoint(2);
+  EXPECT_THROW(merge_checkpoints(LerpMerger(), a, b, nullptr, opts(1.5)),
+               Error);
+  MergeOptions o = opts(0.5);
+  o.density = 0.0;
+  EXPECT_THROW(merge_checkpoints(LerpMerger(), a, b, nullptr, o), Error);
+}
+
+TEST(MergeDriver, TagsMergedConfigName) {
+  const Checkpoint a = random_checkpoint(1);
+  const Checkpoint b = random_checkpoint(2);
+  const Checkpoint merged =
+      merge_checkpoints(GeodesicMerger(), a, b, nullptr, opts(0.6));
+  EXPECT_NE(merged.config().name.find("chipalign"), std::string::npos);
+}
+
+TEST(MergeDriver, LambdaOverridesApplyBySuffix) {
+  Checkpoint chip;
+  chip.put("model.embed", Tensor({2}, {1.0F, 1.0F}));
+  chip.put("model.w", Tensor({2}, {1.0F, 1.0F}));
+  Checkpoint instruct;
+  instruct.put("model.embed", Tensor({2}, {0.0F, 0.0F}));
+  instruct.put("model.w", Tensor({2}, {0.0F, 0.0F}));
+
+  MergeOptions options = opts(1.0);          // global: pure chip
+  options.lambda_overrides = {{"embed", 0.0}};  // embeddings: pure instruct
+  const Checkpoint merged =
+      merge_checkpoints(LerpMerger(), chip, instruct, nullptr, options);
+  EXPECT_NEAR(merged.at("model.embed")[0], 0.0F, 1e-6);
+  EXPECT_NEAR(merged.at("model.w")[0], 1.0F, 1e-6);
+}
+
+TEST(MergeDriver, LambdaOverrideFirstMatchWinsAndValidates) {
+  MergeOptions options = opts(0.5);
+  options.lambda_overrides = {{"w", 0.2}, {"model.w", 0.9}};
+  EXPECT_NEAR(effective_lambda(options, "model.w"), 0.2, 1e-12);
+  EXPECT_NEAR(effective_lambda(options, "other"), 0.5, 1e-12);
+
+  options.lambda_overrides = {{"w", 2.0}};
+  EXPECT_THROW(effective_lambda(options, "model.w"), Error);
+}
+
+TEST(Geodesic, LambdaOverrideChangesOnlyMatchedTensors) {
+  const Checkpoint chip = random_checkpoint(60);
+  const Checkpoint instruct = random_checkpoint(61);
+  MergeOptions options = opts(0.6);
+  options.lambda_overrides = {{"embed", 1.0}};
+  const Checkpoint merged =
+      merge_checkpoints(GeodesicMerger(), chip, instruct, nullptr, options);
+  // embed at lambda=1 -> exactly the chip tensor.
+  EXPECT_LT(ops::max_abs_diff(merged.at("embed"), chip.at("embed")), 2e-5);
+  // the rest at lambda=0.6 -> differs from both endpoints.
+  EXPECT_GT(ops::max_abs_diff(merged.at("layer.0.w"), chip.at("layer.0.w")),
+            1e-3);
+}
+
+// -- geometry diagnostics --------------------------------------------------------------------
+
+TEST(Geometry, OrthogonalTensorsHaveRightAngle) {
+  Checkpoint a;
+  a.put("w", Tensor({2}, {1, 0}));
+  Checkpoint b;
+  b.put("w", Tensor({2}, {0, 1}));
+  const auto report = analyze_geometry(a, b, nullptr, 0.5);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_NEAR(report[0].theta, M_PI / 2.0, 1e-4);
+  EXPECT_GT(report[0].slerp_lerp_gap, 0.1);  // chord differs a lot at 90 deg
+}
+
+TEST(Geometry, ParallelTensorsHaveZeroGap) {
+  Checkpoint a;
+  a.put("w", Tensor({2}, {1, 1}));
+  Checkpoint b;
+  b.put("w", Tensor({2}, {2, 2}));
+  const auto report = analyze_geometry(a, b, nullptr, 0.5);
+  EXPECT_NEAR(report[0].theta, 0.0, 1e-3);
+  EXPECT_NEAR(report[0].slerp_lerp_gap, 0.0, 1e-3);
+}
+
+TEST(Geometry, TaskVectorCosineWithBase) {
+  Checkpoint base;
+  base.put("w", Tensor({2}, {1, 1}));
+  Checkpoint a;
+  a.put("w", Tensor({2}, {2, 1}));  // tau = (1, 0)
+  Checkpoint b;
+  b.put("w", Tensor({2}, {1, 2}));  // tau = (0, 1)
+  const auto report = analyze_geometry(a, b, &base, 0.5);
+  EXPECT_NEAR(report[0].tv_cosine, 0.0, 1e-6);
+}
+
+TEST(Geometry, SummaryAggregates) {
+  const Checkpoint a = random_checkpoint(50);
+  const Checkpoint b = random_checkpoint(51);
+  const auto report = analyze_geometry(a, b, nullptr, 0.6);
+  const GeometrySummary summary = summarize_geometry(report);
+  EXPECT_GT(summary.mean_theta, 0.0);
+  EXPECT_GE(summary.max_theta, summary.mean_theta);
+}
+
+}  // namespace
+}  // namespace chipalign

@@ -1,0 +1,133 @@
+// Cross-method property matrix: every registered merge method must satisfy
+// a common set of contracts (shape preservation, finiteness, determinism,
+// option validation, same-basin sanity). Parameterized over the registry.
+
+#include <gtest/gtest.h>
+
+#include "merge/registry.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+namespace {
+
+Checkpoint base_checkpoint() {
+  Rng rng(1000);
+  Checkpoint ckpt;
+  ckpt.config().name = "matrix-base";
+  ckpt.put("embed", Tensor::randn({12, 6}, rng, 0.5F));
+  ckpt.put("w1", Tensor::randn({6, 6}, rng, 0.5F));
+  ckpt.put("norm", Tensor::full({6}, 1.0F));
+  return ckpt;
+}
+
+Checkpoint finetuned(const Checkpoint& base, std::uint64_t seed) {
+  Rng rng(seed);
+  Checkpoint out = base;
+  for (const std::string& name : base.names()) {
+    Tensor delta = Tensor::randn(base.at(name).shape(), rng, 0.05F);
+    out.put(name, ops::add(base.at(name), delta));
+  }
+  return out;
+}
+
+double distance(const Checkpoint& a, const Checkpoint& b) {
+  double worst = 0.0;
+  for (const std::string& name : a.names()) {
+    worst = std::max(worst, ops::max_abs_diff(a.at(name), b.at(name)));
+  }
+  return worst;
+}
+
+class MergeMatrix : public ::testing::TestWithParam<std::string> {
+ protected:
+  Checkpoint base_ = base_checkpoint();
+  Checkpoint chip_ = finetuned(base_, 7);
+  Checkpoint instruct_ = finetuned(base_, 8);
+
+  Checkpoint merge_with(const MergeOptions& options) {
+    const auto merger = create_merger(GetParam());
+    return merge_checkpoints(*merger, chip_, instruct_,
+                             merger->requires_base() ? &base_ : nullptr,
+                             options);
+  }
+};
+
+TEST_P(MergeMatrix, PreservesNamesAndShapes) {
+  const Checkpoint merged = merge_with(MergeOptions{});
+  ASSERT_EQ(merged.names(), base_.names());
+  for (const std::string& name : base_.names()) {
+    EXPECT_TRUE(merged.at(name).same_shape(base_.at(name))) << name;
+  }
+}
+
+TEST_P(MergeMatrix, ProducesFiniteWeights) {
+  for (double lambda : {0.0, 0.3, 0.6, 1.0}) {
+    MergeOptions options;
+    options.lambda = lambda;
+    EXPECT_TRUE(merge_with(options).all_finite()) << "lambda " << lambda;
+  }
+}
+
+TEST_P(MergeMatrix, DeterministicForIdenticalOptions) {
+  MergeOptions options;
+  options.seed = 424242;
+  const Checkpoint a = merge_with(options);
+  const Checkpoint b = merge_with(options);
+  EXPECT_EQ(distance(a, b), 0.0);
+}
+
+TEST_P(MergeMatrix, StaysNearTheBasinForSmallFinetunes) {
+  // Both finetunes are base +- 0.05-scale noise; any sane merge must stay
+  // within a small ball of the base model (no blow-ups from rescaling).
+  const Checkpoint merged = merge_with(MergeOptions{});
+  EXPECT_LT(distance(merged, base_), 1.0);
+}
+
+TEST_P(MergeMatrix, RejectsInvalidLambda) {
+  MergeOptions options;
+  options.lambda = -0.1;
+  EXPECT_THROW(merge_with(options), Error);
+  options.lambda = 1.1;
+  EXPECT_THROW(merge_with(options), Error);
+}
+
+TEST_P(MergeMatrix, RejectsInvalidDensity) {
+  MergeOptions options;
+  options.density = 0.0;
+  EXPECT_THROW(merge_with(options), Error);
+  options.density = 1.5;
+  EXPECT_THROW(merge_with(options), Error);
+}
+
+TEST_P(MergeMatrix, IdenticalInputsWithBaseStayPut) {
+  // chip == instruct == finetune: every method should return (nearly) that
+  // model. Stochastic methods (della/dare) are exactly expectation-
+  // preserving only, but with identical inputs drop+rescale keeps the
+  // value's expectation and sign election is trivial — allow slack there.
+  const auto merger = create_merger(GetParam());
+  MergeOptions options;
+  const Checkpoint merged = merge_checkpoints(
+      *merger, chip_, chip_, merger->requires_base() ? &base_ : nullptr,
+      options);
+  const bool stochastic = GetParam() == "della" || GetParam() == "dare";
+  const bool sparsifying =
+      GetParam() == "ties" || GetParam() == "breadcrumbs";
+  if (stochastic) {
+    // The task vector is preserved in expectation; bound the deviation by
+    // the largest rescaled element (|tau|/p ~ 0.25/0.4).
+    EXPECT_LT(distance(merged, chip_), 1.0);
+  } else if (sparsifying) {
+    // TIES trims the smallest 50% of each task vector.
+    EXPECT_LT(distance(merged, chip_), 0.2);
+  } else {
+    EXPECT_LT(distance(merged, chip_), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MergeMatrix,
+                         ::testing::ValuesIn(merger_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace chipalign

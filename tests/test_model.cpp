@@ -1,0 +1,154 @@
+// Tests for src/model: config validation, checkpoint IO and conformability.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <limits>
+
+#include "io/safetensors.hpp"
+#include "model/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+namespace {
+
+ModelConfig valid_config() {
+  ModelConfig config;
+  config.name = "unit";
+  config.vocab_size = 32;
+  config.d_model = 16;
+  config.n_layers = 2;
+  config.n_heads = 4;
+  config.n_kv_heads = 2;
+  config.d_ff = 32;
+  config.max_seq_len = 64;
+  return config;
+}
+
+TEST(ModelConfig, ValidConfigPasses) {
+  EXPECT_NO_THROW(valid_config().validate());
+}
+
+TEST(ModelConfig, RejectsBadFields) {
+  auto c = valid_config();
+  c.vocab_size = 0;
+  EXPECT_THROW(c.validate(), Error);
+
+  c = valid_config();
+  c.n_kv_heads = 3;  // does not divide n_heads
+  EXPECT_THROW(c.validate(), Error);
+
+  c = valid_config();
+  c.d_model = 18;  // not divisible by heads -> head_dim fractional
+  EXPECT_THROW(c.validate(), Error);
+
+  c = valid_config();
+  c.n_heads = 8;  // head_dim = 2, even, fine
+  EXPECT_NO_THROW(c.validate());
+
+  c = valid_config();
+  c.d_model = 4;  // head_dim = 1, odd -> RoPE impossible
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(ModelConfig, JsonRoundTrip) {
+  const ModelConfig config = valid_config();
+  const ModelConfig back = ModelConfig::from_json(config.to_json());
+  EXPECT_EQ(back, config);
+}
+
+TEST(ModelConfig, ParameterCountFormula) {
+  ModelConfig c = valid_config();
+  // embed 32*16 + final norm 16 + per layer:
+  //   wq 256 + wk 128 + wv 128 + wo 256 + 3*16*32=1536 + norms 32 = 2336
+  EXPECT_EQ(c.parameter_count(), 32 * 16 + 16 + 2 * 2336);
+}
+
+TEST(Checkpoint, PutAtNames) {
+  Checkpoint ckpt;
+  ckpt.put("b", Tensor({2}, {1, 2}));
+  ckpt.put("a", Tensor({3}, {1, 2, 3}));
+  EXPECT_TRUE(ckpt.has("a"));
+  EXPECT_FALSE(ckpt.has("c"));
+  EXPECT_THROW(ckpt.at("c"), Error);
+  const auto names = ckpt.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // sorted (std::map)
+  EXPECT_EQ(ckpt.parameter_count(), 5);
+}
+
+TEST(Checkpoint, StatsComputesNormMeanMax) {
+  Checkpoint ckpt;
+  ckpt.put("w", Tensor({2, 2}, {3, 0, 0, -4}));
+  const auto stats = ckpt.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NEAR(stats[0].frobenius_norm, 5.0, 1e-12);
+  EXPECT_NEAR(stats[0].mean, -0.25, 1e-12);
+  EXPECT_NEAR(stats[0].abs_max, 4.0, 1e-12);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  Rng rng(1);
+  Checkpoint ckpt;
+  ckpt.config() = valid_config();
+  ckpt.put("model.w1", Tensor::randn({4, 4}, rng));
+  ckpt.put("model.w2", Tensor::randn({8}, rng));
+
+  const auto dir = std::filesystem::temp_directory_path() / "ca_ckpt_tests";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "ckpt.safetensors").string();
+  ckpt.save(path);
+
+  const Checkpoint back = Checkpoint::load(path);
+  EXPECT_EQ(back.config(), ckpt.config());
+  EXPECT_EQ(back.names(), ckpt.names());
+  for (const std::string& name : ckpt.names()) {
+    EXPECT_EQ(back.at(name).shape(), ckpt.at(name).shape());
+  }
+}
+
+TEST(Checkpoint, LoadRejectsFileWithoutConfig) {
+  const auto dir = std::filesystem::temp_directory_path() / "ca_ckpt_tests";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "raw.safetensors").string();
+  std::map<std::string, Tensor> tensors;
+  tensors["w"] = Tensor({1}, {0.0F});
+  save_safetensors(path, tensors);
+  EXPECT_THROW(Checkpoint::load(path), Error);
+}
+
+TEST(Checkpoint, MergeableValidation) {
+  Rng rng(2);
+  Checkpoint a;
+  a.put("w", Tensor::randn({2, 2}, rng));
+  Checkpoint b;
+  b.put("w", Tensor::randn({2, 2}, rng));
+  EXPECT_NO_THROW(check_mergeable(a, b));
+
+  Checkpoint c;
+  c.put("w", Tensor::randn({2, 3}, rng));  // different shape
+  EXPECT_THROW(check_mergeable(a, c), Error);
+
+  Checkpoint d;
+  d.put("other", Tensor::randn({2, 2}, rng));  // different name
+  EXPECT_THROW(check_mergeable(a, d), Error);
+
+  Checkpoint e;  // different count
+  EXPECT_THROW(check_mergeable(a, e), Error);
+}
+
+TEST(Checkpoint, AllFinite) {
+  Checkpoint ckpt;
+  ckpt.put("w", Tensor({2}, {1.0F, 2.0F}));
+  EXPECT_TRUE(ckpt.all_finite());
+  Tensor bad({1});
+  bad[0] = std::numeric_limits<float>::infinity();
+  ckpt.put("bad", std::move(bad));
+  EXPECT_FALSE(ckpt.all_finite());
+}
+
+}  // namespace
+}  // namespace chipalign

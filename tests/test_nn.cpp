@@ -1,0 +1,325 @@
+// Tests for the transformer substrate: RoPE, forward/backward gradients
+// (finite differences), KV-cache consistency, generation and scoring.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/infer.hpp"
+#include "nn/rotary.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "train/loss.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+namespace {
+
+ModelConfig micro_config() {
+  ModelConfig config;
+  config.name = "micro";
+  config.vocab_size = 11;
+  config.d_model = 8;
+  config.n_layers = 2;
+  config.n_heads = 2;
+  config.n_kv_heads = 1;
+  config.d_ff = 12;
+  config.max_seq_len = 16;
+  config.validate();
+  return config;
+}
+
+TEST(Rotary, ApplyInverseIsIdentity) {
+  RotaryCache rope(8, 16, 10000.0);
+  Rng rng(1);
+  for (std::int64_t pos : {0, 3, 15}) {
+    Tensor v = Tensor::randn({8}, rng);
+    Tensor orig = v;
+    rope.apply(v.values(), pos);
+    rope.apply_inverse(v.values(), pos);
+    EXPECT_LT(ops::max_abs_diff(v, orig), 1e-5) << "pos " << pos;
+  }
+}
+
+TEST(Rotary, PreservesNorm) {
+  RotaryCache rope(8, 16, 10000.0);
+  Rng rng(2);
+  Tensor v = Tensor::randn({8}, rng);
+  const double before = ops::norm(v.values());
+  rope.apply(v.values(), 7);
+  EXPECT_NEAR(ops::norm(v.values()), before, 1e-5);
+}
+
+TEST(Rotary, PositionZeroIsIdentity) {
+  RotaryCache rope(4, 8, 10000.0);
+  Tensor v({4}, {1, 2, 3, 4});
+  Tensor orig = v;
+  rope.apply(v.values(), 0);
+  EXPECT_LT(ops::max_abs_diff(v, orig), 1e-7);
+}
+
+TEST(Rotary, RejectsBadInputs) {
+  EXPECT_THROW(RotaryCache(7, 16, 10000.0), Error);  // odd head_dim
+  RotaryCache rope(4, 8, 10000.0);
+  Tensor v({4});
+  EXPECT_THROW(rope.apply(v.values(), 8), Error);  // position out of range
+}
+
+TEST(Transformer, ParameterNamesFollowLlamaConvention) {
+  Rng rng(3);
+  TransformerModel model(micro_config(), rng);
+  const Checkpoint ckpt = model.to_checkpoint();
+  EXPECT_TRUE(ckpt.has("model.embed_tokens.weight"));
+  EXPECT_TRUE(ckpt.has("model.layers.0.self_attn.q_proj.weight"));
+  EXPECT_TRUE(ckpt.has("model.layers.1.mlp.down_proj.weight"));
+  EXPECT_TRUE(ckpt.has("model.norm.weight"));
+  EXPECT_EQ(ckpt.tensors().size(), 1u + 2u * 9u + 1u);
+}
+
+TEST(Transformer, ParameterCountMatchesConfigFormula) {
+  Rng rng(3);
+  TransformerModel model(micro_config(), rng);
+  EXPECT_EQ(model.parameter_count(), micro_config().parameter_count());
+}
+
+TEST(Transformer, ForwardShapeAndFiniteness) {
+  Rng rng(4);
+  TransformerModel model(micro_config(), rng);
+  const std::vector<TokenId> tokens = {1, 5, 7, 3};
+  const Tensor logits = model.forward(tokens);
+  EXPECT_EQ(logits.dim(0), 4);
+  EXPECT_EQ(logits.dim(1), 11);
+  EXPECT_TRUE(logits.all_finite());
+  model.discard_forward();
+}
+
+TEST(Transformer, ForwardRejectsBadInput) {
+  Rng rng(4);
+  TransformerModel model(micro_config(), rng);
+  EXPECT_THROW(model.forward({}), Error);
+  EXPECT_THROW(model.forward(std::vector<TokenId>(17, 1)), Error);  // > max_seq
+  EXPECT_THROW(model.forward({99}), Error);  // out of vocab
+}
+
+TEST(Transformer, BackwardWithoutForwardThrows) {
+  Rng rng(4);
+  TransformerModel model(micro_config(), rng);
+  EXPECT_THROW(model.backward(Tensor({1, 11})), Error);
+}
+
+TEST(Transformer, CheckpointRoundTripPreservesLogits) {
+  Rng rng(5);
+  TransformerModel model(micro_config(), rng);
+  const std::vector<TokenId> tokens = {2, 4, 6};
+  const Tensor logits1 = model.forward(tokens);
+  model.discard_forward();
+
+  TransformerModel restored =
+      TransformerModel::from_checkpoint(model.to_checkpoint());
+  const Tensor logits2 = restored.forward(tokens);
+  restored.discard_forward();
+  EXPECT_LT(ops::max_abs_diff(logits1, logits2), 1e-6);
+}
+
+/// The pivotal test: analytic gradients vs central finite differences for a
+/// sampled subset of every parameter tensor.
+TEST(Transformer, GradientsMatchFiniteDifferences) {
+  Rng rng(6);
+  TransformerModel model(micro_config(), rng);
+  const std::vector<TokenId> tokens = {1, 5, 7, 3, 9, 2};
+  std::vector<float> mask(tokens.size(), 1.0F);
+  mask[0] = 0.0F;
+
+  auto loss_value = [&]() {
+    const Tensor logits = model.forward(tokens);
+    const LossResult loss = cross_entropy_next_token(logits, tokens, mask);
+    model.discard_forward();
+    return loss.loss;
+  };
+
+  // Analytic gradients.
+  model.zero_grad();
+  {
+    const Tensor logits = model.forward(tokens);
+    const LossResult loss = cross_entropy_next_token(logits, tokens, mask);
+    model.backward(loss.dlogits);
+  }
+
+  Rng pick(7);
+  constexpr double kH = 2e-3;
+  for (Parameter* param : model.parameters()) {
+    const std::int64_t numel = param->value.numel();
+    const int samples = numel < 5 ? static_cast<int>(numel) : 5;
+    for (int s = 0; s < samples; ++s) {
+      const auto idx = static_cast<std::int64_t>(
+          pick.uniform_index(static_cast<std::uint64_t>(numel)));
+      const float saved = param->value[idx];
+
+      param->value[idx] = saved + static_cast<float>(kH);
+      const double plus = loss_value();
+      param->value[idx] = saved - static_cast<float>(kH);
+      const double minus = loss_value();
+      param->value[idx] = saved;
+
+      const double numeric = (plus - minus) / (2.0 * kH);
+      const double analytic = param->grad[idx];
+      EXPECT_NEAR(analytic, numeric,
+                  std::max(4e-3, 4e-2 * std::abs(analytic)))
+          << param->name << "[" << idx << "]";
+    }
+  }
+}
+
+TEST(Inference, KvCacheMatchesFullForward) {
+  Rng rng(8);
+  TransformerModel model(micro_config(), rng);
+  const std::vector<TokenId> tokens = {1, 4, 9, 2, 7};
+
+  const Tensor full_logits = model.forward(tokens);
+  model.discard_forward();
+
+  InferenceSession session(model);
+  std::vector<float> incremental;
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    incremental = session.step(tokens[t]);
+    // Every intermediate position must match the full forward row.
+    for (std::int64_t v = 0; v < full_logits.dim(1); ++v) {
+      EXPECT_NEAR(incremental[static_cast<std::size_t>(v)],
+                  full_logits.at2(static_cast<std::int64_t>(t), v), 2e-4)
+          << "pos " << t << " vocab " << v;
+    }
+  }
+}
+
+TEST(Inference, ResetClearsState) {
+  Rng rng(9);
+  TransformerModel model(micro_config(), rng);
+  InferenceSession session(model);
+  const auto first = session.step(3);
+  session.step(5);
+  session.reset();
+  EXPECT_EQ(session.position(), 0);
+  const auto again = session.step(3);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], again[i]);
+  }
+}
+
+TEST(Inference, CacheOverflowThrows) {
+  Rng rng(10);
+  TransformerModel model(micro_config(), rng);
+  InferenceSession session(model);
+  for (int i = 0; i < 16; ++i) session.step(1);
+  EXPECT_THROW(session.step(1), Error);
+}
+
+TEST(Inference, SequenceLogprobMatchesManualSum) {
+  Rng rng(11);
+  TransformerModel model(micro_config(), rng);
+  const std::vector<TokenId> context = {1, 4};
+  const std::vector<TokenId> continuation = {7, 2};
+
+  // Manual: run the full sequence, sum log-softmax at the right positions.
+  std::vector<TokenId> all = context;
+  all.insert(all.end(), continuation.begin(), continuation.end());
+  const Tensor logits = model.forward(all);
+  model.discard_forward();
+  double manual = 0.0;
+  for (std::size_t i = 0; i < continuation.size(); ++i) {
+    const auto row = logits.row(static_cast<std::int64_t>(context.size() + i - 1));
+    manual += static_cast<double>(row[static_cast<std::size_t>(continuation[i])]) -
+              ops::log_sum_exp(row);
+  }
+
+  const double via_api = sequence_logprob(model, context, continuation);
+  EXPECT_NEAR(via_api, manual, 1e-3);
+  EXPECT_NEAR(mean_logprob(model, context, continuation), manual / 2.0, 1e-3);
+}
+
+TEST(Inference, StepRejectsInvalidToken) {
+  Rng rng(14);
+  TransformerModel model(micro_config(), rng);
+  InferenceSession session(model);
+  EXPECT_THROW(session.step(-1), Error);
+  EXPECT_THROW(session.step(static_cast<TokenId>(
+                   model.config().vocab_size)),
+               Error);
+}
+
+TEST(Inference, MultiHeadAndGroupedQueryBothRun) {
+  // Same dims with n_kv_heads == n_heads (MHA) and < n_heads (GQA): both
+  // paths must produce finite logits and agree between train-time forward
+  // and KV-cache inference.
+  for (std::int64_t kv_heads : {1, 2}) {
+    ModelConfig config = micro_config();
+    config.n_kv_heads = kv_heads;
+    Rng rng(20 + kv_heads);
+    TransformerModel model(config, rng);
+    const std::vector<TokenId> tokens = {3, 8, 1, 6};
+    const Tensor full = model.forward(tokens);
+    model.discard_forward();
+    EXPECT_TRUE(full.all_finite());
+
+    InferenceSession session(model);
+    std::vector<float> last;
+    for (TokenId t : tokens) last = session.step(t);
+    for (std::int64_t v = 0; v < full.dim(1); ++v) {
+      EXPECT_NEAR(last[static_cast<std::size_t>(v)],
+                  full.at2(static_cast<std::int64_t>(tokens.size()) - 1, v),
+                  2e-4)
+          << "kv_heads " << kv_heads;
+    }
+  }
+}
+
+TEST(Transformer, GradientAccumulatesAcrossBackwardCalls) {
+  Rng rng(15);
+  TransformerModel model(micro_config(), rng);
+  const std::vector<TokenId> tokens = {1, 5, 7};
+  std::vector<float> mask(tokens.size(), 1.0F);
+  mask[0] = 0.0F;
+
+  auto run_backward = [&] {
+    const Tensor logits = model.forward(tokens);
+    const LossResult loss = cross_entropy_next_token(logits, tokens, mask);
+    model.backward(loss.dlogits);
+  };
+
+  model.zero_grad();
+  run_backward();
+  const Tensor once = model.parameters()[0]->grad;
+  run_backward();  // no zero_grad: should accumulate
+  const Tensor twice = model.parameters()[0]->grad;
+  EXPECT_LT(ops::max_abs_diff(twice, ops::scaled(once, 2.0F)), 1e-4);
+}
+
+TEST(Inference, GreedyGenerationIsDeterministic) {
+  Rng rng(12);
+  ModelConfig config = micro_config();
+  config.vocab_size = tokenizer().vocab_size();
+  config.max_seq_len = 64;
+  TransformerModel model(config, rng);
+  GenerateOptions options;
+  options.max_new_tokens = 8;
+  const std::string a = generate(model, "hi", options);
+  const std::string b = generate(model, "hi", options);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Inference, TemperatureSamplingRespectsSeed) {
+  Rng rng(13);
+  ModelConfig config = micro_config();
+  config.vocab_size = tokenizer().vocab_size();
+  config.max_seq_len = 64;
+  TransformerModel model(config, rng);
+  GenerateOptions options;
+  options.max_new_tokens = 8;
+  options.temperature = 1.0;
+  options.seed = 5;
+  const std::string a = generate(model, "hi", options);
+  const std::string b = generate(model, "hi", options);
+  EXPECT_EQ(a, b);  // same seed, same text
+}
+
+}  // namespace
+}  // namespace chipalign

@@ -1,0 +1,131 @@
+// Tests for the RAG substrate: BM25, hashed embedder, hybrid pipeline.
+
+#include <gtest/gtest.h>
+
+#include "data/fact_base.hpp"
+#include "rag/bm25.hpp"
+#include "rag/embedder.hpp"
+#include "rag/retrieval.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+namespace {
+
+std::vector<std::string> toy_corpus() {
+  return {
+      "command route_nets routes the nets in fast mode",
+      "stage synth runs after export and outputs the netlist",
+      "to open the timing panel click the clock icon in the top bar",
+      "the faq page covers common install errors",
+  };
+}
+
+TEST(Bm25, ExactQueryRanksItsDocumentFirst) {
+  const Bm25Index index(toy_corpus());
+  const auto hits = index.query("what does command route_nets do?", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_index, 0u);
+}
+
+TEST(Bm25, RareTermsOutweighCommonOnes) {
+  const Bm25Index index(toy_corpus());
+  // "the" occurs everywhere; "synth" only in doc 1.
+  const auto hits = index.query("the synth", 1);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_index, 1u);
+}
+
+TEST(Bm25, UnknownTermsReturnNothing) {
+  const Bm25Index index(toy_corpus());
+  EXPECT_TRUE(index.query("zzzzz qqqq", 3).empty());
+}
+
+TEST(Bm25, ScoresAreNonNegativeAndSorted) {
+  const Bm25Index index(toy_corpus());
+  const auto hits = index.query("the nets panel errors", 4);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_GT(hits[i].score, 0.0);
+    if (i > 0) EXPECT_LE(hits[i].score, hits[i - 1].score);
+  }
+}
+
+TEST(Bm25, RejectsEmptyCorpus) {
+  EXPECT_THROW(Bm25Index({}), Error);
+}
+
+TEST(Embedder, EmbeddingIsUnitNormOrZero) {
+  const HashedEmbedder embedder(128, 3);
+  const auto v = embedder.embed("routing the nets");
+  double norm_sq = 0.0;
+  for (float x : v) norm_sq += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-5);
+
+  const auto tiny = embedder.embed("ab");  // shorter than the n-gram
+  for (float x : tiny) EXPECT_EQ(x, 0.0F);
+}
+
+TEST(Embedder, SelfSimilarityIsOne) {
+  const HashedEmbedder embedder(128, 3);
+  const auto a = embedder.embed("place the cells in safe mode");
+  EXPECT_NEAR(HashedEmbedder::cosine(a, a), 1.0, 1e-5);
+}
+
+TEST(Embedder, SimilarTextsScoreHigherThanDissimilar) {
+  const HashedEmbedder embedder(256, 3);
+  const auto query = embedder.embed("route the nets fast");
+  const auto close = embedder.embed("command route_nets routes the nets in fast mode");
+  const auto far = embedder.embed("the faq page covers common install errors");
+  EXPECT_GT(HashedEmbedder::cosine(query, close),
+            HashedEmbedder::cosine(query, far));
+}
+
+TEST(Embedder, CaseInsensitive) {
+  const HashedEmbedder embedder(128, 3);
+  const auto a = embedder.embed("Route Nets");
+  const auto b = embedder.embed("route nets");
+  EXPECT_NEAR(HashedEmbedder::cosine(a, b), 1.0, 1e-5);
+}
+
+TEST(DenseIndex, FindsNearestDocument) {
+  const DenseIndex index(toy_corpus(), HashedEmbedder(256, 3));
+  const auto hits = index.query("open the timing panel", 1);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_index, 2u);
+}
+
+TEST(Pipeline, RetrievesGoldenContextForFactQuestions) {
+  const FactBase facts;
+  const RetrievalPipeline pipeline(facts.corpus_sentences());
+  int hits_at_2 = 0;
+  int total = 0;
+  for (const Fact& fact : facts.facts()) {
+    const auto texts = pipeline.retrieve_texts(fact.question, 2);
+    ++total;
+    for (const std::string& text : texts) {
+      if (text == fact.context) {
+        ++hits_at_2;
+        break;
+      }
+    }
+  }
+  // The hybrid retriever should find the golden sentence for most facts
+  // (recall@2 >= 80%); it intentionally is not perfect, which produces the
+  // golden-vs-RAG gap of Table 1.
+  EXPECT_GE(static_cast<double>(hits_at_2) / total, 0.8);
+}
+
+TEST(Pipeline, TopKBoundsResults) {
+  const RetrievalPipeline pipeline(toy_corpus());
+  EXPECT_LE(pipeline.retrieve("the nets", 2).size(), 2u);
+  EXPECT_LE(pipeline.retrieve_texts("the nets", 1).size(), 1u);
+}
+
+TEST(Pipeline, FusionConsidersBothRetrievers) {
+  const RetrievalPipeline pipeline(toy_corpus());
+  const auto hits = pipeline.retrieve("route_nets fast mode", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc_index, 0u);
+}
+
+}  // namespace
+}  // namespace chipalign

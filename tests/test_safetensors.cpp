@@ -1,0 +1,225 @@
+// Tests for the safetensors reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/safetensors.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+namespace {
+
+class SafetensorsTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "ca_st_tests";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+};
+
+TEST_F(SafetensorsTest, F32RoundTripIsExact) {
+  Rng rng(1);
+  std::map<std::string, Tensor> tensors;
+  tensors["a"] = Tensor::randn({3, 4}, rng);
+  tensors["b.weight"] = Tensor::randn({7}, rng);
+  const std::string file = path("f32.safetensors");
+  save_safetensors(file, tensors, DType::kF32);
+
+  const SafetensorsFile loaded = load_safetensors(file);
+  ASSERT_EQ(loaded.tensors.size(), 2u);
+  for (const auto& [name, tensor] : tensors) {
+    const Tensor& back = loaded.tensors.at(name);
+    ASSERT_TRUE(back.same_shape(tensor));
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) {
+      EXPECT_EQ(back[i], tensor[i]) << name << "[" << i << "]";
+    }
+  }
+}
+
+TEST_F(SafetensorsTest, MetadataRoundTrips) {
+  std::map<std::string, Tensor> tensors;
+  tensors["w"] = Tensor({2}, {1.0F, 2.0F});
+  const std::string file = path("meta.safetensors");
+  save_safetensors(file, tensors, DType::kF32,
+                   {{"format", "test"}, {"lambda", "0.6"}});
+  const SafetensorsFile loaded = load_safetensors(file);
+  EXPECT_EQ(loaded.metadata.at("format"), "test");
+  EXPECT_EQ(loaded.metadata.at("lambda"), "0.6");
+}
+
+TEST_F(SafetensorsTest, EmptyTensorMapProducesValidFile) {
+  const std::string file = path("empty.safetensors");
+  save_safetensors(file, {}, DType::kF32, {{"note", "empty"}});
+  const SafetensorsFile loaded = load_safetensors(file);
+  EXPECT_TRUE(loaded.tensors.empty());
+  EXPECT_EQ(loaded.metadata.at("note"), "empty");
+}
+
+TEST_F(SafetensorsTest, RejectsMissingFile) {
+  EXPECT_THROW(load_safetensors(path("does_not_exist.safetensors")), Error);
+}
+
+TEST_F(SafetensorsTest, RejectsTruncatedFile) {
+  const std::string file = path("trunc.safetensors");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out.write("\x03\x00", 2);  // fewer than 8 header-length bytes
+  }
+  EXPECT_THROW(load_safetensors(file), Error);
+}
+
+TEST_F(SafetensorsTest, RejectsHeaderLengthBeyondFile) {
+  const std::string file = path("badlen.safetensors");
+  {
+    std::ofstream out(file, std::ios::binary);
+    const std::uint64_t huge = 1u << 20;
+    out.write(reinterpret_cast<const char*>(&huge), 8);
+    out.write("{}", 2);
+  }
+  EXPECT_THROW(load_safetensors(file), Error);
+}
+
+TEST_F(SafetensorsTest, RejectsOutOfRangeOffsets) {
+  const std::string file = path("badoff.safetensors");
+  {
+    std::ofstream out(file, std::ios::binary);
+    const std::string header =
+        R"({"w":{"dtype":"F32","shape":[4],"data_offsets":[0,16]}})";
+    const std::uint64_t len = header.size();
+    out.write(reinterpret_cast<const char*>(&len), 8);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write("\x00\x00\x00\x00", 4);  // only 4 data bytes, offsets claim 16
+  }
+  EXPECT_THROW(load_safetensors(file), Error);
+}
+
+TEST_F(SafetensorsTest, RejectsUnknownDtype) {
+  const std::string file = path("baddtype.safetensors");
+  {
+    std::ofstream out(file, std::ios::binary);
+    const std::string header =
+        R"({"w":{"dtype":"I64","shape":[1],"data_offsets":[0,8]}})";
+    const std::uint64_t len = header.size();
+    out.write(reinterpret_cast<const char*>(&len), 8);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write("\x00\x00\x00\x00\x00\x00\x00\x00", 8);
+  }
+  EXPECT_THROW(load_safetensors(file), Error);
+}
+
+TEST_F(SafetensorsTest, ReservedMetadataNameRejectedOnSave) {
+  std::map<std::string, Tensor> tensors;
+  tensors["__metadata__"] = Tensor({1}, {0.0F});
+  EXPECT_THROW(save_safetensors(path("reserved.safetensors"), tensors), Error);
+}
+
+/// Fuzz: random byte soup must never crash the loader — it either parses
+/// (vacuously possible) or throws chipalign::Error.
+class SafetensorsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafetensorsFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const auto dir = std::filesystem::temp_directory_path() / "ca_st_fuzz";
+  std::filesystem::create_directories(dir);
+  for (int i = 0; i < 40; ++i) {
+    const std::string file =
+        (dir / ("fuzz_" + std::to_string(GetParam()) + "_" +
+                std::to_string(i) + ".safetensors"))
+            .string();
+    {
+      std::ofstream out(file, std::ios::binary);
+      const auto size = static_cast<std::size_t>(rng.uniform_index(512));
+      for (std::size_t b = 0; b < size; ++b) {
+        const char byte = static_cast<char>(rng.next_u64() & 0xFF);
+        out.write(&byte, 1);
+      }
+    }
+    try {
+      (void)load_safetensors(file);
+    } catch (const Error&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+/// Fuzz variant with a *valid length prefix* and random JSON-ish header, the
+/// adversarial region of the format.
+TEST_P(SafetensorsFuzz, CorruptedHeadersNeverCrash) {
+  Rng rng(GetParam() ^ 0xF00DULL);
+  const auto dir = std::filesystem::temp_directory_path() / "ca_st_fuzz";
+  std::filesystem::create_directories(dir);
+  const char* headers[] = {
+      R"({"w":{"dtype":"F32","shape":[-1],"data_offsets":[0,4]}})",
+      R"({"w":{"dtype":"F32","shape":[1],"data_offsets":[4,0]}})",
+      R"({"w":{"dtype":"F32","shape":[1],"data_offsets":[0]}})",
+      R"({"w":{"dtype":"F32","shape":"x","data_offsets":[0,4]}})",
+      R"({"w":{"shape":[1],"data_offsets":[0,4]}})",
+      R"({"w":{"dtype":"F32","shape":[2],"data_offsets":[0,4]}})",
+      R"({"w":[1,2,3]})",
+      R"([])",
+      R"({"__metadata__":{"k":5}})",
+  };
+  for (std::size_t h = 0; h < std::size(headers); ++h) {
+    const std::string file =
+        (dir / ("hdr_" + std::to_string(GetParam()) + "_" + std::to_string(h) +
+                ".safetensors"))
+            .string();
+    {
+      std::ofstream out(file, std::ios::binary);
+      const std::string header = headers[h];
+      const std::uint64_t len = header.size();
+      out.write(reinterpret_cast<const char*>(&len), 8);
+      out.write(header.data(), static_cast<std::streamsize>(header.size()));
+      out.write("\x00\x00\x00\x00", 4);
+    }
+    try {
+      (void)load_safetensors(file);
+    } catch (const Error&) {
+      // Expected.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetensorsFuzz,
+                         ::testing::Values(1u, 2u, 3u));
+
+/// Parameterized round-trip across storage dtypes: the reload error must be
+/// bounded by the format's precision.
+class DtypeRoundTrip : public ::testing::TestWithParam<DType> {};
+
+TEST_P(DtypeRoundTrip, ValuesSurviveWithinPrecision) {
+  const DType dtype = GetParam();
+  Rng rng(7);
+  std::map<std::string, Tensor> tensors;
+  tensors["w"] = Tensor::randn({16, 16}, rng, 0.05F);
+
+  const auto dir = std::filesystem::temp_directory_path() / "ca_st_tests";
+  std::filesystem::create_directories(dir);
+  const std::string file =
+      (dir / ("rt_" + dtype_name(dtype) + ".safetensors")).string();
+  save_safetensors(file, tensors, dtype);
+  const SafetensorsFile loaded = load_safetensors(file);
+
+  const double tol = dtype == DType::kF32 ? 0.0
+                     : dtype == DType::kF16 ? 1e-3
+                                            : 8e-3;  // bf16
+  const Tensor& orig = tensors.at("w");
+  const Tensor& back = loaded.tensors.at("w");
+  for (std::int64_t i = 0; i < orig.numel(); ++i) {
+    EXPECT_NEAR(back[i], orig[i], std::abs(orig[i]) * tol + 1e-6)
+        << dtype_name(dtype) << " index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDtypes, DtypeRoundTrip,
+                         ::testing::Values(DType::kF32, DType::kF16,
+                                           DType::kBF16),
+                         [](const auto& info) { return dtype_name(info.param); });
+
+}  // namespace
+}  // namespace chipalign

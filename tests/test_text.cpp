@@ -1,0 +1,63 @@
+// Tests for the character tokenizer.
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.hpp"
+
+namespace chipalign {
+namespace {
+
+TEST(Tokenizer, RoundTripsPrintableAscii) {
+  const CharTokenizer& tok = tokenizer();
+  const std::string text = "Hello, World! [UP] q: x?\nout: (y)";
+  EXPECT_EQ(tok.decode(tok.encode(text)), text);
+}
+
+TEST(Tokenizer, SpecialTokensHaveReservedIds) {
+  EXPECT_EQ(CharTokenizer::kPad, 0);
+  EXPECT_EQ(CharTokenizer::kBos, 1);
+  EXPECT_EQ(CharTokenizer::kEos, 2);
+  EXPECT_EQ(CharTokenizer::kUnk, 3);
+  const CharTokenizer& tok = tokenizer();
+  EXPECT_TRUE(tok.is_special(CharTokenizer::kBos));
+  EXPECT_FALSE(tok.is_special(tok.char_to_id('a')));
+}
+
+TEST(Tokenizer, BosEosFlags) {
+  const CharTokenizer& tok = tokenizer();
+  const auto plain = tok.encode("ab");
+  ASSERT_EQ(plain.size(), 2u);
+  const auto wrapped = tok.encode("ab", true, true);
+  ASSERT_EQ(wrapped.size(), 4u);
+  EXPECT_EQ(wrapped.front(), CharTokenizer::kBos);
+  EXPECT_EQ(wrapped.back(), CharTokenizer::kEos);
+}
+
+TEST(Tokenizer, UnknownBytesMapToUnk) {
+  const CharTokenizer& tok = tokenizer();
+  const auto tokens = tok.encode("a\x80z");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], CharTokenizer::kUnk);
+  // Decode skips specials (including unk).
+  EXPECT_EQ(tok.decode(tokens), "az");
+}
+
+TEST(Tokenizer, VocabularyCoversNewlineAndAllPrintables) {
+  const CharTokenizer& tok = tokenizer();
+  EXPECT_EQ(tok.vocab_size(), 4 + 1 + (0x7E - 0x20 + 1));
+  EXPECT_NE(tok.char_to_id('\n'), CharTokenizer::kUnk);
+  EXPECT_NE(tok.char_to_id(' '), CharTokenizer::kUnk);
+  EXPECT_NE(tok.char_to_id('~'), CharTokenizer::kUnk);
+  EXPECT_EQ(tok.char_to_id('\t'), CharTokenizer::kUnk);
+}
+
+TEST(Tokenizer, CharIdBijection) {
+  const CharTokenizer& tok = tokenizer();
+  for (int c = 0x20; c <= 0x7E; ++c) {
+    const TokenId id = tok.char_to_id(static_cast<char>(c));
+    EXPECT_EQ(tok.id_to_char(id), static_cast<char>(c));
+  }
+}
+
+}  // namespace
+}  // namespace chipalign

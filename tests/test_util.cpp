@@ -1,0 +1,187 @@
+// Tests for src/util: rng, strings, thread pool, error macros, timer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace chipalign {
+namespace {
+
+TEST(Error, ThrowCarriesMessageAndLocation) {
+  try {
+    CA_THROW("value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesAndFails) {
+  EXPECT_NO_THROW(CA_CHECK(1 + 1 == 2, "fine"));
+  EXPECT_THROW(CA_CHECK(1 + 1 == 3, "broken"), Error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(2);
+  std::vector<int> histogram(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++histogram[static_cast<std::size_t>(rng.uniform_index(5))];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child stream should not replay the parent stream.
+  Rng parent2(5);
+  parent2.split();
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+  (void)child;
+}
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtils, SplitWhitespaceDropsEmpties) {
+  const auto parts = split_whitespace("  hello\t world \n");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[1], "world");
+}
+
+TEST(StringUtils, JoinRoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(StringUtils, CaseTransforms) {
+  EXPECT_EQ(to_upper("aBc 1!"), "ABC 1!");
+  EXPECT_EQ(to_lower("aBc 1!"), "abc 1!");
+}
+
+TEST(StringUtils, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("hello", "hello!"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+  EXPECT_FALSE(ends_with("hello", "hel"));
+}
+
+TEST(StringUtils, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("no hits", "x", "y"), "no hits");
+}
+
+TEST(StringUtils, WordTokensLowercasesAndDropsPunct) {
+  const auto tokens = word_tokens("Hello, World! x2 (ok)");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "x2");
+  EXPECT_EQ(tokens[3], "ok");
+  EXPECT_EQ(count_words("one two  three."), 3u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](std::size_t i) {
+                          if (i == 3) CA_THROW("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  int counter = 0;
+  pool.parallel_for(10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace chipalign

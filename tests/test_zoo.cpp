@@ -1,0 +1,120 @@
+// Tests for the cached model zoo using a micro backbone spec (tiny budgets
+// so the whole pipeline runs in seconds).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/model_zoo.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace chipalign {
+namespace {
+
+BackboneSpec micro_spec() {
+  BackboneSpec spec;
+  spec.name = "micro-zoo-test";
+  spec.config.name = spec.name;
+  spec.config.vocab_size = tokenizer().vocab_size();
+  spec.config.d_model = 16;
+  spec.config.n_layers = 1;
+  spec.config.n_heads = 2;
+  spec.config.n_kv_heads = 1;
+  spec.config.d_ff = 24;
+  spec.config.max_seq_len = 256;
+  spec.init_seed = 9;
+
+  TrainConfig tiny;
+  tiny.steps = 4;
+  tiny.batch_size = 2;
+  tiny.peak_lr = 1e-3;
+  tiny.warmup_steps = 1;
+  spec.pretrain = tiny;
+  spec.instruct_ft = tiny;
+  spec.daft = tiny;
+  spec.chip_recipe = BackboneSpec::ChipRecipe::kLoraFromInstruct;
+  spec.chip_domains = {FactDomain::kVlsiFlow};
+  return spec;
+}
+
+std::string temp_cache_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("ca_zoo_test_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+double distance(const Checkpoint& a, const Checkpoint& b) {
+  double worst = 0.0;
+  for (const std::string& name : a.names()) {
+    worst = std::max(worst, ops::max_abs_diff(a.at(name), b.at(name)));
+  }
+  return worst;
+}
+
+TEST(ModelZoo, BuildsAllRolesAndCachesThem) {
+  ModelZoo zoo(temp_cache_dir("roles"));
+  const BackboneSpec spec = micro_spec();
+
+  const Checkpoint base = zoo.base(spec);
+  const Checkpoint instruct = zoo.instruct(spec);
+  const Checkpoint chip = zoo.chip(spec);
+  EXPECT_TRUE(base.all_finite());
+  EXPECT_TRUE(instruct.all_finite());
+  EXPECT_TRUE(chip.all_finite());
+  check_mergeable(base, instruct);
+  check_mergeable(base, chip);
+
+  // Cache files exist under the fingerprinted names.
+  for (const char* role : {"base", "instruct", "chip"}) {
+    EXPECT_TRUE(std::filesystem::exists(zoo.cache_path(spec, role))) << role;
+  }
+
+  // Second fetch is a byte-identical cache hit.
+  const Checkpoint again = zoo.base(spec);
+  EXPECT_EQ(distance(base, again), 0.0);
+}
+
+TEST(ModelZoo, RolesDiffer) {
+  ModelZoo zoo(temp_cache_dir("differ"));
+  const BackboneSpec spec = micro_spec();
+  const Checkpoint base = zoo.base(spec);
+  const Checkpoint instruct = zoo.instruct(spec);
+  EXPECT_GT(distance(base, instruct), 0.0);  // finetuning moved the weights
+}
+
+TEST(ModelZoo, FingerprintSeparatesRecipes) {
+  ModelZoo zoo(temp_cache_dir("fp"));
+  const BackboneSpec spec = micro_spec();
+  BackboneSpec other = spec;
+  other.daft.steps += 1;
+
+  // Changing the DAFT recipe must change only the chip cache path.
+  EXPECT_EQ(zoo.cache_path(spec, "base"), zoo.cache_path(other, "base"));
+  EXPECT_EQ(zoo.cache_path(spec, "instruct"),
+            zoo.cache_path(other, "instruct"));
+  EXPECT_NE(zoo.cache_path(spec, "chip"), zoo.cache_path(other, "chip"));
+
+  // Changing pretraining invalidates everything.
+  BackboneSpec repretrained = spec;
+  repretrained.pretrain.seed += 1;
+  EXPECT_NE(zoo.cache_path(spec, "base"),
+            zoo.cache_path(repretrained, "base"));
+  EXPECT_NE(zoo.cache_path(spec, "chip"),
+            zoo.cache_path(repretrained, "chip"));
+}
+
+TEST(ModelZoo, ChipNemoRecipeBuildsFromBase) {
+  ModelZoo zoo(temp_cache_dir("nemo"));
+  BackboneSpec spec = micro_spec();
+  spec.chip_recipe = BackboneSpec::ChipRecipe::kChipNemoFromBase;
+  spec.chip_instruct_frac = 0.2;
+  spec.chip_domains = {};
+  const Checkpoint chip = zoo.chip(spec);
+  EXPECT_TRUE(chip.all_finite());
+  // The ChipNeMo recipe must not require the instruct model at all.
+  EXPECT_FALSE(std::filesystem::exists(zoo.cache_path(spec, "instruct")));
+}
+
+}  // namespace
+}  // namespace chipalign
