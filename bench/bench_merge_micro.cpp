@@ -7,9 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "merge/registry.hpp"
 #include "model/checkpoint.hpp"
 #include "tensor/tensor.hpp"
+#include "util/mem_probe.hpp"
 #include "util/rng.hpp"
 
 namespace chipalign {
@@ -89,4 +92,17 @@ BENCHMARK(BM_ChipAlignManyTensors)->RangeMultiplier(4)->Range(4, 256)->Complexit
 }  // namespace
 }  // namespace chipalign
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run ends with a peak-RSS report — the
+// in-memory O(model) residency this measures is the baseline the streaming
+// engine (bench_stream_merge) is bounded against.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  const std::uint64_t peak = chipalign::peak_rss_bytes();
+  if (peak > 0) {
+    std::printf("peak RSS: %s\n", chipalign::format_bytes(peak).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,226 @@
+// bench_stream_merge — streaming vs in-memory merge: wall clock, throughput
+// and peak RSS, plus a byte-identity check between the two paths.
+//
+// The bench fabricates synthetic sharded checkpoints tensor-by-tensor (so
+// fabrication itself stays small), then:
+//   1. streams the merge under a bounded in-flight budget and records the
+//      process peak RSS (VmHWM) — which must stay under
+//      baseline + budget + a fixed overhead allowance;
+//   2. runs the same merge through the in-memory path (load everything,
+//      merge, save) — whose peak must strictly exceed the streaming peak;
+//   3. verifies the two outputs are byte-identical, tensor by tensor.
+//
+// Exit status is non-zero when any of those checks fail, so the bench
+// doubles as an acceptance gate. `--quick` shrinks the workload for CI.
+//
+// Usage: bench_stream_merge [--quick] [--method chipalign|ties|...]
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/safetensors.hpp"
+#include "merge/registry.hpp"
+#include "model/checkpoint.hpp"
+#include "stream/shard_layout.hpp"
+#include "stream/shard_writer.hpp"
+#include "stream/streaming_merge.hpp"
+#include "stream/tensor_source.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/mem_probe.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace chipalign;
+
+namespace {
+
+struct BenchConfig {
+  int tensor_count = 48;
+  std::int64_t rows = 1024;
+  std::int64_t cols = 680;               // ~2.8 MB per tensor, ~133 MB total
+  std::uint64_t shard_size_bytes = 16ull << 20;
+  std::uint64_t max_inflight_bytes = 48ull << 20;
+  // Allowance for everything outside the accounted working set: binary +
+  // heap baseline growth, thread stacks, allocator slack.
+  std::uint64_t overhead_bytes = 96ull << 20;
+};
+
+BenchConfig quick_config() {
+  BenchConfig config;
+  config.tensor_count = 16;
+  config.rows = 256;
+  config.cols = 256;                     // 256 KB per tensor, 4 MB total
+  config.shard_size_bytes = 1u << 20;
+  config.max_inflight_bytes = 2u << 20;
+  config.overhead_bytes = 64ull << 20;
+  return config;
+}
+
+/// Writes one synthetic sharded checkpoint without ever holding more than a
+/// single tensor in memory, so fabrication barely moves the RSS baseline.
+void fabricate_checkpoint(const std::string& dir, const BenchConfig& bench,
+                          std::uint64_t seed) {
+  std::vector<std::pair<std::string, Shape>> entries;
+  for (int i = 0; i < bench.tensor_count; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "layers.%03d.weight", i);
+    entries.emplace_back(name, Shape{bench.rows, bench.cols});
+  }
+  ModelConfig config;
+  config.name = "synthetic-" + std::to_string(seed);
+  config.vocab_size = 1;
+  config.d_model = bench.rows;
+  config.n_layers = bench.tensor_count;
+  config.n_heads = 1;
+  config.n_kv_heads = 1;
+  config.d_ff = bench.cols;
+  config.max_seq_len = 1;
+
+  ShardSetWriter writer(
+      dir, plan_shards(entries, DType::kF32, bench.shard_size_bytes),
+      checkpoint_metadata(config));
+  std::map<std::string, std::string> checksums;
+  for (const auto& [name, shape] : entries) {
+    Rng rng(seed ^ xxh64(name));
+    const Tensor tensor = Tensor::randn(shape, rng, 0.05F);
+    const std::vector<std::uint8_t> bytes =
+        encode_tensor_bytes(tensor, DType::kF32);
+    checksums[name] = hash_to_hex(xxh64(bytes.data(), bytes.size()));
+    writer.write_tensor(name, bytes);
+  }
+  writer.finish(checksums);
+}
+
+double mb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bool quick = false;
+    std::string method = "chipalign";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        quick = true;
+      } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
+        method = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "usage: bench_stream_merge [--quick] [--method M]\n");
+        return 2;
+      }
+    }
+    const BenchConfig bench = quick ? quick_config() : BenchConfig{};
+    const auto merger = create_merger(method);
+    const std::string root =
+        std::string("/tmp/ca_bench_stream_merge") + (quick ? "_quick" : "");
+    std::filesystem::remove_all(root);
+
+    const std::uint64_t tensor_bytes = static_cast<std::uint64_t>(
+        bench.rows * bench.cols * static_cast<std::int64_t>(sizeof(float)));
+    std::printf("bench_stream_merge (%s): %d tensors x %.1f MB = %.1f MB "
+                "per model, method '%s'\n",
+                quick ? "quick" : "full", bench.tensor_count, mb(tensor_bytes),
+                mb(tensor_bytes * bench.tensor_count), method.c_str());
+
+    Timer fab_timer;
+    fabricate_checkpoint(root + "/chip", bench, 101);
+    fabricate_checkpoint(root + "/instruct", bench, 202);
+    if (merger->requires_base()) fabricate_checkpoint(root + "/base", bench, 303);
+    std::printf("fabricated inputs in %.2f s\n", fab_timer.seconds());
+
+    const MergeOptions options;
+
+    // Phase 1: streaming (first, so its VmHWM is not masked by the
+    // in-memory path's allocations — the kernel high-water mark only grows).
+    const std::uint64_t baseline_rss = peak_rss_bytes();
+    StreamingMergeConfig config;
+    config.shard_size_bytes = bench.shard_size_bytes;
+    config.max_inflight_bytes = bench.max_inflight_bytes;
+    const ShardedTensorSource chip = ShardedTensorSource::open(root + "/chip");
+    const ShardedTensorSource instruct =
+        ShardedTensorSource::open(root + "/instruct");
+    ShardedTensorSource base;
+    if (merger->requires_base()) {
+      base = ShardedTensorSource::open(root + "/base");
+    }
+    const StreamingMergeReport report = merge_streaming(
+        *merger, chip, instruct, merger->requires_base() ? &base : nullptr,
+        options, config, root + "/merged_streaming");
+    const std::uint64_t streaming_rss = peak_rss_bytes();
+    std::printf(
+        "[streaming] %zu tensors -> %zu shard(s), %s written, %.1f MB/s in "
+        "%.2f s\n",
+        report.tensor_count, report.shard_count,
+        format_bytes(report.bytes_written).c_str(), report.mb_per_second(),
+        report.seconds);
+    std::printf(
+        "[streaming] peak RSS %s (baseline %s, accounted in-flight max %s, "
+        "budget %s)\n",
+        format_bytes(streaming_rss).c_str(), format_bytes(baseline_rss).c_str(),
+        format_bytes(report.max_inflight_bytes_observed).c_str(),
+        format_bytes(config.max_inflight_bytes).c_str());
+
+    // Phase 2: in-memory.
+    Timer mem_timer;
+    const Checkpoint chip_mem = load_sharded_checkpoint(root + "/chip");
+    const Checkpoint instruct_mem = load_sharded_checkpoint(root + "/instruct");
+    Checkpoint base_mem;
+    if (merger->requires_base()) {
+      base_mem = load_sharded_checkpoint(root + "/base");
+    }
+    const Checkpoint merged =
+        merge_checkpoints(*merger, chip_mem, instruct_mem,
+                          merger->requires_base() ? &base_mem : nullptr, options);
+    merged.save(root + "/merged_inmemory.safetensors", DType::kF32);
+    const std::uint64_t inmemory_rss = peak_rss_bytes();
+    std::printf("[in-memory] merged + saved in %.2f s, peak RSS %s\n",
+                mem_timer.seconds(), format_bytes(inmemory_rss).c_str());
+
+    // Phase 3: byte-identity between the two outputs.
+    const ShardedTensorSource streamed =
+        ShardedTensorSource::open(root + "/merged_streaming");
+    std::size_t identical = 0;
+    for (const auto& [name, tensor] : merged.tensors()) {
+      if (streamed.read_bytes(name) == encode_tensor_bytes(tensor, DType::kF32)) {
+        ++identical;
+      }
+    }
+    const bool bytes_ok = identical == merged.tensors().size() &&
+                          identical == streamed.names().size();
+    std::printf("byte-identity: %zu/%zu tensors identical -> %s\n", identical,
+                merged.tensors().size(), bytes_ok ? "OK" : "FAIL");
+
+    bool ok = bytes_ok;
+    if (peak_rss_bytes() == 0) {
+      std::printf("peak-RSS checks skipped (no /proc/self/status)\n");
+    } else {
+      const std::uint64_t bound =
+          baseline_rss + config.max_inflight_bytes + bench.overhead_bytes;
+      const bool budget_ok = streaming_rss <= bound;
+      std::printf("streaming peak %s <= baseline + budget + overhead %s -> %s\n",
+                  format_bytes(streaming_rss).c_str(),
+                  format_bytes(bound).c_str(), budget_ok ? "OK" : "FAIL");
+      const bool below_inmemory = streaming_rss < inmemory_rss;
+      std::printf("streaming peak %s < in-memory peak %s -> %s\n",
+                  format_bytes(streaming_rss).c_str(),
+                  format_bytes(inmemory_rss).c_str(),
+                  below_inmemory ? "OK" : "FAIL");
+      ok = ok && budget_ok && below_inmemory;
+    }
+
+    std::filesystem::remove_all(root);
+    return ok ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,17 +1,21 @@
 // merge_cli — command-line model merging over safetensors checkpoints,
 // in the spirit of mergekit but for this repo's checkpoint format.
 //
-// Usage:
-//   merge_cli --method chipalign --lambda 0.6 \
-//             --chip chip.safetensors --instruct instruct.safetensors \
-//             [--base base.safetensors] [--density 0.5] [--seed 42] \
-//             [--storage f32|f16|bf16] --out merged.safetensors
-//   merge_cli --analyze --chip a.safetensors --instruct b.safetensors \
-//             [--base base.safetensors]
+// In-memory merge (single-file output):
+//   merge_cli --method chipalign --lambda 0.6 --chip chip.safetensors
+//             --instruct instruct.safetensors --out merged.safetensors
+//
+// Streaming merge (sharded checkpoints, bounded memory; inputs may be
+// single .safetensors files, sharded checkpoint directories, or
+// model.safetensors.index.json paths; output is a directory):
+//   merge_cli --streaming --method ties --chip chip_ckpt/ --instruct inst_ckpt/
+//             --base base_ckpt/ --out merged_ckpt/ --shard-size-mb 64
+//             --max-inflight-mb 256 [--resume]
 //
 // With --demo (no file arguments) the tool merges two freshly initialized
 // models so the binary can be exercised without any checkpoints on disk.
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -21,9 +25,13 @@
 #include "merge/registry.hpp"
 #include "model/checkpoint.hpp"
 #include "nn/transformer.hpp"
+#include "stream/shard_writer.hpp"
+#include "stream/streaming_merge.hpp"
+#include "stream/tensor_source.hpp"
 #include "text/tokenizer.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/mem_probe.hpp"
 #include "util/string_utils.hpp"
 #include "util/timer.hpp"
 
@@ -58,11 +66,11 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-DType parse_storage(const std::string& text) {
+DType parse_dtype(const std::string& text) {
   if (text == "f32") return DType::kF32;
   if (text == "f16") return DType::kF16;
   if (text == "bf16") return DType::kBF16;
-  CA_THROW("unknown --storage '" << text << "' (use f32|f16|bf16)");
+  CA_THROW("unknown output dtype '" << text << "' (use f32|f16|bf16)");
 }
 
 void print_usage() {
@@ -76,10 +84,20 @@ void print_usage() {
       "  --chip PATH     chip/domain model checkpoint\n"
       "  --instruct PATH instruction model checkpoint\n"
       "  --base PATH     common base model (task-vector methods)\n"
-      "  --out PATH      output checkpoint\n"
-      "  --storage T     f32|f16|bf16 output storage (default f32)\n"
+      "  --out PATH      output checkpoint (a directory with --streaming)\n"
+      "  --out-dtype T   f32|f16|bf16 output storage (default f32;\n"
+      "                  --storage is accepted as an alias)\n"
       "  --analyze       print weight-space geometry instead of merging\n"
-      "  --demo          run on freshly initialized models (no files)\n",
+      "  --demo          run on freshly initialized models (no files)\n"
+      "\n"
+      "streaming mode (bounded-memory sharded merge):\n"
+      "  --streaming         merge shard-by-shard instead of in memory;\n"
+      "                      inputs may be .safetensors files, sharded\n"
+      "                      checkpoint dirs, or *.index.json paths\n"
+      "  --shard-size-mb N   max data MB per output shard (default 64;\n"
+      "                      0 = single shard)\n"
+      "  --max-inflight-mb N in-flight working-set budget (default 256)\n"
+      "  --resume            continue an interrupted run from its journal\n",
       join(merger_names(), ", ").c_str());
 }
 
@@ -97,6 +115,28 @@ Checkpoint demo_checkpoint(std::uint64_t seed) {
   return TransformerModel(config, rng).to_checkpoint();
 }
 
+/// A `\r`-rewriting progress line: "merged 12/87 tensors (31.2 MB/s)".
+/// `approx_total_bytes` scales the throughput estimate; the exact figure is
+/// printed at the end. Safe to call from worker threads (one printf per call).
+MergeProgressFn progress_line(std::uint64_t approx_total_bytes) {
+  auto timer = std::make_shared<Timer>();
+  return [timer, approx_total_bytes](std::size_t done, std::size_t total) {
+    const double secs = timer->seconds();
+    const double frac =
+        total > 0 ? static_cast<double>(done) / static_cast<double>(total) : 0.0;
+    const double mb =
+        static_cast<double>(approx_total_bytes) * frac / (1024.0 * 1024.0);
+    std::fprintf(stderr, "\rmerged %zu/%zu tensors (%.1f MB/s)%s", done, total,
+                 secs > 0.0 ? mb / secs : 0.0, done == total ? "\n" : "");
+    std::fflush(stderr);
+  };
+}
+
+std::uint64_t mb_to_bytes(double mb) {
+  CA_CHECK(mb >= 0.0, "size in MB must be non-negative, got " << mb);
+  return static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,45 +147,11 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    Checkpoint chip;
-    Checkpoint instruct;
-    Checkpoint base;
-    bool have_base = false;
-
-    if (args.has("demo")) {
-      chip = demo_checkpoint(11);
-      instruct = demo_checkpoint(22);
-      base = demo_checkpoint(33);
-      have_base = true;
-      std::printf("[demo] merging two freshly initialized checkpoints\n");
-    } else {
-      if (!args.has("chip") || !args.has("instruct")) {
-        print_usage();
-        return 2;
-      }
-      chip = Checkpoint::load(args.get("chip"));
-      instruct = Checkpoint::load(args.get("instruct"));
-      if (args.has("base")) {
-        base = Checkpoint::load(args.get("base"));
-        have_base = true;
-      }
-    }
-
-    if (args.has("analyze")) {
-      const auto report =
-          analyze_geometry(chip, instruct, have_base ? &base : nullptr,
-                           args.get_double("lambda", 0.6));
-      std::printf("%-44s %10s %10s %10s %12s\n", "tensor", "numel", "theta",
-                  "tv-cos", "slerp-gap");
-      for (const TensorGeometry& g : report) {
-        std::printf("%-44s %10lld %10.4f %10.3f %12.5f\n", g.name.c_str(),
-                    static_cast<long long>(g.numel), g.theta, g.tv_cosine,
-                    g.slerp_lerp_gap);
-      }
-      const GeometrySummary summary = summarize_geometry(report);
-      std::printf("\nmean theta %.4f rad, max %.4f rad, mean tv-cosine %.3f\n",
-                  summary.mean_theta, summary.max_theta, summary.mean_tv_cosine);
-      return 0;
+    const bool streaming = args.has("streaming");
+    const bool demo = args.has("demo");
+    if (!demo && !args.has("chip") && !args.has("instruct")) {
+      print_usage();
+      return 2;
     }
 
     const std::string method = args.get("method", "chipalign");
@@ -168,12 +174,113 @@ int main(int argc, char** argv) {
                                               std::stod(pair.substr(eq + 1)));
       }
     }
+    const DType out_dtype =
+        parse_dtype(args.get("out-dtype", args.get("storage", "f32")));
+
+    if (streaming) {
+      CA_CHECK(!args.has("analyze"), "--analyze is an in-memory mode");
+      const std::string out_dir = args.get("out", "merged_checkpoint");
+
+      std::string chip_path = args.get("chip");
+      std::string instruct_path = args.get("instruct");
+      std::string base_path = args.get("base");
+      if (demo) {
+        // Materialize demo checkpoints as small sharded inputs so the
+        // streaming path is exercised end to end.
+        chip_path = out_dir + "/.demo/chip";
+        instruct_path = out_dir + "/.demo/instruct";
+        base_path = out_dir + "/.demo/base";
+        save_sharded_checkpoint(chip_path, demo_checkpoint(11), 1u << 20);
+        save_sharded_checkpoint(instruct_path, demo_checkpoint(22), 1u << 20);
+        save_sharded_checkpoint(base_path, demo_checkpoint(33), 1u << 20);
+        std::printf("[demo] streaming-merging freshly initialized checkpoints\n");
+      }
+
+      const ShardedTensorSource chip = ShardedTensorSource::open(chip_path);
+      const ShardedTensorSource instruct =
+          ShardedTensorSource::open(instruct_path);
+      const bool have_base = !base_path.empty();
+      CA_CHECK(!merger->requires_base() || have_base,
+               "method '" << method << "' needs --base");
+      ShardedTensorSource base_storage =
+          have_base ? ShardedTensorSource::open(base_path)
+                    : ShardedTensorSource();
+
+      StreamingMergeConfig config;
+      config.shard_size_bytes = mb_to_bytes(args.get_double("shard-size-mb", 64));
+      config.max_inflight_bytes =
+          mb_to_bytes(args.get_double("max-inflight-mb", 256));
+      config.out_dtype = out_dtype;
+      config.resume = args.has("resume");
+      config.progress = progress_line(chip.total_bytes());
+
+      const StreamingMergeReport report =
+          merge_streaming(*merger, chip, instruct,
+                          have_base ? &base_storage : nullptr, options, config,
+                          out_dir);
+      std::printf(
+          "streamed %zu tensors (%zu resumed) into %zu shard(s): %s written "
+          "at %.1f MB/s in %.2f s\n",
+          report.tensor_count, report.resumed_count, report.shard_count,
+          format_bytes(report.bytes_written).c_str(), report.mb_per_second(),
+          report.seconds);
+      std::printf("wrote %s (peak RSS %s, in-flight budget %s)\n",
+                  report.index_path.c_str(),
+                  format_bytes(peak_rss_bytes()).c_str(),
+                  format_bytes(config.max_inflight_bytes).c_str());
+      return 0;
+    }
+
+    Checkpoint chip;
+    Checkpoint instruct;
+    Checkpoint base;
+    bool have_base = false;
+
+    if (demo) {
+      chip = demo_checkpoint(11);
+      instruct = demo_checkpoint(22);
+      base = demo_checkpoint(33);
+      have_base = true;
+      std::printf("[demo] merging two freshly initialized checkpoints\n");
+    } else {
+      if (!args.has("chip") || !args.has("instruct")) {
+        print_usage();
+        return 2;
+      }
+      chip = load_sharded_checkpoint(args.get("chip"));
+      instruct = load_sharded_checkpoint(args.get("instruct"));
+      if (args.has("base")) {
+        base = load_sharded_checkpoint(args.get("base"));
+        have_base = true;
+      }
+    }
+
+    if (args.has("analyze")) {
+      const auto report =
+          analyze_geometry(chip, instruct, have_base ? &base : nullptr,
+                           args.get_double("lambda", 0.6));
+      std::printf("%-44s %10s %10s %10s %12s\n", "tensor", "numel", "theta",
+                  "tv-cos", "slerp-gap");
+      for (const TensorGeometry& g : report) {
+        std::printf("%-44s %10lld %10.4f %10.3f %12.5f\n", g.name.c_str(),
+                    static_cast<long long>(g.numel), g.theta, g.tv_cosine,
+                    g.slerp_lerp_gap);
+      }
+      const GeometrySummary summary = summarize_geometry(report);
+      std::printf("\nmean theta %.4f rad, max %.4f rad, mean tv-cosine %.3f\n",
+                  summary.mean_theta, summary.max_theta, summary.mean_tv_cosine);
+      return 0;
+    }
+
     CA_CHECK(!merger->requires_base() || have_base,
              "method '" << method << "' needs --base");
 
     Timer timer;
-    const Checkpoint merged = merge_checkpoints(
-        *merger, chip, instruct, have_base ? &base : nullptr, options);
+    const std::uint64_t approx_bytes =
+        static_cast<std::uint64_t>(chip.parameter_count()) * sizeof(float);
+    const Checkpoint merged =
+        merge_checkpoints(*merger, chip, instruct, have_base ? &base : nullptr,
+                          options, progress_line(approx_bytes));
     std::printf("merged %zu tensors (%lld params) with '%s' at lambda=%.2f "
                 "in %.0f ms\n",
                 merged.tensors().size(),
@@ -181,8 +288,9 @@ int main(int argc, char** argv) {
                 method.c_str(), options.lambda, timer.milliseconds());
 
     const std::string out = args.get("out", "merged.safetensors");
-    merged.save(out, parse_storage(args.get("storage", "f32")));
-    std::printf("wrote %s\n", out.c_str());
+    merged.save(out, out_dtype);
+    std::printf("wrote %s (peak RSS %s)\n", out.c_str(),
+                format_bytes(peak_rss_bytes()).c_str());
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,11 +1,26 @@
 #!/bin/sh
 # Regenerates every paper table/figure. First run trains the model zoo into
 # .chipalign_cache (slow once); later runs reuse it.
+#
+#   ./run_benches.sh           full sweep (every bench binary)
+#   ./run_benches.sh --quick   CI smoke: the streaming-merge acceptance bench
+#                              in its reduced --quick configuration only
 set -u
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "--quick" ]; then
+  b=build/bench/bench_stream_merge
+  [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 1; }
+  echo "######## $b --quick ########"
+  exec "$b" --quick
+fi
+
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
   echo ""
   echo "######## $b ########"
-  "$b"
+  case "$b" in
+    */bench_stream_merge) "$b" || exit 1 ;;  # acceptance gate: fail the sweep
+    *) "$b" ;;
+  esac
 done

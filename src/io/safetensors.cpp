@@ -1,5 +1,6 @@
 #include "io/safetensors.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -10,9 +11,7 @@
 
 namespace chipalign {
 
-namespace {
-
-std::vector<std::uint8_t> encode_tensor(const Tensor& tensor, DType dtype) {
+std::vector<std::uint8_t> encode_tensor_bytes(const Tensor& tensor, DType dtype) {
   const auto values = tensor.values();
   std::vector<std::uint8_t> bytes(values.size() * dtype_size(dtype));
   switch (dtype) {
@@ -38,8 +37,8 @@ std::vector<std::uint8_t> encode_tensor(const Tensor& tensor, DType dtype) {
   return bytes;
 }
 
-Tensor decode_tensor(const std::uint8_t* bytes, std::size_t byte_count,
-                     DType dtype, Shape shape) {
+Tensor decode_tensor_bytes(const std::uint8_t* bytes, std::size_t byte_count,
+                           DType dtype, Shape shape) {
   const std::int64_t numel = shape_numel(shape);
   CA_CHECK(byte_count == static_cast<std::size_t>(numel) * dtype_size(dtype),
            "tensor byte count " << byte_count << " does not match shape "
@@ -69,44 +68,55 @@ Tensor decode_tensor(const std::uint8_t* bytes, std::size_t byte_count,
   return Tensor(std::move(shape), std::move(values));
 }
 
-}  // namespace
-
-void save_safetensors(const std::string& path,
-                      const std::map<std::string, Tensor>& tensors,
-                      DType storage,
-                      const std::map<std::string, std::string>& metadata) {
+std::string build_safetensors_header_text(
+    const std::map<std::string, SafetensorsTensorInfo>& tensors,
+    const std::map<std::string, std::string>& metadata) {
   Json header = Json::object();
   if (!metadata.empty()) {
     Json meta = Json::object();
     for (const auto& [key, value] : metadata) meta.set(key, Json(value));
     header.set("__metadata__", std::move(meta));
   }
-
-  std::vector<std::vector<std::uint8_t>> buffers;
-  buffers.reserve(tensors.size());
-  std::size_t offset = 0;
-  for (const auto& [name, tensor] : tensors) {
+  for (const auto& [name, info] : tensors) {
     CA_CHECK(name != "__metadata__", "tensor name '__metadata__' is reserved");
-    buffers.push_back(encode_tensor(tensor, storage));
-    const std::size_t end = offset + buffers.back().size();
-
     Json entry = Json::object();
-    entry.set("dtype", Json(dtype_name(storage)));
+    entry.set("dtype", Json(dtype_name(info.dtype)));
     Json shape = Json::array();
-    for (std::int64_t dim : tensor.shape()) shape.push_back(Json(dim));
+    for (std::int64_t dim : info.shape) shape.push_back(Json(dim));
     entry.set("shape", std::move(shape));
     Json offsets = Json::array();
-    offsets.push_back(Json(static_cast<std::int64_t>(offset)));
-    offsets.push_back(Json(static_cast<std::int64_t>(end)));
+    offsets.push_back(Json(static_cast<std::int64_t>(info.begin)));
+    offsets.push_back(Json(static_cast<std::int64_t>(info.end)));
     entry.set("data_offsets", std::move(offsets));
     header.set(name, std::move(entry));
-    offset = end;
   }
-
-  std::string header_text = header.dump();
+  std::string text = header.dump();
   // Pad the header with spaces to 8-byte alignment, as the reference
   // implementation does.
-  while (header_text.size() % 8 != 0) header_text += ' ';
+  while (text.size() % 8 != 0) text += ' ';
+  return text;
+}
+
+void save_safetensors(const std::string& path,
+                      const std::map<std::string, Tensor>& tensors,
+                      DType storage,
+                      const std::map<std::string, std::string>& metadata) {
+  std::map<std::string, SafetensorsTensorInfo> infos;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  buffers.reserve(tensors.size());
+  std::uint64_t offset = 0;
+  for (const auto& [name, tensor] : tensors) {
+    buffers.push_back(encode_tensor_bytes(tensor, storage));
+    SafetensorsTensorInfo info;
+    info.dtype = storage;
+    info.shape = tensor.shape();
+    info.begin = offset;
+    info.end = offset + buffers.back().size();
+    offset = info.end;
+    infos.emplace(name, std::move(info));
+  }
+
+  const std::string header_text = build_safetensors_header_text(infos, metadata);
 
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   CA_CHECK(file.good(), "cannot open '" << path << "' for writing");
@@ -124,11 +134,11 @@ void save_safetensors(const std::string& path,
   CA_CHECK(file.good(), "write failed for '" << path << "'");
 }
 
-SafetensorsFile load_safetensors(const std::string& path) {
+SafetensorsHeader read_safetensors_header(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   CA_CHECK(file.good(), "cannot open '" << path << "' for reading");
   file.seekg(0, std::ios::end);
-  const auto file_size = static_cast<std::size_t>(file.tellg());
+  const auto file_size = static_cast<std::uint64_t>(file.tellg());
   file.seekg(0, std::ios::beg);
   CA_CHECK(file_size >= 8, "'" << path << "' is too small to be a safetensors file");
 
@@ -141,16 +151,14 @@ SafetensorsFile load_safetensors(const std::string& path) {
 
   std::string header_text(header_len, '\0');
   file.read(header_text.data(), static_cast<std::streamsize>(header_len));
+  CA_CHECK(file.good(), "read failed for '" << path << "'");
   const Json header = Json::parse(header_text);
   CA_CHECK(header.is_object(), "safetensors header is not a JSON object");
 
-  const std::size_t data_size = file_size - 8 - header_len;
-  std::vector<std::uint8_t> data(data_size);
-  file.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data_size));
-  CA_CHECK(file.good(), "read failed for '" << path << "'");
+  SafetensorsHeader out;
+  out.data_begin = 8 + header_len;
+  out.data_size = file_size - out.data_begin;
 
-  SafetensorsFile out;
   for (const auto& [name, entry] : header.members()) {
     if (name == "__metadata__") {
       for (const auto& [key, value] : entry.members()) {
@@ -158,22 +166,67 @@ SafetensorsFile load_safetensors(const std::string& path) {
       }
       continue;
     }
-    const DType dtype = dtype_from_name(entry.at("dtype").as_string());
-    Shape shape;
+    SafetensorsTensorInfo info;
+    info.dtype = dtype_from_name(entry.at("dtype").as_string());
     const Json& shape_json = entry.at("shape");
     for (std::size_t i = 0; i < shape_json.size(); ++i) {
-      shape.push_back(shape_json.at(i).as_int());
+      info.shape.push_back(shape_json.at(i).as_int());
     }
     const Json& offsets = entry.at("data_offsets");
     CA_CHECK(offsets.size() == 2, "data_offsets must have two entries");
-    const auto begin = static_cast<std::size_t>(offsets.at(0).as_int());
-    const auto end = static_cast<std::size_t>(offsets.at(1).as_int());
-    CA_CHECK(begin <= end && end <= data_size,
+    const std::int64_t begin = offsets.at(0).as_int();
+    const std::int64_t end = offsets.at(1).as_int();
+    CA_CHECK(begin >= 0 && begin <= end &&
+                 static_cast<std::uint64_t>(end) <= out.data_size,
              "tensor '" << name << "' offsets [" << begin << ", " << end
-                        << ") out of range " << data_size);
-    out.tensors.emplace(
-        name, decode_tensor(data.data() + begin, end - begin, dtype,
-                            std::move(shape)));
+                        << ") out of range " << out.data_size);
+    info.begin = static_cast<std::uint64_t>(begin);
+    info.end = static_cast<std::uint64_t>(end);
+    const std::int64_t numel = shape_numel(info.shape);
+    CA_CHECK(info.byte_size() ==
+                 static_cast<std::uint64_t>(numel) * dtype_size(info.dtype),
+             "tensor '" << name << "' byte count " << info.byte_size()
+                        << " does not match shape " << shape_to_string(info.shape)
+                        << " dtype " << dtype_name(info.dtype));
+    out.tensors.emplace(name, std::move(info));
+  }
+
+  // Reject overlapping data ranges: each byte of the data section belongs to
+  // at most one tensor. (The reference format additionally requires exact
+  // coverage; we tolerate gaps but never double ownership.)
+  std::vector<const SafetensorsTensorInfo*> ranges;
+  ranges.reserve(out.tensors.size());
+  for (const auto& [name, info] : out.tensors) ranges.push_back(&info);
+  std::sort(ranges.begin(), ranges.end(),
+            [](const auto* a, const auto* b) { return a->begin < b->begin; });
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    CA_CHECK(ranges[i - 1]->end <= ranges[i]->begin,
+             "overlapping data_offsets in '" << path << "': ["
+                 << ranges[i - 1]->begin << ", " << ranges[i - 1]->end
+                 << ") overlaps [" << ranges[i]->begin << ", "
+                 << ranges[i]->end << ")");
+  }
+  return out;
+}
+
+SafetensorsFile load_safetensors(const std::string& path) {
+  const SafetensorsHeader header = read_safetensors_header(path);
+
+  std::ifstream file(path, std::ios::binary);
+  CA_CHECK(file.good(), "cannot open '" << path << "' for reading");
+  file.seekg(static_cast<std::streamoff>(header.data_begin), std::ios::beg);
+  std::vector<std::uint8_t> data(header.data_size);
+  file.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(header.data_size));
+  CA_CHECK(file.good() || header.data_size == 0, "read failed for '" << path << "'");
+
+  SafetensorsFile out;
+  out.metadata = header.metadata;
+  for (const auto& [name, info] : header.tensors) {
+    out.tensors.emplace(name,
+                        decode_tensor_bytes(data.data() + info.begin,
+                                            info.byte_size(), info.dtype,
+                                            info.shape));
   }
   return out;
 }

@@ -7,9 +7,25 @@
 /// We support F32/F16/BF16 storage; tensors are decoded to fp32 on load.
 /// Files written here are readable by the reference Python implementation
 /// (and vice versa for the supported dtypes).
+///
+/// ## Deterministic byte output
+///
+/// save_safetensors() is bit-deterministic: given the same tensors, storage
+/// dtype and metadata it always produces the same file bytes. The layout
+/// contract (relied upon by the streaming shard writer, which must produce
+/// byte-identical files without holding the whole checkpoint in memory) is:
+///   * tensor data is laid out in name-sorted order (std::map iteration),
+///     contiguous from offset 0 with no padding between tensors;
+///   * the header JSON lists "__metadata__" first (when non-empty), then one
+///     entry per tensor in the same name-sorted order, serialized compactly
+///     (no whitespace) with keys in insertion order;
+///   * the header text is padded with trailing spaces to an 8-byte boundary.
+/// tests/test_safetensors.cpp pins this contract with a golden-bytes test.
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "tensor/dtype.hpp"
 #include "tensor/tensor.hpp"
@@ -23,8 +39,54 @@ struct SafetensorsFile {
   std::map<std::string, std::string> metadata;
 };
 
+/// Byte range and type of one tensor as declared by a safetensors header.
+/// Offsets are relative to the start of the data section.
+struct SafetensorsTensorInfo {
+  DType dtype = DType::kF32;
+  Shape shape;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t byte_size() const { return end - begin; }
+};
+
+/// Parsed safetensors header: tensor directory plus metadata, without any
+/// tensor data. data_begin is the absolute file offset of the data section.
+struct SafetensorsHeader {
+  std::map<std::string, SafetensorsTensorInfo> tensors;
+  std::map<std::string, std::string> metadata;
+  std::uint64_t data_begin = 0;
+  std::uint64_t data_size = 0;
+};
+
+/// Parses and validates only the header of a safetensors file — O(header)
+/// work and memory, never touching tensor data. Validation: well-formed
+/// JSON, known dtypes, non-negative in-bounds offsets, byte counts matching
+/// shape x dtype, and no overlapping data ranges. Throws Error on any
+/// violation. This is the entry point for lazy shard readers.
+SafetensorsHeader read_safetensors_header(const std::string& path);
+
+/// Encodes a fp32 tensor into the raw storage bytes of `dtype`.
+std::vector<std::uint8_t> encode_tensor_bytes(const Tensor& tensor, DType dtype);
+
+/// Decodes raw storage bytes into a fp32 tensor; throws Error when the byte
+/// count does not match shape x dtype.
+Tensor decode_tensor_bytes(const std::uint8_t* bytes, std::size_t byte_count,
+                           DType dtype, Shape shape);
+
+/// Renders the canonical header text for the given tensor directory:
+/// "__metadata__" first (when non-empty), then one entry per tensor in map
+/// (name-sorted) order with the offsets given, compact JSON, space-padded to
+/// an 8-byte boundary. Both save_safetensors() and the streaming shard
+/// writer emit exactly this text — that shared code path is what makes the
+/// two writers byte-identical.
+std::string build_safetensors_header_text(
+    const std::map<std::string, SafetensorsTensorInfo>& tensors,
+    const std::map<std::string, std::string>& metadata);
+
 /// Writes all tensors with the given storage dtype. Tensor bytes are laid out
 /// in name-sorted order (std::map iteration), offsets contiguous from zero.
+/// Bit-deterministic; see the layout contract in the file comment.
 void save_safetensors(const std::string& path,
                       const std::map<std::string, Tensor>& tensors,
                       DType storage = DType::kF32,

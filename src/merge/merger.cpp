@@ -1,5 +1,6 @@
 #include "merge/merger.hpp"
 
+#include <atomic>
 #include <vector>
 
 #include "util/logging.hpp"
@@ -22,10 +23,15 @@ double effective_lambda(const MergeOptions& options,
   return options.lambda;
 }
 
+Rng merge_tensor_rng(const MergeOptions& options, std::size_t index) {
+  return Rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+}
+
 Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
                              const Checkpoint& instruct,
                              const Checkpoint* base,
-                             const MergeOptions& options) {
+                             const MergeOptions& options,
+                             const MergeProgressFn& progress) {
   check_mergeable(chip, instruct);
   if (merger.requires_base()) {
     CA_CHECK(base != nullptr,
@@ -43,14 +49,16 @@ Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
   // One deterministic RNG stream per tensor, derived from the seed and the
   // tensor index, so results are independent of scheduling order.
   Timer timer;
+  std::atomic<std::size_t> done{0};
   global_thread_pool().parallel_for(names.size(), [&](std::size_t i) {
     const std::string& name = names[i];
-    Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    Rng rng = merge_tensor_rng(options, i);
     const Tensor* base_tensor = base != nullptr ? &base->at(name) : nullptr;
     merged[i] = merger.merge_tensor(name, chip.at(name), instruct.at(name),
                                     base_tensor, options, rng);
     CA_CHECK(merged[i].same_shape(chip.at(name)),
              "merger '" << merger.name() << "' changed shape of '" << name << "'");
+    if (progress) progress(done.fetch_add(1) + 1, names.size());
   });
 
   Checkpoint out;

@@ -11,6 +11,7 @@
 /// recovers the chip model, lambda = 0 the instruction model.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -86,13 +87,26 @@ class Merger {
 double effective_lambda(const MergeOptions& options,
                         const std::string& tensor_name);
 
+/// Derives the deterministic per-tensor RNG stream for the tensor at
+/// position `index` in the name-sorted tensor list. Both the in-memory
+/// driver and the streaming engine seed from here, which is what makes the
+/// two paths bit-identical for stochastic methods (DELLA, DARE).
+Rng merge_tensor_rng(const MergeOptions& options, std::size_t index);
+
+/// Progress callback: (tensors completed, total tensors). Invoked from
+/// worker threads, possibly concurrently; implementations must be
+/// thread-safe and cheap.
+using MergeProgressFn = std::function<void(std::size_t done, std::size_t total)>;
+
 /// Applies `merger` to every tensor of two conformable checkpoints.
 /// \param base Common ancestor checkpoint for task-vector methods; must be
 ///   non-null and conformable when merger.requires_base().
+/// \param progress Optional per-tensor completion callback.
 /// \throws Error on non-conformable inputs or missing base.
 Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
                              const Checkpoint& instruct,
                              const Checkpoint* base,
-                             const MergeOptions& options);
+                             const MergeOptions& options,
+                             const MergeProgressFn& progress = nullptr);
 
 }  // namespace chipalign

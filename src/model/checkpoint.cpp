@@ -65,20 +65,30 @@ bool Checkpoint::all_finite() const {
   return true;
 }
 
-void Checkpoint::save(const std::string& path, DType storage) const {
+std::map<std::string, std::string> checkpoint_metadata(const ModelConfig& config) {
   std::map<std::string, std::string> metadata;
-  metadata["chipalign.config"] = config_.to_json().dump();
+  metadata["chipalign.config"] = config.to_json().dump();
   metadata["format"] = "chipalign-checkpoint-v1";
-  save_safetensors(path, tensors_, storage, metadata);
+  return metadata;
+}
+
+ModelConfig config_from_metadata(
+    const std::map<std::string, std::string>& metadata,
+    const std::string& origin) {
+  const auto it = metadata.find("chipalign.config");
+  CA_CHECK(it != metadata.end(),
+           "'" << origin << "' lacks chipalign.config metadata");
+  return ModelConfig::from_json(Json::parse(it->second));
+}
+
+void Checkpoint::save(const std::string& path, DType storage) const {
+  save_safetensors(path, tensors_, storage, checkpoint_metadata(config_));
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
   SafetensorsFile file = load_safetensors(path);
-  const auto it = file.metadata.find("chipalign.config");
-  CA_CHECK(it != file.metadata.end(),
-           "'" << path << "' lacks chipalign.config metadata");
   Checkpoint ckpt;
-  ckpt.config_ = ModelConfig::from_json(Json::parse(it->second));
+  ckpt.config_ = config_from_metadata(file.metadata, path);
   ckpt.tensors_ = std::move(file.tensors);
   return ckpt;
 }

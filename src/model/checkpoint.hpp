@@ -75,4 +75,17 @@ class Checkpoint {
 /// (configs may differ in the free-form name field only).
 void check_mergeable(const Checkpoint& a, const Checkpoint& b);
 
+/// Builds the safetensors metadata map a checkpoint embeds on save: the
+/// config JSON under "chipalign.config" plus the format tag. Shared by
+/// Checkpoint::save and the streaming shard writer so that both emit
+/// identical metadata (a prerequisite for byte-identical outputs).
+std::map<std::string, std::string> checkpoint_metadata(const ModelConfig& config);
+
+/// Parses the ModelConfig out of checkpoint metadata; throws Error when the
+/// "chipalign.config" key is missing. `origin` names the source (a path) for
+/// error messages.
+ModelConfig config_from_metadata(
+    const std::map<std::string, std::string>& metadata,
+    const std::string& origin);
+
 }  // namespace chipalign

@@ -1,0 +1,97 @@
+#pragma once
+/// \file shard_layout.hpp
+/// \brief Sharded-checkpoint manifest and deterministic shard planning.
+///
+/// A sharded checkpoint is a directory of safetensors shard files plus a
+/// HF-style `model.safetensors.index.json` manifest:
+///
+/// ```json
+/// {
+///   "metadata":   {"total_size": 123456, "chipalign.config": "...", ...},
+///   "weight_map": {"layers.0.wq": "model-00001-of-00003.safetensors", ...},
+///   "checksums":  {"layers.0.wq": "9a3f...16-hex-xxh64...", ...}
+/// }
+/// ```
+///
+/// `metadata` carries `total_size` (sum of tensor data bytes across shards)
+/// plus the same free-form string metadata a single-file checkpoint embeds
+/// in its safetensors header (notably "chipalign.config"). `checksums` is a
+/// chipalign extension: XXH64 of each tensor's encoded storage bytes,
+/// written by the streaming merge engine and checked on verify/resume.
+///
+/// plan_shards() fixes the complete output layout *before* any tensor is
+/// produced: tensors are packed greedily in name-sorted order, each shard's
+/// data laid out contiguously from offset zero. A fixed plan is what lets
+/// the shard writer emit headers first and then write tensor bytes at known
+/// offsets in any completion order (bounded memory, no buffering).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/safetensors.hpp"
+#include "tensor/dtype.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chipalign {
+
+/// File name of the manifest inside a sharded-checkpoint directory.
+inline constexpr const char* kShardIndexFileName = "model.safetensors.index.json";
+
+/// Canonical shard file name, e.g. "model-00002-of-00007.safetensors".
+std::string shard_file_name(std::size_t index, std::size_t count);
+
+/// Parsed `model.safetensors.index.json`.
+struct ShardIndex {
+  /// tensor name -> shard file name (relative to the index directory).
+  std::map<std::string, std::string> weight_map;
+  /// tensor name -> 16-hex-digit XXH64 of the encoded bytes (may be empty
+  /// for indexes written by other tooling).
+  std::map<std::string, std::string> checksums;
+  /// Free-form string metadata (config JSON, format tag, ...).
+  std::map<std::string, std::string> metadata;
+  /// Total tensor data bytes across all shards.
+  std::uint64_t total_size = 0;
+
+  /// Distinct shard file names, sorted.
+  std::vector<std::string> shard_files() const;
+
+  /// Serializes to canonical JSON text (stable member order).
+  std::string to_json_text() const;
+
+  /// Writes the manifest into `dir` under kShardIndexFileName; returns the
+  /// manifest path.
+  std::string save(const std::string& dir) const;
+
+  /// Parses a manifest file; throws Error on malformed content.
+  static ShardIndex load(const std::string& index_path);
+};
+
+/// Planned layout of one output shard: file name plus the tensor directory
+/// with offsets relative to the shard's data section (exactly the map
+/// build_safetensors_header_text() consumes).
+struct ShardPlanShard {
+  std::string filename;
+  std::map<std::string, SafetensorsTensorInfo> tensors;
+  std::uint64_t data_size = 0;
+};
+
+/// Complete output layout, fixed before any tensor byte is produced.
+struct ShardPlan {
+  std::vector<ShardPlanShard> shards;
+  /// tensor name -> index into `shards`.
+  std::map<std::string, std::size_t> shard_of;
+  std::uint64_t total_size = 0;
+
+  std::size_t tensor_count() const { return shard_of.size(); }
+};
+
+/// Packs (name, shape) entries — which must be name-sorted — into shards of
+/// at most `shard_size_bytes` data bytes each, in order. A tensor larger
+/// than the budget gets a shard of its own. `shard_size_bytes` of 0 means
+/// unlimited (single shard). Throws on duplicate names or unsorted input.
+ShardPlan plan_shards(const std::vector<std::pair<std::string, Shape>>& entries,
+                      DType storage, std::uint64_t shard_size_bytes);
+
+}  // namespace chipalign

@@ -1,0 +1,191 @@
+#include "stream/shard_writer.hpp"
+
+#include <filesystem>
+
+#include "io/safetensors.hpp"
+#include "model/checkpoint.hpp"
+#include "stream/tensor_source.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// 8-byte little-endian header-length prefix.
+void write_header_prefix(std::fstream& file, std::uint64_t header_len) {
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>((header_len >> (8 * i)) & 0xFF);
+  }
+  file.write(reinterpret_cast<const char*>(len_bytes), 8);
+}
+
+/// True when `path` exists with exactly `expected_size` bytes and starts
+/// with the expected length prefix + header text.
+bool file_matches_header(const std::string& path, const std::string& header,
+                         std::uint64_t expected_size) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || fs::file_size(path, ec) != expected_size) {
+    return false;
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) return false;
+  std::string lead(8 + header.size(), '\0');
+  file.read(lead.data(), static_cast<std::streamsize>(lead.size()));
+  if (!file.good()) return false;
+  std::uint64_t header_len = 0;
+  for (int i = 7; i >= 0; --i) {
+    header_len = (header_len << 8) | static_cast<std::uint8_t>(lead[i]);
+  }
+  return header_len == header.size() && lead.substr(8) == header;
+}
+
+}  // namespace
+
+ShardSetWriter::ShardSetWriter(std::string out_dir, ShardPlan plan,
+                               std::map<std::string, std::string> metadata,
+                               bool resume)
+    : out_dir_(std::move(out_dir)),
+      plan_(std::move(plan)),
+      metadata_(std::move(metadata)) {
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir_);
+
+  header_texts_.reserve(plan_.shards.size());
+  files_.reserve(plan_.shards.size());
+  kept_.assign(plan_.shards.size(), false);
+
+  for (std::size_t s = 0; s < plan_.shards.size(); ++s) {
+    const ShardPlanShard& shard = plan_.shards[s];
+    header_texts_.push_back(
+        build_safetensors_header_text(shard.tensors, metadata_));
+    const std::string& header = header_texts_.back();
+    const std::string path = out_dir_ + "/" + shard.filename;
+    const std::uint64_t expected_size = 8 + header.size() + shard.data_size;
+
+    kept_[s] = resume && file_matches_header(path, header, expected_size);
+    if (!kept_[s]) {
+      // Create/truncate, write the header, and pre-size the file so later
+      // offset writes never extend it (and resume-validation can trust the
+      // file size).
+      std::ofstream create(path, std::ios::binary | std::ios::trunc);
+      CA_CHECK(create.good(), "cannot create shard '" << path << "'");
+      create.close();
+    }
+    auto file = std::make_unique<std::fstream>(
+        path, std::ios::binary | std::ios::in | std::ios::out);
+    CA_CHECK(file->good(), "cannot open shard '" << path << "' for writing");
+    if (!kept_[s]) {
+      write_header_prefix(*file, header.size());
+      file->write(header.data(), static_cast<std::streamsize>(header.size()));
+      if (shard.data_size > 0) {
+        file->seekp(static_cast<std::streamoff>(expected_size - 1));
+        const char zero = 0;
+        file->write(&zero, 1);
+      }
+      file->flush();
+      CA_CHECK(file->good(), "failed to initialize shard '" << path << "'");
+    }
+    files_.push_back(std::move(file));
+  }
+}
+
+void ShardSetWriter::write_tensor(const std::string& name,
+                                  const std::vector<std::uint8_t>& bytes) {
+  const auto it = plan_.shard_of.find(name);
+  CA_CHECK(it != plan_.shard_of.end(), "tensor '" << name << "' is not in the plan");
+  const std::size_t s = it->second;
+  const ShardPlanShard& shard = plan_.shards[s];
+  const SafetensorsTensorInfo& info = shard.tensors.at(name);
+  CA_CHECK(bytes.size() == info.byte_size(),
+           "tensor '" << name << "' byte count " << bytes.size()
+                      << " does not match planned " << info.byte_size());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  CA_CHECK(!finished_, "write_tensor after finish()");
+  CA_CHECK(written_.insert(name).second,
+           "tensor '" << name << "' written twice");
+  std::fstream& file = *files_[s];
+  const std::uint64_t offset = 8 + header_texts_[s].size() + info.begin;
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  CA_CHECK(file.good(), "write failed for tensor '" << name << "' in shard '"
+                            << shard.filename << "'");
+}
+
+void ShardSetWriter::mark_written(const std::string& name) {
+  CA_CHECK(plan_.shard_of.count(name) > 0,
+           "tensor '" << name << "' is not in the plan");
+  std::lock_guard<std::mutex> lock(mutex_);
+  written_.insert(name);
+}
+
+std::size_t ShardSetWriter::written_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_.size();
+}
+
+std::string ShardSetWriter::finish(
+    const std::map<std::string, std::string>& checksums) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CA_CHECK(!finished_, "finish() called twice");
+  CA_CHECK(written_.size() == plan_.tensor_count(),
+           "finish() with " << written_.size() << " of " << plan_.tensor_count()
+                            << " tensors written");
+  for (auto& file : files_) {
+    file->flush();
+    CA_CHECK(file->good(), "shard flush failed");
+    file->close();
+  }
+  finished_ = true;
+
+  ShardIndex index;
+  index.metadata = metadata_;
+  index.total_size = plan_.total_size;
+  index.checksums = checksums;
+  for (const auto& [name, s] : plan_.shard_of) {
+    index.weight_map[name] = plan_.shards[s].filename;
+  }
+  return index.save(out_dir_);
+}
+
+std::string save_sharded_checkpoint(const std::string& dir,
+                                    const Checkpoint& checkpoint,
+                                    std::uint64_t shard_size_bytes,
+                                    DType storage) {
+  std::vector<std::pair<std::string, Shape>> entries;
+  entries.reserve(checkpoint.tensors().size());
+  for (const auto& [name, tensor] : checkpoint.tensors()) {
+    entries.emplace_back(name, tensor.shape());
+  }
+  ShardPlan plan = plan_shards(entries, storage, shard_size_bytes);
+  ShardSetWriter writer(dir, std::move(plan),
+                        checkpoint_metadata(checkpoint.config()));
+  std::map<std::string, std::string> checksums;
+  for (const auto& [name, tensor] : checkpoint.tensors()) {
+    const std::vector<std::uint8_t> bytes = encode_tensor_bytes(tensor, storage);
+    checksums[name] = hash_to_hex(xxh64(bytes.data(), bytes.size()));
+    writer.write_tensor(name, bytes);
+  }
+  return writer.finish(checksums);
+}
+
+std::vector<std::string> verify_sharded_checkpoint(const std::string& path) {
+  const ShardedTensorSource source = ShardedTensorSource::open(path);
+  std::vector<std::string> mismatches;
+  for (const std::string& name : source.names()) {
+    const auto it = source.checksums().find(name);
+    if (it == source.checksums().end()) continue;
+    const std::vector<std::uint8_t> bytes = source.read_bytes(name);
+    if (hash_to_hex(xxh64(bytes.data(), bytes.size())) != it->second) {
+      mismatches.push_back(name);
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,93 @@
+#pragma once
+/// \file shard_writer.hpp
+/// \brief Random-access writer for a planned set of output shards.
+///
+/// The writer takes a fixed ShardPlan, emits every shard's safetensors
+/// header up front, and then accepts tensor bytes in ANY completion order,
+/// writing each at its planned offset. Memory stays O(1) per tensor: a
+/// tensor's bytes are written and dropped immediately — nothing is
+/// buffered. Because the header text is produced by the same
+/// build_safetensors_header_text() that save_safetensors() uses, a
+/// single-shard output is byte-identical to the in-memory writer's file.
+///
+/// In resume mode the writer keeps shard files from an interrupted run when
+/// their size and header still match the plan (tensor bytes inside them are
+/// vouched for by the merge journal); mismatching files are recreated.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stream/shard_layout.hpp"
+#include "tensor/dtype.hpp"
+
+namespace chipalign {
+
+class Checkpoint;
+
+/// Writes tensors into planned shard files at fixed offsets. write_tensor()
+/// is thread-safe.
+class ShardSetWriter {
+ public:
+  /// Creates (or, in resume mode, revalidates) every shard file in
+  /// `out_dir` and writes headers. Throws Error on I/O failure.
+  ShardSetWriter(std::string out_dir, ShardPlan plan,
+                 std::map<std::string, std::string> metadata,
+                 bool resume = false);
+
+  /// True when shard `index` survived from a previous interrupted run with
+  /// a matching size and header (resume mode only).
+  bool shard_kept(std::size_t index) const { return kept_[index]; }
+
+  /// Writes one tensor's encoded bytes at its planned offset; byte count
+  /// must equal the planned size. Thread-safe; a tensor may be written at
+  /// most once per run.
+  void write_tensor(const std::string& name,
+                    const std::vector<std::uint8_t>& bytes);
+
+  /// Marks a tensor as already on disk from a previous run (resume).
+  void mark_written(const std::string& name);
+
+  std::size_t written_count() const;
+
+  /// Flushes and closes all shards, verifies every planned tensor was
+  /// written, and saves the manifest (with `checksums`, tensor name ->
+  /// XXH64 hex). Returns the manifest path.
+  std::string finish(const std::map<std::string, std::string>& checksums);
+
+  const ShardPlan& plan() const { return plan_; }
+  const std::string& out_dir() const { return out_dir_; }
+
+ private:
+  std::string out_dir_;
+  ShardPlan plan_;
+  std::map<std::string, std::string> metadata_;
+  std::vector<std::string> header_texts_;   // per shard
+  std::vector<std::unique_ptr<std::fstream>> files_;
+  std::vector<bool> kept_;
+  std::set<std::string> written_;
+  mutable std::mutex mutex_;
+  bool finished_ = false;
+};
+
+/// Saves a checkpoint as a sharded directory (shard files + manifest with
+/// checksums). Returns the manifest path. The inverse of
+/// load_sharded_checkpoint(); used by tools, tests and benches to fabricate
+/// sharded inputs.
+std::string save_sharded_checkpoint(const std::string& dir,
+                                    const Checkpoint& checkpoint,
+                                    std::uint64_t shard_size_bytes,
+                                    DType storage = DType::kF32);
+
+/// Re-reads every tensor of a sharded checkpoint and compares its XXH64
+/// against the manifest. Returns the names of mismatching tensors (empty
+/// means verified); tensors without a recorded checksum are skipped.
+/// Throws Error on structural problems (missing shards, bad headers).
+std::vector<std::string> verify_sharded_checkpoint(const std::string& path);
+
+}  // namespace chipalign

@@ -1,0 +1,322 @@
+#include "stream/streaming_merge.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "io/safetensors.hpp"
+#include "model/checkpoint.hpp"
+#include "stream/shard_writer.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace chipalign {
+
+namespace {
+
+constexpr const char* kJournalFileName = "merge.journal";
+constexpr const char* kJournalMagic = "chipalign-merge-journal-v1";
+
+void hash_double(Xxh64Stream& stream, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  stream.update_u64(bits);
+}
+
+/// Fingerprints everything that determines the output bytes: method,
+/// hyperparameters, output layout, and the tensor directory. A journal from
+/// a run with any of these changed must not be resumed.
+std::uint64_t plan_fingerprint(const Merger& merger, const MergeOptions& options,
+                               const StreamingMergeConfig& config,
+                               const std::vector<std::string>& names,
+                               const TensorSource& chip) {
+  Xxh64Stream stream;
+  stream.update(merger.name());
+  hash_double(stream, options.lambda);
+  hash_double(stream, options.density);
+  hash_double(stream, options.tv_scale);
+  hash_double(stream, options.della_window);
+  hash_double(stream, options.breadcrumbs_outlier_frac);
+  hash_double(stream, options.theta_epsilon);
+  stream.update_u64(options.seed);
+  for (const auto& [suffix, lambda] : options.lambda_overrides) {
+    stream.update(suffix);
+    hash_double(stream, lambda);
+  }
+  stream.update(dtype_name(config.out_dtype));
+  stream.update_u64(config.shard_size_bytes);
+  for (const std::string& name : names) {
+    stream.update(name);
+    for (std::int64_t dim : chip.record(name).shape) {
+      stream.update_u64(static_cast<std::uint64_t>(dim));
+    }
+  }
+  return stream.digest();
+}
+
+struct JournalState {
+  std::uint64_t fingerprint = 0;
+  /// tensor name -> output-bytes checksum hex.
+  std::map<std::string, std::string> done;
+};
+
+JournalState read_journal(const std::string& path) {
+  JournalState state;
+  std::ifstream file(path);
+  if (!file.good()) return state;
+  std::string line;
+  bool first = true;
+  while (std::getline(file, line)) {
+    const std::vector<std::string> fields = split_whitespace(line);
+    if (first) {
+      first = false;
+      CA_CHECK(fields.size() == 2 && fields[0] == kJournalMagic,
+               "'" << path << "' is not a chipalign merge journal");
+      state.fingerprint = hash_from_hex(fields[1]);
+      continue;
+    }
+    // A torn final line (crash mid-append) is ignored, not an error.
+    if (fields.size() != 3 || fields[0] != "done") continue;
+    state.done[fields[2]] = fields[1];
+  }
+  return state;
+}
+
+}  // namespace
+
+StreamingMergeReport merge_streaming(const Merger& merger,
+                                     const TensorSource& chip,
+                                     const TensorSource& instruct,
+                                     const TensorSource* base,
+                                     const MergeOptions& options,
+                                     const StreamingMergeConfig& config,
+                                     const std::string& out_dir) {
+  check_sources_mergeable(chip, instruct);
+  if (merger.requires_base()) {
+    CA_CHECK(base != nullptr,
+             "merge method '" << merger.name() << "' requires a base checkpoint");
+    check_sources_mergeable(chip, *base);
+  }
+  CA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0,
+           "lambda must be in [0, 1], got " << options.lambda);
+  CA_CHECK(options.density > 0.0 && options.density <= 1.0,
+           "density must be in (0, 1], got " << options.density);
+
+  const std::vector<std::string>& names = chip.names();
+
+  // Output metadata mirrors what merge_checkpoints() + Checkpoint::save()
+  // produce, so the two paths are byte-identical: the merged config keeps
+  // the chip architecture with "+<method>" appended to its name.
+  std::map<std::string, std::string> metadata;
+  if (chip.metadata().count("chipalign.config") > 0) {
+    ModelConfig out_config = config_from_metadata(chip.metadata(), "chip source");
+    out_config.name = out_config.name + "+" + merger.name();
+    metadata = checkpoint_metadata(out_config);
+  } else {
+    metadata["format"] = "chipalign-checkpoint-v1";
+  }
+
+  std::vector<std::pair<std::string, Shape>> entries;
+  entries.reserve(names.size());
+  for (const std::string& name : names) {
+    entries.emplace_back(name, chip.record(name).shape);
+  }
+  ShardPlan plan = plan_shards(entries, config.out_dtype, config.shard_size_bytes);
+
+  const std::uint64_t fingerprint =
+      plan_fingerprint(merger, options, config, names, chip);
+
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir);
+  const std::string journal_path = out_dir + "/" + std::string(kJournalFileName);
+
+  JournalState journal;
+  if (config.resume && fs::exists(journal_path)) {
+    journal = read_journal(journal_path);
+    CA_CHECK(journal.fingerprint == fingerprint,
+             "journal '" << journal_path
+                         << "' belongs to a different merge plan; delete it or "
+                            "rerun without resume");
+  }
+
+  ShardSetWriter writer(out_dir, std::move(plan), metadata, config.resume);
+
+  // A journaled tensor counts as done only if its shard file survived
+  // validation; otherwise its bytes are gone and it must be remerged.
+  std::set<std::string> done;
+  for (const auto& [name, checksum] : journal.done) {
+    const auto it = writer.plan().shard_of.find(name);
+    if (it == writer.plan().shard_of.end()) continue;
+    if (!writer.shard_kept(it->second)) continue;
+    done.insert(name);
+    writer.mark_written(name);
+  }
+
+  // (Re)write the journal: fingerprint line plus the entries still valid.
+  std::ofstream journal_file(journal_path, std::ios::trunc);
+  CA_CHECK(journal_file.good(), "cannot open journal '" << journal_path << "'");
+  journal_file << kJournalMagic << ' ' << hash_to_hex(fingerprint) << '\n';
+  std::map<std::string, std::string> checksums;
+  for (const std::string& name : done) {
+    const std::string& checksum = journal.done.at(name);
+    journal_file << "done " << checksum << ' ' << name << '\n';
+    checksums[name] = checksum;
+  }
+  journal_file.flush();
+
+  StreamingMergeReport report;
+  report.tensor_count = names.size();
+  report.resumed_count = done.size();
+  report.shard_count = writer.plan().shards.size();
+
+  // Budget accounting: an in-flight tensor costs its input storage bytes
+  // plus one fp32 working copy per input and the merged fp32 + encoded
+  // output. This is an accounting bound (enforced deterministically), which
+  // the bench then checks against measured RSS.
+  const int n_inputs = 2 + (merger.requires_base() ? 1 : 0);
+  auto tensor_cost = [&](const std::string& name) -> std::uint64_t {
+    const TensorRecord& rec = chip.record(name);
+    const auto numel = static_cast<std::uint64_t>(rec.numel());
+    std::uint64_t cost = chip.record(name).byte_size() +
+                         instruct.record(name).byte_size() +
+                         (base != nullptr ? base->record(name).byte_size() : 0);
+    cost += numel * 4 * static_cast<std::uint64_t>(n_inputs + 1);  // fp32 copies
+    cost += numel * dtype_size(config.out_dtype);                  // encoded out
+    return cost;
+  };
+
+  std::mutex budget_mutex;
+  std::condition_variable budget_cv;
+  std::uint64_t inflight_bytes = 0;
+  std::size_t inflight_count = 0;
+
+  std::mutex state_mutex;  // guards journal_file + checksums
+  std::atomic<std::size_t> completed{done.size()};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<bool> failed{false};
+
+  Timer timer;
+  ThreadPool& pool = global_thread_pool();
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    if (done.count(name) > 0) continue;
+    if (failed.load()) break;
+    const std::uint64_t cost = tensor_cost(name);
+
+    {  // Backpressure: admit when under budget, or alone.
+      std::unique_lock<std::mutex> lock(budget_mutex);
+      budget_cv.wait(lock, [&] {
+        return inflight_count == 0 ||
+               inflight_bytes + cost <= config.max_inflight_bytes;
+      });
+      inflight_bytes += cost;
+      ++inflight_count;
+      report.max_inflight_bytes_observed =
+          std::max(report.max_inflight_bytes_observed, inflight_bytes);
+    }
+
+    pool.submit([&, i, name, cost] {
+      struct BudgetRelease {
+        std::mutex& mutex;
+        std::condition_variable& cv;
+        std::uint64_t& bytes;
+        std::size_t& count;
+        std::uint64_t cost;
+        ~BudgetRelease() {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            bytes -= cost;
+            --count;
+          }
+          cv.notify_all();
+        }
+      } release{budget_mutex, budget_cv, inflight_bytes, inflight_count, cost};
+
+      if (failed.load()) return;  // stop fanning out after the first error
+      try {
+        const TensorRecord& rec = chip.record(name);
+        const Tensor chip_tensor = chip.read(name);
+        const Tensor instruct_tensor = instruct.read(name);
+        Tensor base_tensor;
+        const Tensor* base_ptr = nullptr;
+        if (base != nullptr) {
+          base_tensor = base->read(name);
+          base_ptr = &base_tensor;
+        }
+        bytes_read.fetch_add(rec.byte_size() +
+                             instruct.record(name).byte_size() +
+                             (base != nullptr ? base->record(name).byte_size() : 0));
+
+        Rng rng = merge_tensor_rng(options, i);
+        const Tensor merged = merger.merge_tensor(
+            name, chip_tensor, instruct_tensor, base_ptr, options, rng);
+        CA_CHECK(merged.shape() == rec.shape,
+                 "merger '" << merger.name() << "' changed shape of '" << name << "'");
+
+        const std::vector<std::uint8_t> out_bytes =
+            encode_tensor_bytes(merged, config.out_dtype);
+        const std::string checksum =
+            hash_to_hex(xxh64(out_bytes.data(), out_bytes.size()));
+        writer.write_tensor(name, out_bytes);
+        bytes_written.fetch_add(out_bytes.size());
+
+        std::size_t done_now;
+        {
+          std::lock_guard<std::mutex> lock(state_mutex);
+          journal_file << "done " << checksum << ' ' << name << '\n';
+          journal_file.flush();
+          checksums[name] = checksum;
+          done_now = completed.fetch_add(1) + 1;
+        }
+        if (config.fail_after_tensors >= 0 &&
+            done_now >= done.size() + static_cast<std::size_t>(
+                                          config.fail_after_tensors)) {
+          failed.store(true);
+          CA_THROW("injected failure after " << config.fail_after_tensors
+                                             << " tensors (test hook)");
+        }
+        if (config.progress) config.progress(done_now, names.size());
+        if (config.log_every > 0 && done_now % config.log_every == 0) {
+          const double mb = static_cast<double>(bytes_written.load()) / (1024.0 * 1024.0);
+          const double secs = timer.seconds();
+          CA_LOG_INFO("streamed " << done_now << "/" << names.size()
+                                  << " tensors, "
+                                  << (secs > 0 ? mb / secs : 0.0) << " MB/s");
+        }
+      } catch (...) {
+        failed.store(true);
+        throw;
+      }
+    });
+  }
+
+  pool.wait_all();  // rethrows the first task error; journal stays for resume
+
+  report.bytes_read = bytes_read.load();
+  report.bytes_written = bytes_written.load();
+  report.seconds = timer.seconds();
+  report.index_path = writer.finish(checksums);
+
+  journal_file.close();
+  std::error_code ec;
+  fs::remove(journal_path, ec);  // completed merges need no journal
+
+  CA_LOG_DEBUG("streaming merge: " << names.size() << " tensors ("
+                                   << report.resumed_count << " resumed) into "
+                                   << report.shard_count << " shards in "
+                                   << report.seconds * 1e3 << " ms");
+  return report;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,100 @@
+#pragma once
+/// \file streaming_merge.hpp
+/// \brief Bounded-memory streaming merge over sharded checkpoints.
+///
+/// merge_streaming() drives any Merger through a producer/consumer pipeline
+/// on the global ThreadPool: for each tensor (in name-sorted order) a worker
+/// seek-reads the chip/instruct (and optional base) tensors from their
+/// shards, merges them, encodes to the output dtype, and writes the bytes at
+/// the planned offset of an output shard. Peak memory is bounded by the
+/// configured in-flight byte budget — the scheduler admits a tensor only
+/// when the estimated working bytes of all in-flight tensors stay under the
+/// budget (always admitting at least one, so a tensor larger than the
+/// budget still makes progress) — instead of the O(model) residency of
+/// merge_checkpoints().
+///
+/// Robustness: every completed tensor is recorded (name + XXH64 of its
+/// output bytes) in an append-only journal `merge.journal` inside the
+/// output directory, prefixed by a fingerprint of the merge plan. A rerun
+/// with resume enabled skips journaled tensors whose shard files still
+/// match the plan, then completes the manifest — an interrupted merge
+/// restarts where it stopped and converges to the same bytes.
+///
+/// Determinism: per-tensor RNG streams come from merge_tensor_rng() with
+/// the tensor's index in the name-sorted list — the same derivation as
+/// merge_checkpoints() — so both paths produce bit-identical weights.
+
+#include <cstdint>
+#include <string>
+
+#include "merge/merger.hpp"
+#include "stream/tensor_source.hpp"
+#include "tensor/dtype.hpp"
+
+namespace chipalign {
+
+/// Knobs of the streaming pipeline (the merge math itself is configured by
+/// MergeOptions, shared with the in-memory path).
+struct StreamingMergeConfig {
+  /// Max data bytes per output shard; 0 = single shard.
+  std::uint64_t shard_size_bytes = 64ull << 20;
+
+  /// In-flight working-set budget enforcing the peak-memory bound. An
+  /// in-flight tensor is accounted as its input storage bytes + fp32
+  /// working copies + output bytes.
+  std::uint64_t max_inflight_bytes = 256ull << 20;
+
+  /// Storage dtype of the output shards.
+  DType out_dtype = DType::kF32;
+
+  /// Resume from an interrupted run's journal instead of starting over.
+  /// Throws Error when the journal belongs to a different merge plan.
+  bool resume = false;
+
+  /// Optional per-tensor completion callback (done, total); called from
+  /// worker threads.
+  MergeProgressFn progress;
+
+  /// Emit a CA_LOG_INFO progress/throughput line every N completed tensors
+  /// (0 disables).
+  std::size_t log_every = 32;
+
+  /// Test hook: throw Error after this many tensors have been journaled
+  /// (-1 disables). Simulates an interrupted merge for resume tests.
+  int fail_after_tensors = -1;
+};
+
+/// What a streaming merge did, for reporting and assertions.
+struct StreamingMergeReport {
+  std::size_t tensor_count = 0;
+  std::size_t resumed_count = 0;  ///< tensors skipped thanks to the journal
+  std::size_t shard_count = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// High-water mark of the accounted in-flight bytes; always <= the
+  /// budget unless a single tensor alone exceeds it.
+  std::uint64_t max_inflight_bytes_observed = 0;
+  double seconds = 0.0;
+  std::string index_path;  ///< manifest of the merged sharded checkpoint
+
+  double mb_per_second() const {
+    return seconds > 0.0
+               ? static_cast<double>(bytes_written) / (1024.0 * 1024.0) / seconds
+               : 0.0;
+  }
+};
+
+/// Streams `merger` over two (optionally three) conformable tensor sources
+/// into a sharded checkpoint under `out_dir`. See the file comment for the
+/// pipeline, memory bound, journal and determinism contracts.
+/// \throws Error on non-conformable sources, missing base, bad options, or
+///   I/O failure (the journal then allows resuming).
+StreamingMergeReport merge_streaming(const Merger& merger,
+                                     const TensorSource& chip,
+                                     const TensorSource& instruct,
+                                     const TensorSource* base,
+                                     const MergeOptions& options,
+                                     const StreamingMergeConfig& config,
+                                     const std::string& out_dir);
+
+}  // namespace chipalign

@@ -1,0 +1,149 @@
+#include "stream/tensor_source.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/safetensors.hpp"
+#include "model/checkpoint.hpp"
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace chipalign {
+
+std::uint64_t TensorSource::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& name : names()) total += record(name).byte_size();
+  return total;
+}
+
+namespace {
+
+/// Adds every tensor of one shard file's header to the record map,
+/// restricted to `wanted` when non-null (manifest mode).
+void index_shard(const std::string& shard_path,
+                 const std::map<std::string, std::string>* wanted_files,
+                 const std::string& shard_file_name,
+                 std::map<std::string, TensorRecord>& records) {
+  const SafetensorsHeader header = read_safetensors_header(shard_path);
+  for (const auto& [name, info] : header.tensors) {
+    if (wanted_files != nullptr) {
+      const auto it = wanted_files->find(name);
+      // Tensors present in the shard but absent from the manifest are
+      // ignored (foreign tooling may pack extras).
+      if (it == wanted_files->end() || it->second != shard_file_name) continue;
+    }
+    TensorRecord rec;
+    rec.file = shard_path;
+    rec.dtype = info.dtype;
+    rec.shape = info.shape;
+    rec.begin = header.data_begin + info.begin;
+    rec.end = header.data_begin + info.end;
+    CA_CHECK(records.emplace(name, std::move(rec)).second,
+             "tensor '" << name << "' appears in more than one shard");
+  }
+}
+
+}  // namespace
+
+ShardedTensorSource ShardedTensorSource::open(const std::string& path) {
+  namespace fs = std::filesystem;
+  ShardedTensorSource source;
+
+  std::string index_path;
+  if (fs::is_directory(path)) {
+    index_path = (fs::path(path) / kShardIndexFileName).string();
+    CA_CHECK(fs::exists(index_path),
+             "directory '" << path << "' has no " << kShardIndexFileName);
+  } else if (ends_with(path, ".index.json")) {
+    index_path = path;
+  }
+
+  if (index_path.empty()) {
+    // Single-file checkpoint: one unnamed shard.
+    const SafetensorsHeader header = read_safetensors_header(path);
+    source.metadata_ = header.metadata;
+    source.shard_count_ = 1;
+    index_shard(path, nullptr, "", source.records_);
+  } else {
+    const ShardIndex index = ShardIndex::load(index_path);
+    source.metadata_ = index.metadata;
+    source.checksums_ = index.checksums;
+    const fs::path dir = fs::path(index_path).parent_path();
+    const std::vector<std::string> shard_files = index.shard_files();
+    source.shard_count_ = shard_files.size();
+    for (const std::string& file : shard_files) {
+      const std::string shard_path = (dir / file).string();
+      CA_CHECK(fs::exists(shard_path),
+               "shard index references missing shard '" << file << "' (looked at '"
+                   << shard_path << "')");
+      index_shard(shard_path, &index.weight_map, file, source.records_);
+    }
+    for (const auto& [name, file] : index.weight_map) {
+      CA_CHECK(source.records_.count(name) > 0,
+               "tensor '" << name << "' listed in the shard index is absent from shard '"
+                   << file << "'");
+    }
+  }
+
+  source.names_.reserve(source.records_.size());
+  for (const auto& [name, rec] : source.records_) source.names_.push_back(name);
+  return source;
+}
+
+const TensorRecord& ShardedTensorSource::record(const std::string& name) const {
+  const auto it = records_.find(name);
+  CA_CHECK(it != records_.end(), "source has no tensor '" << name << "'");
+  return it->second;
+}
+
+std::vector<std::uint8_t> ShardedTensorSource::read_bytes(
+    const std::string& name) const {
+  const TensorRecord& rec = record(name);
+  // A fresh stream per call keeps reads thread-safe with no shared state;
+  // the OS page cache makes reopening cheap.
+  std::ifstream file(rec.file, std::ios::binary);
+  CA_CHECK(file.good(), "cannot open shard '" << rec.file << "' for reading");
+  file.seekg(static_cast<std::streamoff>(rec.begin), std::ios::beg);
+  std::vector<std::uint8_t> bytes(rec.byte_size());
+  file.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  CA_CHECK(file.good() || bytes.empty(),
+           "read failed for tensor '" << name << "' in '" << rec.file << "'");
+  return bytes;
+}
+
+Tensor ShardedTensorSource::read(const std::string& name) const {
+  const TensorRecord& rec = record(name);
+  const std::vector<std::uint8_t> bytes = read_bytes(name);
+  return decode_tensor_bytes(bytes.data(), bytes.size(), rec.dtype, rec.shape);
+}
+
+Checkpoint load_sharded_checkpoint(const std::string& path) {
+  const ShardedTensorSource source = ShardedTensorSource::open(path);
+  Checkpoint ckpt;
+  ckpt.config() = config_from_metadata(source.metadata(), path);
+  for (const std::string& name : source.names()) {
+    ckpt.put(name, source.read(name));
+  }
+  return ckpt;
+}
+
+void check_sources_mergeable(const TensorSource& a, const TensorSource& b) {
+  CA_CHECK(a.names().size() == b.names().size(),
+           "sources have different tensor counts: " << a.names().size()
+                                                    << " vs " << b.names().size());
+  for (std::size_t i = 0; i < a.names().size(); ++i) {
+    const std::string& name_a = a.names()[i];
+    const std::string& name_b = b.names()[i];
+    CA_CHECK(name_a == name_b,
+             "tensor name mismatch: '" << name_a << "' vs '" << name_b << "'");
+    const TensorRecord& rec_a = a.record(name_a);
+    const TensorRecord& rec_b = b.record(name_a);
+    CA_CHECK(rec_a.shape == rec_b.shape,
+             "tensor '" << name_a << "' shape mismatch: "
+                        << shape_to_string(rec_a.shape) << " vs "
+                        << shape_to_string(rec_b.shape));
+  }
+}
+
+}  // namespace chipalign

@@ -1,0 +1,113 @@
+#pragma once
+/// \file tensor_source.hpp
+/// \brief Lazy, random-access tensor reading from (sharded) checkpoints.
+///
+/// A TensorSource exposes a checkpoint's tensor directory without loading
+/// any tensor data: opening a source parses only the safetensors headers
+/// (and the shard manifest when present), so memory stays O(#tensors)
+/// regardless of checkpoint size. Individual tensors are then seek-read on
+/// demand — the producer side of the streaming merge pipeline.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/shard_layout.hpp"
+#include "tensor/dtype.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chipalign {
+
+/// Location and type of one tensor inside a shard file.
+struct TensorRecord {
+  std::string file;  ///< path to the shard holding this tensor
+  DType dtype = DType::kF32;
+  Shape shape;
+  std::uint64_t begin = 0;  ///< absolute byte offset in `file`
+  std::uint64_t end = 0;
+
+  std::uint64_t byte_size() const { return end - begin; }
+  std::int64_t numel() const { return shape_numel(shape); }
+};
+
+/// Read-only random access to a checkpoint's tensors. Implementations must
+/// make read()/read_bytes() safe to call concurrently from worker threads.
+class TensorSource {
+ public:
+  virtual ~TensorSource() = default;
+
+  /// Sorted tensor names.
+  virtual const std::vector<std::string>& names() const = 0;
+
+  virtual bool has(const std::string& name) const = 0;
+
+  /// Directory entry for one tensor; throws Error when missing.
+  virtual const TensorRecord& record(const std::string& name) const = 0;
+
+  /// Reads one tensor's raw storage bytes. Thread-safe.
+  virtual std::vector<std::uint8_t> read_bytes(const std::string& name) const = 0;
+
+  /// Reads and decodes one tensor to fp32. Thread-safe.
+  virtual Tensor read(const std::string& name) const = 0;
+
+  /// Checkpoint-level string metadata (config JSON etc.).
+  virtual const std::map<std::string, std::string>& metadata() const = 0;
+
+  /// Sum of all tensors' storage bytes.
+  std::uint64_t total_bytes() const;
+};
+
+/// TensorSource over a single safetensors file or a sharded checkpoint.
+///
+/// open() accepts:
+///   * a `.safetensors` file — treated as a one-shard checkpoint;
+///   * a `model.safetensors.index.json` manifest path;
+///   * a directory containing such a manifest.
+///
+/// Opening validates that every manifest entry resolves to a tensor in an
+/// existing shard file (a manifest referencing a missing shard throws
+/// Error) and that shard headers are well-formed; tensor data is never
+/// touched until read()/read_bytes().
+class ShardedTensorSource : public TensorSource {
+ public:
+  static ShardedTensorSource open(const std::string& path);
+
+  const std::vector<std::string>& names() const override { return names_; }
+  bool has(const std::string& name) const override {
+    return records_.count(name) > 0;
+  }
+  const TensorRecord& record(const std::string& name) const override;
+  std::vector<std::uint8_t> read_bytes(const std::string& name) const override;
+  Tensor read(const std::string& name) const override;
+  const std::map<std::string, std::string>& metadata() const override {
+    return metadata_;
+  }
+
+  /// Checksums recorded in the manifest (empty for single files or foreign
+  /// indexes).
+  const std::map<std::string, std::string>& checksums() const {
+    return checksums_;
+  }
+
+  std::size_t shard_count() const { return shard_count_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, TensorRecord> records_;
+  std::map<std::string, std::string> metadata_;
+  std::map<std::string, std::string> checksums_;
+  std::size_t shard_count_ = 0;
+};
+
+/// Loads a complete Checkpoint through a sharded source (convenience for
+/// tools and tests; O(model) memory, unlike the streaming engine).
+class Checkpoint;
+Checkpoint load_sharded_checkpoint(const std::string& path);
+
+/// Throws Error unless the two sources have identical tensor names and
+/// shapes (the same-architecture precondition of merging, checked from
+/// headers alone — no tensor data is read).
+void check_sources_mergeable(const TensorSource& a, const TensorSource& b);
+
+}  // namespace chipalign

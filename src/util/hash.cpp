@@ -1,0 +1,145 @@
+#include "util/hash.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only (matches the rest of the io layer)
+}
+
+inline std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+  val = round_step(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t xxh64(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::uint8_t* const end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed + 0;
+    std::uint64_t v4 = seed - kPrime1;
+    const std::uint8_t* const limit = end - 32;
+    do {
+      v1 = round_step(v1, read_u64(p));
+      v2 = round_step(v2, read_u64(p + 8));
+      v3 = round_step(v3, read_u64(p + 16));
+      v4 = round_step(v4, read_u64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= round_step(0, read_u64(p));
+    h = rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read_u32(p)) * kPrime1;
+    h = rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+std::uint64_t xxh64(const std::string& text, std::uint64_t seed) {
+  return xxh64(text.data(), text.size(), seed);
+}
+
+void Xxh64Stream::update(const void* data, std::size_t len) {
+  buffer_.append(static_cast<const char*>(data), len);
+}
+
+void Xxh64Stream::update_u64(std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  buffer_.append(bytes, 8);
+}
+
+std::uint64_t Xxh64Stream::digest() const { return xxh64(buffer_, seed_); }
+
+std::string hash_to_hex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t hash_from_hex(const std::string& hex) {
+  CA_CHECK(hex.size() == 16, "hash hex string must be 16 chars, got '" << hex << "'");
+  std::uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      CA_THROW("invalid hex digit '" << c << "' in hash '" << hex << "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace chipalign

@@ -1,0 +1,49 @@
+#include "util/mem_probe.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+namespace chipalign {
+
+namespace {
+
+/// Parses a "Vm...:   1234 kB" line value from /proc/self/status.
+/// Returns 0 when the file or the key is unavailable (non-Linux).
+std::uint64_t proc_status_kb(const std::string& key) {
+  std::ifstream status("/proc/self/status");
+  if (!status.good()) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(key, 0) != 0) continue;
+    std::istringstream fields(line.substr(key.size()));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return proc_status_kb("VmHWM:") * 1024; }
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS:") * 1024; }
+
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(units)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), unit == 0 ? "%.0f %s" : "%.1f %s",
+                value, units[unit]);
+  return buffer;
+}
+
+}  // namespace chipalign

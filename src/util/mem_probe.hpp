@@ -1,0 +1,26 @@
+#pragma once
+/// \file mem_probe.hpp
+/// \brief Process memory probes (current and peak RSS).
+///
+/// Backs the streaming-merge acceptance check "peak RSS stays under the
+/// in-flight budget plus a constant": benches sample VmHWM/VmRSS from
+/// /proc/self/status on Linux. On platforms without procfs the probes
+/// return 0 and callers degrade to reporting "unavailable".
+
+#include <cstdint>
+#include <string>
+
+namespace chipalign {
+
+/// Peak resident set size (high-water mark) of this process in bytes.
+/// Monotonic over the process lifetime. Returns 0 when unavailable.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size of this process in bytes. Returns 0 when
+/// unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Formats a byte count as a human-readable "123.4 MB" style string.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace chipalign

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "io/safetensors.hpp"
 #include "util/error.hpp"
@@ -96,6 +97,97 @@ TEST_F(SafetensorsTest, RejectsOutOfRangeOffsets) {
     out.write("\x00\x00\x00\x00", 4);  // only 4 data bytes, offsets claim 16
   }
   EXPECT_THROW(load_safetensors(file), Error);
+}
+
+TEST_F(SafetensorsTest, RejectsTruncatedHeaderJson) {
+  // Valid length prefix, but the JSON itself is cut mid-token.
+  const std::string file = path("truncjson.safetensors");
+  {
+    std::ofstream out(file, std::ios::binary);
+    const std::string header = R"({"w":{"dty)";
+    const std::uint64_t len = header.size();
+    out.write(reinterpret_cast<const char*>(&len), 8);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  }
+  EXPECT_THROW(load_safetensors(file), Error);
+}
+
+TEST_F(SafetensorsTest, RejectsOverlappingDataOffsets) {
+  // Two well-formed entries whose byte ranges share [4, 8): each data byte
+  // must belong to at most one tensor.
+  const std::string file = path("overlap.safetensors");
+  {
+    std::ofstream out(file, std::ios::binary);
+    const std::string header =
+        R"({"a":{"dtype":"F32","shape":[2],"data_offsets":[0,8]},)"
+        R"("b":{"dtype":"F32","shape":[2],"data_offsets":[4,12]}})";
+    const std::uint64_t len = header.size();
+    out.write(reinterpret_cast<const char*>(&len), 8);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    const char zeros[12] = {};
+    out.write(zeros, sizeof(zeros));
+  }
+  EXPECT_THROW(load_safetensors(file), Error);
+  EXPECT_THROW(read_safetensors_header(file), Error);
+}
+
+/// Pins the writer's deterministic byte layout: name-sorted tensors packed
+/// contiguously from offset 0, __metadata__ first in a compact JSON header
+/// that is space-padded to 8-byte alignment. Golden bytes are constructed by
+/// hand here; if this test breaks, the on-disk format changed and every
+/// byte-identity guarantee (streaming vs in-memory) must be revisited.
+TEST_F(SafetensorsTest, SaveProducesGoldenBytes) {
+  std::map<std::string, Tensor> tensors;
+  tensors["b"] = Tensor({1}, {0.25F});          // sorts after "a"
+  tensors["a"] = Tensor({2}, {1.5F, -2.0F});
+  const std::string file = path("golden.safetensors");
+  save_safetensors(file, tensors, DType::kF32, {{"k", "v"}});
+
+  std::string header =
+      R"({"__metadata__":{"k":"v"},)"
+      R"("a":{"dtype":"F32","shape":[2],"data_offsets":[0,8]},)"
+      R"("b":{"dtype":"F32","shape":[1],"data_offsets":[8,12]}})";
+  while (header.size() % 8 != 0) header += ' ';
+
+  std::string expected;
+  const std::uint64_t len = header.size();
+  for (int i = 0; i < 8; ++i) {
+    expected += static_cast<char>((len >> (8 * i)) & 0xFF);
+  }
+  expected += header;
+  const float data[3] = {1.5F, -2.0F, 0.25F};
+  expected.append(reinterpret_cast<const char*>(data), sizeof(data));
+
+  std::ifstream in(file, std::ios::binary);
+  const std::string actual{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+  EXPECT_EQ(actual, expected);
+
+  // And saving the same map again yields the same bytes (determinism).
+  const std::string file2 = path("golden2.safetensors");
+  save_safetensors(file2, tensors, DType::kF32, {{"k", "v"}});
+  std::ifstream in2(file2, std::ios::binary);
+  const std::string actual2{std::istreambuf_iterator<char>(in2),
+                            std::istreambuf_iterator<char>()};
+  EXPECT_EQ(actual2, expected);
+}
+
+TEST_F(SafetensorsTest, HeaderOnlyReadMatchesFullLoad) {
+  Rng rng(3);
+  std::map<std::string, Tensor> tensors;
+  tensors["x"] = Tensor::randn({4, 4}, rng);
+  tensors["y"] = Tensor::randn({8}, rng);
+  const std::string file = path("hdr.safetensors");
+  save_safetensors(file, tensors, DType::kF16, {{"m", "1"}});
+
+  const SafetensorsHeader header = read_safetensors_header(file);
+  EXPECT_EQ(header.metadata.at("m"), "1");
+  ASSERT_EQ(header.tensors.size(), 2u);
+  EXPECT_EQ(header.tensors.at("x").dtype, DType::kF16);
+  EXPECT_EQ(header.tensors.at("x").shape, (Shape{4, 4}));
+  EXPECT_EQ(header.tensors.at("x").byte_size(), 32u);
+  EXPECT_EQ(header.tensors.at("y").begin, 32u);
+  EXPECT_EQ(header.data_size, 32u + 16u);
 }
 
 TEST_F(SafetensorsTest, RejectsUnknownDtype) {

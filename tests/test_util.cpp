@@ -1,11 +1,16 @@
-// Tests for src/util: rng, strings, thread pool, error macros, timer.
+// Tests for src/util: rng, strings, thread pool, error macros, timer,
+// xxh64 hashing, peak-RSS probe.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <set>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/mem_probe.hpp"
 #include "util/rng.hpp"
 #include "util/string_utils.hpp"
 #include "util/thread_pool.hpp"
@@ -174,6 +179,72 @@ TEST(ThreadPool, SizeOneRunsInline) {
   int counter = 0;
   pool.parallel_for(10, [&](std::size_t) { ++counter; });
   EXPECT_EQ(counter, 10);
+}
+
+// Reference vectors for XXH64 with seed 0, from the canonical xxHash
+// implementation. Pins bit-compatibility of the from-scratch port.
+TEST(Hash, Xxh64MatchesReferenceVectors) {
+  EXPECT_EQ(xxh64(""), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxh64("a"), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(xxh64("abc"), 0x44BC2CF5AD770999ULL);
+  // >32 bytes exercises the four-lane main loop.
+  EXPECT_EQ(xxh64("The quick brown fox jumps over the lazy dog"),
+            0x0B242D361FDA71BCULL);
+}
+
+TEST(Hash, Xxh64SeedChangesDigest) {
+  EXPECT_NE(xxh64("abc", 3, 0), xxh64("abc", 3, 1));
+  const char* text = "abc";
+  EXPECT_EQ(xxh64(text, 3, 0), xxh64(std::string("abc")));
+}
+
+TEST(Hash, StreamMatchesOneShotAcrossSplits) {
+  Rng rng(9);
+  std::vector<std::uint8_t> bytes(1000);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+  const std::uint64_t oneshot = xxh64(bytes.data(), bytes.size());
+
+  Xxh64Stream stream;
+  stream.update(bytes.data(), 7);
+  stream.update(bytes.data() + 7, 500);
+  stream.update(bytes.data() + 507, bytes.size() - 507);
+  EXPECT_EQ(stream.digest(), oneshot);
+}
+
+TEST(Hash, HexRoundTripAndValidation) {
+  const std::uint64_t value = 0x0123456789ABCDEFULL;
+  const std::string hex = hash_to_hex(value);
+  EXPECT_EQ(hex, "0123456789abcdef");
+  EXPECT_EQ(hash_from_hex(hex), value);
+  EXPECT_EQ(hash_from_hex(hash_to_hex(0)), 0u);
+  EXPECT_THROW(hash_from_hex("123"), Error);            // wrong length
+  EXPECT_THROW(hash_from_hex("0123456789abcdeg"), Error);  // bad digit
+}
+
+TEST(MemProbe, ReportsPositiveRssOnLinux) {
+  const std::uint64_t peak = peak_rss_bytes();
+  const std::uint64_t current = current_rss_bytes();
+  // /proc/self/status exists on every target platform of this repo; both
+  // probes degrade to 0 elsewhere, in which case there is nothing to check.
+  if (peak == 0 || current == 0) GTEST_SKIP() << "no /proc/self/status";
+  EXPECT_GE(peak, current / 2);  // peak is a high-water mark (page-granular)
+  EXPECT_GT(current, 1u << 20);  // a running gtest binary exceeds 1 MB
+}
+
+TEST(MemProbe, PeakIsMonotoneUnderAllocation) {
+  const std::uint64_t before = peak_rss_bytes();
+  if (before == 0) GTEST_SKIP() << "no /proc/self/status";
+  // Touch 32 MB so the high-water mark cannot decrease.
+  std::vector<std::uint8_t> block(32u << 20);
+  std::memset(block.data(), 0xAB, block.size());
+  EXPECT_GE(peak_rss_bytes(), before);
+}
+
+TEST(MemProbe, FormatBytesIsHumanReadable) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KB");
+  EXPECT_EQ(format_bytes(3u << 20), "3.0 MB");
+  EXPECT_EQ(format_bytes(5ull << 30), "5.0 GB");
 }
 
 TEST(Timer, MeasuresElapsedTime) {
