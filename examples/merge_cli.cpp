@@ -174,6 +174,9 @@ int main(int argc, char** argv) {
                                               std::stod(pair.substr(eq + 1)));
       }
     }
+    // Fail on bad hyperparameters before touching any checkpoint — this also
+    // covers modes that never reach a merge driver, like --analyze.
+    validate_merge_options(options);
     const DType out_dtype =
         parse_dtype(args.get("out-dtype", args.get("storage", "f32")));
 

@@ -3,16 +3,19 @@
 # .chipalign_cache (slow once); later runs reuse it.
 #
 #   ./run_benches.sh           full sweep (every bench binary)
-#   ./run_benches.sh --quick   CI smoke: the streaming-merge acceptance bench
-#                              in its reduced --quick configuration only
+#   ./run_benches.sh --quick   CI smoke: the kernel and streaming-merge
+#                              acceptance benches in their reduced --quick
+#                              configurations only
 set -u
 cd "$(dirname "$0")"
 
 if [ "${1:-}" = "--quick" ]; then
-  b=build/bench/bench_stream_merge
-  [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 1; }
-  echo "######## $b --quick ########"
-  exec "$b" --quick
+  for b in build/bench/bench_kernels build/bench/bench_stream_merge; do
+    [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 1; }
+    echo "######## $b --quick ########"
+    "$b" --quick || exit 1
+  done
+  exit 0
 fi
 
 for b in build/bench/bench_*; do
@@ -20,7 +23,9 @@ for b in build/bench/bench_*; do
   echo ""
   echo "######## $b ########"
   case "$b" in
-    */bench_stream_merge) "$b" || exit 1 ;;  # acceptance gate: fail the sweep
+    # Acceptance gates: fail the sweep on a miss.
+    */bench_stream_merge) "$b" || exit 1 ;;
+    */bench_kernels) "$b" --gate || exit 1 ;;
     *) "$b" ;;
   esac
 done

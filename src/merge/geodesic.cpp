@@ -16,8 +16,8 @@ Tensor slerp_unit(const Tensor& unit_a, const Tensor& unit_b, double lambda,
 
   if (theta < theta_epsilon || std::sin(theta) < theta_epsilon) {
     // Degenerate arc: LERP then renormalize back to the sphere.
-    Tensor out = ops::add(ops::scaled(unit_a, static_cast<float>(lambda)),
-                          ops::scaled(unit_b, static_cast<float>(1.0 - lambda)));
+    Tensor out = ops::scaled_sum(static_cast<float>(lambda), unit_a,
+                                 static_cast<float>(1.0 - lambda), unit_b);
     const double n = ops::frobenius_norm(out);
     if (n > 0.0) ops::scale(out.values(), static_cast<float>(1.0 / n));
     return out;
@@ -26,8 +26,8 @@ Tensor slerp_unit(const Tensor& unit_a, const Tensor& unit_b, double lambda,
   const double inv_sin = 1.0 / std::sin(theta);
   const double coeff_a = std::sin(lambda * theta) * inv_sin;
   const double coeff_b = std::sin((1.0 - lambda) * theta) * inv_sin;
-  return ops::add(ops::scaled(unit_a, static_cast<float>(coeff_a)),
-                  ops::scaled(unit_b, static_cast<float>(coeff_b)));
+  return ops::scaled_sum(static_cast<float>(coeff_a), unit_a,
+                         static_cast<float>(coeff_b), unit_b);
 }
 
 Tensor GeodesicMerger::merge_tensor(const std::string& tensor_name,
@@ -41,8 +41,8 @@ Tensor GeodesicMerger::merge_tensor(const std::string& tensor_name,
 
   if (norm_chip == 0.0 || norm_instruct == 0.0) {
     // No direction on one side: geometric structure collapses, use LERP.
-    return ops::add(ops::scaled(chip, static_cast<float>(lambda)),
-                    ops::scaled(instruct, static_cast<float>(1.0 - lambda)));
+    return ops::scaled_sum(static_cast<float>(lambda), chip,
+                           static_cast<float>(1.0 - lambda), instruct);
   }
 
   const Tensor unit_chip = ops::scaled(chip, static_cast<float>(1.0 / norm_chip));

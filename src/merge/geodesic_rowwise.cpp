@@ -16,18 +16,12 @@ void merge_row(std::span<const float> chip, std::span<const float> instruct,
   const double norm_chip = ops::norm(chip);
   const double norm_instruct = ops::norm(instruct);
   if (norm_chip == 0.0 || norm_instruct == 0.0) {
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = static_cast<float>(lambda * chip[i] +
-                                  (1.0 - lambda) * instruct[i]);
-    }
+    ops::scaled_sum(static_cast<float>(lambda), chip,
+                    static_cast<float>(1.0 - lambda), instruct, out);
     return;
   }
 
-  double dot = 0.0;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    dot += static_cast<double>(chip[i]) / norm_chip *
-           (static_cast<double>(instruct[i]) / norm_instruct);
-  }
+  const double dot = ops::dot(chip, instruct) / (norm_chip * norm_instruct);
   const double cos_theta = std::clamp(dot, -1.0 + 1e-12, 1.0 - 1e-12);
   const double theta = std::acos(cos_theta);
   const double restored =
@@ -44,18 +38,14 @@ void merge_row(std::span<const float> chip, std::span<const float> instruct,
     coeff_i = std::sin((1.0 - lambda) * theta) * inv_sin;
   }
 
-  // Interpolate the unit rows, renormalize (the degenerate LERP branch is
-  // off-sphere), then restore the geometric-mean magnitude.
-  double merged_norm_sq = 0.0;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const double v = coeff_c * chip[i] / norm_chip +
-                     coeff_i * instruct[i] / norm_instruct;
-    out[i] = static_cast<float>(v);
-    merged_norm_sq += v * v;
-  }
-  const double merged_norm = std::sqrt(merged_norm_sq);
+  // Interpolate the unit rows in one fused pass (the per-element division by
+  // the row norms folds into the coefficients), renormalize (the degenerate
+  // LERP branch is off-sphere), then restore the geometric-mean magnitude.
+  ops::scaled_sum(static_cast<float>(coeff_c / norm_chip), chip,
+                  static_cast<float>(coeff_i / norm_instruct), instruct, out);
+  const double merged_norm = ops::norm(out);
   const double scale = merged_norm > 0.0 ? restored / merged_norm : 0.0;
-  for (float& v : out) v = static_cast<float>(v * scale);
+  ops::scale(out, static_cast<float>(scale));
 }
 
 }  // namespace

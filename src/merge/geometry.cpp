@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "merge/geodesic.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -35,13 +36,14 @@ std::vector<TensorGeometry> analyze_geometry(const Checkpoint& chip,
       const Tensor unit_i =
           ops::scaled(wi, static_cast<float>(1.0 / g.norm_instruct));
       const Tensor on_arc = slerp_unit(unit_c, unit_i, lambda, 1e-6);
-      const Tensor chord =
-          ops::add(ops::scaled(unit_c, static_cast<float>(lambda)),
-                   ops::scaled(unit_i, static_cast<float>(1.0 - lambda)));
+      const Tensor chord = ops::scaled_sum(static_cast<float>(lambda), unit_c,
+                                           static_cast<float>(1.0 - lambda),
+                                           unit_i);
       const double slerp_norm = ops::frobenius_norm(on_arc);
       if (slerp_norm > 0.0) {
         g.slerp_lerp_gap =
             ops::frobenius_norm(ops::sub(on_arc, chord)) / slerp_norm;
+        g.has_slerp_lerp_gap = true;
       }
     }
 
@@ -49,6 +51,7 @@ std::vector<TensorGeometry> analyze_geometry(const Checkpoint& chip,
       const Tensor tau_c = ops::sub(wc, base->at(name));
       const Tensor tau_i = ops::sub(wi, base->at(name));
       g.tv_cosine = ops::cosine_similarity(tau_c, tau_i);
+      g.has_tv_cosine = true;
     }
     report.push_back(std::move(g));
   }
@@ -58,16 +61,33 @@ std::vector<TensorGeometry> analyze_geometry(const Checkpoint& chip,
 GeometrySummary summarize_geometry(const std::vector<TensorGeometry>& report) {
   GeometrySummary s;
   if (report.empty()) return s;
+  // Each mean runs over the tensors that actually produced the quantity:
+  // averaging a defaulted 0 for e.g. tv_cosine without a base would dilute
+  // the statistic toward 0 and make a no-base run look like orthogonal task
+  // vectors. With no contributors the mean is NaN ("not measured").
+  double tv_sum = 0.0;
+  std::size_t tv_count = 0;
+  double gap_sum = 0.0;
+  std::size_t gap_count = 0;
   for (const TensorGeometry& g : report) {
     s.mean_theta += g.theta;
     s.max_theta = std::max(s.max_theta, g.theta);
-    s.mean_tv_cosine += g.tv_cosine;
-    s.mean_slerp_lerp_gap += g.slerp_lerp_gap;
+    if (g.has_tv_cosine) {
+      tv_sum += g.tv_cosine;
+      ++tv_count;
+    }
+    if (g.has_slerp_lerp_gap) {
+      gap_sum += g.slerp_lerp_gap;
+      ++gap_count;
+    }
   }
-  const auto n = static_cast<double>(report.size());
-  s.mean_theta /= n;
-  s.mean_tv_cosine /= n;
-  s.mean_slerp_lerp_gap /= n;
+  s.mean_theta /= static_cast<double>(report.size());
+  s.mean_tv_cosine = tv_count > 0
+                         ? tv_sum / static_cast<double>(tv_count)
+                         : std::numeric_limits<double>::quiet_NaN();
+  s.mean_slerp_lerp_gap = gap_count > 0
+                              ? gap_sum / static_cast<double>(gap_count)
+                              : std::numeric_limits<double>::quiet_NaN();
   return s;
 }
 

@@ -18,11 +18,18 @@ namespace chipalign {
 struct TensorGeometry {
   std::string name;
   std::int64_t numel = 0;
-  double norm_chip = 0.0;       ///< ||W_chip||_F
-  double norm_instruct = 0.0;   ///< ||W_instruct||_F
-  double theta = 0.0;           ///< arc angle between normalized tensors (rad)
-  double tv_cosine = 0.0;       ///< cosine(task-vector chip, task-vector instruct); 0 without base
-  double slerp_lerp_gap = 0.0;  ///< ||slerp(lambda) - lerp(lambda)||_F / ||slerp||_F
+  double norm_chip = 0.0;      ///< ||W_chip||_F
+  double norm_instruct = 0.0;  ///< ||W_instruct||_F
+  double theta = 0.0;          ///< arc angle between normalized tensors (rad)
+  /// cosine(task-vector chip, task-vector instruct). Meaningful only when
+  /// has_tv_cosine is true (a base checkpoint was given).
+  double tv_cosine = 0.0;
+  bool has_tv_cosine = false;
+  /// ||slerp(lambda) - lerp(lambda)||_F / ||slerp||_F. Meaningful only when
+  /// has_slerp_lerp_gap is true (both norms nonzero and the SLERP point is
+  /// not itself zero).
+  double slerp_lerp_gap = 0.0;
+  bool has_slerp_lerp_gap = false;
 };
 
 /// Per-tensor geometry of a model pair. `base` may be null (tv_cosine = 0).
@@ -32,11 +39,16 @@ std::vector<TensorGeometry> analyze_geometry(const Checkpoint& chip,
                                              const Checkpoint* base,
                                              double lambda = 0.6);
 
-/// Aggregate view over a geometry report.
+/// Aggregate view over a geometry report. Means that average an absent
+/// quantity — tv_cosine without a base checkpoint, slerp_lerp_gap when no
+/// tensor produced one — are NaN, never a silently-diluted average over
+/// tensors that had nothing to report.
 struct GeometrySummary {
   double mean_theta = 0.0;
   double max_theta = 0.0;
+  /// Mean over tensors with has_tv_cosine; NaN when there are none.
   double mean_tv_cosine = 0.0;
+  /// Mean over tensors with has_slerp_lerp_gap; NaN when there are none.
   double mean_slerp_lerp_gap = 0.0;
 };
 

@@ -10,8 +10,8 @@ Tensor LerpMerger::merge_tensor(const std::string& tensor_name,
                                 const MergeOptions& options,
                                 Rng& /*rng*/) const {
   const double lambda_ = effective_lambda(options, tensor_name);
-  return ops::add(ops::scaled(chip, static_cast<float>(lambda_)),
-                  ops::scaled(instruct, static_cast<float>(1.0 - lambda_)));
+  return ops::scaled_sum(static_cast<float>(lambda_), chip,
+                         static_cast<float>(1.0 - lambda_), instruct);
 }
 
 Tensor ModelSoupMerger::merge_tensor(const std::string& /*tensor_name*/,
@@ -19,7 +19,7 @@ Tensor ModelSoupMerger::merge_tensor(const std::string& /*tensor_name*/,
                                      const Tensor* /*base*/,
                                      const MergeOptions& /*options*/,
                                      Rng& /*rng*/) const {
-  return ops::scaled(ops::add(chip, instruct), 0.5F);
+  return ops::scaled_sum(0.5F, chip, 0.5F, instruct);
 }
 
 }  // namespace chipalign

@@ -9,6 +9,20 @@
 
 namespace chipalign {
 
+void validate_merge_options(const MergeOptions& options) {
+  CA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0,
+           "lambda must be in [0, 1], got " << options.lambda);
+  for (const auto& [suffix, lambda] : options.lambda_overrides) {
+    CA_CHECK(lambda >= 0.0 && lambda <= 1.0,
+             "lambda override for '" << suffix << "' must be in [0, 1], got "
+                                     << lambda);
+  }
+  CA_CHECK(options.density > 0.0 && options.density <= 1.0,
+           "density must be in (0, 1], got " << options.density);
+  CA_CHECK(options.theta_epsilon >= 0.0,
+           "theta_epsilon must be >= 0, got " << options.theta_epsilon);
+}
+
 double effective_lambda(const MergeOptions& options,
                         const std::string& tensor_name) {
   for (const auto& [suffix, lambda] : options.lambda_overrides) {
@@ -20,6 +34,8 @@ double effective_lambda(const MergeOptions& options,
       return lambda;
     }
   }
+  CA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0,
+           "lambda must be in [0, 1], got " << options.lambda);
   return options.lambda;
 }
 
@@ -38,10 +54,7 @@ Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
              "merge method '" << merger.name() << "' requires a base checkpoint");
     check_mergeable(chip, *base);
   }
-  CA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0,
-           "lambda must be in [0, 1], got " << options.lambda);
-  CA_CHECK(options.density > 0.0 && options.density <= 1.0,
-           "density must be in (0, 1], got " << options.density);
+  validate_merge_options(options);
 
   const std::vector<std::string> names = chip.names();
   std::vector<Tensor> merged(names.size());

@@ -81,9 +81,18 @@ class Merger {
                               Rng& rng) const = 0;
 };
 
+/// Validates every MergeOptions field with a documented domain: lambda and
+/// all lambda overrides in [0, 1], density in (0, 1], theta_epsilon >= 0.
+/// Both merge drivers call this up front, and callers (e.g. the CLI) can
+/// invoke it early to fail before any checkpoint I/O.
+/// \throws Error naming the offending field and value.
+void validate_merge_options(const MergeOptions& options);
+
 /// Resolves the interpolation weight for one tensor: the first matching
 /// suffix in options.lambda_overrides, falling back to options.lambda.
-/// All lambda-parameterized mergers consult this.
+/// All lambda-parameterized mergers consult this. Range-checks whichever
+/// lambda it resolves — the base value too, not just overrides — so an
+/// out-of-range lambda can never reach the interpolation math.
 double effective_lambda(const MergeOptions& options,
                         const std::string& tensor_name);
 

@@ -106,10 +106,7 @@ StreamingMergeReport merge_streaming(const Merger& merger,
              "merge method '" << merger.name() << "' requires a base checkpoint");
     check_sources_mergeable(chip, *base);
   }
-  CA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0,
-           "lambda must be in [0, 1], got " << options.lambda);
-  CA_CHECK(options.density > 0.0 && options.density <= 1.0,
-           "density must be in (0, 1], got " << options.density);
+  validate_merge_options(options);
 
   const std::vector<std::string>& names = chip.names();
 
@@ -206,7 +203,8 @@ StreamingMergeReport merge_streaming(const Merger& merger,
   std::atomic<bool> failed{false};
 
   Timer timer;
-  ThreadPool& pool = global_thread_pool();
+  ThreadPool& pool = config.pool != nullptr ? *config.pool : global_thread_pool();
+  ThreadPool::Batch batch;
 
   for (std::size_t i = 0; i < names.size(); ++i) {
     const std::string& name = names[i];
@@ -226,7 +224,7 @@ StreamingMergeReport merge_streaming(const Merger& merger,
           std::max(report.max_inflight_bytes_observed, inflight_bytes);
     }
 
-    pool.submit([&, i, name, cost] {
+    pool.submit(batch, [&, i, name, cost] {
       struct BudgetRelease {
         std::mutex& mutex;
         std::condition_variable& cv;
@@ -301,7 +299,7 @@ StreamingMergeReport merge_streaming(const Merger& merger,
     });
   }
 
-  pool.wait_all();  // rethrows the first task error; journal stays for resume
+  batch.wait();  // rethrows the first task error; journal stays for resume
 
   report.bytes_read = bytes_read.load();
   report.bytes_written = bytes_written.load();

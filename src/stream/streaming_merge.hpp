@@ -30,6 +30,7 @@
 #include "merge/merger.hpp"
 #include "stream/tensor_source.hpp"
 #include "tensor/dtype.hpp"
+#include "util/thread_pool.hpp"
 
 namespace chipalign {
 
@@ -62,6 +63,11 @@ struct StreamingMergeConfig {
   /// Test hook: throw Error after this many tensors have been journaled
   /// (-1 disables). Simulates an interrupted merge for resume tests.
   int fail_after_tensors = -1;
+
+  /// Pool to run merge workers on; nullptr = the global pool. Output bytes
+  /// are identical for any pool size (the determinism tests exercise 1 vs N
+  /// worker threads through this knob).
+  ThreadPool* pool = nullptr;
 };
 
 /// What a streaming merge did, for reporting and assertions.

@@ -1,0 +1,60 @@
+#pragma once
+/// \file backend.hpp
+/// \brief Internal backend entry points for the kernel dispatch layer.
+///
+/// Both backends implement identical bit-level semantics (see kernels.hpp);
+/// the dispatcher in kernels.cpp picks one at runtime and owns the blocking
+/// and thread-pool fan-out, so backends only ever see contiguous panels.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chipalign::kernels {
+
+/// Shared lane-combine helper: the fixed pairwise tree over the 8 reduction
+/// lanes mandated by the contract.
+inline double combine_lanes(const double* lanes) {
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+namespace generic {
+double dot(const float* a, const float* b, std::size_t n);
+double sum_squares(const float* a, std::size_t n);
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+void scale(float* x, float alpha, std::size_t n);
+void hadamard(const float* x, float* y, std::size_t n);
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n);
+/// Rows [i0, i1) of c += a @ b.
+void matmul_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k, std::int64_t n);
+/// Rows [i0, i1) of c = a @ b^T.
+void matmul_nt_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                    std::int64_t i1, std::int64_t k, std::int64_t n);
+/// Columns [j0, j1) of c += a^T @ b.
+void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, std::int64_t j0,
+                    std::int64_t j1);
+}  // namespace generic
+
+#if defined(CHIPALIGN_HAVE_AVX2)
+namespace avx2 {
+double dot(const float* a, const float* b, std::size_t n);
+double sum_squares(const float* a, std::size_t n);
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+void scale(float* x, float alpha, std::size_t n);
+void hadamard(const float* x, float* y, std::size_t n);
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n);
+void matmul_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k, std::int64_t n);
+void matmul_nt_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                    std::int64_t i1, std::int64_t k, std::int64_t n);
+void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, std::int64_t j0,
+                    std::int64_t j1);
+}  // namespace avx2
+#endif
+
+}  // namespace chipalign::kernels

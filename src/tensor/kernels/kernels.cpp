@@ -1,0 +1,150 @@
+/// \file kernels.cpp
+/// \brief Backend dispatch plus fixed-shape blocking / thread-pool fan-out.
+///
+/// Dispatch picks AVX2 when compiled in and supported by the CPU, else the
+/// generic backend. Matmuls above a work threshold fan fixed-size row or
+/// column blocks across the global ThreadPool; block geometry depends only
+/// on the problem shape (never thread count), and each output element is
+/// written by exactly one task, so results are bit-identical for any pool
+/// size — including the inline nested case (kernels called from merge
+/// workers).
+
+#include "tensor/kernels/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels/backend.hpp"
+#include "util/thread_pool.hpp"
+
+namespace chipalign::kernels {
+
+namespace {
+
+bool g_force_generic = false;
+
+bool cpu_has_avx2() {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool use_avx2() {
+  static const bool available = cpu_has_avx2();
+  return available && !g_force_generic;
+}
+
+/// Rows of output per parallel task (matmul / matmul_nt).
+constexpr std::int64_t kRowBlock = 16;
+/// Output columns per parallel task (matmul_tn_accum).
+constexpr std::int64_t kColBlock = 1024;
+/// Fan out across the pool only when the multiply does at least this many
+/// scalar MACs; below it, task overhead dominates.
+constexpr std::int64_t kParallelMacs = std::int64_t{1} << 22;
+
+/// Splits [0, extent) into fixed `block`-sized chunks and runs body(lo, hi)
+/// for each, across the pool when the work is large enough. parallel_for
+/// itself degrades to inline execution on single-worker pools and when
+/// called from a pool worker (nested case).
+template <typename Body>
+void blocked_parallel(std::int64_t extent, std::int64_t block,
+                      std::int64_t total_macs, const Body& body) {
+  const std::int64_t blocks = (extent + block - 1) / block;
+  if (blocks <= 1 || total_macs < kParallelMacs) {
+    body(0, extent);
+    return;
+  }
+  global_thread_pool().parallel_for(
+      static_cast<std::size_t>(blocks), [&](std::size_t index) {
+        const std::int64_t lo = static_cast<std::int64_t>(index) * block;
+        body(lo, std::min(lo + block, extent));
+      });
+}
+
+}  // namespace
+
+bool simd_available() {
+  static const bool available = cpu_has_avx2();
+  return available;
+}
+
+const char* backend_name() { return use_avx2() ? "avx2" : "generic"; }
+
+void force_generic(bool on) { g_force_generic = on; }
+
+double dot(const float* a, const float* b, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::dot(a, b, n);
+#endif
+  return generic::dot(a, b, n);
+}
+
+double norm(const float* a, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return std::sqrt(avx2::sum_squares(a, n));
+#endif
+  return std::sqrt(generic::sum_squares(a, n));
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::axpy(alpha, x, y, n);
+#endif
+  generic::axpy(alpha, x, y, n);
+}
+
+void scale(float* x, float alpha, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::scale(x, alpha, n);
+#endif
+  generic::scale(x, alpha, n);
+}
+
+void hadamard(const float* x, float* y, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::hadamard(x, y, n);
+#endif
+  generic::hadamard(x, y, n);
+}
+
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::scaled_sum(a, x, b, y, out, n);
+#endif
+  generic::scaled_sum(a, x, b, y, out, n);
+}
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n) {
+  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0, std::int64_t i1) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+    if (use_avx2()) return avx2::matmul_rows(a, b, c, i0, i1, k, n);
+#endif
+    generic::matmul_rows(a, b, c, i0, i1, k, n);
+  });
+}
+
+void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0, std::int64_t i1) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+    if (use_avx2()) return avx2::matmul_nt_rows(a, b, c, i0, i1, k, n);
+#endif
+    generic::matmul_nt_rows(a, b, c, i0, i1, k, n);
+  });
+}
+
+void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  blocked_parallel(n, kColBlock, m * k * n, [&](std::int64_t j0, std::int64_t j1) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+    if (use_avx2()) return avx2::matmul_tn_cols(a, b, c, m, k, n, j0, j1);
+#endif
+    generic::matmul_tn_cols(a, b, c, m, k, n, j0, j1);
+  });
+}
+
+}  // namespace chipalign::kernels

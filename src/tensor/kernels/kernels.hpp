@@ -1,0 +1,121 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief SIMD-friendly tensor kernels with a deterministic-reduction contract.
+///
+/// This layer provides the hot inner loops behind tensor_ops: dot, norm,
+/// axpy, scale, hadamard, the fused scaled_sum (a*x + b*y — the SLERP
+/// combine), and blocked matmul variants. Two backends implement the same
+/// bit-level contract:
+///
+///   - generic: unrolled multi-accumulator scalar code the compiler can
+///     auto-vectorize; always compiled.
+///   - avx2: AVX2+FMA intrinsics; compiled when the toolchain supports
+///     -mavx2 -mfma (CMake feature check) and selected at runtime when the
+///     CPU reports both features.
+///
+/// ## Deterministic-reduction contract
+///
+/// Every reduction (dot, norm, the inner products of matmul_nt) accumulates
+/// float products into kLanes = 8 double-precision lanes keyed by element
+/// index: element i of an 8-aligned block feeds lane i mod 8, and tail
+/// element i feeds lane i - (n & ~7). Lanes are combined in the fixed
+/// pairwise tree ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)). Because the product
+/// of two fp32 values is exact in fp64 (24+24 significand bits < 53), fused
+/// and unfused multiply-add produce identical bits, so the AVX2 FMA path and
+/// the generic mul-then-add path agree bit-for-bit. Elementwise kernels do
+/// per-element mul/add with FP contraction disabled. Matmul accumulates in a
+/// fixed (i, k, j) loop order that cache blocking and row/column
+/// parallelization both preserve. Consequences:
+///
+///   - results are bit-identical run-to-run, across thread counts, and
+///     across backends (kernels::X == kernels::ref::X, bitwise);
+///   - merge_streaming and merge_checkpoints stay byte-identical (the PR 1
+///     invariant) no matter which backend executes them;
+///   - there are no value-dependent fast paths, so NaN/Inf propagate exactly
+///     as IEEE arithmetic dictates.
+///
+/// kernels::ref is the executable specification: straight-line scalar code
+/// whose summation shape *defines* the contract. Property tests assert
+/// bitwise equality of every backend against it on random shapes.
+///
+/// Large matmuls parallelize across the global ThreadPool in fixed-size row
+/// (matmul, matmul_nt) or column (matmul_tn_accum) blocks; block geometry
+/// depends only on the problem shape, never on the thread count.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace chipalign::kernels {
+
+/// Number of reduction lanes fixed by the contract (AVX2 fp32 width).
+inline constexpr std::size_t kLanes = 8;
+
+/// True when the AVX2 backend is compiled in and this CPU supports AVX2+FMA.
+bool simd_available();
+
+/// Name of the backend dispatch currently selects: "avx2" or "generic".
+const char* backend_name();
+
+/// Test/bench hook: when true, dispatch ignores AVX2 and runs the generic
+/// backend. Not thread-safe; flip only around single-threaded test sections.
+void force_generic(bool on);
+
+// -- reductions (8-lane double accumulation, fixed combine tree) -------------
+
+/// Sum of elementwise products, accumulated per the reduction contract.
+double dot(const float* a, const float* b, std::size_t n);
+
+/// Euclidean norm: sqrt of the contract-reduced sum of squares.
+double norm(const float* a, std::size_t n);
+
+// -- elementwise kernels (per-element mul/add, no contraction) ---------------
+
+/// y[i] += alpha * x[i].
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+
+/// x[i] *= alpha.
+void scale(float* x, float alpha, std::size_t n);
+
+/// y[i] *= x[i].
+void hadamard(const float* x, float* y, std::size_t n);
+
+/// out[i] = a*x[i] + b*y[i] — the fused SLERP/LERP combine. One pass over
+/// three streams instead of the scale+scale+add sequence it replaces.
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n);
+
+// -- blocked matmul kernels ---------------------------------------------------
+
+/// c[m,n] += a[m,k] @ b[k,n], row-major, fp32 accumulation in (i, k, j)
+/// order. No value-dependent skips: NaN/Inf in either operand propagate.
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n);
+
+/// c[m,n] = a[m,k] @ b[n,k]^T: c[i,j] is the contract-reduced dot of row i
+/// of a and row j of b (fp64 lanes, like dot()).
+void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n);
+
+/// c[k,n] += a[m,k]^T @ b[m,n], fp32 accumulation in (i, kk, j) order.
+void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+
+/// Retained scalar reference: the executable definition of the contract.
+/// Every kernels::X above must equal kernels::ref::X bit-for-bit.
+namespace ref {
+double dot(const float* a, const float* b, std::size_t n);
+double norm(const float* a, std::size_t n);
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+void scale(float* x, float alpha, std::size_t n);
+void hadamard(const float* x, float* y, std::size_t n);
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n);
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n);
+void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n);
+void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+}  // namespace ref
+
+}  // namespace chipalign::kernels

@@ -1,0 +1,155 @@
+/// \file kernels_avx2.cpp
+/// \brief AVX2+FMA backend. Compiled only when the toolchain supports
+/// -mavx2 -mfma (CMake feature check defines CHIPALIGN_HAVE_AVX2); selected
+/// at runtime only when the CPU reports both features.
+///
+/// Bit-compatibility with the reference (see kernels.hpp): reductions use
+/// two 4-lane fp64 accumulators covering the 8 contract lanes, FMA is used
+/// only on fp64 accumulation where the fp32 product is exact, and all fp32
+/// elementwise/matmul arithmetic is explicit mul-then-add.
+
+#if defined(CHIPALIGN_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "tensor/kernels/backend.hpp"
+#include "tensor/kernels/kernels.hpp"
+
+namespace chipalign::kernels::avx2 {
+
+namespace {
+
+/// Contract-shaped dot: 8 fp64 lanes (acc_lo = offsets 0..3 of each 8-block,
+/// acc_hi = offsets 4..7), fixed pairwise combine.
+inline double dot_lanes(const float* a, const float* b, std::size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+    const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+    const __m256d b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+    const __m256d b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+    acc_lo = _mm256_fmadd_pd(a_lo, b_lo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(a_hi, b_hi, acc_hi);
+  }
+  double lanes[kLanes];
+  _mm256_storeu_pd(lanes, acc_lo);
+  _mm256_storeu_pd(lanes + 4, acc_hi);
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+}  // namespace
+
+double dot(const float* a, const float* b, std::size_t n) {
+  return dot_lanes(a, b, n);
+}
+
+double sum_squares(const float* a, std::size_t n) { return dot_lanes(a, a, n); }
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 p0 = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    const __m256 p1 = _mm256_mul_ps(va, _mm256_loadu_ps(x + i + 8));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), p0));
+    _mm256_storeu_ps(y + i + 8, _mm256_add_ps(_mm256_loadu_ps(y + i + 8), p1));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float* x, float alpha, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+    _mm256_storeu_ps(x + i + 8, _mm256_mul_ps(va, _mm256_loadu_ps(x + i + 8)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void hadamard(const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  const __m256 vb = _mm256_set1_ps(b);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 px = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    const __m256 py = _mm256_mul_ps(vb, _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(out + i, _mm256_add_ps(px, py));
+  }
+  for (; i < n; ++i) out[i] = a * x[i] + b * y[i];
+}
+
+void matmul_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* c_row = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = a[i * k + kk];
+      const float* b_row = b + kk * n;
+      const __m256 vav = _mm256_set1_ps(aval);
+      std::int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(b_row + j));
+        _mm256_storeu_ps(c_row + j,
+                         _mm256_add_ps(_mm256_loadu_ps(c_row + j), prod));
+      }
+      for (; j < n; ++j) c_row[j] += aval * b_row[j];
+    }
+  }
+}
+
+void matmul_nt_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                    std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          dot_lanes(a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+
+void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, std::int64_t j0,
+                    std::int64_t j1) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = a_row[kk];
+      float* c_row = c + kk * n;
+      const __m256 vav = _mm256_set1_ps(aval);
+      std::int64_t j = j0;
+      for (; j + 8 <= j1; j += 8) {
+        const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(b_row + j));
+        _mm256_storeu_ps(c_row + j,
+                         _mm256_add_ps(_mm256_loadu_ps(c_row + j), prod));
+      }
+      for (; j < j1; ++j) c_row[j] += aval * b_row[j];
+    }
+  }
+}
+
+}  // namespace chipalign::kernels::avx2
+
+#endif  // CHIPALIGN_HAVE_AVX2

@@ -1,0 +1,98 @@
+/// \file kernels_generic.cpp
+/// \brief Portable backend: multi-accumulator loops the compiler can
+/// auto-vectorize, implementing the same bit contract as the AVX2 path.
+///
+/// Reductions keep the 8 double lanes in a local array with a fixed inner
+/// unroll; elementwise loops are dependence-free so the vectorizer may use
+/// whatever width the target offers without changing a single bit (FP
+/// contraction is disabled for this translation unit).
+
+#include "tensor/kernels/backend.hpp"
+#include "tensor/kernels/kernels.hpp"
+
+namespace chipalign::kernels::generic {
+
+double dot(const float* a, const float* b, std::size_t n) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(a[i + l]) * static_cast<double>(b[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+double sum_squares(const float* a, std::size_t n) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(a[i + l]) * static_cast<double>(a[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float* x, float alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void hadamard(const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a * x[i] + b * y[i];
+}
+
+void matmul_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* c_row = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = a[i * k + kk];
+      const float* b_row = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += aval * b_row[j];
+    }
+  }
+}
+
+void matmul_nt_rows(const float* a, const float* b, float* c, std::int64_t i0,
+                    std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          dot(a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+
+void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, std::int64_t j0,
+                    std::int64_t j1) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = a_row[kk];
+      float* c_row = c + kk * n;
+      for (std::int64_t j = j0; j < j1; ++j) c_row[j] += aval * b_row[j];
+    }
+  }
+}
+
+}  // namespace chipalign::kernels::generic

@@ -1,0 +1,100 @@
+/// \file kernels_ref.cpp
+/// \brief Retained scalar reference kernels — the executable contract.
+///
+/// Clarity over speed: these loops *define* the summation shape and
+/// element-order semantics every optimized backend must reproduce bitwise.
+/// Compiled with FP contraction disabled (see tensor/CMakeLists.txt) so the
+/// scalar code means exactly what it says.
+
+#include <cmath>
+
+#include "tensor/kernels/backend.hpp"
+#include "tensor/kernels/kernels.hpp"
+
+namespace chipalign::kernels::ref {
+
+double dot(const float* a, const float* b, std::size_t n) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(a[i + l]) * static_cast<double>(b[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+double norm(const float* a, std::size_t n) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(a[i + l]) * static_cast<double>(a[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  return std::sqrt(combine_lanes(lanes));
+}
+
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float* x, float alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void hadamard(const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+void scaled_sum(float a, const float* x, float b, const float* y, float* out,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a * x[i] + b * y[i];
+}
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n) {
+  // (i, kk, j): for each output row, stream b's rows in k order. Every
+  // product participates — no zero skips — so NaN/Inf propagate.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = a[i * k + kk];
+      const float* b_row = b + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += aval * b_row[j];
+    }
+  }
+}
+
+void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          dot(a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+
+void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aval = a_row[kk];
+      float* c_row = c + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += aval * b_row[j];
+    }
+  }
+}
+
+}  // namespace chipalign::kernels::ref

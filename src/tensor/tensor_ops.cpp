@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels/kernels.hpp"
+
 namespace chipalign::ops {
 
 namespace {
@@ -21,26 +23,27 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
 
 void axpy(float alpha, std::span<const float> src, std::span<float> dst) {
   check_same_size(src, dst, "axpy");
-  for (std::size_t i = 0; i < src.size(); ++i) dst[i] += alpha * src[i];
+  kernels::axpy(alpha, src.data(), dst.data(), src.size());
 }
 
 double dot(std::span<const float> a, std::span<const float> b) {
   check_same_size(a, b, "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return acc;
+  return kernels::dot(a.data(), b.data(), a.size());
 }
 
 double norm(std::span<const float> a) {
-  double acc = 0.0;
-  for (float v : a) acc += static_cast<double>(v) * static_cast<double>(v);
-  return std::sqrt(acc);
+  return kernels::norm(a.data(), a.size());
 }
 
 void scale(std::span<float> a, float alpha) {
-  for (float& v : a) v *= alpha;
+  kernels::scale(a.data(), alpha, a.size());
+}
+
+void scaled_sum(float a, std::span<const float> x, float b,
+                std::span<const float> y, std::span<float> out) {
+  check_same_size(x, y, "scaled_sum");
+  check_same_size(x, out, "scaled_sum");
+  kernels::scaled_sum(a, x.data(), b, y.data(), out.data(), x.size());
 }
 
 double cosine(std::span<const float> a, std::span<const float> b) {
@@ -99,9 +102,15 @@ Tensor scaled(const Tensor& a, float alpha) {
 Tensor hadamard(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "hadamard");
   Tensor out = a;
-  auto dst = out.values();
-  auto src = b.values();
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] *= src[i];
+  kernels::hadamard(b.data(), out.data(), out.values().size());
+  return out;
+}
+
+Tensor scaled_sum(float alpha, const Tensor& a, float beta, const Tensor& b) {
+  check_same_shape(a, b, "scaled_sum");
+  Tensor out(a.shape());
+  kernels::scaled_sum(alpha, a.data(), beta, b.data(), out.data(),
+                      out.values().size());
   return out;
 }
 
@@ -119,21 +128,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t n = b.dim(1);
   CA_CHECK(b.dim(0) == k, "matmul inner-dim mismatch: " << k << " vs " << b.dim(0));
 
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-
-  // ikj loop order: streams over b rows; good locality for row-major data.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* c_row = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aval = pa[i * k + kk];
-      if (aval == 0.0F) continue;
-      const float* b_row = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += aval * b_row[j];
-    }
-  }
+  Tensor out({m, n});  // zero-initialised; the kernel accumulates into it.
+  kernels::matmul(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -146,18 +142,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
            "matmul_nt inner-dim mismatch: " << k << " vs " << b.dim(1));
 
   Tensor out({m, n});
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* c_row = out.data() + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* b_row = b.data() + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        acc += static_cast<double>(a_row[kk]) * static_cast<double>(b_row[kk]);
-      }
-      c_row[j] = static_cast<float>(acc);
-    }
-  }
+  kernels::matmul_nt(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -170,16 +155,7 @@ void matmul_tn_accum(const Tensor& a, const Tensor& b, Tensor& out) {
   CA_CHECK(b.dim(0) == m, "matmul_tn_accum row mismatch");
   CA_CHECK(out.dim(0) == k && out.dim(1) == n, "matmul_tn_accum out shape");
 
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.data() + i * k;
-    const float* b_row = b.data() + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aval = a_row[kk];
-      if (aval == 0.0F) continue;
-      float* o_row = out.data() + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) o_row[j] += aval * b_row[j];
-    }
-  }
+  kernels::matmul_tn_accum(a.data(), b.data(), out.data(), m, k, n);
 }
 
 Tensor transpose(const Tensor& a) {

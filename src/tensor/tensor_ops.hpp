@@ -3,8 +3,12 @@
 /// \brief Elementwise and linear-algebra kernels on Tensor / float spans.
 ///
 /// These kernels back both the merge library (norms, dots, axpy) and the
-/// neural-network substrate (matmul, softmax). Everything is fp32 and
-/// single-threaded per call; callers parallelize across tensors or batches.
+/// neural-network substrate (matmul, softmax). Everything is fp32; the heavy
+/// lifting is delegated to tensor/kernels, whose reductions follow a fixed
+/// deterministic summation shape (see kernels.hpp), so results are
+/// bit-identical across backends, runs, and thread counts. Large matmuls may
+/// fan out across the global thread pool; nested calls from pool workers run
+/// inline, so these are safe to call from parallel merge loops.
 
 #include <span>
 
@@ -25,6 +29,12 @@ double norm(std::span<const float> a);
 
 /// Multiplies every element by alpha.
 void scale(std::span<float> a, float alpha);
+
+/// Fused out = a * x + b * y (sizes must match; out may alias x or y).
+/// One pass over memory versus the scale/scale/add composition — this is the
+/// inner loop of geodesic (SLERP) interpolation.
+void scaled_sum(float a, std::span<const float> x, float b,
+                std::span<const float> y, std::span<float> out);
 
 /// Cosine of the angle between two vectors; 0 if either has zero norm.
 double cosine(std::span<const float> a, std::span<const float> b);
@@ -52,13 +62,19 @@ Tensor scaled(const Tensor& a, float alpha);
 /// Elementwise (Hadamard) product.
 Tensor hadamard(const Tensor& a, const Tensor& b);
 
+/// c = alpha * a + beta * b in a single fused pass.
+Tensor scaled_sum(float alpha, const Tensor& a, float beta, const Tensor& b);
+
 /// Frobenius norm of the whole tensor.
 double frobenius_norm(const Tensor& a);
 
 /// Flattened cosine similarity between two same-shape tensors.
 double cosine_similarity(const Tensor& a, const Tensor& b);
 
-/// Row-major matmul: [m, k] x [k, n] -> [m, n]. Cache-blocked.
+/// Row-major matmul: [m, k] x [k, n] -> [m, n]. Large products fan out over
+/// fixed-size row blocks on the global thread pool; results are
+/// bit-identical regardless of thread count. IEEE-faithful: NaN/Inf in
+/// either operand propagate (no value-dependent skips).
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// y[m,n] = a[m,k] * b^T where b is [n,k]. This is the layout used by linear

@@ -4,6 +4,20 @@
 
 namespace chipalign {
 
+namespace {
+thread_local bool tl_on_worker_thread = false;
+}  // namespace
+
+void ThreadPool::Batch::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -23,39 +37,53 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::on_worker_thread() { return tl_on_worker_thread; }
+
+void ThreadPool::submit(Batch& batch, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(batch.mutex_);
+    ++batch.pending_;
+  }
+  // The wrapper owns all batch bookkeeping, so the worker loop itself needs
+  // no per-batch knowledge and the queue stays a plain function queue.
+  auto wrapped = [&batch, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.mutex_);
+      if (!batch.first_error_) batch.first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(batch.mutex_);
+      if (--batch.pending_ == 0) batch.done_.notify_all();
+    }
+  };
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tasks_.push(std::move(wrapped));
   }
   task_available_.notify_one();
-}
-
-void ThreadPool::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(err);
-  }
 }
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || workers_.size() == 1) {
+  if (count == 1 || workers_.size() == 1 || on_worker_thread()) {
+    // Inline path: trivial fan-out, single-worker pool, or a nested call
+    // from inside a worker task (queueing would deadlock once every worker
+    // blocks waiting for queued subtasks that no thread is free to run).
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  Batch batch;
   for (std::size_t i = 0; i < count; ++i) {
-    submit([&fn, i] { fn(i); });
+    submit(batch, [&fn, i] { fn(i); });
   }
-  wait_all();
+  batch.wait();
 }
 
 void ThreadPool::worker_loop() {
+  tl_on_worker_thread = true;
   while (true) {
     std::function<void()> task;
     {
@@ -65,17 +93,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
+    task();  // exceptions are captured by the Batch wrapper
   }
 }
 

@@ -1,9 +1,12 @@
 #pragma once
 /// \file thread_pool.hpp
-/// \brief Fixed-size thread pool with a parallel_for helper.
+/// \brief Fixed-size thread pool with per-batch completion tracking.
 ///
-/// The merge library fans per-tensor work across the pool; on single-core
-/// machines the pool degrades gracefully to inline execution.
+/// The merge library fans per-tensor work across the pool; the kernel layer
+/// fans row blocks of large matmuls. Completion and error state live in a
+/// per-caller Batch token, so concurrent callers never consume each other's
+/// completion signals or exceptions, and a parallel_for issued from inside a
+/// worker task runs inline instead of deadlocking on the pool's own queue.
 
 #include <condition_variable>
 #include <cstddef>
@@ -16,9 +19,32 @@
 namespace chipalign {
 
 /// Fixed-size worker pool. Tasks are std::function<void()>; exceptions thrown
-/// by tasks propagate out of wait_all()/parallel_for (first one wins).
+/// by tasks are captured in the submitting Batch and rethrown from its wait()
+/// (first one wins, per batch).
 class ThreadPool {
  public:
+  /// Completion token for one group of submitted tasks. Each caller owns its
+  /// own Batch, which makes submit/wait safe for any number of concurrent
+  /// callers on the same pool. The Batch must outlive its tasks: call wait()
+  /// before destroying it.
+  class Batch {
+   public:
+    Batch() = default;
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+    /// Blocks until every task submitted against this batch has finished;
+    /// rethrows the first task exception if any occurred.
+    void wait();
+
+   private:
+    friend class ThreadPool;
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t pending_ = 0;
+    std::exception_ptr first_error_;
+  };
+
   /// \param num_threads 0 selects hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
   ~ThreadPool();
@@ -28,16 +54,20 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
-  void submit(std::function<void()> task);
+  /// Enqueues a task; its completion and any exception are recorded in
+  /// `batch`. The caller must keep `batch` alive until batch.wait() returns.
+  void submit(Batch& batch, std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished; rethrows the first task
-  /// exception if any occurred since the last wait.
-  void wait_all();
-
-  /// Runs fn(i) for i in [0, count) across the pool and waits. With a pool of
-  /// size 1 the work runs inline on the calling pattern (still via workers).
+  /// Runs fn(i) for i in [0, count) across the pool and waits. Runs inline
+  /// (on the calling thread, in index order) when the pool has one worker,
+  /// count == 1, or the caller is itself a pool worker — nesting therefore
+  /// cannot deadlock. Inline exceptions propagate immediately; pooled
+  /// exceptions rethrow after all indices finish (first one wins).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used to
+  /// run nested parallel work inline.
+  static bool on_worker_thread();
 
  private:
   void worker_loop();
@@ -46,10 +76,7 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
   bool stopping_ = false;
-  std::exception_ptr first_error_;
 };
 
 /// Returns the process-wide shared pool (sized to hardware concurrency).

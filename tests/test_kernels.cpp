@@ -1,0 +1,266 @@
+// Tests for src/tensor/kernels: bitwise agreement of every dispatched
+// kernel with the kernels::ref executable specification, across backends
+// (generic forced and, where the CPU allows, AVX2), awkward sizes (empty,
+// single element, odd tails), and matmul shapes that cross the parallel
+// block boundaries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/kernels/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+namespace {
+
+using kernels::force_generic;
+
+/// Sizes chosen to hit every tail case of the 8-lane blocking: empty, single
+/// element, below/at/above one lane block, and larger odd sizes.
+const std::size_t kSizes[] = {0,  1,  2,  3,   7,   8,    9,
+                              15, 16, 17, 31,  33,  64,   100,
+                              255, 256, 257, 1000, 4097};
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return v;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/// Runs `body` once per backend the host can execute: generic always, the
+/// SIMD backend when available. Restores dispatch afterwards.
+template <typename Body>
+void for_each_backend(const Body& body) {
+  force_generic(true);
+  body("generic");
+  force_generic(false);
+  if (kernels::simd_available()) body(kernels::backend_name());
+}
+
+class KernelBackends : public ::testing::Test {
+ protected:
+  void TearDown() override { force_generic(false); }
+};
+
+TEST_F(KernelBackends, DotMatchesRefBitwise) {
+  Rng rng(101);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vec(n, rng);
+    const auto b = random_vec(n, rng);
+    const double expected = kernels::ref::dot(a.data(), b.data(), n);
+    for_each_backend([&](const char* backend) {
+      const double got = kernels::dot(a.data(), b.data(), n);
+      EXPECT_EQ(got, expected) << "n=" << n << " backend=" << backend;
+    });
+  }
+}
+
+TEST_F(KernelBackends, NormMatchesRefBitwise) {
+  Rng rng(102);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vec(n, rng);
+    const double expected = kernels::ref::norm(a.data(), n);
+    for_each_backend([&](const char* backend) {
+      EXPECT_EQ(kernels::norm(a.data(), n), expected)
+          << "n=" << n << " backend=" << backend;
+    });
+  }
+}
+
+TEST_F(KernelBackends, AxpyMatchesRefBitwise) {
+  Rng rng(103);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y = random_vec(n, rng);
+    auto expected = y;
+    kernels::ref::axpy(0.37F, x.data(), expected.data(), n);
+    for_each_backend([&](const char* backend) {
+      auto got = y;
+      kernels::axpy(0.37F, x.data(), got.data(), n);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << "n=" << n << " backend=" << backend;
+    });
+  }
+}
+
+TEST_F(KernelBackends, ScaleMatchesRefBitwise) {
+  Rng rng(104);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    auto expected = x;
+    kernels::ref::scale(expected.data(), -1.618F, n);
+    for_each_backend([&](const char* backend) {
+      auto got = x;
+      kernels::scale(got.data(), -1.618F, n);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << "n=" << n << " backend=" << backend;
+    });
+  }
+}
+
+TEST_F(KernelBackends, HadamardMatchesRefBitwise) {
+  Rng rng(105);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y = random_vec(n, rng);
+    auto expected = y;
+    kernels::ref::hadamard(x.data(), expected.data(), n);
+    for_each_backend([&](const char* backend) {
+      auto got = y;
+      kernels::hadamard(x.data(), got.data(), n);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << "n=" << n << " backend=" << backend;
+    });
+  }
+}
+
+TEST_F(KernelBackends, ScaledSumMatchesRefBitwise) {
+  Rng rng(106);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    const auto y = random_vec(n, rng);
+    std::vector<float> expected(n);
+    kernels::ref::scaled_sum(0.6F, x.data(), 0.4F, y.data(), expected.data(), n);
+    for_each_backend([&](const char* backend) {
+      std::vector<float> got(n);
+      kernels::scaled_sum(0.6F, x.data(), 0.4F, y.data(), got.data(), n);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << "n=" << n << " backend=" << backend;
+    });
+  }
+}
+
+struct MatShape {
+  std::int64_t m, k, n;
+};
+
+/// Mix of degenerate, odd, and block-boundary-crossing shapes. The matmul
+/// row fan-out uses 16-row blocks above ~4.2M MACs, so the last entries run
+/// both the serial and the thread-pool paths; results must not differ.
+const MatShape kMatShapes[] = {
+    {1, 1, 1},   {1, 7, 3},   {3, 1, 5},    {5, 8, 9},     {16, 16, 16},
+    {17, 9, 33}, {40, 24, 31}, {33, 65, 18}, {70, 300, 200}, {96, 512, 128},
+};
+
+TEST_F(KernelBackends, MatmulMatchesRefBitwise) {
+  Rng rng(107);
+  for (const MatShape& s : kMatShapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), rng);
+    const auto b = random_vec(static_cast<std::size_t>(s.k * s.n), rng);
+    std::vector<float> expected(static_cast<std::size_t>(s.m * s.n));
+    kernels::ref::matmul(a.data(), b.data(), expected.data(), s.m, s.k, s.n);
+    for_each_backend([&](const char* backend) {
+      std::vector<float> got(static_cast<std::size_t>(s.m * s.n));
+      kernels::matmul(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << s.m << "x" << s.k << "x" << s.n << " backend=" << backend;
+    });
+  }
+}
+
+TEST_F(KernelBackends, MatmulNtMatchesRefBitwise) {
+  Rng rng(108);
+  for (const MatShape& s : kMatShapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), rng);
+    const auto b = random_vec(static_cast<std::size_t>(s.n * s.k), rng);
+    std::vector<float> expected(static_cast<std::size_t>(s.m * s.n));
+    kernels::ref::matmul_nt(a.data(), b.data(), expected.data(), s.m, s.k, s.n);
+    for_each_backend([&](const char* backend) {
+      std::vector<float> got(static_cast<std::size_t>(s.m * s.n));
+      kernels::matmul_nt(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << s.m << "x" << s.k << "x" << s.n << " backend=" << backend;
+    });
+  }
+}
+
+TEST_F(KernelBackends, MatmulTnAccumMatchesRefBitwise) {
+  Rng rng(109);
+  for (const MatShape& s : kMatShapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), rng);
+    const auto b = random_vec(static_cast<std::size_t>(s.m * s.n), rng);
+    const auto c0 = random_vec(static_cast<std::size_t>(s.k * s.n), rng);
+    auto expected = c0;
+    kernels::ref::matmul_tn_accum(a.data(), b.data(), expected.data(), s.m,
+                                  s.k, s.n);
+    for_each_backend([&](const char* backend) {
+      auto got = c0;
+      kernels::matmul_tn_accum(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << s.m << "x" << s.k << "x" << s.n << " backend=" << backend;
+    });
+  }
+}
+
+// A shape large enough to trigger the thread-pool fan-out must yield the
+// same bits as the (serial) reference — thread-count invariance of the
+// fixed block geometry. 256x256x256 = 16.7M MACs > the 4.2M threshold.
+TEST_F(KernelBackends, ParallelMatmulIsBitIdenticalToSerialRef) {
+  Rng rng(110);
+  const std::int64_t d = 256;
+  const auto a = random_vec(static_cast<std::size_t>(d * d), rng);
+  const auto b = random_vec(static_cast<std::size_t>(d * d), rng);
+  std::vector<float> expected(static_cast<std::size_t>(d * d));
+  kernels::ref::matmul(a.data(), b.data(), expected.data(), d, d, d);
+  std::vector<float> got(static_cast<std::size_t>(d * d));
+  kernels::matmul(a.data(), b.data(), got.data(), d, d, d);
+  EXPECT_TRUE(bitwise_equal(got, expected));
+
+  std::vector<float> expected_tn(static_cast<std::size_t>(d * d));
+  kernels::ref::matmul_tn_accum(a.data(), b.data(), expected_tn.data(), d, d, d);
+  std::vector<float> got_tn(static_cast<std::size_t>(d * d));
+  kernels::matmul_tn_accum(a.data(), b.data(), got_tn.data(), d, d, d);
+  EXPECT_TRUE(bitwise_equal(got_tn, expected_tn));
+}
+
+// The reduction contract in one picture: dot must equal the 8-lane pairwise
+// tree exactly, not the naive serial sum. Guards against a backend quietly
+// "simplifying" to a single accumulator.
+TEST_F(KernelBackends, DotFollowsLaneContractNotSerialSum) {
+  Rng rng(111);
+  const std::size_t n = 1003;  // odd tail
+  const auto a = random_vec(n, rng);
+  const auto b = random_vec(n, rng);
+
+  double lanes[kernels::kLanes] = {0};
+  const std::size_t n8 = n & ~(kernels::kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kernels::kLanes) {
+    for (std::size_t l = 0; l < kernels::kLanes; ++l) {
+      lanes[l] += static_cast<double>(a[i + l]) * static_cast<double>(b[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  const double contract = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+                          ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  EXPECT_EQ(kernels::ref::dot(a.data(), b.data(), n), contract);
+  for_each_backend([&](const char* backend) {
+    EXPECT_EQ(kernels::dot(a.data(), b.data(), n), contract)
+        << "backend=" << backend;
+  });
+}
+
+TEST(KernelDispatch, BackendNameIsConsistentWithForceGeneric) {
+  const bool simd = kernels::simd_available();
+  force_generic(true);
+  EXPECT_STREQ(kernels::backend_name(), "generic");
+  force_generic(false);
+  if (simd) {
+    EXPECT_STRNE(kernels::backend_name(), "generic");
+  } else {
+    EXPECT_STREQ(kernels::backend_name(), "generic");
+  }
+}
+
+}  // namespace
+}  // namespace chipalign

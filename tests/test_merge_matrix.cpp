@@ -1,9 +1,13 @@
 // Cross-method property matrix: every registered merge method must satisfy
 // a common set of contracts (shape preservation, finiteness, determinism,
 // option validation, same-basin sanity). Parameterized over the registry.
+// Plus: MergeOptions validation corner cases and geometry-summary semantics.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "merge/geometry.hpp"
 #include "merge/registry.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
@@ -128,6 +132,107 @@ TEST_P(MergeMatrix, IdenticalInputsWithBaseStayPut) {
 INSTANTIATE_TEST_SUITE_P(AllMethods, MergeMatrix,
                          ::testing::ValuesIn(merger_names()),
                          [](const auto& info) { return info.param; });
+
+// -- MergeOptions validation --------------------------------------------------
+
+TEST(MergeOptionsValidation, RejectsOutOfRangeBaseLambda) {
+  MergeOptions options;
+  options.lambda = 1.5;
+  EXPECT_THROW(validate_merge_options(options), Error);
+  options.lambda = -0.01;
+  EXPECT_THROW(validate_merge_options(options), Error);
+  options.lambda = 0.0;
+  EXPECT_NO_THROW(validate_merge_options(options));
+  options.lambda = 1.0;
+  EXPECT_NO_THROW(validate_merge_options(options));
+}
+
+TEST(MergeOptionsValidation, RejectsOutOfRangeOverride) {
+  MergeOptions options;
+  options.lambda_overrides.emplace_back("norm.weight", 2.0);
+  EXPECT_THROW(validate_merge_options(options), Error);
+}
+
+// Regression: effective_lambda used to range-check only overrides, so an
+// out-of-range base lambda sailed straight into the interpolation math for
+// any tensor without an override match.
+TEST(MergeOptionsValidation, EffectiveLambdaChecksBaseLambdaToo) {
+  MergeOptions options;
+  options.lambda = 1.5;
+  options.lambda_overrides.emplace_back("special.weight", 0.5);
+  EXPECT_EQ(effective_lambda(options, "prefix.special.weight"), 0.5);
+  EXPECT_THROW(effective_lambda(options, "other.weight"), Error);
+}
+
+// -- geometry summary semantics ----------------------------------------------
+
+// Regression: with no base checkpoint, tv_cosine used to default to 0 and
+// still be folded into the mean, making a no-base run look like measured
+// orthogonal task vectors. It must now be flagged absent and the mean NaN.
+TEST(GeometrySummary, TvCosineIsNanWithoutBase) {
+  Checkpoint a;
+  a.put("w", Tensor({2}, {1, 0}));
+  Checkpoint b;
+  b.put("w", Tensor({2}, {0, 1}));
+  const auto report = analyze_geometry(a, b, nullptr, 0.5);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_FALSE(report[0].has_tv_cosine);
+  const GeometrySummary summary = summarize_geometry(report);
+  EXPECT_TRUE(std::isnan(summary.mean_tv_cosine));
+  EXPECT_FALSE(std::isnan(summary.mean_theta));
+}
+
+TEST(GeometrySummary, TvCosineIsMeasuredWithBase) {
+  Checkpoint base;
+  base.put("w", Tensor({2}, {1, 1}));
+  Checkpoint a;
+  a.put("w", Tensor({2}, {2, 1}));
+  Checkpoint b;
+  b.put("w", Tensor({2}, {1, 2}));
+  const auto report = analyze_geometry(a, b, &base, 0.5);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_TRUE(report[0].has_tv_cosine);
+  const GeometrySummary summary = summarize_geometry(report);
+  EXPECT_FALSE(std::isnan(summary.mean_tv_cosine));
+  EXPECT_NEAR(summary.mean_tv_cosine, 0.0, 1e-6);
+}
+
+// Regression: zero-norm tensors produce no SLERP/LERP gap, but their
+// defaulted 0.0 used to be averaged in, diluting the mean. The mean must
+// run only over tensors that measured a gap.
+TEST(GeometrySummary, GapAveragesOnlyTensorsThatProducedOne) {
+  Checkpoint a;
+  a.put("w", Tensor({2}, {1, 0}));   // 90 degrees vs b -> big gap
+  a.put("z", Tensor({2}, {0, 0}));   // zero norm -> no gap measurable
+  Checkpoint b;
+  b.put("w", Tensor({2}, {0, 1}));
+  b.put("z", Tensor({2}, {1, 1}));
+  const auto report = analyze_geometry(a, b, nullptr, 0.5);
+  ASSERT_EQ(report.size(), 2u);
+  double gap_of_w = 0.0;
+  for (const TensorGeometry& g : report) {
+    if (g.name == "w") {
+      EXPECT_TRUE(g.has_slerp_lerp_gap);
+      gap_of_w = g.slerp_lerp_gap;
+    } else {
+      EXPECT_FALSE(g.has_slerp_lerp_gap);
+    }
+  }
+  const GeometrySummary summary = summarize_geometry(report);
+  // Mean over the single contributing tensor, not diluted by the zero tensor.
+  EXPECT_DOUBLE_EQ(summary.mean_slerp_lerp_gap, gap_of_w);
+  EXPECT_GT(summary.mean_slerp_lerp_gap, 0.1);
+}
+
+TEST(GeometrySummary, AllZeroTensorsYieldNanGapMean) {
+  Checkpoint a;
+  a.put("z", Tensor({2}, {0, 0}));
+  Checkpoint b;
+  b.put("z", Tensor({2}, {0, 0}));
+  const auto report = analyze_geometry(a, b, nullptr, 0.5);
+  const GeometrySummary summary = summarize_geometry(report);
+  EXPECT_TRUE(std::isnan(summary.mean_slerp_lerp_gap));
+}
 
 }  // namespace
 }  // namespace chipalign

@@ -18,6 +18,7 @@
 #include "stream/tensor_source.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace chipalign {
@@ -403,6 +404,44 @@ TEST_P(StreamingMergeTest, InflightBudgetIsRespected) {
   const StreamingMergeReport report = run_streaming(out, config);
   EXPECT_LE(report.max_inflight_bytes_observed, config.max_inflight_bytes);
   expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// Thread-count invariance: the merge workers fan out over a pool, but every
+// kernel reduction uses fixed-shape blocking and each tensor is written by
+// exactly one task, so the output files must be byte-identical whether the
+// pool has one worker or many.
+TEST_P(StreamingMergeTest, OutputBytesAreInvariantToPoolSize) {
+  prepare();
+  ThreadPool solo(1);
+  ThreadPool many(4);
+
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;  // several output shards
+  config.log_every = 0;
+
+  const std::string out_solo = dir("out_solo");
+  config.pool = &solo;
+  run_streaming(out_solo, config);
+
+  const std::string out_many = dir("out_many");
+  config.pool = &many;
+  run_streaming(out_many, config);
+
+  // Compare every produced file (shards + index) byte-for-byte.
+  std::vector<std::string> names_solo;
+  for (const auto& entry : fs::directory_iterator(out_solo)) {
+    names_solo.push_back(entry.path().filename().string());
+  }
+  ASSERT_GE(names_solo.size(), 2u);
+  for (const std::string& name : names_solo) {
+    ASSERT_TRUE(fs::exists(out_many + "/" + name)) << name;
+    EXPECT_EQ(read_file_bytes(out_solo + "/" + name),
+              read_file_bytes(out_many + "/" + name))
+        << "file '" << name << "' differs between pool sizes";
+  }
+  EXPECT_EQ(std::distance(fs::directory_iterator(out_many),
+                          fs::directory_iterator{}),
+            static_cast<std::ptrdiff_t>(names_solo.size()));
 }
 
 TEST_P(StreamingMergeTest, TinyBudgetStillMakesProgress) {

@@ -148,6 +148,59 @@ TEST(Ops, MatmulTnAccumEqualsTransposedProduct) {
   EXPECT_LT(ops::max_abs_diff(out, ops::scaled(expected, 2.0F)), 1e-4);
 }
 
+// Regression: matmul and matmul_tn_accum used to skip zero entries of `a`
+// (`if (aval == 0.0F) continue;`), so a 0 in `a` against a NaN/Inf in `b`
+// silently produced 0 instead of NaN — IEEE says 0 * NaN = NaN. No
+// value-dependent skips are allowed.
+TEST(Ops, MatmulPropagatesNanThroughZeroRows) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a({2, 2}, {0, 0, 1, 0});     // row 0 is all zeros
+  Tensor b({2, 2}, {nan, 2, 3, 4});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at2(0, 0)));  // 0 * NaN + 0 * 3
+  EXPECT_TRUE(std::isnan(c.at2(1, 0)));  // 1 * NaN + 0 * 3
+  EXPECT_EQ(c.at2(0, 1), 0.0F);
+  EXPECT_EQ(c.at2(1, 1), 2.0F);
+}
+
+TEST(Ops, MatmulPropagatesInfThroughZeroEntries) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a({1, 2}, {0, 1});
+  Tensor b({2, 1}, {inf, 5});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at2(0, 0)));  // 0 * inf = NaN, NaN + 5 = NaN
+}
+
+TEST(Ops, MatmulTnAccumPropagatesNanThroughZeroEntries) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a({1, 2}, {0, 1});        // a^T row 0 multiplies b row 0
+  Tensor b({1, 2}, {nan, 2});
+  Tensor out({2, 2});
+  ops::matmul_tn_accum(a, b, out);
+  EXPECT_TRUE(std::isnan(out.at2(0, 0)));  // 0 * NaN
+  EXPECT_TRUE(std::isnan(out.at2(1, 0)));  // 1 * NaN
+  EXPECT_EQ(out.at2(0, 1), 0.0F);
+  EXPECT_EQ(out.at2(1, 1), 2.0F);
+}
+
+TEST(Ops, ScaledSumMatchesComposition) {
+  Tensor a({3}, {1, -2, 4});
+  Tensor b({3}, {10, 20, -30});
+  const Tensor fused = ops::scaled_sum(0.25F, a, 0.5F, b);
+  const Tensor composed = ops::add(ops::scaled(a, 0.25F), ops::scaled(b, 0.5F));
+  EXPECT_EQ(ops::max_abs_diff(fused, composed), 0.0);
+  Tensor c({2});
+  EXPECT_THROW(ops::scaled_sum(1.0F, a, 1.0F, c), Error);
+}
+
+TEST(Ops, ScaledSumSpanAllowsAliasedOutput) {
+  Tensor a({4}, {1, 2, 3, 4});
+  Tensor b({4}, {5, 6, 7, 8});
+  ops::scaled_sum(2.0F, a.values(), 1.0F, b.values(), b.values());
+  EXPECT_EQ(b[0], 7.0F);
+  EXPECT_EQ(b[3], 16.0F);
+}
+
 TEST(Ops, AddSubHadamard) {
   Tensor a({2}, {1, 2});
   Tensor b({2}, {3, 5});

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstring>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -179,6 +180,87 @@ TEST(ThreadPool, SizeOneRunsInline) {
   int counter = 0;
   pool.parallel_for(10, [&](std::size_t) { ++counter; });
   EXPECT_EQ(counter, 10);
+}
+
+// Regression: completion used to be tracked by a pool-global in-flight
+// counter, so a second caller's parallel_for could return while the first
+// caller's tasks were still running (and steal its exceptions). With
+// per-batch tokens, each caller must see exactly its own work complete.
+TEST(ThreadPool, ConcurrentParallelForCallersAreIsolated) {
+  ThreadPool pool(4);
+  constexpr int kIters = 50;
+  std::atomic<int> a_done{0};
+  std::atomic<int> b_done{0};
+  std::thread caller_a([&] {
+    for (int iter = 0; iter < kIters; ++iter) {
+      std::vector<std::atomic<int>> hits(17);
+      pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+      for (const auto& hit : hits) ASSERT_EQ(hit.load(), 1);
+      ++a_done;
+    }
+  });
+  std::thread caller_b([&] {
+    for (int iter = 0; iter < kIters; ++iter) {
+      std::vector<std::atomic<int>> hits(23);
+      pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+      for (const auto& hit : hits) ASSERT_EQ(hit.load(), 1);
+      ++b_done;
+    }
+  });
+  caller_a.join();
+  caller_b.join();
+  EXPECT_EQ(a_done.load(), kIters);
+  EXPECT_EQ(b_done.load(), kIters);
+}
+
+// One caller's task exception must surface only in that caller's wait; the
+// other concurrent caller must finish cleanly.
+TEST(ThreadPool, ExceptionStaysWithItsBatch) {
+  ThreadPool pool(4);
+  std::atomic<bool> thrower_threw{false};
+  std::atomic<bool> clean_ok{true};
+  std::thread thrower([&] {
+    for (int iter = 0; iter < 20; ++iter) {
+      try {
+        pool.parallel_for(8, [&](std::size_t i) {
+          if (i == 5) CA_THROW("batch-local boom");
+        });
+      } catch (const Error&) {
+        thrower_threw = true;
+      }
+    }
+  });
+  std::thread clean([&] {
+    for (int iter = 0; iter < 20; ++iter) {
+      try {
+        std::atomic<int> count{0};
+        pool.parallel_for(8, [&](std::size_t) { ++count; });
+        if (count.load() != 8) clean_ok = false;
+      } catch (...) {
+        clean_ok = false;  // must never observe the other batch's exception
+      }
+    }
+  });
+  thrower.join();
+  clean.join();
+  EXPECT_TRUE(thrower_threw.load());
+  EXPECT_TRUE(clean_ok.load());
+}
+
+// Regression: a parallel_for issued from inside a worker task used to
+// deadlock once all workers blocked on subtasks nobody was free to run. The
+// nested call must run inline on the worker and complete.
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> inner_hits(2 * 16);
+  pool.parallel_for(2, [&](std::size_t outer) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    pool.parallel_for(16, [&](std::size_t inner) {
+      ++inner_hits[outer * 16 + inner];
+    });
+  });
+  for (const auto& hit : inner_hits) EXPECT_EQ(hit.load(), 1);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
 }
 
 // Reference vectors for XXH64 with seed 0, from the canonical xxHash
