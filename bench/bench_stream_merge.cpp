@@ -1,25 +1,31 @@
 // bench_stream_merge — streaming vs in-memory merge: wall clock, throughput
-// and peak RSS, plus a byte-identity check between the two paths.
+// and peak RSS, plus byte-identity checks between all three paths.
 //
 // The bench fabricates synthetic sharded checkpoints tensor-by-tensor (so
 // fabrication itself stays small), then:
-//   1. streams the merge under a bounded in-flight budget and records the
-//      process peak RSS (VmHWM) — which must stay under
-//      baseline + budget + a fixed overhead allowance;
-//   2. runs the same merge through the in-memory path (load everything,
+//   1. streams the merge through the three-stage pipelined engine under a
+//      bounded in-flight budget and records the process peak RSS (VmHWM) —
+//      which must stay under baseline + budget + a fixed overhead allowance;
+//   2. streams the same merge through the strictly serial escape hatch
+//      (pipeline = false) and gates the pipelined speedup at >= 1.3x
+//      (skipped on single-core hosts, where no overlap win is possible);
+//   3. runs the same merge through the in-memory path (load everything,
 //      merge, save) — whose peak must strictly exceed the streaming peak;
-//   3. verifies the two outputs are byte-identical, tensor by tensor.
+//   4. verifies pipelined, serial, and in-memory outputs are byte-identical,
+//      tensor by tensor.
 //
 // Exit status is non-zero when any of those checks fail, so the bench
 // doubles as an acceptance gate. `--quick` shrinks the workload for CI.
 //
 // Usage: bench_stream_merge [--quick] [--method chipalign|ties|...]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -49,16 +55,18 @@ struct BenchConfig {
   // Allowance for everything outside the accounted working set: binary +
   // heap baseline growth, thread stacks, allocator slack.
   std::uint64_t overhead_bytes = 96ull << 20;
+  int timing_runs = 2;  // per engine; the speedup uses the best of each
 };
 
 BenchConfig quick_config() {
   BenchConfig config;
-  config.tensor_count = 16;
-  config.rows = 256;
-  config.cols = 256;                     // 256 KB per tensor, 4 MB total
-  config.shard_size_bytes = 1u << 20;
-  config.max_inflight_bytes = 2u << 20;
+  config.tensor_count = 24;
+  config.rows = 768;
+  config.cols = 512;                     // 1.5 MB per tensor, 36 MB total
+  config.shard_size_bytes = 4u << 20;
+  config.max_inflight_bytes = 48u << 20;
   config.overhead_bytes = 64ull << 20;
+  config.timing_runs = 3;
   return config;
 }
 
@@ -138,13 +146,6 @@ int main(int argc, char** argv) {
     std::printf("fabricated inputs in %.2f s\n", fab_timer.seconds());
 
     const MergeOptions options;
-
-    // Phase 1: streaming (first, so its VmHWM is not masked by the
-    // in-memory path's allocations — the kernel high-water mark only grows).
-    const std::uint64_t baseline_rss = peak_rss_bytes();
-    StreamingMergeConfig config;
-    config.shard_size_bytes = bench.shard_size_bytes;
-    config.max_inflight_bytes = bench.max_inflight_bytes;
     const ShardedTensorSource chip = ShardedTensorSource::open(root + "/chip");
     const ShardedTensorSource instruct =
         ShardedTensorSource::open(root + "/instruct");
@@ -152,24 +153,64 @@ int main(int argc, char** argv) {
     if (merger->requires_base()) {
       base = ShardedTensorSource::open(root + "/base");
     }
-    const StreamingMergeReport report = merge_streaming(
-        *merger, chip, instruct, merger->requires_base() ? &base : nullptr,
-        options, config, root + "/merged_streaming");
+    const TensorSource* base_ptr = merger->requires_base() ? &base : nullptr;
+
+    StreamingMergeConfig config;
+    config.shard_size_bytes = bench.shard_size_bytes;
+    config.max_inflight_bytes = bench.max_inflight_bytes;
+    config.log_every = 0;
+
+    auto stream_once = [&](bool pipeline, const std::string& out) {
+      StreamingMergeConfig run_config = config;
+      run_config.pipeline = pipeline;
+      return merge_streaming(*merger, chip, instruct, base_ptr, options,
+                             run_config, out);
+    };
+
+    // Phase 1: pipelined streaming (first, so its VmHWM is not masked by the
+    // in-memory path's allocations — the kernel high-water mark only grows).
+    const std::uint64_t baseline_rss = peak_rss_bytes();
+    StreamingMergeReport report = stream_once(true, root + "/merged_streaming");
+    double best_pipelined = report.seconds;
+    for (int run = 1; run < bench.timing_runs; ++run) {
+      best_pipelined = std::min(
+          best_pipelined,
+          stream_once(true, root + "/merged_streaming").seconds);
+    }
     const std::uint64_t streaming_rss = peak_rss_bytes();
     std::printf(
-        "[streaming] %zu tensors -> %zu shard(s), %s written, %.1f MB/s in "
-        "%.2f s\n",
+        "[pipelined] %zu tensors -> %zu shard(s), %s written, %.1f MB/s in "
+        "%.2f s (best of %d: %.2f s)\n",
         report.tensor_count, report.shard_count,
         format_bytes(report.bytes_written).c_str(), report.mb_per_second(),
-        report.seconds);
+        report.seconds, bench.timing_runs, best_pipelined);
     std::printf(
-        "[streaming] peak RSS %s (baseline %s, accounted in-flight max %s, "
+        "[pipelined] stage busy: read %.2f s, merge %.2f s, write %.2f s "
+        "(%zu reads checksum-verified)\n",
+        report.read_seconds, report.merge_seconds, report.write_seconds,
+        report.source_checksums_verified);
+    std::printf(
+        "[pipelined] peak RSS %s (baseline %s, accounted in-flight max %s, "
         "budget %s)\n",
         format_bytes(streaming_rss).c_str(), format_bytes(baseline_rss).c_str(),
         format_bytes(report.max_inflight_bytes_observed).c_str(),
         format_bytes(config.max_inflight_bytes).c_str());
 
-    // Phase 2: in-memory.
+    // Phase 2: the strictly serial escape hatch, same workload.
+    StreamingMergeReport serial_report =
+        stream_once(false, root + "/merged_serial");
+    double best_serial = serial_report.seconds;
+    for (int run = 1; run < bench.timing_runs; ++run) {
+      best_serial = std::min(
+          best_serial, stream_once(false, root + "/merged_serial").seconds);
+    }
+    std::printf(
+        "[serial]    %s written at %.1f MB/s in %.2f s (best of %d: %.2f s)\n",
+        format_bytes(serial_report.bytes_written).c_str(),
+        serial_report.mb_per_second(), serial_report.seconds,
+        bench.timing_runs, best_serial);
+
+    // Phase 3: in-memory.
     Timer mem_timer;
     const Checkpoint chip_mem = load_sharded_checkpoint(root + "/chip");
     const Checkpoint instruct_mem = load_sharded_checkpoint(root + "/instruct");
@@ -185,21 +226,46 @@ int main(int argc, char** argv) {
     std::printf("[in-memory] merged + saved in %.2f s, peak RSS %s\n",
                 mem_timer.seconds(), format_bytes(inmemory_rss).c_str());
 
-    // Phase 3: byte-identity between the two outputs.
+    // Phase 4: byte-identity between all three outputs.
     const ShardedTensorSource streamed =
         ShardedTensorSource::open(root + "/merged_streaming");
+    const ShardedTensorSource serial =
+        ShardedTensorSource::open(root + "/merged_serial");
     std::size_t identical = 0;
     for (const auto& [name, tensor] : merged.tensors()) {
-      if (streamed.read_bytes(name) == encode_tensor_bytes(tensor, DType::kF32)) {
+      const std::vector<std::uint8_t> expected =
+          encode_tensor_bytes(tensor, DType::kF32);
+      if (streamed.read_bytes(name) == expected &&
+          serial.read_bytes(name) == expected) {
         ++identical;
       }
     }
     const bool bytes_ok = identical == merged.tensors().size() &&
-                          identical == streamed.names().size();
-    std::printf("byte-identity: %zu/%zu tensors identical -> %s\n", identical,
-                merged.tensors().size(), bytes_ok ? "OK" : "FAIL");
+                          identical == streamed.names().size() &&
+                          identical == serial.names().size();
+    std::printf("byte-identity: %zu/%zu tensors identical across pipelined/"
+                "serial/in-memory -> %s\n",
+                identical, merged.tensors().size(), bytes_ok ? "OK" : "FAIL");
 
     bool ok = bytes_ok;
+
+    // Gate: pipelining must buy >= 1.3x wall clock over the serial engine.
+    // On a single hardware thread there is nothing to overlap with, so the
+    // gate is reported as skipped rather than failed.
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    const double speedup =
+        best_pipelined > 0.0 ? best_serial / best_pipelined : 0.0;
+    if (hw_threads >= 2) {
+      const bool speedup_ok = speedup >= 1.3;
+      std::printf("pipelined speedup %.2fx over serial (>= 1.3x, %u hw "
+                  "threads) -> %s\n",
+                  speedup, hw_threads, speedup_ok ? "OK" : "FAIL");
+      ok = ok && speedup_ok;
+    } else {
+      std::printf("pipelined speedup %.2fx over serial — gate skipped "
+                  "(single-core host)\n", speedup);
+    }
+
     if (peak_rss_bytes() == 0) {
       std::printf("peak-RSS checks skipped (no /proc/self/status)\n");
     } else {

@@ -97,6 +97,10 @@ void print_usage() {
       "  --shard-size-mb N   max data MB per output shard (default 64;\n"
       "                      0 = single shard)\n"
       "  --max-inflight-mb N in-flight working-set budget (default 256)\n"
+      "  --io-threads N      prefetch reader threads (default 2)\n"
+      "  --prefetch-tensors N  cap on tensors in flight at once (default 16)\n"
+      "  --no-pipeline       strictly serial read->merge->write escape hatch\n"
+      "                      (same bytes, no read/compute/write overlap)\n"
       "  --resume            continue an interrupted run from its journal\n",
       join(merger_names(), ", ").c_str());
 }
@@ -215,6 +219,19 @@ int main(int argc, char** argv) {
           mb_to_bytes(args.get_double("max-inflight-mb", 256));
       config.out_dtype = out_dtype;
       config.resume = args.has("resume");
+      config.pipeline = !args.has("no-pipeline");
+      if (args.has("io-threads")) {
+        const double io_threads = args.get_double("io-threads", 2);
+        CA_CHECK(io_threads >= 1,
+                 "--io-threads must be at least 1, got " << io_threads);
+        config.io_threads = static_cast<std::size_t>(io_threads);
+      }
+      if (args.has("prefetch-tensors")) {
+        const double prefetch = args.get_double("prefetch-tensors", 16);
+        CA_CHECK(prefetch >= 1,
+                 "--prefetch-tensors must be at least 1, got " << prefetch);
+        config.prefetch_tensors = static_cast<std::size_t>(prefetch);
+      }
       config.progress = progress_line(chip.total_bytes());
 
       const StreamingMergeReport report =
@@ -223,10 +240,15 @@ int main(int argc, char** argv) {
                           out_dir);
       std::printf(
           "streamed %zu tensors (%zu resumed) into %zu shard(s): %s written "
-          "at %.1f MB/s in %.2f s\n",
+          "at %.1f MB/s in %.2f s [%s]\n",
           report.tensor_count, report.resumed_count, report.shard_count,
           format_bytes(report.bytes_written).c_str(), report.mb_per_second(),
-          report.seconds);
+          report.seconds, report.pipelined ? "pipelined" : "serial");
+      std::printf(
+          "stage busy time: read %.2f s, merge %.2f s, write %.2f s "
+          "(%zu source reads checksum-verified)\n",
+          report.read_seconds, report.merge_seconds, report.write_seconds,
+          report.source_checksums_verified);
       std::printf("wrote %s (peak RSS %s, in-flight budget %s)\n",
                   report.index_path.c_str(),
                   format_bytes(peak_rss_bytes()).c_str(),

@@ -6,26 +6,62 @@
 #   ./run_benches.sh --quick   CI smoke: the kernel and streaming-merge
 #                              acceptance benches in their reduced --quick
 #                              configurations only
+#
+# Every gated bench runs to completion even when an earlier one fails; a
+# per-bench PASS/FAIL summary is printed at the end and the exit status is
+# non-zero when any gate failed, listing all of them.
 set -u
 cd "$(dirname "$0")"
 
+summary=""
+failed=""
+
+# run_gated <name> <cmd...> — runs a gated bench, records PASS/FAIL.
+run_gated() {
+  name="$1"
+  shift
+  echo ""
+  echo "######## $name ########"
+  if "$@"; then
+    summary="${summary}PASS  ${name}\n"
+  else
+    summary="${summary}FAIL  ${name}\n"
+    failed="${failed}  ${name}\n"
+  fi
+}
+
+report() {
+  echo ""
+  echo "======== bench summary ========"
+  printf '%b' "$summary"
+  if [ -n "$failed" ]; then
+    echo ""
+    echo "failed gates:"
+    printf '%b' "$failed"
+    exit 1
+  fi
+  exit 0
+}
+
 if [ "${1:-}" = "--quick" ]; then
   for b in build/bench/bench_kernels build/bench/bench_stream_merge; do
-    [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 1; }
-    echo "######## $b --quick ########"
-    "$b" --quick || exit 1
+    [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
+    run_gated "$b --quick" "$b" --quick
   done
-  exit 0
+  report
 fi
 
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
-  echo ""
-  echo "######## $b ########"
   case "$b" in
-    # Acceptance gates: fail the sweep on a miss.
-    */bench_stream_merge) "$b" || exit 1 ;;
-    */bench_kernels) "$b" --gate || exit 1 ;;
-    *) "$b" ;;
+    # Acceptance gates: a miss fails the sweep (after all benches have run).
+    */bench_stream_merge) run_gated "$b" "$b" ;;
+    */bench_kernels) run_gated "$b --gate" "$b" --gate ;;
+    *)
+      echo ""
+      echo "######## $b ########"
+      "$b"
+      ;;
   esac
 done
+report

@@ -1,12 +1,15 @@
 #include "stream/streaming_merge.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "io/safetensors.hpp"
@@ -34,7 +37,10 @@ void hash_double(Xxh64Stream& stream, double value) {
 
 /// Fingerprints everything that determines the output bytes: method,
 /// hyperparameters, output layout, and the tensor directory. A journal from
-/// a run with any of these changed must not be resumed.
+/// a run with any of these changed must not be resumed. Pipeline knobs
+/// (io_threads, prefetch_tensors, pipeline, pool) are deliberately absent:
+/// they never change the bytes, so a merge may be resumed under different
+/// scheduling settings.
 std::uint64_t plan_fingerprint(const Merger& merger, const MergeOptions& options,
                                const StreamingMergeConfig& config,
                                const std::vector<std::string>& names,
@@ -69,13 +75,28 @@ struct JournalState {
   std::map<std::string, std::string> done;
 };
 
+/// Parses a journal, trusting only complete lines. The writer appends one
+/// '\n'-terminated line per committed tensor, so a kill mid-append leaves at
+/// most one unterminated final line — which must be discarded even when it
+/// happens to split into the right number of fields (a truncated tensor
+/// name could otherwise alias a different, never-written tensor).
 JournalState read_journal(const std::string& path) {
   JournalState state;
-  std::ifstream file(path);
+  std::ifstream file(path, std::ios::binary);
   if (!file.good()) return state;
-  std::string line;
+  const std::string content{std::istreambuf_iterator<char>(file),
+                            std::istreambuf_iterator<char>()};
+  std::size_t begin = 0;
   bool first = true;
-  while (std::getline(file, line)) {
+  std::size_t torn = 0;
+  while (begin < content.size()) {
+    const std::size_t newline = content.find('\n', begin);
+    if (newline == std::string::npos) {
+      torn = content.size() - begin;  // torn trailing entry: discard
+      break;
+    }
+    const std::string line = content.substr(begin, newline - begin);
+    begin = newline + 1;
     const std::vector<std::string> fields = split_whitespace(line);
     if (first) {
       first = false;
@@ -84,11 +105,363 @@ JournalState read_journal(const std::string& path) {
       state.fingerprint = hash_from_hex(fields[1]);
       continue;
     }
-    // A torn final line (crash mid-append) is ignored, not an error.
+    // Corrupted (not merely torn) entries are skipped, not trusted: wrong
+    // field count, wrong tag, or a checksum that is not 16 hex digits.
     if (fields.size() != 3 || fields[0] != "done") continue;
+    if (fields[1].size() != 16) continue;
     state.done[fields[2]] = fields[1];
   }
+  if (first) {
+    // Even the header line never completed: treat as no journal at all.
+    return JournalState{};
+  }
+  if (torn > 0) {
+    CA_LOG_WARN("journal '" << path << "' ends in a torn " << torn
+                            << "-byte entry (killed mid-append); discarding it"
+                               " — that tensor will be remerged");
+  }
   return state;
+}
+
+/// Seek-reads one tensor's storage bytes, verifies them against the
+/// source's recorded checksum when one exists, and decodes to fp32.
+Tensor read_verified(const TensorSource& source, const std::string& name,
+                     std::atomic<std::uint64_t>& bytes_read,
+                     std::atomic<std::size_t>& verified) {
+  const TensorRecord& rec = source.record(name);
+  const std::vector<std::uint8_t> bytes = source.read_bytes(name);
+  bytes_read.fetch_add(bytes.size());
+  const std::string expected = source.stored_checksum(name);
+  if (!expected.empty()) {
+    CA_CHECK(hash_to_hex(xxh64(bytes.data(), bytes.size())) == expected,
+             "tensor '" << name << "' in '" << rec.file
+                        << "' does not match its manifest checksum — the "
+                           "source shard is corrupt");
+    verified.fetch_add(1);
+  }
+  return decode_tensor_bytes(bytes.data(), bytes.size(), rec.dtype, rec.shape);
+}
+
+/// Everything the two engines (serial and pipelined) share: the immutable
+/// plan-side inputs plus the mutable commit-side state (journal, checksums,
+/// counters). Commit-side members are only touched by one thread at a time
+/// (the caller in serial mode, the writer thread in pipeline mode).
+struct MergeRun {
+  const Merger& merger;
+  const TensorSource& chip;
+  const TensorSource& instruct;
+  const TensorSource* base;
+  const MergeOptions& options;
+  const StreamingMergeConfig& config;
+  const std::vector<std::string>& names;
+
+  ShardSetWriter& writer;
+  std::ofstream& journal_file;
+  std::map<std::string, std::string>& checksums;
+  const std::set<std::string>& done;
+  std::vector<std::size_t> todo{};  ///< plan indices still to merge, in order
+
+  Timer timer{};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+  std::atomic<std::size_t> checksum_verified{0};
+  std::atomic<std::uint64_t> read_us{0};
+  std::atomic<std::uint64_t> merge_us{0};
+  std::atomic<std::uint64_t> write_us{0};
+
+  std::uint64_t tensor_cost(const std::string& name) const {
+    // An in-flight tensor costs its input storage bytes plus one fp32
+    // working copy per input and the merged fp32 + encoded output. This is
+    // an accounting bound (enforced deterministically), which the bench
+    // then checks against measured RSS.
+    const int n_inputs = 2 + (merger.requires_base() ? 1 : 0);
+    const TensorRecord& rec = chip.record(name);
+    const auto numel = static_cast<std::uint64_t>(rec.numel());
+    std::uint64_t cost = rec.byte_size() + instruct.record(name).byte_size() +
+                         (base != nullptr ? base->record(name).byte_size() : 0);
+    cost += numel * 4 * static_cast<std::uint64_t>(n_inputs + 1);  // fp32
+    cost += numel * dtype_size(config.out_dtype);  // encoded out
+    return cost;
+  }
+
+  /// Commits one merged tensor: shard write, journal append, bookkeeping,
+  /// fault-injection hook, progress/log callbacks. `journaled_this_run` is
+  /// the count of commits this invocation made so far *including* this one.
+  /// Called from exactly one thread at a time (see struct comment).
+  void commit(const std::string& name, const std::vector<std::uint8_t>& bytes,
+              const std::string& checksum, std::size_t journaled_this_run) {
+    const Timer write_timer;
+    writer.write_tensor(name, bytes);
+    bytes_written.fetch_add(bytes.size());
+    journal_file << "done " << checksum << ' ' << name << '\n';
+    journal_file.flush();
+    CA_CHECK(journal_file.good(), "journal append failed for '" << name << "'");
+    checksums[name] = checksum;
+    write_us.fetch_add(static_cast<std::uint64_t>(write_timer.seconds() * 1e6));
+
+    const std::size_t done_now = done.size() + journaled_this_run;
+    if (config.fail_after_tensors >= 0 &&
+        journaled_this_run >=
+            static_cast<std::size_t>(config.fail_after_tensors)) {
+      CA_THROW("injected failure after " << config.fail_after_tensors
+                                         << " tensors (test hook)");
+    }
+    if (config.progress) config.progress(done_now, names.size());
+    if (config.log_every > 0 && done_now % config.log_every == 0) {
+      const double mb =
+          static_cast<double>(bytes_written.load()) / (1024.0 * 1024.0);
+      const double secs = timer.seconds();
+      CA_LOG_INFO("streamed " << done_now << "/" << names.size() << " tensors, "
+                              << (secs > 0 ? mb / secs : 0.0) << " MB/s");
+    }
+  }
+};
+
+/// One tensor travelling through the pipeline: filled stage by stage, its
+/// accounted cost released only when the writer commits (or the pipeline
+/// abandons) it.
+struct PipelineSlot {
+  std::size_t index = 0;
+  std::uint64_t cost = 0;
+  Tensor chip_tensor;
+  Tensor instruct_tensor;
+  Tensor base_tensor;
+  bool has_base = false;
+  std::vector<std::uint8_t> out_bytes;
+  std::string checksum;
+};
+
+/// The escape hatch (`pipeline = false`): one tensor at a time, strictly
+/// serial — read shard, merge, encode, write, journal — on the calling
+/// thread. The reference the pipelined engine must match byte-for-byte, and
+/// the baseline its speedup gate measures against.
+void run_serial(MergeRun& run, StreamingMergeReport& report) {
+  std::size_t journaled = 0;
+  for (const std::size_t index : run.todo) {
+    const std::string& name = run.names[index];
+    report.max_inflight_bytes_observed = std::max(
+        report.max_inflight_bytes_observed, run.tensor_cost(name));
+
+    const Timer read_timer;
+    const Tensor chip_tensor = read_verified(run.chip, name, run.bytes_read,
+                                             run.checksum_verified);
+    const Tensor instruct_tensor = read_verified(
+        run.instruct, name, run.bytes_read, run.checksum_verified);
+    Tensor base_tensor;
+    const Tensor* base_ptr = nullptr;
+    if (run.base != nullptr) {
+      base_tensor = read_verified(*run.base, name, run.bytes_read,
+                                  run.checksum_verified);
+      base_ptr = &base_tensor;
+    }
+    run.read_us.fetch_add(static_cast<std::uint64_t>(read_timer.seconds() * 1e6));
+
+    const Timer merge_timer;
+    Rng rng = merge_tensor_rng(run.options, index);
+    const Tensor merged = run.merger.merge_tensor(
+        name, chip_tensor, instruct_tensor, base_ptr, run.options, rng);
+    CA_CHECK(merged.shape() == run.chip.record(name).shape,
+             "merger '" << run.merger.name() << "' changed shape of '" << name
+                        << "'");
+    const std::vector<std::uint8_t> out_bytes =
+        encode_tensor_bytes(merged, run.config.out_dtype);
+    const std::string checksum =
+        hash_to_hex(xxh64(out_bytes.data(), out_bytes.size()));
+    run.merge_us.fetch_add(
+        static_cast<std::uint64_t>(merge_timer.seconds() * 1e6));
+
+    run.commit(name, out_bytes, checksum, ++journaled);
+  }
+}
+
+/// The three-stage pipelined engine: io_threads prefetchers -> compute pool
+/// -> one in-plan-order writer thread, all throttled by the in-flight byte
+/// budget and the prefetch_tensors cap. See the header's file comment for
+/// the contract.
+void run_pipelined(MergeRun& run, StreamingMergeReport& report) {
+  const StreamingMergeConfig& config = run.config;
+  ThreadPool& compute_pool =
+      config.pool != nullptr ? *config.pool : global_thread_pool();
+  ThreadPool io_pool(std::max<std::size_t>(1, config.io_threads));
+  const std::size_t prefetch_cap =
+      std::max<std::size_t>(1, config.prefetch_tensors);
+
+  // Budget accounting. Charged at admission (scheduler), released at commit
+  // (writer) or on abandonment after a failure. Because tensors are
+  // admitted in plan order, the writer's next-expected tensor is always in
+  // flight, so it always completes and releases budget: no deadlock.
+  std::mutex budget_mutex;
+  std::condition_variable budget_cv;
+  std::uint64_t inflight_bytes = 0;
+  std::size_t inflight_count = 0;
+
+  // Compute -> writer handoff: completed slots keyed by plan index.
+  std::mutex ready_mutex;
+  std::condition_variable ready_cv;
+  std::map<std::size_t, PipelineSlot> ready;
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr writer_error;
+
+  ThreadPool::Batch io_batch;
+  ThreadPool::Batch compute_batch;
+
+  auto release_budget = [&](std::uint64_t cost) {
+    {
+      std::lock_guard<std::mutex> lock(budget_mutex);
+      inflight_bytes -= cost;
+      --inflight_count;
+    }
+    budget_cv.notify_all();
+  };
+  // First failure anywhere: flag it, skip work still queued behind it, and
+  // wake both the admission wait and the writer so everyone winds down.
+  auto note_failure = [&] {
+    failed.store(true);
+    io_batch.cancel();
+    compute_batch.cancel();
+    budget_cv.notify_all();
+    ready_cv.notify_all();
+  };
+
+  std::thread writer_thread([&] {
+    std::size_t journaled = 0;
+    try {
+      for (const std::size_t index : run.todo) {
+        PipelineSlot slot;
+        {
+          std::unique_lock<std::mutex> lock(ready_mutex);
+          ready_cv.wait(lock, [&] {
+            return failed.load() || ready.count(index) > 0;
+          });
+          if (failed.load()) return;
+          slot = std::move(ready.at(index));
+          ready.erase(index);
+        }
+        run.commit(run.names[index], slot.out_bytes, slot.checksum,
+                   ++journaled);
+        release_budget(slot.cost);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!writer_error) writer_error = std::current_exception();
+      }
+      note_failure();
+    }
+  });
+
+  // Admission scheduler: plan order, bounded by bytes and slot count.
+  for (const std::size_t index : run.todo) {
+    if (failed.load()) break;
+    const std::uint64_t cost = run.tensor_cost(run.names[index]);
+    {
+      std::unique_lock<std::mutex> lock(budget_mutex);
+      budget_cv.wait(lock, [&] {
+        return failed.load() || inflight_count == 0 ||
+               (inflight_bytes + cost <= config.max_inflight_bytes &&
+                inflight_count < prefetch_cap);
+      });
+      if (failed.load()) break;
+      inflight_bytes += cost;
+      ++inflight_count;
+      report.max_inflight_bytes_observed =
+          std::max(report.max_inflight_bytes_observed, inflight_bytes);
+    }
+
+    io_pool.submit(io_batch, [&run, &compute_pool, &compute_batch, &ready,
+                              &ready_mutex, &ready_cv, &failed, &note_failure,
+                              &release_budget, index, cost] {
+      if (failed.load()) {
+        release_budget(cost);
+        return;
+      }
+      PipelineSlot slot;
+      slot.index = index;
+      slot.cost = cost;
+      const std::string& name = run.names[index];
+      try {
+        const Timer read_timer;
+        slot.chip_tensor = read_verified(run.chip, name, run.bytes_read,
+                                         run.checksum_verified);
+        slot.instruct_tensor = read_verified(run.instruct, name,
+                                             run.bytes_read,
+                                             run.checksum_verified);
+        if (run.base != nullptr) {
+          slot.base_tensor = read_verified(*run.base, name, run.bytes_read,
+                                           run.checksum_verified);
+          slot.has_base = true;
+        }
+        run.read_us.fetch_add(
+            static_cast<std::uint64_t>(read_timer.seconds() * 1e6));
+      } catch (...) {
+        release_budget(cost);
+        note_failure();
+        throw;  // captured by io_batch, rethrown to the caller
+      }
+      compute_pool.submit(compute_batch, [&run, &ready, &ready_mutex,
+                                          &ready_cv, &failed, &note_failure,
+                                          &release_budget,
+                                          slot = std::move(slot)]() mutable {
+        if (failed.load()) {
+          release_budget(slot.cost);
+          return;
+        }
+        try {
+          const std::string& name = run.names[slot.index];
+          const Timer merge_timer;
+          Rng rng = merge_tensor_rng(run.options, slot.index);
+          const Tensor merged = run.merger.merge_tensor(
+              name, slot.chip_tensor, slot.instruct_tensor,
+              slot.has_base ? &slot.base_tensor : nullptr, run.options, rng);
+          CA_CHECK(merged.shape() == run.chip.record(name).shape,
+                   "merger '" << run.merger.name() << "' changed shape of '"
+                              << name << "'");
+          slot.out_bytes = encode_tensor_bytes(merged, run.config.out_dtype);
+          slot.checksum =
+              hash_to_hex(xxh64(slot.out_bytes.data(), slot.out_bytes.size()));
+          run.merge_us.fetch_add(
+              static_cast<std::uint64_t>(merge_timer.seconds() * 1e6));
+          // Inputs are dead weight from here; drop them before the slot
+          // waits in the ready queue for its plan-order turn.
+          slot.chip_tensor = Tensor();
+          slot.instruct_tensor = Tensor();
+          slot.base_tensor = Tensor();
+          {
+            std::lock_guard<std::mutex> lock(ready_mutex);
+            ready.emplace(slot.index, std::move(slot));
+          }
+          ready_cv.notify_all();
+        } catch (...) {
+          release_budget(slot.cost);
+          note_failure();
+          throw;  // captured by compute_batch, rethrown to the caller
+        }
+      });
+    });
+  }
+
+  // Drain: io tasks first (they are what submits compute tasks), then
+  // compute, then the writer. Batch waits rethrow the first stage error;
+  // defer it so the writer is always joined.
+  std::exception_ptr error;
+  try {
+    io_batch.wait();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  try {
+    compute_batch.wait();
+  } catch (...) {
+    if (!error) error = std::current_exception();
+  }
+  writer_thread.join();
+  if (!error) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    error = writer_error;
+  }
+  if (error) std::rethrow_exception(error);  // journal stays for resume
 }
 
 }  // namespace
@@ -174,143 +547,36 @@ StreamingMergeReport merge_streaming(const Merger& merger,
   report.tensor_count = names.size();
   report.resumed_count = done.size();
   report.shard_count = writer.plan().shards.size();
+  report.pipelined = config.pipeline;
 
-  // Budget accounting: an in-flight tensor costs its input storage bytes
-  // plus one fp32 working copy per input and the merged fp32 + encoded
-  // output. This is an accounting bound (enforced deterministically), which
-  // the bench then checks against measured RSS.
-  const int n_inputs = 2 + (merger.requires_base() ? 1 : 0);
-  auto tensor_cost = [&](const std::string& name) -> std::uint64_t {
-    const TensorRecord& rec = chip.record(name);
-    const auto numel = static_cast<std::uint64_t>(rec.numel());
-    std::uint64_t cost = chip.record(name).byte_size() +
-                         instruct.record(name).byte_size() +
-                         (base != nullptr ? base->record(name).byte_size() : 0);
-    cost += numel * 4 * static_cast<std::uint64_t>(n_inputs + 1);  // fp32 copies
-    cost += numel * dtype_size(config.out_dtype);                  // encoded out
-    return cost;
-  };
-
-  std::mutex budget_mutex;
-  std::condition_variable budget_cv;
-  std::uint64_t inflight_bytes = 0;
-  std::size_t inflight_count = 0;
-
-  std::mutex state_mutex;  // guards journal_file + checksums
-  std::atomic<std::size_t> completed{done.size()};
-  std::atomic<std::uint64_t> bytes_read{0};
-  std::atomic<std::uint64_t> bytes_written{0};
-  std::atomic<bool> failed{false};
-
-  Timer timer;
-  ThreadPool& pool = config.pool != nullptr ? *config.pool : global_thread_pool();
-  ThreadPool::Batch batch;
-
+  MergeRun run{merger,    chip,   instruct, base,         options, config,
+               names,     writer, journal_file, checksums, done};
+  run.todo.reserve(names.size() - done.size());
   for (std::size_t i = 0; i < names.size(); ++i) {
-    const std::string& name = names[i];
-    if (done.count(name) > 0) continue;
-    if (failed.load()) break;
-    const std::uint64_t cost = tensor_cost(name);
-
-    {  // Backpressure: admit when under budget, or alone.
-      std::unique_lock<std::mutex> lock(budget_mutex);
-      budget_cv.wait(lock, [&] {
-        return inflight_count == 0 ||
-               inflight_bytes + cost <= config.max_inflight_bytes;
-      });
-      inflight_bytes += cost;
-      ++inflight_count;
-      report.max_inflight_bytes_observed =
-          std::max(report.max_inflight_bytes_observed, inflight_bytes);
-    }
-
-    pool.submit(batch, [&, i, name, cost] {
-      struct BudgetRelease {
-        std::mutex& mutex;
-        std::condition_variable& cv;
-        std::uint64_t& bytes;
-        std::size_t& count;
-        std::uint64_t cost;
-        ~BudgetRelease() {
-          {
-            std::lock_guard<std::mutex> lock(mutex);
-            bytes -= cost;
-            --count;
-          }
-          cv.notify_all();
-        }
-      } release{budget_mutex, budget_cv, inflight_bytes, inflight_count, cost};
-
-      if (failed.load()) return;  // stop fanning out after the first error
-      try {
-        const TensorRecord& rec = chip.record(name);
-        const Tensor chip_tensor = chip.read(name);
-        const Tensor instruct_tensor = instruct.read(name);
-        Tensor base_tensor;
-        const Tensor* base_ptr = nullptr;
-        if (base != nullptr) {
-          base_tensor = base->read(name);
-          base_ptr = &base_tensor;
-        }
-        bytes_read.fetch_add(rec.byte_size() +
-                             instruct.record(name).byte_size() +
-                             (base != nullptr ? base->record(name).byte_size() : 0));
-
-        Rng rng = merge_tensor_rng(options, i);
-        const Tensor merged = merger.merge_tensor(
-            name, chip_tensor, instruct_tensor, base_ptr, options, rng);
-        CA_CHECK(merged.shape() == rec.shape,
-                 "merger '" << merger.name() << "' changed shape of '" << name << "'");
-
-        const std::vector<std::uint8_t> out_bytes =
-            encode_tensor_bytes(merged, config.out_dtype);
-        const std::string checksum =
-            hash_to_hex(xxh64(out_bytes.data(), out_bytes.size()));
-        writer.write_tensor(name, out_bytes);
-        bytes_written.fetch_add(out_bytes.size());
-
-        std::size_t done_now;
-        {
-          std::lock_guard<std::mutex> lock(state_mutex);
-          journal_file << "done " << checksum << ' ' << name << '\n';
-          journal_file.flush();
-          checksums[name] = checksum;
-          done_now = completed.fetch_add(1) + 1;
-        }
-        if (config.fail_after_tensors >= 0 &&
-            done_now >= done.size() + static_cast<std::size_t>(
-                                          config.fail_after_tensors)) {
-          failed.store(true);
-          CA_THROW("injected failure after " << config.fail_after_tensors
-                                             << " tensors (test hook)");
-        }
-        if (config.progress) config.progress(done_now, names.size());
-        if (config.log_every > 0 && done_now % config.log_every == 0) {
-          const double mb = static_cast<double>(bytes_written.load()) / (1024.0 * 1024.0);
-          const double secs = timer.seconds();
-          CA_LOG_INFO("streamed " << done_now << "/" << names.size()
-                                  << " tensors, "
-                                  << (secs > 0 ? mb / secs : 0.0) << " MB/s");
-        }
-      } catch (...) {
-        failed.store(true);
-        throw;
-      }
-    });
+    if (done.count(names[i]) == 0) run.todo.push_back(i);
   }
 
-  batch.wait();  // rethrows the first task error; journal stays for resume
+  if (config.pipeline) {
+    run_pipelined(run, report);
+  } else {
+    run_serial(run, report);
+  }
 
-  report.bytes_read = bytes_read.load();
-  report.bytes_written = bytes_written.load();
-  report.seconds = timer.seconds();
+  report.bytes_read = run.bytes_read.load();
+  report.bytes_written = run.bytes_written.load();
+  report.source_checksums_verified = run.checksum_verified.load();
+  report.read_seconds = static_cast<double>(run.read_us.load()) * 1e-6;
+  report.merge_seconds = static_cast<double>(run.merge_us.load()) * 1e-6;
+  report.write_seconds = static_cast<double>(run.write_us.load()) * 1e-6;
+  report.seconds = run.timer.seconds();
   report.index_path = writer.finish(checksums);
 
   journal_file.close();
   std::error_code ec;
   fs::remove(journal_path, ec);  // completed merges need no journal
 
-  CA_LOG_DEBUG("streaming merge: " << names.size() << " tensors ("
+  CA_LOG_DEBUG("streaming merge (" << (config.pipeline ? "pipelined" : "serial")
+                                   << "): " << names.size() << " tensors ("
                                    << report.resumed_count << " resumed) into "
                                    << report.shard_count << " shards in "
                                    << report.seconds * 1e3 << " ms");

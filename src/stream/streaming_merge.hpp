@@ -2,23 +2,41 @@
 /// \file streaming_merge.hpp
 /// \brief Bounded-memory streaming merge over sharded checkpoints.
 ///
-/// merge_streaming() drives any Merger through a producer/consumer pipeline
-/// on the global ThreadPool: for each tensor (in name-sorted order) a worker
-/// seek-reads the chip/instruct (and optional base) tensors from their
-/// shards, merges them, encodes to the output dtype, and writes the bytes at
-/// the planned offset of an output shard. Peak memory is bounded by the
-/// configured in-flight byte budget — the scheduler admits a tensor only
-/// when the estimated working bytes of all in-flight tensors stay under the
-/// budget (always admitting at least one, so a tensor larger than the
-/// budget still makes progress) — instead of the O(model) residency of
-/// merge_checkpoints().
+/// merge_streaming() drives any Merger through a bounded three-stage
+/// pipeline so I/O and compute overlap instead of summing:
+///
+///   1. *Prefetch* — an internal pool of `io_threads` readers seek-reads the
+///      chip/instruct (and optional base) tensors of upcoming plan entries,
+///      verifying each read against the source manifest's XXH64 checksum
+///      when one is recorded (silent shard corruption becomes a hard
+///      error);
+///   2. *Compute* — the merge math (SLERP/LERP/TIES/...) plus output-dtype
+///      encoding runs on `StreamingMergeConfig::pool` (default: the global
+///      ThreadPool), any number of tensors concurrently;
+///   3. *Write* — a single writer thread commits finished tensors to the
+///      ShardSetWriter and appends journal entries strictly **in plan
+///      (name-sorted) order**, so the journal is always a plan-order prefix
+///      of the remaining work and resume semantics match the serial
+///      engine's.
+///
+/// Admission control bounds peak memory: the scheduler admits a tensor into
+/// the pipeline only while the estimated working bytes of all in-flight
+/// tensors stay under `max_inflight_bytes` and at most `prefetch_tensors`
+/// are in flight (always admitting at least one, so a tensor larger than
+/// the budget still makes progress) — instead of the O(model) residency of
+/// merge_checkpoints(). `pipeline = false` is the escape hatch: a strictly
+/// serial read→merge→write→journal loop on the calling thread, byte- and
+/// journal-identical to the pipelined engine.
 ///
 /// Robustness: every completed tensor is recorded (name + XXH64 of its
 /// output bytes) in an append-only journal `merge.journal` inside the
 /// output directory, prefixed by a fingerprint of the merge plan. A rerun
 /// with resume enabled skips journaled tensors whose shard files still
 /// match the plan, then completes the manifest — an interrupted merge
-/// restarts where it stopped and converges to the same bytes.
+/// restarts where it stopped and converges to the same bytes. A torn final
+/// journal line (kill mid-append) is discarded, so only that tensor is
+/// redone. Worker/writer exceptions propagate to the caller after the
+/// pipeline drains, with the journal left in this resumable state.
 ///
 /// Determinism: per-tensor RNG streams come from merge_tensor_rng() with
 /// the tensor's index in the name-sorted list — the same derivation as
@@ -47,6 +65,21 @@ struct StreamingMergeConfig {
 
   /// Storage dtype of the output shards.
   DType out_dtype = DType::kF32;
+
+  /// Overlap read / merge / write in the three-stage pipeline. false is the
+  /// escape hatch: one tensor at a time, strictly serial, on the calling
+  /// thread. Output bytes and journal contents are identical either way.
+  bool pipeline = true;
+
+  /// Reader threads of the prefetch stage (pipeline mode only; clamped to
+  /// at least 1).
+  std::size_t io_threads = 2;
+
+  /// Cap on tensors admitted into the pipeline at once, on top of the byte
+  /// budget (pipeline mode only; clamped to at least 1). Bounds the
+  /// completed-but-not-yet-committed backlog the in-order writer may have
+  /// to buffer.
+  std::size_t prefetch_tensors = 16;
 
   /// Resume from an interrupted run's journal instead of starting over.
   /// Throws Error when the journal belongs to a different merge plan.
@@ -81,6 +114,15 @@ struct StreamingMergeReport {
   /// budget unless a single tensor alone exceeds it.
   std::uint64_t max_inflight_bytes_observed = 0;
   double seconds = 0.0;
+  bool pipelined = false;  ///< which engine ran (config.pipeline)
+  /// Source reads that were verified against a manifest checksum.
+  std::size_t source_checksums_verified = 0;
+  /// Aggregate busy time per stage, summed across worker threads. In
+  /// pipeline mode their sum exceeding `seconds` is the overlap win; in
+  /// serial mode they sum to ~`seconds`.
+  double read_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double write_seconds = 0.0;
   std::string index_path;  ///< manifest of the merged sharded checkpoint
 
   double mb_per_second() const {

@@ -51,6 +51,15 @@ class TensorSource {
   /// Reads and decodes one tensor to fp32. Thread-safe.
   virtual Tensor read(const std::string& name) const = 0;
 
+  /// XXH64 hex checksum of the tensor's storage bytes as recorded by the
+  /// checkpoint (manifest `checksums` map), or "" when the source records
+  /// none. The streaming-merge prefetcher verifies freshly read bytes
+  /// against this, turning silent shard corruption into a hard error.
+  virtual std::string stored_checksum(const std::string& name) const {
+    (void)name;
+    return {};
+  }
+
   /// Checkpoint-level string metadata (config JSON etc.).
   virtual const std::map<std::string, std::string>& metadata() const = 0;
 
@@ -80,6 +89,10 @@ class ShardedTensorSource : public TensorSource {
   const TensorRecord& record(const std::string& name) const override;
   std::vector<std::uint8_t> read_bytes(const std::string& name) const override;
   Tensor read(const std::string& name) const override;
+  std::string stored_checksum(const std::string& name) const override {
+    const auto it = checksums_.find(name);
+    return it != checksums_.end() ? it->second : std::string();
+  }
   const std::map<std::string, std::string>& metadata() const override {
     return metadata_;
   }

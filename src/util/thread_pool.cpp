@@ -48,7 +48,7 @@ void ThreadPool::submit(Batch& batch, std::function<void()> task) {
   // no per-batch knowledge and the queue stays a plain function queue.
   auto wrapped = [&batch, task = std::move(task)] {
     try {
-      task();
+      if (!batch.cancelled()) task();
     } catch (...) {
       std::lock_guard<std::mutex> lock(batch.mutex_);
       if (!batch.first_error_) batch.first_error_ = std::current_exception();

@@ -8,6 +8,7 @@
 /// completion signals or exceptions, and a parallel_for issued from inside a
 /// worker task runs inline instead of deadlocking on the pool's own queue.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -37,12 +38,25 @@ class ThreadPool {
     /// rethrows the first task exception if any occurred.
     void wait();
 
+    /// Marks the batch cancelled: tasks submitted against it that have not
+    /// started yet are skipped (their completion is still signalled, so
+    /// wait() does not hang). Tasks already running are not interrupted.
+    /// Used by the streaming-merge pipeline to cut queued work short after
+    /// the first stage failure.
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /// True once cancel() has been called.
+    bool cancelled() const {
+      return cancelled_.load(std::memory_order_relaxed);
+    }
+
    private:
     friend class ThreadPool;
     std::mutex mutex_;
     std::condition_variable done_;
     std::size_t pending_ = 0;
     std::exception_ptr first_error_;
+    std::atomic<bool> cancelled_{false};
   };
 
   /// \param num_threads 0 selects hardware_concurrency (at least 1).

@@ -444,6 +444,197 @@ TEST_P(StreamingMergeTest, OutputBytesAreInvariantToPoolSize) {
             static_cast<std::ptrdiff_t>(names_solo.size()));
 }
 
+// The pipeline=false escape hatch (strictly serial, on the calling thread)
+// must produce exactly the same files as the pipelined engine.
+TEST_P(StreamingMergeTest, SerialEscapeHatchMatchesPipelinedByteForByte) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+
+  const std::string out_pipe = dir("out_pipe");
+  config.pipeline = true;
+  const StreamingMergeReport pipelined = run_streaming(out_pipe, config);
+  EXPECT_TRUE(pipelined.pipelined);
+
+  const std::string out_serial = dir("out_serial");
+  config.pipeline = false;
+  const StreamingMergeReport serial = run_streaming(out_serial, config);
+  EXPECT_FALSE(serial.pipelined);
+  EXPECT_EQ(serial.bytes_written, pipelined.bytes_written);
+
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(out_serial)) {
+    const std::string name = entry.path().filename().string();
+    ASSERT_TRUE(fs::exists(out_pipe + "/" + name)) << name;
+    EXPECT_EQ(read_file_bytes(out_serial + "/" + name),
+              read_file_bytes(out_pipe + "/" + name))
+        << "file '" << name << "' differs between serial and pipelined";
+    ++files;
+  }
+  EXPECT_GE(files, 2u);
+  expect_identical(run_in_memory(), out_serial, DType::kF32);
+}
+
+// Every scheduling knob must be invisible in the output bytes: io thread
+// count, prefetch depth, and their combination with a tiny byte budget.
+TEST_P(StreamingMergeTest, IoAndPrefetchKnobsAreByteInvariant) {
+  prepare();
+  StreamingMergeConfig reference;
+  reference.shard_size_bytes = 4u << 10;
+  reference.log_every = 0;
+  const std::string ref_out = dir("ref");
+  run_streaming(ref_out, reference);
+
+  const struct {
+    std::size_t io_threads;
+    std::size_t prefetch;
+    std::uint64_t budget;
+  } cases[] = {{1, 1, 1}, {1, 4, 64u << 10}, {3, 2, 32u << 10}, {4, 16, 1}};
+  int case_id = 0;
+  for (const auto& knobs : cases) {
+    StreamingMergeConfig config = reference;
+    config.io_threads = knobs.io_threads;
+    config.prefetch_tensors = knobs.prefetch;
+    config.max_inflight_bytes = knobs.budget;
+    const std::string out = dir("out" + std::to_string(case_id++));
+    run_streaming(out, config);
+    for (const auto& entry : fs::directory_iterator(ref_out)) {
+      const std::string name = entry.path().filename().string();
+      EXPECT_EQ(read_file_bytes(out + "/" + name),
+                read_file_bytes(ref_out + "/" + name))
+          << "file '" << name << "' differs at io_threads="
+          << knobs.io_threads << " prefetch=" << knobs.prefetch
+          << " budget=" << knobs.budget;
+    }
+  }
+}
+
+// Kill-at-the-wrong-moment torture: a journal whose final line was torn by
+// the kill (partial append, no trailing newline) must have that entry
+// discarded on resume — the engine redoes exactly that tensor, and only it.
+TEST_P(StreamingMergeTest, TornTrailingJournalEntryIsDiscardedOnResume) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+
+  const std::string out = dir("out");
+  StreamingMergeConfig failing = config;
+  failing.fail_after_tensors = 5;
+  EXPECT_THROW(run_streaming(out, failing), Error);
+
+  // The writer journals in plan order, so exactly 5 entries exist. Tear the
+  // last one: chop a few bytes off the file end, leaving a partial line
+  // with no terminating newline — exactly what a mid-append kill leaves.
+  const std::string journal = out + "/merge.journal";
+  ASSERT_TRUE(fs::exists(journal));
+  const std::uint64_t size = fs::file_size(journal);
+  fs::resize_file(journal, size - 4);
+
+  StreamingMergeConfig resuming = config;
+  resuming.resume = true;
+  const StreamingMergeReport report = run_streaming(out, resuming);
+  EXPECT_EQ(report.resumed_count, 4u);  // 5 journaled, 1 torn -> 4 trusted
+  EXPECT_FALSE(fs::exists(journal));
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// A corrupted (complete but garbled) journal entry is skipped the same way:
+// its tensor is remerged, every other journaled tensor is trusted.
+TEST_P(StreamingMergeTest, CorruptedJournalEntryIsRedoneOnResume) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+
+  const std::string out = dir("out");
+  StreamingMergeConfig failing = config;
+  failing.fail_after_tensors = 5;
+  EXPECT_THROW(run_streaming(out, failing), Error);
+
+  // Garble the checksum of the second entry (line 3: magic + entry 1 + it).
+  const std::string journal = out + "/merge.journal";
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 6u);  // magic + 5 entries
+  lines[2] = "done not-a-checksum " + lines[2].substr(lines[2].rfind(' ') + 1);
+  {
+    std::ofstream rewrite(journal, std::ios::trunc);
+    for (const std::string& line : lines) rewrite << line << '\n';
+  }
+
+  StreamingMergeConfig resuming = config;
+  resuming.resume = true;
+  const StreamingMergeReport report = run_streaming(out, resuming);
+  EXPECT_EQ(report.resumed_count, 4u);
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// Mid-pipeline interruption: the fault hook fires inside the writer thread
+// while prefetch/compute stages are still busy; the engine must drain,
+// surface the error, and leave a plan-order journal that resumes cleanly.
+TEST_P(StreamingMergeTest, PipelineInterruptionLeavesResumableJournal) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+  config.io_threads = 3;
+  config.prefetch_tensors = 8;
+
+  const std::string out = dir("out");
+  StreamingMergeConfig failing = config;
+  failing.fail_after_tensors = 3;
+  EXPECT_THROW(run_streaming(out, failing), Error);
+
+  // In-plan-order commits: the journal holds exactly the magic line plus
+  // the first 3 tensors in name-sorted order, each line complete.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(out + "/merge.journal");
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  const ShardedTensorSource chip =
+      ShardedTensorSource::open(src_dir_ + "/chip");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string& expected_name = chip.names()[i];
+    EXPECT_EQ(lines[i + 1].substr(lines[i + 1].rfind(' ') + 1), expected_name);
+  }
+
+  StreamingMergeConfig resuming = config;
+  resuming.resume = true;
+  const StreamingMergeReport report = run_streaming(out, resuming);
+  EXPECT_EQ(report.resumed_count, 3u);
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// The prefetch stage verifies every read against the source manifest's
+// XXH64: a corrupt input shard must fail the merge loudly, in both engines.
+TEST_P(StreamingMergeTest, CorruptSourceShardFailsTheMerge) {
+  prepare();
+  const ShardedTensorSource chip =
+      ShardedTensorSource::open(src_dir_ + "/chip");
+  const TensorRecord& rec = chip.record("embed.weight");
+  {
+    std::fstream file(rec.file, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(rec.begin + rec.byte_size() / 2));
+    const char corrupted = '\x5A';
+    file.write(&corrupted, 1);
+  }
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+  EXPECT_THROW(run_streaming(dir("out_pipe"), config), Error);
+  config.pipeline = false;
+  EXPECT_THROW(run_streaming(dir("out_serial"), config), Error);
+}
+
 TEST_P(StreamingMergeTest, TinyBudgetStillMakesProgress) {
   prepare();
   // Budget smaller than any single tensor: the admit-one rule serializes
