@@ -45,7 +45,8 @@ int main() {
   const Checkpoint base = zoo.base(spec);
   const Checkpoint chat = zoo.instruct(spec);
   const Checkpoint chipnemo = zoo.chip(spec);
-  const Checkpoint chipalign = run_merge("chipalign", chipnemo, chat, base, 0.6);
+  const Checkpoint chipalign = run_merge("chipalign", chipnemo, chat, base,
+                                         0.6);
 
   const std::vector<std::string> axis_names = {
       "IFEval(strict)", "OpenROAD QA", "Industrial QA", "MCQ scripts",
@@ -61,7 +62,8 @@ int main() {
            {"LLaMA2-70B*-ChipNeMo", &chipnemo},
            {"LLaMA2-70B*-ChipAlign", &chipalign},
        }) {
-    TransformerModel model = TransformerModel::from_checkpoint(*item.checkpoint);
+    TransformerModel model =
+        TransformerModel::from_checkpoint(*item.checkpoint);
     Profile profile;
     profile.label = item.label;
     profile.axes.push_back(run_ifeval(model, suite.ifeval).prompt_strict);

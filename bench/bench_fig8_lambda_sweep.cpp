@@ -30,7 +30,8 @@ std::vector<double> sweep(ModelZoo& zoo, const BackboneSpec& spec,
 
   std::vector<double> scores;
   for (double lambda : lambdas) {
-    const Checkpoint merged = run_merge("chipalign", chip, instruct, base, lambda);
+    const Checkpoint merged = run_merge("chipalign", chip, instruct, base,
+                                        lambda);
     TransformerModel model = TransformerModel::from_checkpoint(merged);
     scores.push_back(run_openroad_eval(model, suite.openroad, nullptr).all);
   }

@@ -128,7 +128,8 @@ bool g_all_exact = true;
 
 void check_exact(bool ok, const char* what) {
   if (!ok) {
-    std::fprintf(stderr, "BIT-EXACTNESS FAILURE: %s diverges from kernels::ref\n",
+    std::fprintf(stderr,
+                 "BIT-EXACTNESS FAILURE: %s diverges from kernels::ref\n",
                  what);
     g_all_exact = false;
   }
@@ -167,7 +168,8 @@ int main(int argc, char** argv) {
   std::vector<float> work2(sizes.vec);
 
   std::printf("{\"backend\":\"%s\",\"simd_available\":%s}\n",
-              kernels::backend_name(), kernels::simd_available() ? "true" : "false");
+              kernels::backend_name(), kernels::simd_available() ? "true"
+                  : "false");
 
   // dot ----------------------------------------------------------------------
   CaseResult dot_case{"dot"};

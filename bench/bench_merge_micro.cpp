@@ -58,13 +58,20 @@ void BM_Dare(benchmark::State& state) { run_method(state, "dare"); }
 constexpr std::int64_t kMin = 1 << 12;
 constexpr std::int64_t kMax = 1 << 20;
 
-BENCHMARK(BM_ChipAlign)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
-BENCHMARK(BM_Lerp)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
-BENCHMARK(BM_ModelSoup)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
-BENCHMARK(BM_TaskArithmetic)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
-BENCHMARK(BM_Ties)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oNLogN);
-BENCHMARK(BM_Della)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oNLogN);
-BENCHMARK(BM_Dare)->RangeMultiplier(4)->Range(kMin, kMax)->Complexity(benchmark::oN);
+BENCHMARK(BM_ChipAlign)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_Lerp)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_ModelSoup)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_TaskArithmetic)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_Ties)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_Della)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_Dare)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Complexity(benchmark::oN);
 
 /// Whole-checkpoint merge at realistic layer granularity (many tensors) to
 /// exercise the per-tensor parallel driver path.
@@ -87,7 +94,8 @@ void BM_ChipAlignManyTensors(benchmark::State& state) {
   }
   state.SetComplexityN(tensors);
 }
-BENCHMARK(BM_ChipAlignManyTensors)->RangeMultiplier(4)->Range(4, 256)->Complexity(benchmark::oN);
+BENCHMARK(BM_ChipAlignManyTensors)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity(benchmark::oN);
 
 }  // namespace
 }  // namespace chipalign

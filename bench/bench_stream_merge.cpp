@@ -142,7 +142,8 @@ int main(int argc, char** argv) {
     Timer fab_timer;
     fabricate_checkpoint(root + "/chip", bench, 101);
     fabricate_checkpoint(root + "/instruct", bench, 202);
-    if (merger->requires_base()) fabricate_checkpoint(root + "/base", bench, 303);
+    if (merger->requires_base()) fabricate_checkpoint(root + "/base", bench,
+                                                      303);
     std::printf("fabricated inputs in %.2f s\n", fab_timer.seconds());
 
     const MergeOptions options;
@@ -220,7 +221,8 @@ int main(int argc, char** argv) {
     }
     const Checkpoint merged =
         merge_checkpoints(*merger, chip_mem, instruct_mem,
-                          merger->requires_base() ? &base_mem : nullptr, options);
+                          merger->requires_base() ? &base_mem : nullptr,
+                              options);
     merged.save(root + "/merged_inmemory.safetensors", DType::kF32);
     const std::uint64_t inmemory_rss = peak_rss_bytes();
     std::printf("[in-memory] merged + saved in %.2f s, peak RSS %s\n",
@@ -272,7 +274,8 @@ int main(int argc, char** argv) {
       const std::uint64_t bound =
           baseline_rss + config.max_inflight_bytes + bench.overhead_bytes;
       const bool budget_ok = streaming_rss <= bound;
-      std::printf("streaming peak %s <= baseline + budget + overhead %s -> %s\n",
+      std::printf("streaming peak %s <= baseline + budget + overhead %s -> "
+                  "%s\n",
                   format_bytes(streaming_rss).c_str(),
                   format_bytes(bound).c_str(), budget_ok ? "OK" : "FAIL");
       const bool below_inmemory = streaming_rss < inmemory_rss;

@@ -105,7 +105,8 @@ void run_backbone(ModelZoo& zoo, const BackboneSpec& spec,
     table.add_row(std::move(cells));
   }
 
-  add_model_row(table, display + "-Instruct", instruct, suite.openroad, *suite.rag);
+  add_model_row(table, display + "-Instruct", instruct, suite.openroad,
+                *suite.rag);
   add_model_row(table, display + "-EDA", chip, suite.openroad, *suite.rag);
 
   for (const std::string& method :

@@ -51,7 +51,8 @@ int main() {
   const Checkpoint base = zoo.base(spec);
   const Checkpoint chat = zoo.instruct(spec);
   const Checkpoint chipnemo = zoo.chip(spec);
-  const Checkpoint chipalign = run_merge("chipalign", chipnemo, chat, base, 0.6);
+  const Checkpoint chipalign = run_merge("chipalign", chipnemo, chat, base,
+                                         0.6);
 
   struct Row {
     std::string label;

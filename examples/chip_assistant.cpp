@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
   // Demo items: instruction-laden questions over the fact base, like the
   // engineer queries of Figures 5 and 6 (same generator + seed as the
   // Table 1 bench, so these are representative of the measured population).
-  const auto items = build_openroad_eval(zoo.facts(), /*seed=*/901, /*count=*/4);
+  const auto items = build_openroad_eval(zoo.facts(), /*seed=*/901,
+                                         /*count=*/4);
 
   GenerateOptions gen;
   gen.max_new_tokens = 96;

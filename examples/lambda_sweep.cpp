@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < points; ++i) {
     const double lambda =
         static_cast<double>(i) / static_cast<double>(points - 1);
-    const Checkpoint merged = run_merge("chipalign", chip, instruct, base, lambda);
+    const Checkpoint merged = run_merge("chipalign", chip, instruct, base,
+                                        lambda);
     TransformerModel model = TransformerModel::from_checkpoint(merged);
     const double rouge = run_openroad_eval(model, suite.openroad, nullptr).all;
     const double ifeval = run_ifeval(model, suite.ifeval).prompt_strict;

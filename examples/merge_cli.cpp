@@ -42,7 +42,8 @@ namespace {
 struct Args {
   std::map<std::string, std::string> values;
   bool has(const std::string& key) const { return values.count(key) > 0; }
-  std::string get(const std::string& key, const std::string& fallback = "") const {
+  std::string get(const std::string& key, const std::string& fallback =
+                  "") const {
     const auto it = values.find(key);
     return it != values.end() ? it->second : fallback;
   }
@@ -127,7 +128,8 @@ MergeProgressFn progress_line(std::uint64_t approx_total_bytes) {
   return [timer, approx_total_bytes](std::size_t done, std::size_t total) {
     const double secs = timer->seconds();
     const double frac =
-        total > 0 ? static_cast<double>(done) / static_cast<double>(total) : 0.0;
+        total > 0 ? static_cast<double>(done) / static_cast<double>(total)
+            : 0.0;
     const double mb =
         static_cast<double>(approx_total_bytes) * frac / (1024.0 * 1024.0);
     std::fprintf(stderr, "\rmerged %zu/%zu tensors (%.1f MB/s)%s", done, total,
@@ -200,7 +202,8 @@ int main(int argc, char** argv) {
         save_sharded_checkpoint(chip_path, demo_checkpoint(11), 1u << 20);
         save_sharded_checkpoint(instruct_path, demo_checkpoint(22), 1u << 20);
         save_sharded_checkpoint(base_path, demo_checkpoint(33), 1u << 20);
-        std::printf("[demo] streaming-merging freshly initialized checkpoints\n");
+        std::printf(
+            "[demo] streaming-merging freshly initialized checkpoints\n");
       }
 
       const ShardedTensorSource chip = ShardedTensorSource::open(chip_path);
@@ -214,7 +217,8 @@ int main(int argc, char** argv) {
                     : ShardedTensorSource();
 
       StreamingMergeConfig config;
-      config.shard_size_bytes = mb_to_bytes(args.get_double("shard-size-mb", 64));
+      config.shard_size_bytes = mb_to_bytes(args.get_double("shard-size-mb",
+                                                            64));
       config.max_inflight_bytes =
           mb_to_bytes(args.get_double("max-inflight-mb", 256));
       config.out_dtype = out_dtype;
@@ -293,7 +297,8 @@ int main(int argc, char** argv) {
       }
       const GeometrySummary summary = summarize_geometry(report);
       std::printf("\nmean theta %.4f rad, max %.4f rad, mean tv-cosine %.3f\n",
-                  summary.mean_theta, summary.max_theta, summary.mean_tv_cosine);
+                  summary.mean_theta, summary.max_theta,
+                      summary.mean_tv_cosine);
       return 0;
     }
 

@@ -52,7 +52,8 @@ int main() {
   // Norm restoration property: ||W_m|| = ||W_c||^0.6 * ||W_i||^0.4.
   const std::string probe = "model.layers.0.self_attn.q_proj.weight";
   std::printf("geodesic merge at lambda=0.6:\n");
-  std::printf("  ||W_chip||_F     = %.4f\n", ops::frobenius_norm(chip.at(probe)));
+  std::printf("  ||W_chip||_F     = %.4f\n",
+              ops::frobenius_norm(chip.at(probe)));
   std::printf("  ||W_instruct||_F = %.4f\n",
               ops::frobenius_norm(instruct.at(probe)));
   std::printf("  ||W_merged||_F   = %.4f (geometric weighted mean)\n\n",
@@ -77,9 +78,9 @@ int main() {
               summary.mean_theta, summary.mean_slerp_lerp_gap);
 
   // 5. Checkpoints serialize to standard safetensors files.
-  const auto path =
-      (std::filesystem::temp_directory_path() / "chipalign_quickstart.safetensors")
-          .string();
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "chipalign_quickstart.safetensors")
+                        .string();
   merged.save(path, DType::kF16);  // half-precision storage, like real LLMs
   const Checkpoint reloaded = Checkpoint::load(path);
   std::printf("\nsaved + reloaded merged model via %s (f16 storage, %lld "

@@ -17,7 +17,8 @@ Checkpoint run_merge(const std::string& method, const Checkpoint& chip,
 EvalSuite build_eval_suite(const FactBase& facts) {
   EvalSuite suite;
   suite.openroad = build_openroad_eval(facts, /*seed=*/901, /*count=*/90);
-  suite.industrial = build_industrial_eval(facts, /*seed=*/902, /*per_domain=*/5);
+  suite.industrial = build_industrial_eval(facts, /*seed=*/902,
+                                           /*per_domain=*/5);
   suite.mcq = build_mcq_eval(facts, /*seed=*/903, /*per_domain=*/10);
   suite.ifeval = build_ifeval_set(/*seed=*/904, /*count=*/120);
   suite.rag = std::make_unique<RetrievalPipeline>(facts.corpus_sentences());

@@ -33,8 +33,9 @@ const char* pick(Rng& rng, const char* const (&bank)[N]) {
 std::string random_word(Rng& rng, int min_len = 3, int max_len = 5) {
   static constexpr char kConsonants[] = "bcdfgklmnprstvz";
   static constexpr char kVowels[] = "aeiou";
-  const int len = min_len + static_cast<int>(rng.uniform_index(
-                                static_cast<std::uint64_t>(max_len - min_len + 1)));
+  const int len =
+      min_len + static_cast<int>(rng.uniform_index(
+                    static_cast<std::uint64_t>(max_len - min_len + 1)));
   std::string word;
   bool consonant = rng.bernoulli(0.7);
   for (int i = 0; i < len; ++i) {
@@ -50,7 +51,8 @@ std::string random_word(Rng& rng, int min_len = 3, int max_len = 5) {
 
 /// Entity slot filler: usually a random word, sometimes a bank word.
 template <std::size_t N>
-std::string slot(Rng& rng, const char* const (&bank)[N], double random_prob = 0.5) {
+std::string slot(Rng& rng, const char* const (&bank)[N], double random_prob =
+                 0.5) {
   if (rng.uniform() < random_prob) return random_word(rng);
   return pick(rng, bank);
 }
@@ -95,7 +97,8 @@ TrainExample make_segmented_example(
   }
   if (final_eos) {
     example.tokens.push_back(CharTokenizer::kEos);
-    example.target_mask.push_back(segments.empty() ? 0.0F : segments.back().second);
+    example.target_mask.push_back(segments.empty() ? 0.0F
+                                  : segments.back().second);
   }
   if (static_cast<std::int64_t>(example.tokens.size()) > max_len) {
     example.tokens.resize(static_cast<std::size_t>(max_len));
@@ -131,7 +134,8 @@ GenericDocFact sample_generic_doc_fact(Rng& rng) {
     case 0: {  // attribute fact (plain grounded QA; random value slot)
       const GenericFact g = sample_generic_fact(rng);
       const std::string value = slot(rng, kGenericValues);
-      fact.context = "the " + g.attribute + " of the " + g.object + " is " + value;
+      fact.context =
+          "the " + g.attribute + " of the " + g.object + " is " + value;
       fact.question = g.question();
       fact.answer = value;
       break;
@@ -144,7 +148,8 @@ GenericDocFact sample_generic_doc_fact(Rng& rng) {
       const std::string obj = slot(rng, kGenericNouns);
       const std::string mode = slot(rng, kGenericValues);
       const std::string name = std::string(verb[0]) + "_" + obj;
-      fact.answer = std::string(verb[1]) + " the " + obj + " in " + mode + " mode";
+      fact.answer =
+          std::string(verb[1]) + " the " + obj + " in " + mode + " mode";
       fact.context = "command " + name + " " + fact.answer;
       fact.question = "what does command " + name + " do?";
       break;
@@ -336,8 +341,8 @@ std::vector<TrainExample> build_instruct_dataset(
   return dataset;
 }
 
-std::vector<TrainExample> build_chip_daft_dataset(const FactBase& facts,
-                                                  const ChipDataConfig& config) {
+std::vector<TrainExample> build_chip_daft_dataset(
+    const FactBase& facts, const ChipDataConfig& config) {
   CA_CHECK(config.repeats_per_fact > 0, "repeats_per_fact must be positive");
   Rng rng(config.seed);
 
@@ -353,7 +358,8 @@ std::vector<TrainExample> build_chip_daft_dataset(const FactBase& facts,
 
   const auto& docs = facts.corpus_sentences();
   std::vector<TrainExample> dataset;
-  dataset.reserve(pool.size() * static_cast<std::size_t>(config.repeats_per_fact));
+  dataset.reserve(pool.size() *
+                  static_cast<std::size_t>(config.repeats_per_fact));
 
   for (const Fact* fact : pool) {
     for (int r = 0; r < config.repeats_per_fact; ++r) {

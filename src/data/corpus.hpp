@@ -30,7 +30,8 @@
 
 namespace chipalign {
 
-// -- prompt assembly -----------------------------------------------------------
+// -- prompt assembly
+// -----------------------------------------------------------
 
 /// Builds a QA prompt. `header` (e.g. "[UP] [BR]") may be empty; `chunks`
 /// may be empty for closed-book questions. Ends with "out: ".
@@ -48,7 +49,8 @@ TrainExample make_segmented_example(
     const std::vector<std::pair<std::string, float>>& segments,
     std::int64_t max_len, bool final_eos = true);
 
-// -- generic (non-chip) facts -----------------------------------------------------
+// -- generic (non-chip) facts
+// -----------------------------------------------------
 
 /// A throwaway general-knowledge fact used by instruct training and IFEval.
 struct GenericFact {
@@ -82,7 +84,8 @@ GenericDocFact sample_generic_doc_fact(Rng& rng);
 /// Random short word sequence (2..4 generic words) for format tasks.
 std::string sample_generic_text(Rng& rng);
 
-// -- dataset builders ---------------------------------------------------------------
+// -- dataset builders
+// ---------------------------------------------------------------
 
 /// Pretraining mixture configuration.
 struct PretrainDataConfig {
@@ -99,8 +102,8 @@ struct PretrainDataConfig {
   // remainder: generic QA-format exposure (ctx/q/out with generic facts)
 };
 
-std::vector<TrainExample> build_pretrain_dataset(const FactBase& facts,
-                                                 const PretrainDataConfig& config);
+std::vector<TrainExample> build_pretrain_dataset(
+    const FactBase& facts, const PretrainDataConfig& config);
 
 /// Instruction-tuning mixture configuration.
 struct InstructDataConfig {
@@ -113,7 +116,8 @@ struct InstructDataConfig {
   int max_instructions = 3;          ///< matches the IFEval setting
 };
 
-std::vector<TrainExample> build_instruct_dataset(const InstructDataConfig& config);
+std::vector<TrainExample> build_instruct_dataset(
+    const InstructDataConfig& config);
 
 /// Chip DAFT mixture configuration.
 struct ChipDataConfig {

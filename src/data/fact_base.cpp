@@ -52,7 +52,8 @@ constexpr Verb kVerbs[] = {
 };
 constexpr const char* kObjects[] = {"nets",   "pins",  "cells", "paths",
                                     "clocks", "ports", "rails", "vias"};
-constexpr const char* kModes[] = {"fast", "full", "safe", "tight", "wide", "cold"};
+constexpr const char* kModes[] = {"fast", "full", "safe", "tight", "wide",
+                                  "cold"};
 
 constexpr const char* kStages[] = {"synth", "floor", "place", "cts",  "route",
                                    "fill",  "drc",   "lvs",   "sign", "export"};
@@ -81,7 +82,8 @@ constexpr const char* kJobs[] = {"lint", "sim",  "cover", "merge",
 constexpr const char* kTestObjs[] = {"fetch", "cache", "queue", "timer",
                                      "stack", "gate",  "bus",   "lane"};
 constexpr const char* kSymptoms[] = {"a stall", "a drop", "a glitch", "a halt",
-                                     "a skew",  "a leak", "a race",   "a spike"};
+                                     "a skew",  "a leak", "a race",
+                                         "a spike"};
 constexpr const char* kBugObjs[] = {"clock", "reset", "fetch", "cache",
                                     "write", "read",  "merge", "flush"};
 constexpr const char* kCircuitNames[] = {"adder",  "shifter", "counter",
@@ -115,7 +117,8 @@ FactBase::FactBase(std::uint64_t seed) {
     }
     fact.domain = FactDomain::kFunctionality;
     fact.question = "what does command " + name + " do?";
-    fact.answer = std::string(verb.third) + " the " + obj + " in " + mode + " mode";
+    fact.answer =
+        std::string(verb.third) + " the " + obj + " in " + mode + " mode";
     fact.context = "command " + name + " " + verb.third + " the " + obj +
                    " in " + mode + " mode";
     add_fact(std::move(fact));
@@ -217,14 +220,16 @@ FactBase::FactBase(std::uint64_t seed) {
     fact.domain = FactDomain::kBugs;
     fact.question = "what does bug " + bug + " cause?";
     fact.answer = std::string(symptom) + " in the " + obj + " path";
-    fact.context = "bug " + bug + " causes " + symptom + " in the " + obj + " path";
+    fact.context =
+        "bug " + bug + " causes " + symptom + " in the " + obj + " path";
     add_fact(std::move(fact));
   }
 
   // Circuits: circuit structures.
   for (int i = 0; i < 8; ++i) {
     const char* circuit = kCircuitNames[i];
-    const char* comp = kComponents[static_cast<std::size_t>(rng.uniform_index(8))];
+    const char* comp =
+        kComponents[static_cast<std::size_t>(rng.uniform_index(8))];
     const int count = 2 + static_cast<int>(rng.uniform_index(14));
     Fact fact;
     fact.id = std::string("circ.") + circuit;

@@ -140,7 +140,8 @@ bool verify_strict(InstructionKind kind, std::string_view response) {
       // bracket, period, the 'ans:' prefix) do not break the check.
       auto first = word_tokens(response.substr(0, sep));
       const auto second = word_tokens(response.substr(sep + 2));
-      if (!first.empty() && first.front() == "ans" && first.size() == second.size() + 1) {
+      if (!first.empty() && first.front() == "ans"
+          && first.size() == second.size() + 1) {
         first.erase(first.begin());
       }
       return !first.empty() && first == second;
@@ -166,7 +167,8 @@ bool verify_strict(InstructionKind kind, std::string_view response) {
         text = text.substr(1, text.size() - 2);
       }
       if (ends_with(text, ".")) text = text.substr(0, text.size() - 1);
-      return text.size() >= 2 && starts_with(text, "\"") && ends_with(text, "\"");
+      return text.size() >= 2 && starts_with(text, "\"") && ends_with(text,
+                                                                      "\"");
     }
     case InstructionKind::kBracket: {
       std::string text = trim(response);
@@ -225,7 +227,8 @@ std::vector<InstructionKind> sample_instructions(Rng& rng, int max_count) {
         kinds[static_cast<std::size_t>(rng.uniform_index(kinds.size()))];
     const bool ok = std::all_of(
         chosen.begin(), chosen.end(),
-        [&](InstructionKind existing) { return compatible(existing, candidate); });
+        [&](InstructionKind existing) { return compatible(existing,
+                                                          candidate); });
     if (ok) chosen.push_back(candidate);
   }
   return chosen;

@@ -46,7 +46,8 @@ std::vector<QaEvalItem> build_openroad_eval(const FactBase& facts,
   std::vector<std::vector<const Fact*>> pools;
   for (FactDomain domain : domains) {
     pools.push_back(facts.domain_facts(domain));
-    CA_CHECK(!pools.back().empty(), "no facts for domain " << domain_name(domain));
+    CA_CHECK(!pools.back().empty(), "no facts for domain "
+             << domain_name(domain));
   }
 
   std::vector<QaEvalItem> items;
@@ -54,7 +55,8 @@ std::vector<QaEvalItem> build_openroad_eval(const FactBase& facts,
   for (int i = 0; i < count; ++i) {
     const std::size_t which = static_cast<std::size_t>(i) % 3;
     const auto& pool = pools[which];
-    const Fact* fact = pool[static_cast<std::size_t>(rng.uniform_index(pool.size()))];
+    const Fact* fact =
+        pool[static_cast<std::size_t>(rng.uniform_index(pool.size()))];
 
     QaEvalItem item;
     item.id = "openroad." + std::to_string(i) + "." + fact->id;
@@ -99,7 +101,8 @@ std::vector<IndustrialItem> build_industrial_eval(const FactBase& facts,
         turn.question = fact->question;
         turn.golden_context = fact->context;
         turn.plain_answer = fact->answer;
-        turn.golden_answer = apply_instructions(item.instructions, fact->answer);
+        turn.golden_answer = apply_instructions(item.instructions,
+                                                fact->answer);
         item.turns.push_back(std::move(turn));
       }
       items.push_back(std::move(item));

@@ -40,7 +40,8 @@ std::size_t Json::size() const {
 
 const Json& Json::at(std::size_t index) const {
   CA_CHECK(type_ == Type::kArray, "index access on non-array JSON value");
-  CA_CHECK(index < array_.size(), "JSON array index " << index << " out of range "
+  CA_CHECK(index < array_.size(), "JSON array index " << index
+           << " out of range "
                                                       << array_.size());
   return array_[index];
 }
@@ -192,7 +193,8 @@ class Parser {
   Json parse_document() {
     Json value = parse_value();
     skip_ws();
-    CA_CHECK(pos_ == text_.size(), "trailing characters after JSON document at byte " << pos_);
+    CA_CHECK(pos_ == text_.size(),
+             "trailing characters after JSON document at byte " << pos_);
     return value;
   }
 
@@ -269,7 +271,8 @@ class Parser {
       skip_ws();
       const char c = take();
       if (c == '}') return obj;
-      CA_CHECK(c == ',', "expected ',' or '}' in object at byte " << (pos_ - 1));
+      CA_CHECK(c == ',', "expected ',' or '}' in object at byte "
+               << (pos_ - 1));
     }
   }
 
@@ -363,7 +366,8 @@ class Parser {
 
   Json parse_number() {
     const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-'
+                                || text_[pos_] == '+')) ++pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
@@ -386,6 +390,8 @@ class Parser {
 
 }  // namespace
 
-Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
 
 }  // namespace chipalign

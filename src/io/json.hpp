@@ -28,12 +28,15 @@ class Json {
   using Members = std::vector<std::pair<std::string, Json>>;
 
   Json() : type_(Type::kNull) {}
-  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(google-explicit-constructor)
+  Json(std::nullptr_t)
+      : type_(Type::kNull) {}  // NOLINT(google-explicit-constructor)
   Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
   Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
-  Json(std::int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}  // NOLINT
+  Json(std::int64_t value) : type_(Type::kNumber),
+      number_(static_cast<double>(value)) {}  // NOLINT
   Json(int value) : Json(static_cast<std::int64_t>(value)) {}  // NOLINT
-  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}  // NOLINT
+  Json(std::string value) : type_(Type::kString),
+      string_(std::move(value)) {}  // NOLINT
   Json(const char* value) : Json(std::string(value)) {}  // NOLINT
 
   static Json array() {
@@ -60,12 +63,14 @@ class Json {
   std::int64_t as_int() const;  ///< truncates; checks integral range
   const std::string& as_string() const;
 
-  // -- array API ---------------------------------------------------------------
+  // -- array API
+  // ---------------------------------------------------------------
   std::size_t size() const;  ///< array length or object member count
   const Json& at(std::size_t index) const;
   void push_back(Json value);
 
-  // -- object API ---------------------------------------------------------------
+  // -- object API
+  // ---------------------------------------------------------------
   /// True when this is an object containing the key.
   bool contains(const std::string& key) const;
   /// Member access; throws if missing.

@@ -11,7 +11,8 @@
 
 namespace chipalign {
 
-std::vector<std::uint8_t> encode_tensor_bytes(const Tensor& tensor, DType dtype) {
+std::vector<std::uint8_t> encode_tensor_bytes(const Tensor& tensor,
+                                              DType dtype) {
   const auto values = tensor.values();
   std::vector<std::uint8_t> bytes(values.size() * dtype_size(dtype));
   switch (dtype) {
@@ -116,7 +117,8 @@ void save_safetensors(const std::string& path,
     infos.emplace(name, std::move(info));
   }
 
-  const std::string header_text = build_safetensors_header_text(infos, metadata);
+  const std::string header_text = build_safetensors_header_text(infos,
+                                                                metadata);
 
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   CA_CHECK(file.good(), "cannot open '" << path << "' for writing");
@@ -126,7 +128,8 @@ void save_safetensors(const std::string& path,
     len_bytes[i] = static_cast<std::uint8_t>((header_len >> (8 * i)) & 0xFF);
   }
   file.write(reinterpret_cast<const char*>(len_bytes), 8);
-  file.write(header_text.data(), static_cast<std::streamsize>(header_text.size()));
+  file.write(header_text.data(),
+             static_cast<std::streamsize>(header_text.size()));
   for (const auto& buffer : buffers) {
     file.write(reinterpret_cast<const char*>(buffer.data()),
                static_cast<std::streamsize>(buffer.size()));
@@ -140,14 +143,16 @@ SafetensorsHeader read_safetensors_header(const std::string& path) {
   file.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(file.tellg());
   file.seekg(0, std::ios::beg);
-  CA_CHECK(file_size >= 8, "'" << path << "' is too small to be a safetensors file");
+  CA_CHECK(file_size >= 8, "'" << path
+           << "' is too small to be a safetensors file");
 
   std::uint8_t len_bytes[8];
   file.read(reinterpret_cast<char*>(len_bytes), 8);
   std::uint64_t header_len = 0;
   for (int i = 7; i >= 0; --i) header_len = (header_len << 8) | len_bytes[i];
   CA_CHECK(header_len <= file_size - 8,
-           "header length " << header_len << " exceeds file size " << file_size);
+           "header length " << header_len << " exceeds file size "
+               << file_size);
 
   std::string header_text(header_len, '\0');
   file.read(header_text.data(), static_cast<std::streamsize>(header_len));
@@ -186,7 +191,8 @@ SafetensorsHeader read_safetensors_header(const std::string& path) {
     CA_CHECK(info.byte_size() ==
                  static_cast<std::uint64_t>(numel) * dtype_size(info.dtype),
              "tensor '" << name << "' byte count " << info.byte_size()
-                        << " does not match shape " << shape_to_string(info.shape)
+                        << " does not match shape "
+                            << shape_to_string(info.shape)
                         << " dtype " << dtype_name(info.dtype));
     out.tensors.emplace(name, std::move(info));
   }
@@ -218,7 +224,8 @@ SafetensorsFile load_safetensors(const std::string& path) {
   std::vector<std::uint8_t> data(header.data_size);
   file.read(reinterpret_cast<char*>(data.data()),
             static_cast<std::streamsize>(header.data_size));
-  CA_CHECK(file.good() || header.data_size == 0, "read failed for '" << path << "'");
+  CA_CHECK(file.good() || header.data_size == 0, "read failed for '" << path
+           << "'");
 
   SafetensorsFile out;
   out.metadata = header.metadata;

@@ -67,7 +67,8 @@ struct SafetensorsHeader {
 SafetensorsHeader read_safetensors_header(const std::string& path);
 
 /// Encodes a fp32 tensor into the raw storage bytes of `dtype`.
-std::vector<std::uint8_t> encode_tensor_bytes(const Tensor& tensor, DType dtype);
+std::vector<std::uint8_t> encode_tensor_bytes(const Tensor& tensor,
+                                              DType dtype);
 
 /// Decodes raw storage bytes into a fp32 tensor; throws Error when the byte
 /// count does not match shape x dtype.

@@ -19,7 +19,8 @@ std::vector<double> magprune_keep_probs(const Tensor& task_vector,
   std::vector<double> probs(ranks.size());
   for (std::size_t i = 0; i < ranks.size(); ++i) {
     // rank 0 = smallest magnitude -> lowest keep probability.
-    const double frac = n > 1.0 ? static_cast<double>(ranks[i]) / (n - 1.0) : 1.0;
+    const double frac = n > 1.0 ? static_cast<double>(ranks[i]) / (n - 1.0)
+        : 1.0;
     const double p = density - window + 2.0 * window * frac;
     probs[i] = std::clamp(p, 1e-3, 1.0);
   }
@@ -30,7 +31,8 @@ std::vector<double> magprune_keep_probs(const Tensor& task_vector,
 
 Tensor DellaMerger::merge_tensor(const std::string& tensor_name,
                                  const Tensor& chip, const Tensor& instruct,
-                                 const Tensor* base, const MergeOptions& options,
+                                 const Tensor* base,
+                                     const MergeOptions& options,
                                  Rng& rng) const {
   CA_CHECK(base != nullptr, "DELLA requires a base tensor");
   const double lambda_ = effective_lambda(options, tensor_name);

@@ -12,7 +12,8 @@ Tensor slerp_unit(const Tensor& unit_a, const Tensor& unit_b, double lambda,
   CA_CHECK(unit_a.same_shape(unit_b), "slerp operands must share a shape");
   const double cos_theta =
       std::clamp(ops::dot(unit_a.values(), unit_b.values()), -1.0, 1.0);
-  const double theta = std::acos(std::clamp(cos_theta, -1.0 + 1e-12, 1.0 - 1e-12));
+  const double theta = std::acos(std::clamp(cos_theta, -1.0 + 1e-12,
+                                            1.0 - 1e-12));
 
   if (theta < theta_epsilon || std::sin(theta) < theta_epsilon) {
     // Degenerate arc: LERP then renormalize back to the sphere.
@@ -45,7 +46,8 @@ Tensor GeodesicMerger::merge_tensor(const std::string& tensor_name,
                            static_cast<float>(1.0 - lambda), instruct);
   }
 
-  const Tensor unit_chip = ops::scaled(chip, static_cast<float>(1.0 / norm_chip));
+  const Tensor unit_chip = ops::scaled(chip,
+                                       static_cast<float>(1.0 / norm_chip));
   const Tensor unit_instruct =
       ops::scaled(instruct, static_cast<float>(1.0 / norm_instruct));
 

@@ -32,7 +32,8 @@ std::vector<TensorGeometry> analyze_geometry(const Checkpoint& chip,
           std::clamp(ops::cosine_similarity(wc, wi), -1.0, 1.0);
       g.theta = std::acos(cos_theta);
 
-      const Tensor unit_c = ops::scaled(wc, static_cast<float>(1.0 / g.norm_chip));
+      const Tensor unit_c = ops::scaled(wc,
+                                        static_cast<float>(1.0 / g.norm_chip));
       const Tensor unit_i =
           ops::scaled(wi, static_cast<float>(1.0 / g.norm_instruct));
       const Tensor on_arc = slerp_unit(unit_c, unit_i, lambda, 1e-6);

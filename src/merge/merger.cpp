@@ -51,7 +51,8 @@ Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
   check_mergeable(chip, instruct);
   if (merger.requires_base()) {
     CA_CHECK(base != nullptr,
-             "merge method '" << merger.name() << "' requires a base checkpoint");
+             "merge method '" << merger.name()
+                 << "' requires a base checkpoint");
     check_mergeable(chip, *base);
   }
   validate_merge_options(options);
@@ -70,7 +71,8 @@ Checkpoint merge_checkpoints(const Merger& merger, const Checkpoint& chip,
     merged[i] = merger.merge_tensor(name, chip.at(name), instruct.at(name),
                                     base_tensor, options, rng);
     CA_CHECK(merged[i].same_shape(chip.at(name)),
-             "merger '" << merger.name() << "' changed shape of '" << name << "'");
+             "merger '" << merger.name() << "' changed shape of '" << name
+                 << "'");
     if (progress) progress(done.fetch_add(1) + 1, names.size());
   });
 

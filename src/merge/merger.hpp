@@ -105,7 +105,8 @@ Rng merge_tensor_rng(const MergeOptions& options, std::size_t index);
 /// Progress callback: (tensors completed, total tensors). Invoked from
 /// worker threads, possibly concurrently; implementations must be
 /// thread-safe and cheap.
-using MergeProgressFn = std::function<void(std::size_t done, std::size_t total)>;
+using MergeProgressFn = std::function<void(std::size_t done,
+                                           std::size_t total)>;
 
 /// Applies `merger` to every tensor of two conformable checkpoints.
 /// \param base Common ancestor checkpoint for task-vector methods; must be

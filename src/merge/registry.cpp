@@ -15,10 +15,14 @@ namespace chipalign {
 
 std::unique_ptr<Merger> create_merger(const std::string& name) {
   if (name == "chipalign") return std::make_unique<GeodesicMerger>();
-  if (name == "chipalign_rowwise") return std::make_unique<GeodesicRowwiseMerger>();
+  if (name == "chipalign_rowwise") {
+    return std::make_unique<GeodesicRowwiseMerger>();
+  }
   if (name == "lerp") return std::make_unique<LerpMerger>();
   if (name == "modelsoup") return std::make_unique<ModelSoupMerger>();
-  if (name == "task_arithmetic") return std::make_unique<TaskArithmeticMerger>();
+  if (name == "task_arithmetic") {
+    return std::make_unique<TaskArithmeticMerger>();
+  }
   if (name == "ties") return std::make_unique<TiesMerger>();
   if (name == "della") return std::make_unique<DellaMerger>();
   if (name == "dare") return std::make_unique<DareMerger>();

@@ -14,13 +14,15 @@ void trim_by_magnitude(Tensor& task_vector, double density) {
   auto values = task_vector.values();
   const std::size_t n = values.size();
   const std::size_t keep = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::llround(density * static_cast<double>(n))));
+      1, static_cast<std::size_t>(
+             std::llround(density * static_cast<double>(n))));
   if (keep >= n) return;
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   // Partial sort descending by |value|, ties by index for determinism.
-  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep),
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(keep),
                    order.end(), [&](std::size_t a, std::size_t b) {
                      const float ma = std::abs(values[a]);
                      const float mb = std::abs(values[b]);

@@ -51,7 +51,8 @@ std::vector<TensorStats> Checkpoint::stats() const {
       sum += v;
       abs_max = std::max(abs_max, std::abs(static_cast<double>(v)));
     }
-    s.mean = tensor.numel() > 0 ? sum / static_cast<double>(tensor.numel()) : 0.0;
+    s.mean = tensor.numel() > 0 ? sum / static_cast<double>(tensor.numel())
+        : 0.0;
     s.abs_max = abs_max;
     out.push_back(std::move(s));
   }
@@ -65,7 +66,8 @@ bool Checkpoint::all_finite() const {
   return true;
 }
 
-std::map<std::string, std::string> checkpoint_metadata(const ModelConfig& config) {
+std::map<std::string,
+    std::string> checkpoint_metadata(const ModelConfig& config) {
   std::map<std::string, std::string> metadata;
   metadata["chipalign.config"] = config.to_json().dump();
   metadata["format"] = "chipalign-checkpoint-v1";

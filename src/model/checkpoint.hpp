@@ -79,7 +79,8 @@ void check_mergeable(const Checkpoint& a, const Checkpoint& b);
 /// config JSON under "chipalign.config" plus the format tag. Shared by
 /// Checkpoint::save and the streaming shard writer so that both emit
 /// identical metadata (a prerequisite for byte-identical outputs).
-std::map<std::string, std::string> checkpoint_metadata(const ModelConfig& config);
+std::map<std::string,
+    std::string> checkpoint_metadata(const ModelConfig& config);
 
 /// Parses the ModelConfig out of checkpoint metadata; throws Error when the
 /// "chipalign.config" key is missing. `origin` names the source (a path) for

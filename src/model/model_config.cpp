@@ -11,7 +11,8 @@ void ModelConfig::validate() const {
   CA_CHECK(n_heads > 0, "n_heads must be positive");
   CA_CHECK(n_kv_heads > 0 && n_kv_heads <= n_heads,
            "n_kv_heads must be in [1, n_heads]");
-  CA_CHECK(n_heads % n_kv_heads == 0, "n_heads must be divisible by n_kv_heads");
+  CA_CHECK(n_heads % n_kv_heads == 0,
+           "n_heads must be divisible by n_kv_heads");
   CA_CHECK(d_model % n_heads == 0, "d_model must be divisible by n_heads");
   CA_CHECK(head_dim() % 2 == 0, "head_dim must be even for RoPE");
   CA_CHECK(d_ff > 0, "d_ff must be positive");

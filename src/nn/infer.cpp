@@ -14,7 +14,8 @@ void matvec(const Tensor& w, std::span<const float> x, std::span<float> y) {
   const std::int64_t out_dim = w.dim(0);
   const std::int64_t in_dim = w.dim(1);
   CA_CHECK(static_cast<std::int64_t>(x.size()) == in_dim, "matvec input size");
-  CA_CHECK(static_cast<std::int64_t>(y.size()) == out_dim, "matvec output size");
+  CA_CHECK(static_cast<std::int64_t>(y.size()) == out_dim,
+           "matvec output size");
   for (std::int64_t o = 0; o < out_dim; ++o) {
     const float* w_row = w.data() + o * in_dim;
     double acc = 0.0;
@@ -94,7 +95,8 @@ std::vector<float> InferenceSession::step(TokenId token) {
 
     for (std::int64_t h = 0; h < n_heads; ++h) {
       model_.rotary().apply(
-          std::span<float>(q.data() + h * hd, static_cast<std::size_t>(hd)), pos);
+          std::span<float>(q.data() + h * hd, static_cast<std::size_t>(hd)),
+              pos);
     }
     for (std::int64_t h = 0; h < n_kv; ++h) {
       model_.rotary().apply(
@@ -147,7 +149,8 @@ std::vector<float> InferenceSession::step(TokenId token) {
   return logits;
 }
 
-std::vector<float> InferenceSession::prefill(const std::vector<TokenId>& tokens) {
+std::vector<float> InferenceSession::prefill(
+    const std::vector<TokenId>& tokens) {
   CA_CHECK(!tokens.empty(), "prefill on empty prompt");
   std::vector<float> logits;
   for (TokenId token : tokens) logits = step(token);
@@ -158,8 +161,8 @@ std::string generate(const TransformerModel& model, std::string_view prompt,
                      const GenerateOptions& options, bool stop_at_newline) {
   const CharTokenizer& tok = tokenizer();
   std::vector<TokenId> prompt_tokens = tok.encode(prompt, /*add_bos=*/true);
-  const std::int64_t budget =
-      model.config().max_seq_len - static_cast<std::int64_t>(prompt_tokens.size());
+  const std::int64_t budget = model.config().max_seq_len -
+                              static_cast<std::int64_t>(prompt_tokens.size());
   CA_CHECK(budget > 0, "prompt fills the whole context window");
 
   InferenceSession session(model);
@@ -168,7 +171,8 @@ std::string generate(const TransformerModel& model, std::string_view prompt,
   Rng rng(options.seed);
   const TokenId newline_id = tok.char_to_id('\n');
   std::vector<TokenId> generated;
-  const std::int64_t max_new = std::min<std::int64_t>(options.max_new_tokens, budget);
+  const std::int64_t max_new = std::min<std::int64_t>(options.max_new_tokens,
+                                                      budget);
   for (std::int64_t i = 0; i < max_new; ++i) {
     TokenId next;
     if (options.temperature <= 0.0) {
@@ -201,7 +205,8 @@ double sequence_logprob(const TransformerModel& model,
                         const std::vector<TokenId>& context,
                         const std::vector<TokenId>& continuation) {
   CA_CHECK(!context.empty(), "sequence_logprob requires non-empty context");
-  CA_CHECK(!continuation.empty(), "sequence_logprob requires non-empty continuation");
+  CA_CHECK(!continuation.empty(),
+           "sequence_logprob requires non-empty continuation");
   InferenceSession session(model);
   // Feed the context; the logits after its last token predict continuation[0].
   std::vector<float> logits = session.prefill(context);

@@ -18,19 +18,23 @@ RotaryCache::RotaryCache(std::int64_t head_dim, std::int64_t max_seq_len,
   sin_.resize(static_cast<std::size_t>(max_seq_len * half));
   for (std::int64_t pos = 0; pos < max_seq_len; ++pos) {
     for (std::int64_t u = 0; u < half; ++u) {
-      const double freq =
-          std::pow(theta, -2.0 * static_cast<double>(u) / static_cast<double>(head_dim));
+      const double freq = std::pow(
+          theta, -2.0 * static_cast<double>(u) / static_cast<double>(head_dim));
       const double angle = static_cast<double>(pos) * freq;
-      cos_[static_cast<std::size_t>(pos * half + u)] = static_cast<float>(std::cos(angle));
-      sin_[static_cast<std::size_t>(pos * half + u)] = static_cast<float>(std::sin(angle));
+      cos_[static_cast<std::size_t>(pos * half + u)] =
+          static_cast<float>(std::cos(angle));
+      sin_[static_cast<std::size_t>(pos * half + u)] =
+          static_cast<float>(std::sin(angle));
     }
   }
 }
 
 void RotaryCache::apply(std::span<float> head_vec, std::int64_t pos) const {
   CA_CHECK(static_cast<std::int64_t>(head_vec.size()) == head_dim_,
-           "RoPE vector length " << head_vec.size() << " != head_dim " << head_dim_);
-  CA_CHECK(pos >= 0 && pos < max_seq_len_, "RoPE position " << pos << " out of range");
+           "RoPE vector length " << head_vec.size() << " != head_dim "
+               << head_dim_);
+  CA_CHECK(pos >= 0 && pos < max_seq_len_, "RoPE position " << pos
+           << " out of range");
   const std::int64_t half = head_dim_ / 2;
   const float* c = cos_.data() + pos * half;
   const float* s = sin_.data() + pos * half;
@@ -42,10 +46,13 @@ void RotaryCache::apply(std::span<float> head_vec, std::int64_t pos) const {
   }
 }
 
-void RotaryCache::apply_inverse(std::span<float> head_vec, std::int64_t pos) const {
+void RotaryCache::apply_inverse(std::span<float> head_vec,
+                                std::int64_t pos) const {
   CA_CHECK(static_cast<std::int64_t>(head_vec.size()) == head_dim_,
-           "RoPE vector length " << head_vec.size() << " != head_dim " << head_dim_);
-  CA_CHECK(pos >= 0 && pos < max_seq_len_, "RoPE position " << pos << " out of range");
+           "RoPE vector length " << head_vec.size() << " != head_dim "
+               << head_dim_);
+  CA_CHECK(pos >= 0 && pos < max_seq_len_, "RoPE position " << pos
+           << " out of range");
   const std::int64_t half = head_dim_ / 2;
   const float* c = cos_.data() + pos * half;
   const float* s = sin_.data() + pos * half;

@@ -82,7 +82,8 @@ Tensor linear_backward(const Tensor& x, Parameter& w, const Tensor& dy) {
 
 }  // namespace
 
-// -- caches --------------------------------------------------------------------
+// -- caches
+// --------------------------------------------------------------------
 
 struct TransformerModel::BlockCache {
   Tensor x_in;               ///< block input [T, d]
@@ -109,7 +110,8 @@ struct TransformerModel::ForwardCache {
   Tensor normed_final;       ///< [T, d]
 };
 
-// -- construction ----------------------------------------------------------------
+// -- construction
+// ----------------------------------------------------------------
 
 TransformerModel::TransformerModel(ModelConfig config)
     : config_(std::move(config)),
@@ -219,7 +221,8 @@ std::int64_t TransformerModel::parameter_count() const {
   return total;
 }
 
-// -- forward ---------------------------------------------------------------------
+// -- forward
+// ---------------------------------------------------------------------
 
 Tensor TransformerModel::forward(const std::vector<TokenId>& tokens) {
   const auto t_len = static_cast<std::int64_t>(tokens.size());
@@ -243,7 +246,8 @@ Tensor TransformerModel::forward(const std::vector<TokenId>& tokens) {
   Tensor x({t_len, d});
   for (std::int64_t t = 0; t < t_len; ++t) {
     const TokenId id = tokens[static_cast<std::size_t>(t)];
-    CA_CHECK(id >= 0 && id < config_.vocab_size, "token id " << id << " out of vocab");
+    CA_CHECK(id >= 0 && id < config_.vocab_size, "token id " << id
+             << " out of vocab");
     const auto src = embed_.value.row(id);
     auto dst = x.row(t);
     for (std::int64_t i = 0; i < d; ++i) {
@@ -295,7 +299,8 @@ Tensor TransformerModel::forward(const std::vector<TokenId>& tokens) {
           }
           p_row[j] = static_cast<float>(acc) * scale;
         }
-        ops::softmax_inplace(std::span<float>(p_row, static_cast<std::size_t>(i + 1)));
+        ops::softmax_inplace(std::span<float>(p_row,
+                                              static_cast<std::size_t>(i + 1)));
         for (std::int64_t j = i + 1; j < t_len; ++j) p_row[j] = 0.0F;
 
         // out_i = sum_j p_ij v_j
@@ -332,13 +337,15 @@ Tensor TransformerModel::forward(const std::vector<TokenId>& tokens) {
 
   cache_->x_final = x;
   cache_->normed_final = rmsnorm_forward(cache_->x_final, final_norm_.value,
-                                         config_.norm_eps, cache_->inv_rms_final);
+                                         config_.norm_eps, cache_
+                                             ->inv_rms_final);
 
   // Tied LM head: logits = normed_final @ embed^T.
   return ops::matmul_nt(cache_->normed_final, embed_.value);
 }
 
-// -- backward --------------------------------------------------------------------
+// -- backward
+// --------------------------------------------------------------------
 
 void TransformerModel::backward(const Tensor& dlogits) {
   CA_CHECK(cache_ != nullptr, "backward() without a pending forward()");
@@ -362,7 +369,8 @@ void TransformerModel::backward(const Tensor& dlogits) {
   Tensor dx = rmsnorm_backward(cache_->x_final, cache_->inv_rms_final,
                                final_norm_, dnormed_final);
 
-  for (std::size_t layer_plus1 = blocks_.size(); layer_plus1 > 0; --layer_plus1) {
+  for (std::size_t layer_plus1 =
+       blocks_.size(); layer_plus1 > 0; --layer_plus1) {
     const std::size_t layer = layer_plus1 - 1;
     TransformerBlock& block = blocks_[layer];
     BlockCache& bc = cache_->blocks[layer];
@@ -425,7 +433,8 @@ void TransformerModel::backward(const Tensor& dlogits) {
         // softmax backward: ds_j = p_j * (dp_j - sum_k dp_k p_k)
         double inner = 0.0;
         for (std::int64_t j = 0; j <= i; ++j) {
-          inner += static_cast<double>(dp[static_cast<std::size_t>(j)]) * p_row[j];
+          inner +=
+              static_cast<double>(dp[static_cast<std::size_t>(j)]) * p_row[j];
         }
         // dq_i += scale * sum_j ds_j k_j ; dk_j += scale * ds_j q_i
         float* dq_i = dq.data() + i * d + h * hd;
@@ -449,14 +458,16 @@ void TransformerModel::backward(const Tensor& dlogits) {
     // Undo RoPE on the gradients (inverse rotation).
     for (std::int64_t t = 0; t < t_len; ++t) {
       for (std::int64_t h = 0; h < n_heads; ++h) {
-        rotary_.apply_inverse(dq.row(t).subspan(static_cast<std::size_t>(h * hd),
-                                                static_cast<std::size_t>(hd)),
-                              t);
+        rotary_.apply_inverse(
+            dq.row(t).subspan(static_cast<std::size_t>(h * hd),
+                              static_cast<std::size_t>(hd)),
+            t);
       }
       for (std::int64_t h = 0; h < n_kv; ++h) {
-        rotary_.apply_inverse(dk.row(t).subspan(static_cast<std::size_t>(h * hd),
-                                                static_cast<std::size_t>(hd)),
-                              t);
+        rotary_.apply_inverse(
+            dk.row(t).subspan(static_cast<std::size_t>(h * hd),
+                              static_cast<std::size_t>(hd)),
+            t);
       }
     }
 
@@ -483,7 +494,8 @@ void TransformerModel::backward(const Tensor& dlogits) {
   cache_.reset();
 }
 
-// -- checkpoint interop -----------------------------------------------------------
+// -- checkpoint interop
+// -----------------------------------------------------------
 
 Checkpoint TransformerModel::to_checkpoint() const {
   std::map<std::string, Tensor> tensors;
@@ -491,7 +503,8 @@ Checkpoint TransformerModel::to_checkpoint() const {
   return Checkpoint(config_, std::move(tensors));
 }
 
-TransformerModel TransformerModel::from_checkpoint(const Checkpoint& checkpoint) {
+TransformerModel TransformerModel::from_checkpoint(
+    const Checkpoint& checkpoint) {
   TransformerModel model(checkpoint.config());
   model.load_weights(checkpoint);
   return model;

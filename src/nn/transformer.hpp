@@ -83,7 +83,8 @@ class TransformerModel {
   /// inference-style evaluations that only need the logits).
   void discard_forward();
 
-  // -- checkpoint interop -------------------------------------------------------
+  // -- checkpoint interop
+  // -------------------------------------------------------
 
   /// Snapshot of the weights under LLaMA-style names.
   Checkpoint to_checkpoint() const;

@@ -33,7 +33,8 @@ class Bm25Index {
 
   /// Top-k documents by BM25 score (ties broken by lower index). Documents
   /// with zero score are omitted, so fewer than top_k hits may return.
-  std::vector<RetrievalHit> query(std::string_view text, std::size_t top_k) const;
+  std::vector<RetrievalHit> query(std::string_view text,
+                                  std::size_t top_k) const;
 
  private:
   std::vector<std::string> documents_;

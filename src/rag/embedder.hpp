@@ -45,7 +45,8 @@ class DenseIndex {
   const std::string& document(std::size_t index) const;
 
   /// Top-k documents by cosine similarity (zero-similarity hits omitted).
-  std::vector<RetrievalHit> query(std::string_view text, std::size_t top_k) const;
+  std::vector<RetrievalHit> query(std::string_view text,
+                                  std::size_t top_k) const;
 
  private:
   std::vector<std::string> documents_;

@@ -95,7 +95,8 @@ ShardPlan plan_shards(const std::vector<std::pair<std::string, Shape>>& entries,
     CA_CHECK(i == 0 || entries[i - 1].first < name,
              "plan_shards input must be name-sorted and duplicate-free; saw '"
                  << entries[i - 1].first << "' before '" << name << "'");
-    sizes[i] = static_cast<std::uint64_t>(shape_numel(shape)) * dtype_size(storage);
+    sizes[i] =
+        static_cast<std::uint64_t>(shape_numel(shape)) * dtype_size(storage);
     const bool roll = !groups.empty() && !groups.back().empty() &&
                       shard_size_bytes > 0 &&
                       group_bytes + sizes[i] > shard_size_bytes;
@@ -106,7 +107,8 @@ ShardPlan plan_shards(const std::vector<std::pair<std::string, Shape>>& entries,
     groups.back().push_back(i);
     group_bytes += sizes[i];
   }
-  if (groups.empty()) groups.emplace_back();  // empty checkpoint: one empty shard
+  // Empty checkpoint: still emit one (empty) shard.
+  if (groups.empty()) groups.emplace_back();
 
   // Second pass: materialize the plan now that the shard count is known.
   ShardPlan plan;

@@ -37,7 +37,8 @@
 namespace chipalign {
 
 /// File name of the manifest inside a sharded-checkpoint directory.
-inline constexpr const char* kShardIndexFileName = "model.safetensors.index.json";
+inline constexpr const char* kShardIndexFileName =
+    "model.safetensors.index.json";
 
 /// Canonical shard file name, e.g. "model-00002-of-00007.safetensors".
 std::string shard_file_name(std::size_t index, std::size_t count);

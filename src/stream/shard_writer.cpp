@@ -27,7 +27,8 @@ bool file_matches_header(const std::string& path, const std::string& header,
                          std::uint64_t expected_size) {
   namespace fs = std::filesystem;
   std::error_code ec;
-  if (!fs::is_regular_file(path, ec) || fs::file_size(path, ec) != expected_size) {
+  if (!fs::is_regular_file(path, ec) || fs::file_size(path,
+                                                      ec) != expected_size) {
     return false;
   }
   std::ifstream file(path, std::ios::binary);
@@ -95,7 +96,8 @@ ShardSetWriter::ShardSetWriter(std::string out_dir, ShardPlan plan,
 void ShardSetWriter::write_tensor(const std::string& name,
                                   const std::vector<std::uint8_t>& bytes) {
   const auto it = plan_.shard_of.find(name);
-  CA_CHECK(it != plan_.shard_of.end(), "tensor '" << name << "' is not in the plan");
+  CA_CHECK(it != plan_.shard_of.end(), "tensor '" << name
+           << "' is not in the plan");
   const std::size_t s = it->second;
   const ShardPlanShard& shard = plan_.shards[s];
   const SafetensorsTensorInfo& info = shard.tensors.at(name);
@@ -167,7 +169,8 @@ std::string save_sharded_checkpoint(const std::string& dir,
                         checkpoint_metadata(checkpoint.config()));
   std::map<std::string, std::string> checksums;
   for (const auto& [name, tensor] : checkpoint.tensors()) {
-    const std::vector<std::uint8_t> bytes = encode_tensor_bytes(tensor, storage);
+    const std::vector<std::uint8_t> bytes = encode_tensor_bytes(tensor,
+                                                                storage);
     checksums[name] = hash_to_hex(xxh64(bytes.data(), bytes.size()));
     writer.write_tensor(name, bytes);
   }

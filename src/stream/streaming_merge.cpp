@@ -41,7 +41,8 @@ void hash_double(Xxh64Stream& stream, double value) {
 /// (io_threads, prefetch_tensors, pipeline, pool) are deliberately absent:
 /// they never change the bytes, so a merge may be resumed under different
 /// scheduling settings.
-std::uint64_t plan_fingerprint(const Merger& merger, const MergeOptions& options,
+std::uint64_t plan_fingerprint(const Merger& merger,
+                               const MergeOptions& options,
                                const StreamingMergeConfig& config,
                                const std::vector<std::string>& names,
                                const TensorSource& chip) {
@@ -254,7 +255,8 @@ void run_serial(MergeRun& run, StreamingMergeReport& report) {
                                   run.checksum_verified);
       base_ptr = &base_tensor;
     }
-    run.read_us.fetch_add(static_cast<std::uint64_t>(read_timer.seconds() * 1e6));
+    run.read_us.fetch_add(
+        static_cast<std::uint64_t>(read_timer.seconds() * 1e6));
 
     const Timer merge_timer;
     Rng rng = merge_tensor_rng(run.options, index);
@@ -476,7 +478,8 @@ StreamingMergeReport merge_streaming(const Merger& merger,
   check_sources_mergeable(chip, instruct);
   if (merger.requires_base()) {
     CA_CHECK(base != nullptr,
-             "merge method '" << merger.name() << "' requires a base checkpoint");
+             "merge method '" << merger.name()
+                 << "' requires a base checkpoint");
     check_sources_mergeable(chip, *base);
   }
   validate_merge_options(options);
@@ -488,7 +491,8 @@ StreamingMergeReport merge_streaming(const Merger& merger,
   // the chip architecture with "+<method>" appended to its name.
   std::map<std::string, std::string> metadata;
   if (chip.metadata().count("chipalign.config") > 0) {
-    ModelConfig out_config = config_from_metadata(chip.metadata(), "chip source");
+    ModelConfig out_config = config_from_metadata(chip.metadata(),
+                                                  "chip source");
     out_config.name = out_config.name + "+" + merger.name();
     metadata = checkpoint_metadata(out_config);
   } else {
@@ -500,14 +504,16 @@ StreamingMergeReport merge_streaming(const Merger& merger,
   for (const std::string& name : names) {
     entries.emplace_back(name, chip.record(name).shape);
   }
-  ShardPlan plan = plan_shards(entries, config.out_dtype, config.shard_size_bytes);
+  ShardPlan plan = plan_shards(entries, config.out_dtype,
+                               config.shard_size_bytes);
 
   const std::uint64_t fingerprint =
       plan_fingerprint(merger, options, config, names, chip);
 
   namespace fs = std::filesystem;
   fs::create_directories(out_dir);
-  const std::string journal_path = out_dir + "/" + std::string(kJournalFileName);
+  const std::string journal_path =
+      out_dir + "/" + std::string(kJournalFileName);
 
   JournalState journal;
   if (config.resume && fs::exists(journal_path)) {

@@ -126,9 +126,9 @@ struct StreamingMergeReport {
   std::string index_path;  ///< manifest of the merged sharded checkpoint
 
   double mb_per_second() const {
-    return seconds > 0.0
-               ? static_cast<double>(bytes_written) / (1024.0 * 1024.0) / seconds
-               : 0.0;
+    return seconds > 0.0 ? static_cast<double>(bytes_written) /
+                               (1024.0 * 1024.0) / seconds
+                         : 0.0;
   }
 };
 

@@ -74,13 +74,15 @@ ShardedTensorSource ShardedTensorSource::open(const std::string& path) {
     for (const std::string& file : shard_files) {
       const std::string shard_path = (dir / file).string();
       CA_CHECK(fs::exists(shard_path),
-               "shard index references missing shard '" << file << "' (looked at '"
+               "shard index references missing shard '" << file
+                   << "' (looked at '"
                    << shard_path << "')");
       index_shard(shard_path, &index.weight_map, file, source.records_);
     }
     for (const auto& [name, file] : index.weight_map) {
       CA_CHECK(source.records_.count(name) > 0,
-               "tensor '" << name << "' listed in the shard index is absent from shard '"
+               "tensor '" << name
+                   << "' listed in the shard index is absent from shard '"
                    << file << "'");
     }
   }
@@ -131,7 +133,8 @@ Checkpoint load_sharded_checkpoint(const std::string& path) {
 void check_sources_mergeable(const TensorSource& a, const TensorSource& b) {
   CA_CHECK(a.names().size() == b.names().size(),
            "sources have different tensor counts: " << a.names().size()
-                                                    << " vs " << b.names().size());
+                                                    << " vs "
+                                                        << b.names().size());
   for (std::size_t i = 0; i < a.names().size(); ++i) {
     const std::string& name_a = a.names()[i];
     const std::string& name_b = b.names()[i];

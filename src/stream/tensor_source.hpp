@@ -46,7 +46,8 @@ class TensorSource {
   virtual const TensorRecord& record(const std::string& name) const = 0;
 
   /// Reads one tensor's raw storage bytes. Thread-safe.
-  virtual std::vector<std::uint8_t> read_bytes(const std::string& name) const = 0;
+  virtual std::vector<std::uint8_t> read_bytes(const std::string& name) const =
+      0;
 
   /// Reads and decodes one tensor to fp32. Thread-safe.
   virtual Tensor read(const std::string& name) const = 0;

@@ -44,15 +44,18 @@ inline std::uint16_t f32_to_f16_bits(float value) {
   }
 
   // Normal range: round the 13 dropped mantissa bits.
-  std::uint32_t out = sign | (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  std::uint32_t out = sign | (static_cast<std::uint32_t>(e)
+                              << 10) | (mant >> 13);
   const std::uint32_t rem = mant & 0x1FFFu;
-  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;  // may carry into exp: correct
+  if (rem > 0x1000u || (rem == 0x1000u
+                        && (out & 1u))) ++out;  // may carry into exp: correct
   return static_cast<std::uint16_t>(out);
 }
 
 /// fp16 bits -> fp32.
 inline float f16_bits_to_f32(std::uint16_t half_bits) {
-  const std::uint32_t sign = static_cast<std::uint32_t>(half_bits & 0x8000u) << 16;
+  const std::uint32_t sign = static_cast<std::uint32_t>(half_bits & 0x8000u)
+      << 16;
   const std::uint32_t exp = (half_bits >> 10) & 0x1Fu;
   std::uint32_t mant = half_bits & 0x03FFu;
 
@@ -68,7 +71,8 @@ inline float f16_bits_to_f32(std::uint16_t half_bits) {
         mant <<= 1;
       } while ((mant & 0x0400u) == 0);
       mant &= 0x03FFu;
-      out = sign | static_cast<std::uint32_t>(127 - 15 - e) << 23 | (mant << 13);
+      out = sign | static_cast<std::uint32_t>(127 - 15 - e) << 23 | (mant
+                                                                     << 13);
     }
   } else if (exp == 0x1Fu) {
     out = sign | 0x7F800000u | (mant << 13);  // inf / NaN

@@ -119,7 +119,8 @@ void scaled_sum(float a, const float* x, float b, const float* y, float* out,
 
 void matmul(const float* a, const float* b, float* c, std::int64_t m,
             std::int64_t k, std::int64_t n) {
-  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0, std::int64_t i1) {
+  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0,
+                                                std::int64_t i1) {
 #if defined(CHIPALIGN_HAVE_AVX2)
     if (use_avx2()) return avx2::matmul_rows(a, b, c, i0, i1, k, n);
 #endif
@@ -129,7 +130,8 @@ void matmul(const float* a, const float* b, float* c, std::int64_t m,
 
 void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
                std::int64_t k, std::int64_t n) {
-  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0, std::int64_t i1) {
+  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0,
+                                                std::int64_t i1) {
 #if defined(CHIPALIGN_HAVE_AVX2)
     if (use_avx2()) return avx2::matmul_nt_rows(a, b, c, i0, i1, k, n);
 #endif
@@ -139,7 +141,8 @@ void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
 
 void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
-  blocked_parallel(n, kColBlock, m * k * n, [&](std::int64_t j0, std::int64_t j1) {
+  blocked_parallel(n, kColBlock, m * k * n, [&](std::int64_t j0,
+                                                std::int64_t j1) {
 #if defined(CHIPALIGN_HAVE_AVX2)
     if (use_avx2()) return avx2::matmul_tn_cols(a, b, c, m, k, n, j0, j1);
 #endif

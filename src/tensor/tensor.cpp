@@ -8,7 +8,8 @@ namespace chipalign {
 std::int64_t shape_numel(const Shape& shape) {
   std::int64_t numel = 1;
   for (std::int64_t dim : shape) {
-    CA_CHECK(dim >= 0, "negative dimension in shape " << shape_to_string(shape));
+    CA_CHECK(dim >= 0, "negative dimension in shape "
+             << shape_to_string(shape));
     numel *= dim;
   }
   return numel;
@@ -29,7 +30,8 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0F);
 }
 
-Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(std::move(shape)) {
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)) {
   CA_CHECK(static_cast<std::int64_t>(values.size()) == shape_numel(shape_),
            "value count " << values.size() << " does not match shape "
                           << shape_to_string(shape_));
@@ -83,7 +85,8 @@ float Tensor::operator[](std::int64_t flat_index) const {
 }
 
 void Tensor::check_rank2() const {
-  CA_CHECK(rank() == 2, "rank-2 access on tensor of shape " << shape_to_string(shape_));
+  CA_CHECK(rank() == 2, "rank-2 access on tensor of shape "
+           << shape_to_string(shape_));
 }
 
 float& Tensor::at2(std::int64_t row, std::int64_t col) {
@@ -100,7 +103,8 @@ float Tensor::at2(std::int64_t row, std::int64_t col) const {
 
 std::span<float> Tensor::row(std::int64_t r) {
   check_rank2();
-  CA_CHECK(r >= 0 && r < shape_[0], "row " << r << " out of range " << shape_[0]);
+  CA_CHECK(r >= 0 && r < shape_[0], "row " << r << " out of range "
+           << shape_[0]);
   return {data_.data() + static_cast<std::size_t>(r * shape_[1]),
           static_cast<std::size_t>(shape_[1])};
 }

@@ -126,7 +126,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0);
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(1);
-  CA_CHECK(b.dim(0) == k, "matmul inner-dim mismatch: " << k << " vs " << b.dim(0));
+  CA_CHECK(b.dim(0) == k, "matmul inner-dim mismatch: " << k << " vs "
+           << b.dim(0));
 
   Tensor out({m, n});  // zero-initialised; the kernel accumulates into it.
   kernels::matmul(a.data(), b.data(), out.data(), m, k, n);
@@ -134,7 +135,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  CA_CHECK(a.rank() == 2 && b.rank() == 2, "matmul_nt requires rank-2 operands");
+  CA_CHECK(a.rank() == 2 && b.rank() == 2,
+           "matmul_nt requires rank-2 operands");
   const std::int64_t m = a.dim(0);
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(0);

@@ -33,8 +33,10 @@ double AdamW::step() {
     clip_scale = config_.clip_norm / (grad_norm + 1e-12);
   }
 
-  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
-  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  const double bias1 = 1.0 - std::pow(config_.beta1,
+                                      static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(config_.beta2,
+                                      static_cast<double>(step_count_));
 
   for (std::size_t idx = 0; idx < params_.size(); ++idx) {
     Parameter& p = *params_[idx];
@@ -44,8 +46,10 @@ double AdamW::step() {
     auto v = v_[idx].values();
     for (std::size_t i = 0; i < values.size(); ++i) {
       const double g = static_cast<double>(grads[i]) * clip_scale;
-      m[i] = static_cast<float>(config_.beta1 * m[i] + (1.0 - config_.beta1) * g);
-      v[i] = static_cast<float>(config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g);
+      m[i] =
+          static_cast<float>(config_.beta1 * m[i] + (1.0 - config_.beta1) * g);
+      v[i] = static_cast<float>(config_.beta2 * v[i] +
+                                (1.0 - config_.beta2) * g * g);
       const double m_hat = m[i] / bias1;
       const double v_hat = v[i] / bias2;
       double update = m_hat / (std::sqrt(v_hat) + config_.eps);
@@ -67,7 +71,8 @@ double cosine_lr(std::int64_t step, std::int64_t warmup_steps,
       std::min(1.0, static_cast<double>(step - warmup_steps) /
                         std::max<double>(1.0, static_cast<double>(
                                                   total_steps - warmup_steps)));
-  const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979323846 * progress));
+  const double cosine =
+      0.5 * (1.0 + std::cos(3.14159265358979323846 * progress));
   return peak_lr * (min_ratio + (1.0 - min_ratio) * cosine);
 }
 

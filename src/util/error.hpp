@@ -20,7 +20,8 @@ class Error : public std::runtime_error {
 
 namespace detail {
 /// Builds the final exception message including source location.
-[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_error(const char* file, int line,
+                              const std::string& msg);
 }  // namespace detail
 
 }  // namespace chipalign

@@ -127,7 +127,8 @@ std::string hash_to_hex(std::uint64_t hash) {
 }
 
 std::uint64_t hash_from_hex(const std::string& hex) {
-  CA_CHECK(hex.size() == 16, "hash hex string must be 16 chars, got '" << hex << "'");
+  CA_CHECK(hex.size() == 16, "hash hex string must be 16 chars, got '" << hex
+           << "'");
   std::uint64_t value = 0;
   for (char c : hex) {
     value <<= 4;

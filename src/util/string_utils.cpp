@@ -45,26 +45,31 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
 
 std::string to_lower(std::string_view text) {
   std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) c =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return out;
 }
 
 std::string to_upper(std::string_view text) {
   std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (char& c : out) c =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   return out;
 }
 
 std::string trim(std::string_view text) {
   std::size_t begin = 0;
   std::size_t end = text.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
-  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  while (begin < end
+         && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin
+         && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
   return std::string(text.substr(begin, end - begin));
 }
 
 bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+  return text.size() >= prefix.size() && text.substr(0,
+                                                     prefix.size()) == prefix;
 }
 
 bool ends_with(std::string_view text, std::string_view suffix) {

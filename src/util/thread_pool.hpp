@@ -77,7 +77,8 @@ class ThreadPool {
   /// count == 1, or the caller is itself a pool worker — nesting therefore
   /// cannot deadlock. Inline exceptions propagate immediately; pooled
   /// exceptions rethrow after all indices finish (first one wins).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
 
   /// True when the calling thread is a worker of *any* ThreadPool. Used to
   /// run nested parallel work inline.

@@ -15,7 +15,8 @@
 namespace chipalign {
 namespace {
 
-// -- instructions -----------------------------------------------------------------
+// -- instructions
+// -----------------------------------------------------------------
 
 TEST(Instructions, ApplyProducesExpectedText) {
   EXPECT_EQ(apply_instruction(InstructionKind::kUpper, "ab c"), "AB C");
@@ -24,7 +25,8 @@ TEST(Instructions, ApplyProducesExpectedText) {
   EXPECT_EQ(apply_instruction(InstructionKind::kQuote, "x"), "\"x\"");
   EXPECT_EQ(apply_instruction(InstructionKind::kPrefixAns, "x"), "ans: x");
   EXPECT_EQ(apply_instruction(InstructionKind::kSuffixDot, "x"), "x.");
-  EXPECT_EQ(apply_instruction(InstructionKind::kRepeatTwice, "a b"), "a b; a b");
+  EXPECT_EQ(apply_instruction(InstructionKind::kRepeatTwice, "a b"),
+            "a b; a b");
   EXPECT_EQ(apply_instruction(InstructionKind::kMaxWords3, "a b c d e"),
             "a b c");
 }
@@ -57,7 +59,8 @@ TEST_P(InstructionSelfConsistency, GoldenAnswerPassesStrictCheck) {
   for (const char* base : {"routes the nets in fast mode", "blue", "a b c d"}) {
     const std::string golden = apply_instruction(kind, base);
     EXPECT_TRUE(verify_strict(kind, golden))
-        << instruction_tag(kind) << " on '" << base << "' -> '" << golden << "'";
+        << instruction_tag(kind) << " on '" << base << "' -> '" << golden
+            << "'";
     EXPECT_TRUE(verify_loose(kind, golden));
   }
 }
@@ -98,7 +101,8 @@ TEST(Instructions, StrictCheckRejectsViolations) {
   EXPECT_FALSE(verify_strict(InstructionKind::kPrefixAns, "answer: x"));
   EXPECT_FALSE(verify_strict(InstructionKind::kSuffixDot, "no dot"));
   EXPECT_FALSE(verify_strict(InstructionKind::kRepeatTwice, "once only"));
-  EXPECT_FALSE(verify_strict(InstructionKind::kMaxWords3, "one two three four"));
+  EXPECT_FALSE(verify_strict(InstructionKind::kMaxWords3,
+                             "one two three four"));
 }
 
 TEST(Instructions, LooseForgivesWrappers) {
@@ -130,7 +134,8 @@ TEST(Instructions, SampleRespectsCompatibility) {
   }
 }
 
-// -- fact base --------------------------------------------------------------------
+// -- fact base
+// --------------------------------------------------------------------
 
 TEST(FactBase, DeterministicForSeed) {
   const FactBase a(42);
@@ -156,7 +161,8 @@ TEST(FactBase, AnswersAreContainedInContexts) {
   const FactBase facts;
   for (const Fact& fact : facts.facts()) {
     EXPECT_NE(fact.context.find(fact.answer), std::string::npos)
-        << fact.id << ": '" << fact.answer << "' not in '" << fact.context << "'";
+        << fact.id << ": '" << fact.answer << "' not in '" << fact.context
+            << "'";
   }
 }
 
@@ -175,7 +181,8 @@ TEST(FactBase, OpenroadDomainPredicate) {
   EXPECT_FALSE(is_openroad_domain(FactDomain::kLsf));
 }
 
-// -- prompt assembly ------------------------------------------------------------------
+// -- prompt assembly
+// ------------------------------------------------------------------
 
 TEST(Prompts, QaPromptLayout) {
   const std::string prompt = qa_prompt("[UP]", {"c1", "c2"}, "what?");
@@ -199,7 +206,8 @@ TEST(Prompts, SegmentedExampleWeightsSegments) {
   EXPECT_EQ(example.target_mask[5], 1.0F);  // eos inherits last weight
 }
 
-// -- generic doc facts --------------------------------------------------------------
+// -- generic doc facts
+// --------------------------------------------------------------
 
 TEST(GenericDocFacts, AnswersAreExtractableFromContexts) {
   // The extraction invariant: every generic doc fact's answer appears
@@ -237,7 +245,8 @@ TEST(GenericDocFacts, EntitySlotsAreDiverse) {
   EXPECT_GT(contexts.size(), kSamples * 9 / 10);
 }
 
-// -- dataset builders ------------------------------------------------------------------
+// -- dataset builders
+// ------------------------------------------------------------------
 
 TEST(Datasets, PretrainBuilderProducesRequestedCount) {
   const FactBase facts;
@@ -281,7 +290,8 @@ TEST(Datasets, ChipBuilderRejectsEmptySelection) {
   EXPECT_GT(build_chip_daft_dataset(facts, config).size(), 0u);
 }
 
-// -- eval set builders ---------------------------------------------------------------------
+// -- eval set builders
+// ---------------------------------------------------------------------
 
 TEST(EvalSets, OpenroadCoversAllThreeCategories) {
   const FactBase facts;

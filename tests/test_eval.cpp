@@ -125,7 +125,8 @@ TEST(Grader, EmptyOrUnrelatedScoresZero) {
 
 TEST(Grader, PartialAnswersGetMiddleBands) {
   // Half the tokens right.
-  const int grade = rubric_grade("routes the pins wrong", "routes the nets in", {});
+  const int grade = rubric_grade("routes the pins wrong", "routes the nets in",
+                                 {});
   EXPECT_GE(grade, 25);
   EXPECT_LE(grade, 75);
 }
@@ -156,7 +157,8 @@ TEST(Grader, AllBandsReachable) {
   EXPECT_EQ(rubric_grade("qq zz yy ww vv", golden, {}), 0);
 }
 
-// -- harness plumbing over a tiny random model ---------------------------------
+// -- harness plumbing over a tiny random model
+// ---------------------------------
 
 ModelConfig harness_config() {
   ModelConfig config;

@@ -29,7 +29,8 @@ Checkpoint two_tensor_checkpoint(float a0, float a1, float b0, float b1) {
   return ckpt;
 }
 
-// -- FisherMerger ---------------------------------------------------------------
+// -- FisherMerger
+// ---------------------------------------------------------------
 
 TEST(FisherMerger, EqualFishersReduceToLerp) {
   const Checkpoint chip = two_tensor_checkpoint(1, 2, 3, 4);
@@ -74,7 +75,8 @@ TEST(FisherMerger, RejectsNegativeFisher) {
   EXPECT_THROW(FisherMerger(bad, good), Error);
 }
 
-// -- Fisher estimator -------------------------------------------------------------
+// -- Fisher estimator
+// -------------------------------------------------------------
 
 ModelConfig fisher_config() {
   ModelConfig config;
@@ -140,7 +142,8 @@ TEST(FisherEstimator, EndToEndFisherMergeRuns) {
   EXPECT_TRUE(merged.all_finite());
 }
 
-// -- row-wise geodesic -----------------------------------------------------------
+// -- row-wise geodesic
+// -----------------------------------------------------------
 
 TEST(RowwiseGeodesic, EndpointsRecoverInputs) {
   Rng rng(4);

@@ -127,7 +127,8 @@ TEST(EndToEnd, MiniaturePipelineRuns) {
   pretrain_budget.batch_size = 4;
   pretrain_budget.peak_lr = 3e-3;
   const TrainStats pre_stats = train_full(
-      base_model, build_pretrain_dataset(facts, pretrain_data), pretrain_budget);
+      base_model, build_pretrain_dataset(facts, pretrain_data),
+          pretrain_budget);
   EXPECT_LT(pre_stats.final_loss, pre_stats.first_loss);
   const Checkpoint base = base_model.to_checkpoint();
 

@@ -129,7 +129,8 @@ TEST_F(KernelBackends, ScaledSumMatchesRefBitwise) {
     const auto x = random_vec(n, rng);
     const auto y = random_vec(n, rng);
     std::vector<float> expected(n);
-    kernels::ref::scaled_sum(0.6F, x.data(), 0.4F, y.data(), expected.data(), n);
+    kernels::ref::scaled_sum(0.6F, x.data(), 0.4F, y.data(), expected.data(),
+                             n);
     for_each_backend([&](const char* backend) {
       std::vector<float> got(n);
       kernels::scaled_sum(0.6F, x.data(), 0.4F, y.data(), got.data(), n);
@@ -216,7 +217,8 @@ TEST_F(KernelBackends, ParallelMatmulIsBitIdenticalToSerialRef) {
   EXPECT_TRUE(bitwise_equal(got, expected));
 
   std::vector<float> expected_tn(static_cast<std::size_t>(d * d));
-  kernels::ref::matmul_tn_accum(a.data(), b.data(), expected_tn.data(), d, d, d);
+  kernels::ref::matmul_tn_accum(a.data(), b.data(), expected_tn.data(), d, d,
+                                d);
   std::vector<float> got_tn(static_cast<std::size_t>(d * d));
   kernels::matmul_tn_accum(a.data(), b.data(), got_tn.data(), d, d, d);
   EXPECT_TRUE(bitwise_equal(got_tn, expected_tn));

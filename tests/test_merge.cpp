@@ -58,7 +58,8 @@ MergeOptions opts(double lambda) {
   return o;
 }
 
-// -- registry -------------------------------------------------------------------
+// -- registry
+// -------------------------------------------------------------------
 
 TEST(Registry, CreatesEveryListedMerger) {
   for (const std::string& name : merger_names()) {
@@ -72,7 +73,8 @@ TEST(Registry, RejectsUnknownName) {
   EXPECT_THROW(create_merger("slerp-3000"), Error);
 }
 
-// -- the ChipAlign geodesic merge --------------------------------------------------
+// -- the ChipAlign geodesic merge
+// --------------------------------------------------
 
 TEST(Geodesic, LambdaOneRecoversChipModel) {
   const Checkpoint chip = random_checkpoint(1);
@@ -97,7 +99,8 @@ TEST(Geodesic, NormIsGeometricMeanOfEndpointNorms) {
   const Checkpoint merged = merge_checkpoints(GeodesicMerger(), chip, instruct,
                                               nullptr, opts(lambda));
   for (const std::string& name : chip.names()) {
-    const double expected = std::pow(ops::frobenius_norm(chip.at(name)), lambda) *
+    const double expected = std::pow(ops::frobenius_norm(chip.at(name)),
+                                     lambda) *
                             std::pow(ops::frobenius_norm(instruct.at(name)),
                                      1.0 - lambda);
     EXPECT_NEAR(ops::frobenius_norm(merged.at(name)), expected,
@@ -186,7 +189,8 @@ INSTANTIATE_TEST_SUITE_P(Lambdas, GeodesicLambdaSweep,
                          ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75,
                                            0.9, 1.0));
 
-// -- linear methods ---------------------------------------------------------------
+// -- linear methods
+// ---------------------------------------------------------------
 
 TEST(Lerp, ComputesConvexCombination) {
   Checkpoint a;
@@ -211,7 +215,8 @@ TEST(ModelSoup, IgnoresLambdaAndAverages) {
   }
 }
 
-// -- task arithmetic -----------------------------------------------------------------
+// -- task arithmetic
+// -----------------------------------------------------------------
 
 TEST(TaskArithmetic, RequiresBase) {
   const Checkpoint a = random_checkpoint(1);
@@ -247,7 +252,8 @@ TEST(TaskArithmetic, IdenticalFinetunesRecoverTheFinetune) {
   EXPECT_LT(checkpoint_distance(merged, tuned), 1e-5);
 }
 
-// -- tv utils ------------------------------------------------------------------------
+// -- tv utils
+// ------------------------------------------------------------------------
 
 TEST(TvUtils, TrimKeepsExactlyTopFraction) {
   Tensor tv({8}, {0.1F, -0.9F, 0.3F, 0.05F, -0.6F, 0.2F, 0.0F, 0.8F});
@@ -310,7 +316,8 @@ TEST(TvUtils, StochasticDropPreservesExpectation) {
   EXPECT_NEAR(mean, 1.0, 0.05);  // E[v/p * Bernoulli(p)] = v
 }
 
-// -- TIES ---------------------------------------------------------------------------
+// -- TIES
+// ---------------------------------------------------------------------------
 
 TEST(Ties, IdenticalFinetunesSurviveTrimAndMerge) {
   const Checkpoint base = random_checkpoint(20);
@@ -357,7 +364,8 @@ TEST(Ties, SparsificationZeroesSmallEntries) {
   EXPECT_NEAR(merged.at("w")[3], 0.0F, 1e-6);
 }
 
-// -- Model Breadcrumbs ---------------------------------------------------------------
+// -- Model Breadcrumbs
+// ---------------------------------------------------------------
 
 TEST(Breadcrumbs, MasksBothTailsOfTheTaskVector) {
   Checkpoint base;
@@ -404,7 +412,8 @@ TEST(Breadcrumbs, RequiresBase) {
       merge_checkpoints(BreadcrumbsMerger(), a, b, nullptr, opts(0.5)), Error);
 }
 
-// -- DELLA / DARE ----------------------------------------------------------------------
+// -- DELLA / DARE
+// ----------------------------------------------------------------------
 
 TEST(Della, DeterministicForFixedSeed) {
   const Checkpoint base = random_checkpoint(30);
@@ -469,7 +478,8 @@ TEST(Dare, ExpectationApproximatesTaskArithmetic) {
   EXPECT_LT(abs_sum / static_cast<double>(count), 0.03);
 }
 
-// -- driver-level checks -----------------------------------------------------------------
+// -- driver-level checks
+// -----------------------------------------------------------------
 
 TEST(MergeDriver, RejectsNonConformableInputs) {
   Checkpoint a;
@@ -538,7 +548,8 @@ TEST(Geodesic, LambdaOverrideChangesOnlyMatchedTensors) {
             1e-3);
 }
 
-// -- geometry diagnostics --------------------------------------------------------------------
+// -- geometry diagnostics
+// --------------------------------------------------------------------
 
 TEST(Geometry, OrthogonalTensorsHaveRightAngle) {
   Checkpoint a;

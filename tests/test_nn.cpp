@@ -226,9 +226,11 @@ TEST(Inference, SequenceLogprobMatchesManualSum) {
   model.discard_forward();
   double manual = 0.0;
   for (std::size_t i = 0; i < continuation.size(); ++i) {
-    const auto row = logits.row(static_cast<std::int64_t>(context.size() + i - 1));
-    manual += static_cast<double>(row[static_cast<std::size_t>(continuation[i])]) -
-              ops::log_sum_exp(row);
+    const auto row =
+        logits.row(static_cast<std::int64_t>(context.size() + i - 1));
+    manual +=
+        static_cast<double>(row[static_cast<std::size_t>(continuation[i])]) -
+        ops::log_sum_exp(row);
   }
 
   const double via_api = sequence_logprob(model, context, continuation);

@@ -73,7 +73,8 @@ TEST(Embedder, SelfSimilarityIsOne) {
 TEST(Embedder, SimilarTextsScoreHigherThanDissimilar) {
   const HashedEmbedder embedder(256, 3);
   const auto query = embedder.embed("route the nets fast");
-  const auto close = embedder.embed("command route_nets routes the nets in fast mode");
+  const auto close =
+      embedder.embed("command route_nets routes the nets in fast mode");
   const auto far = embedder.embed("the faq page covers common install errors");
   EXPECT_GT(HashedEmbedder::cosine(query, close),
             HashedEmbedder::cosine(query, far));

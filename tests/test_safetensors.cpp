@@ -311,7 +311,9 @@ TEST_P(DtypeRoundTrip, ValuesSurviveWithinPrecision) {
 INSTANTIATE_TEST_SUITE_P(AllDtypes, DtypeRoundTrip,
                          ::testing::Values(DType::kF32, DType::kF16,
                                            DType::kBF16),
-                         [](const auto& info) { return dtype_name(info.param); });
+                         [](const auto& info) {
+                           return dtype_name(info.param);
+                         });
 
 }  // namespace
 }  // namespace chipalign

@@ -29,7 +29,8 @@ namespace fs = std::filesystem;
 std::string read_file_bytes(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   EXPECT_TRUE(file.good()) << path;
-  return {std::istreambuf_iterator<char>(file), std::istreambuf_iterator<char>()};
+  return {std::istreambuf_iterator<char>(file),
+          std::istreambuf_iterator<char>()};
 }
 
 /// A conformable 14-tensor checkpoint with varied shapes (~60 KB at f32).
@@ -215,7 +216,8 @@ TEST_F(StreamTest, VerifyDetectsCorruptedShard) {
   const ShardedTensorSource source = ShardedTensorSource::open(out);
   const TensorRecord& rec = source.record("embed.weight");
   {
-    std::fstream file(rec.file, std::ios::binary | std::ios::in | std::ios::out);
+    std::fstream file(rec.file,
+                      std::ios::binary | std::ios::in | std::ios::out);
     file.seekp(static_cast<std::streamoff>(rec.begin + rec.byte_size() / 2));
     const char corrupted = '\x5A';
     file.write(&corrupted, 1);
@@ -253,10 +255,12 @@ class StreamingMergeTest
   StreamingMergeReport run_streaming(const std::string& out,
                                      StreamingMergeConfig config) {
     const auto merger = create_merger(GetParam().method);
-    const ShardedTensorSource chip = ShardedTensorSource::open(src_dir_ + "/chip");
+    const ShardedTensorSource chip =
+        ShardedTensorSource::open(src_dir_ + "/chip");
     const ShardedTensorSource instruct =
         ShardedTensorSource::open(src_dir_ + "/instruct");
-    const ShardedTensorSource base = ShardedTensorSource::open(src_dir_ + "/base");
+    const ShardedTensorSource base =
+        ShardedTensorSource::open(src_dir_ + "/base");
     return merge_streaming(*merger, chip, instruct,
                            GetParam().needs_base ? &base : nullptr, options_,
                            config, out);
@@ -265,7 +269,8 @@ class StreamingMergeTest
   Checkpoint run_in_memory() {
     const auto merger = create_merger(GetParam().method);
     return merge_checkpoints(*merger, chip_, instruct_,
-                             GetParam().needs_base ? &base_ : nullptr, options_);
+                             GetParam().needs_base ? &base_ : nullptr,
+                                 options_);
   }
 
   void expect_identical(const Checkpoint& expected, const std::string& out_dir,
@@ -334,7 +339,8 @@ TEST_P(StreamingMergeTest, HalfPrecisionOutputMatchesInMemoryEncode) {
   const Checkpoint expected = run_in_memory();
   const ShardedTensorSource merged = ShardedTensorSource::open(out);
   for (const auto& [name, tensor] : expected.tensors()) {
-    EXPECT_EQ(merged.read_bytes(name), encode_tensor_bytes(tensor, DType::kBF16))
+    EXPECT_EQ(merged.read_bytes(name), encode_tensor_bytes(tensor,
+                                                           DType::kBF16))
         << name;
   }
 }
@@ -622,7 +628,8 @@ TEST_P(StreamingMergeTest, CorruptSourceShardFailsTheMerge) {
       ShardedTensorSource::open(src_dir_ + "/chip");
   const TensorRecord& rec = chip.record("embed.weight");
   {
-    std::fstream file(rec.file, std::ios::binary | std::ios::in | std::ios::out);
+    std::fstream file(rec.file,
+                      std::ios::binary | std::ios::in | std::ios::out);
     file.seekp(static_cast<std::streamoff>(rec.begin + rec.byte_size() / 2));
     const char corrupted = '\x5A';
     file.write(&corrupted, 1);
