@@ -3,9 +3,12 @@
 # .chipalign_cache (slow once); later runs reuse it.
 #
 #   ./run_benches.sh           full sweep (every bench binary)
-#   ./run_benches.sh --quick   CI smoke: the kernel and streaming-merge
-#                              acceptance benches in their reduced --quick
-#                              configurations only
+#   ./run_benches.sh --quick   CI smoke: the kernel, streaming-merge and
+#                              inference acceptance benches in their reduced
+#                              --quick configurations only
+#
+# bench_infer additionally writes BENCH_infer.json (machine-readable
+# decode/matvec/MCQ numbers) next to this script in both modes.
 #
 # Every gated bench runs to completion even when an earlier one fails; a
 # per-bench PASS/FAIL summary is printed at the end and the exit status is
@@ -48,6 +51,9 @@ if [ "${1:-}" = "--quick" ]; then
     [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
     run_gated "$b --quick" "$b" --quick
   done
+  b=build/bench/bench_infer
+  [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
+  run_gated "$b --quick" "$b" --quick --json BENCH_infer.json
   report
 fi
 
@@ -57,6 +63,8 @@ for b in build/bench/bench_*; do
     # Acceptance gates: a miss fails the sweep (after all benches have run).
     */bench_stream_merge) run_gated "$b" "$b" ;;
     */bench_kernels) run_gated "$b --gate" "$b" --gate ;;
+    */bench_infer)
+      run_gated "$b --gate" "$b" --gate --json BENCH_infer.json ;;
     *)
       echo ""
       echo "######## $b ########"

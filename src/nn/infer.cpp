@@ -1,7 +1,9 @@
 #include "nn/infer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
@@ -9,21 +11,16 @@ namespace chipalign {
 
 namespace {
 
-/// y = W x with W [out, in] row-major.
+/// y = W x with W [out, in] row-major, on the kernel layer: every output
+/// row is the contract-reduced dot product, fanned over the global thread
+/// pool when large enough (bitwise identical at any pool size).
 void matvec(const Tensor& w, std::span<const float> x, std::span<float> y) {
   const std::int64_t out_dim = w.dim(0);
   const std::int64_t in_dim = w.dim(1);
   CA_CHECK(static_cast<std::int64_t>(x.size()) == in_dim, "matvec input size");
   CA_CHECK(static_cast<std::int64_t>(y.size()) == out_dim,
            "matvec output size");
-  for (std::int64_t o = 0; o < out_dim; ++o) {
-    const float* w_row = w.data() + o * in_dim;
-    double acc = 0.0;
-    for (std::int64_t i = 0; i < in_dim; ++i) {
-      acc += static_cast<double>(w_row[i]) * x[static_cast<std::size_t>(i)];
-    }
-    y[static_cast<std::size_t>(o)] = static_cast<float>(acc);
-  }
+  kernels::parallel_matvec(w.data(), x.data(), y.data(), out_dim, in_dim);
 }
 
 void rmsnorm_row(std::span<const float> x, std::span<const float> gain,
@@ -42,20 +39,63 @@ float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
 InferenceSession::InferenceSession(const TransformerModel& model)
     : model_(model) {
   const auto& config = model_.config();
-  const std::size_t cache_floats = static_cast<std::size_t>(
-      config.max_seq_len * config.n_kv_heads * config.head_dim());
-  k_cache_.assign(static_cast<std::size_t>(config.n_layers),
-                  std::vector<float>(cache_floats, 0.0F));
-  v_cache_ = k_cache_;
+  kv_dim_ = config.n_kv_heads * config.head_dim();
+  layer_stride_ = config.max_seq_len * kv_dim_;
+  const auto cache_floats =
+      static_cast<std::size_t>(config.n_layers * layer_stride_);
+  // new[] without value-initialization: the cache starts dead and each
+  // position is written by step() before any read of it.
+  k_cache_.reset(new float[cache_floats]);
+  v_cache_.reset(new float[cache_floats]);
+
+  x_.resize(static_cast<std::size_t>(config.d_model));
+  normed_.resize(static_cast<std::size_t>(config.d_model));
+  q_.resize(static_cast<std::size_t>(config.d_model));
+  att_.resize(static_cast<std::size_t>(config.d_model));
+  proj_.resize(static_cast<std::size_t>(config.d_model));
+  gate_.resize(static_cast<std::size_t>(config.d_ff));
+  up_.resize(static_cast<std::size_t>(config.d_ff));
+  scores_.resize(static_cast<std::size_t>(config.max_seq_len));
+  logits_.resize(static_cast<std::size_t>(config.vocab_size));
 }
 
-void InferenceSession::reset() {
-  position_ = 0;
-  for (auto& layer : k_cache_) std::fill(layer.begin(), layer.end(), 0.0F);
-  for (auto& layer : v_cache_) std::fill(layer.begin(), layer.end(), 0.0F);
+void InferenceSession::reset() { position_ = 0; }
+
+InferenceSession::Snapshot InferenceSession::snapshot() const {
+  Snapshot snap;
+  snap.position = position_;
+  const std::int64_t n_layers = model_.config().n_layers;
+  const std::int64_t live = position_ * kv_dim_;
+  snap.k.resize(static_cast<std::size_t>(n_layers * live));
+  snap.v.resize(static_cast<std::size_t>(n_layers * live));
+  for (std::int64_t layer = 0; layer < n_layers; ++layer) {
+    std::copy_n(k_cache_.get() + layer * layer_stride_, live,
+                snap.k.data() + layer * live);
+    std::copy_n(v_cache_.get() + layer * layer_stride_, live,
+                snap.v.data() + layer * live);
+  }
+  return snap;
 }
 
-std::vector<float> InferenceSession::step(TokenId token) {
+void InferenceSession::restore(const Snapshot& snap) {
+  const auto& config = model_.config();
+  CA_CHECK(snap.position >= 0 && snap.position <= config.max_seq_len,
+           "snapshot position " << snap.position << " out of range");
+  const std::int64_t live = snap.position * kv_dim_;
+  CA_CHECK(static_cast<std::int64_t>(snap.k.size()) ==
+                   config.n_layers * live &&
+               snap.k.size() == snap.v.size(),
+           "snapshot cache size does not match this model");
+  for (std::int64_t layer = 0; layer < config.n_layers; ++layer) {
+    std::copy_n(snap.k.data() + layer * live, live,
+                k_cache_.get() + layer * layer_stride_);
+    std::copy_n(snap.v.data() + layer * live, live,
+                v_cache_.get() + layer * layer_stride_);
+  }
+  position_ = snap.position;
+}
+
+const std::vector<float>& InferenceSession::step(TokenId token) {
   const auto& config = model_.config();
   CA_CHECK(position_ < config.max_seq_len,
            "KV cache full at position " << position_);
@@ -67,35 +107,29 @@ std::vector<float> InferenceSession::step(TokenId token) {
   const std::int64_t n_heads = config.n_heads;
   const std::int64_t n_kv = config.n_kv_heads;
   const std::int64_t group = n_heads / n_kv;
-  const std::int64_t kv_dim = n_kv * hd;
   const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
   const std::int64_t pos = position_;
 
-  std::vector<float> x(model_.embed().value.row(token).begin(),
-                       model_.embed().value.row(token).end());
-  std::vector<float> normed(static_cast<std::size_t>(d));
-  std::vector<float> q(static_cast<std::size_t>(d));
-  std::vector<float> att(static_cast<std::size_t>(d));
-  std::vector<float> proj(static_cast<std::size_t>(d));
-  std::vector<float> gate(static_cast<std::size_t>(config.d_ff));
-  std::vector<float> up(static_cast<std::size_t>(config.d_ff));
-  std::vector<float> scores(static_cast<std::size_t>(pos + 1));
+  const auto embed_row = model_.embed().value.row(token);
+  std::copy(embed_row.begin(), embed_row.end(), x_.begin());
 
   for (std::size_t layer = 0; layer < model_.blocks().size(); ++layer) {
     const TransformerBlock& block = model_.blocks()[layer];
-    float* k_new = k_cache_[layer].data() + pos * kv_dim;
-    float* v_new = v_cache_[layer].data() + pos * kv_dim;
+    float* layer_k = k_cache_.get() + layer * layer_stride_;
+    float* layer_v = v_cache_.get() + layer * layer_stride_;
+    float* k_new = layer_k + pos * kv_dim_;
+    float* v_new = layer_v + pos * kv_dim_;
 
-    rmsnorm_row(x, block.input_norm.value.values(), config.norm_eps, normed);
-    matvec(block.q_proj.value, normed, q);
-    matvec(block.k_proj.value, normed,
-           std::span<float>(k_new, static_cast<std::size_t>(kv_dim)));
-    matvec(block.v_proj.value, normed,
-           std::span<float>(v_new, static_cast<std::size_t>(kv_dim)));
+    rmsnorm_row(x_, block.input_norm.value.values(), config.norm_eps, normed_);
+    matvec(block.q_proj.value, normed_, q_);
+    matvec(block.k_proj.value, normed_,
+           std::span<float>(k_new, static_cast<std::size_t>(kv_dim_)));
+    matvec(block.v_proj.value, normed_,
+           std::span<float>(v_new, static_cast<std::size_t>(kv_dim_)));
 
     for (std::int64_t h = 0; h < n_heads; ++h) {
       model_.rotary().apply(
-          std::span<float>(q.data() + h * hd, static_cast<std::size_t>(hd)),
+          std::span<float>(q_.data() + h * hd, static_cast<std::size_t>(hd)),
               pos);
     }
     for (std::int64_t h = 0; h < n_kv; ++h) {
@@ -103,58 +137,82 @@ std::vector<float> InferenceSession::step(TokenId token) {
           std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)), pos);
     }
 
-    std::fill(att.begin(), att.end(), 0.0F);
+    std::fill(att_.begin(), att_.end(), 0.0F);
     for (std::int64_t h = 0; h < n_heads; ++h) {
       const std::int64_t kvh = h / group;
-      const float* q_h = q.data() + h * hd;
+      const float* q_h = q_.data() + h * hd;
       for (std::int64_t j = 0; j <= pos; ++j) {
-        const float* k_j = k_cache_[layer].data() + j * kv_dim + kvh * hd;
-        double acc = 0.0;
-        for (std::int64_t u = 0; u < hd; ++u) {
-          acc += static_cast<double>(q_h[u]) * k_j[u];
-        }
-        scores[static_cast<std::size_t>(j)] = static_cast<float>(acc) * scale;
+        const float* k_j = layer_k + j * kv_dim_ + kvh * hd;
+        scores_[static_cast<std::size_t>(j)] =
+            static_cast<float>(
+                kernels::dot(q_h, k_j, static_cast<std::size_t>(hd))) *
+            scale;
       }
       ops::softmax_inplace(
-          std::span<float>(scores.data(), static_cast<std::size_t>(pos + 1)));
-      float* att_h = att.data() + h * hd;
+          std::span<float>(scores_.data(), static_cast<std::size_t>(pos + 1)));
+      float* att_h = att_.data() + h * hd;
       for (std::int64_t j = 0; j <= pos; ++j) {
-        const float p = scores[static_cast<std::size_t>(j)];
-        const float* v_j = v_cache_[layer].data() + j * kv_dim + kvh * hd;
-        for (std::int64_t u = 0; u < hd; ++u) att_h[u] += p * v_j[u];
+        const float p = scores_[static_cast<std::size_t>(j)];
+        const float* v_j = layer_v + j * kv_dim_ + kvh * hd;
+        kernels::axpy(p, v_j, att_h, static_cast<std::size_t>(hd));
       }
     }
 
-    matvec(block.o_proj.value, att, proj);
+    matvec(block.o_proj.value, att_, proj_);
     for (std::int64_t i = 0; i < d; ++i) {
-      x[static_cast<std::size_t>(i)] += proj[static_cast<std::size_t>(i)];
+      x_[static_cast<std::size_t>(i)] += proj_[static_cast<std::size_t>(i)];
     }
 
-    rmsnorm_row(x, block.post_norm.value.values(), config.norm_eps, normed);
-    matvec(block.gate_proj.value, normed, gate);
-    matvec(block.up_proj.value, normed, up);
-    for (std::size_t i = 0; i < gate.size(); ++i) {
-      gate[i] = gate[i] * sigmoid(gate[i]) * up[i];
+    rmsnorm_row(x_, block.post_norm.value.values(), config.norm_eps, normed_);
+    matvec(block.gate_proj.value, normed_, gate_);
+    matvec(block.up_proj.value, normed_, up_);
+    for (std::size_t i = 0; i < gate_.size(); ++i) {
+      gate_[i] = gate_[i] * sigmoid(gate_[i]) * up_[i];
     }
-    matvec(block.down_proj.value, gate, proj);
+    matvec(block.down_proj.value, gate_, proj_);
     for (std::int64_t i = 0; i < d; ++i) {
-      x[static_cast<std::size_t>(i)] += proj[static_cast<std::size_t>(i)];
+      x_[static_cast<std::size_t>(i)] += proj_[static_cast<std::size_t>(i)];
     }
   }
 
-  rmsnorm_row(x, model_.final_norm().value.values(), config.norm_eps, normed);
-  std::vector<float> logits(static_cast<std::size_t>(config.vocab_size));
-  matvec(model_.embed().value, normed, logits);
+  rmsnorm_row(x_, model_.final_norm().value.values(), config.norm_eps,
+              normed_);
+  // The [vocab, d] tied LM head dominates per-token cost; parallel_matvec
+  // shards its output rows across the pool.
+  matvec(model_.embed().value, normed_, logits_);
   ++position_;
-  return logits;
+  return logits_;
 }
 
 std::vector<float> InferenceSession::prefill(
     const std::vector<TokenId>& tokens) {
   CA_CHECK(!tokens.empty(), "prefill on empty prompt");
-  std::vector<float> logits;
-  for (TokenId token : tokens) logits = step(token);
-  return logits;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) step(tokens[i]);
+  return step(tokens.back());
+}
+
+std::int64_t sample_from_probs(std::span<const float> probs, double u) {
+  CA_CHECK(!probs.empty(), "sample_from_probs on empty distribution");
+  // Renormalized CDF: scale the uniform draw by the actual probability mass
+  // so rounding in the running sum cannot push the threshold past the total
+  // and silently select the final index (the pre-fix failure mode when
+  // softmax output summed to slightly less than 1).
+  double total = 0.0;
+  for (const float p : probs) total += p;
+  CA_CHECK(total > 0.0 && std::isfinite(total),
+           "sample_from_probs needs positive finite mass");
+  const double threshold = u * total;
+  double cum = 0.0;
+  std::int64_t last_nonzero = -1;
+  for (std::size_t t = 0; t < probs.size(); ++t) {
+    if (probs[t] <= 0.0F) continue;
+    last_nonzero = static_cast<std::int64_t>(t);
+    cum += probs[t];
+    if (threshold < cum) return last_nonzero;
+  }
+  // Rounding residue at the very top of the CDF: clamp to the last index
+  // that actually carries probability.
+  return last_nonzero;
 }
 
 std::string generate(const TransformerModel& model, std::string_view prompt,
@@ -183,15 +241,8 @@ std::string generate(const TransformerModel& model, std::string_view prompt,
       const auto inv_temp = static_cast<float>(1.0 / options.temperature);
       for (float& v : probs) v *= inv_temp;
       ops::softmax_inplace(std::span<float>(probs.data(), probs.size()));
-      double u = rng.uniform();
-      next = static_cast<TokenId>(probs.size() - 1);
-      for (std::size_t t = 0; t < probs.size(); ++t) {
-        u -= probs[t];
-        if (u <= 0.0) {
-          next = static_cast<TokenId>(t);
-          break;
-        }
-      }
+      next = static_cast<TokenId>(sample_from_probs(
+          std::span<const float>(probs.data(), probs.size()), rng.uniform()));
     }
     if (next == CharTokenizer::kEos) break;
     if (stop_at_newline && next == newline_id) break;
@@ -201,25 +252,31 @@ std::string generate(const TransformerModel& model, std::string_view prompt,
   return tok.decode(generated);
 }
 
+double continuation_logprob(InferenceSession& session,
+                            std::span<const float> logits,
+                            const std::vector<TokenId>& continuation) {
+  CA_CHECK(!continuation.empty(),
+           "continuation_logprob requires non-empty continuation");
+  double total = 0.0;
+  std::span<const float> row = logits;
+  for (std::size_t i = 0; i < continuation.size(); ++i) {
+    const double lse = ops::log_sum_exp(row);
+    total +=
+        static_cast<double>(row[static_cast<std::size_t>(continuation[i])]) -
+        lse;
+    if (i + 1 < continuation.size()) row = session.step(continuation[i]);
+  }
+  return total;
+}
+
 double sequence_logprob(const TransformerModel& model,
                         const std::vector<TokenId>& context,
                         const std::vector<TokenId>& continuation) {
   CA_CHECK(!context.empty(), "sequence_logprob requires non-empty context");
-  CA_CHECK(!continuation.empty(),
-           "sequence_logprob requires non-empty continuation");
   InferenceSession session(model);
   // Feed the context; the logits after its last token predict continuation[0].
-  std::vector<float> logits = session.prefill(context);
-  double total = 0.0;
-  for (std::size_t i = 0; i < continuation.size(); ++i) {
-    const double lse =
-        ops::log_sum_exp(std::span<const float>(logits.data(), logits.size()));
-    total += static_cast<double>(
-                 logits[static_cast<std::size_t>(continuation[i])]) -
-             lse;
-    if (i + 1 < continuation.size()) logits = session.step(continuation[i]);
-  }
-  return total;
+  const std::vector<float> logits = session.prefill(context);
+  return continuation_logprob(session, logits, continuation);
 }
 
 double mean_logprob(const TransformerModel& model,

@@ -3,11 +3,21 @@
 /// \brief Incremental (KV-cache) inference and text generation.
 ///
 /// InferenceSession keeps per-layer key/value caches so each new token costs
-/// O(T) attention instead of re-running the full sequence. The generation
-/// helpers below are what every benchmark harness uses to get model
-/// responses; temperature 0 (greedy) matches the paper's evaluation setup.
+/// O(T) attention instead of re-running the full sequence. Every projection
+/// in the decode step runs on the tensor kernel layer (kernels::matvec /
+/// kernels::parallel_matvec), so logits are bit-identical across backends
+/// and thread counts (see kernels.hpp for the reduction contract). The
+/// session owns a reusable scratch arena and a lazily-initialized KV cache:
+/// positions >= position() are never read, so neither construction nor
+/// reset() pays an O(n_layers * max_seq_len * kv_dim) zero-fill.
+///
+/// The generation helpers below are what every benchmark harness uses to
+/// get model responses; temperature 0 (greedy) matches the paper's
+/// evaluation setup.
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,28 +30,65 @@ namespace chipalign {
 /// Stateful single-sequence decoder over a fixed model.
 class InferenceSession {
  public:
+  /// Compact copy of a session's KV state at some position, taken with
+  /// snapshot() and re-installed with restore(). Only the first position()
+  /// entries of each layer cache are stored, so a snapshot after a shared
+  /// prompt is cheap to hold while scoring many continuations from it.
+  struct Snapshot {
+    std::int64_t position = 0;
+    std::vector<float> k;  ///< [n_layers, position, kv_dim], flattened
+    std::vector<float> v;
+  };
+
   explicit InferenceSession(const TransformerModel& model);
 
   /// Feeds one token at the current position; returns the logits row
-  /// (vocab_size floats) for predicting the next token.
-  std::vector<float> step(TokenId token);
+  /// (vocab_size floats) for predicting the next token. The reference
+  /// aliases session-owned scratch: it is overwritten by the next step()
+  /// (copy it if it must outlive that).
+  const std::vector<float>& step(TokenId token);
 
-  /// Feeds a whole prompt; returns the logits after its last token.
-  /// The prompt must be non-empty.
+  /// Feeds a whole prompt; returns (a copy of) the logits after its last
+  /// token. The prompt must be non-empty.
   std::vector<float> prefill(const std::vector<TokenId>& tokens);
 
   /// Tokens consumed so far.
   std::int64_t position() const { return position_; }
 
-  /// Clears the KV cache and resets the position to zero.
+  /// Resets the position to zero. O(1): the KV cache is not cleared because
+  /// positions at or beyond the current position are never read.
   void reset();
+
+  /// Copies the live prefix of the KV cache (everything up to position()).
+  Snapshot snapshot() const;
+
+  /// Reinstalls a snapshot taken from a session over the same model,
+  /// rewinding (or advancing) the position to the snapshot's. Subsequent
+  /// steps produce bitwise-identical logits to a fresh session re-fed the
+  /// snapshot's tokens.
+  void restore(const Snapshot& snap);
 
  private:
   const TransformerModel& model_;
   std::int64_t position_ = 0;
-  // Per layer: [max_seq_len, kv_dim] caches, flattened.
-  std::vector<std::vector<float>> k_cache_;
-  std::vector<std::vector<float>> v_cache_;
+  std::int64_t kv_dim_ = 0;
+  std::int64_t layer_stride_ = 0;  ///< max_seq_len * kv_dim floats per layer
+
+  // Per layer: [max_seq_len, kv_dim] caches, flattened into one block each.
+  // Deliberately not value-initialized — entries past position_ are dead.
+  std::unique_ptr<float[]> k_cache_;
+  std::unique_ptr<float[]> v_cache_;
+
+  // Scratch arena, sized once at construction and reused by every step().
+  std::vector<float> x_;       ///< residual stream [d]
+  std::vector<float> normed_;  ///< RMSNorm output [d]
+  std::vector<float> q_;       ///< query heads [d]
+  std::vector<float> att_;     ///< attention output [d]
+  std::vector<float> proj_;    ///< o/down projection output [d]
+  std::vector<float> gate_;    ///< SwiGLU gate [d_ff]
+  std::vector<float> up_;      ///< SwiGLU up [d_ff]
+  std::vector<float> scores_;  ///< attention scores [max_seq_len]
+  std::vector<float> logits_;  ///< LM-head output [vocab]
 };
 
 /// Options for generate().
@@ -58,12 +105,31 @@ std::string generate(const TransformerModel& model, std::string_view prompt,
                      const GenerateOptions& options = {},
                      bool stop_at_newline = false);
 
+/// Draws an index from the categorical distribution `probs` given a uniform
+/// draw u in [0, 1). The CDF walk renormalizes by the actual sum of probs,
+/// so floating-point rounding can never fall off the end of the
+/// distribution and silently select the last index regardless of its
+/// probability; a zero-probability index is never returned. Exposed for
+/// generate()'s temperature sampling and its tests.
+std::int64_t sample_from_probs(std::span<const float> probs, double u);
+
 /// Sum of log-probabilities of `continuation` tokens given `context`
 /// (teacher-forced). Both sequences are raw token ids; context must be
 /// non-empty.
 double sequence_logprob(const TransformerModel& model,
                         const std::vector<TokenId>& context,
                         const std::vector<TokenId>& continuation);
+
+/// Teacher-forced sum of continuation log-probabilities on an existing
+/// session. `logits` must be the row predicting continuation[0] (i.e. the
+/// output of the step/prefill that consumed the context); the session is
+/// advanced by continuation.size() - 1 steps. Combined with
+/// InferenceSession::snapshot()/restore(), this lets a harness prefill a
+/// shared context once and score many continuations from it, bit-identical
+/// to re-prefilling per continuation.
+double continuation_logprob(InferenceSession& session,
+                            std::span<const float> logits,
+                            const std::vector<TokenId>& continuation);
 
 /// Average per-token log-probability of the continuation (length
 /// normalized); used by the multiple-choice evaluator.

@@ -36,6 +36,9 @@ void matmul_nt_rows(const float* a, const float* b, float* c, std::int64_t i0,
 void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
                     std::int64_t k, std::int64_t n, std::int64_t j0,
                     std::int64_t j1);
+/// Rows [o0, o1) of y = w @ x (w row-major [out, in]).
+void matvec_rows(const float* w, const float* x, float* y, std::int64_t o0,
+                 std::int64_t o1, std::int64_t in_dim);
 }  // namespace generic
 
 #if defined(CHIPALIGN_HAVE_AVX2)
@@ -54,6 +57,8 @@ void matmul_nt_rows(const float* a, const float* b, float* c, std::int64_t i0,
 void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
                     std::int64_t k, std::int64_t n, std::int64_t j0,
                     std::int64_t j1);
+void matvec_rows(const float* w, const float* x, float* y, std::int64_t o0,
+                 std::int64_t o1, std::int64_t in_dim);
 }  // namespace avx2
 #endif
 

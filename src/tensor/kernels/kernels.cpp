@@ -40,9 +40,14 @@ bool use_avx2() {
 constexpr std::int64_t kRowBlock = 16;
 /// Output columns per parallel task (matmul_tn_accum).
 constexpr std::int64_t kColBlock = 1024;
+/// Output rows per parallel task (parallel_matvec).
+constexpr std::int64_t kMatvecRowBlock = 64;
 /// Fan out across the pool only when the multiply does at least this many
 /// scalar MACs; below it, task overhead dominates.
 constexpr std::int64_t kParallelMacs = std::int64_t{1} << 22;
+/// Matvec fan-out threshold. Lower than kParallelMacs: a decode step issues
+/// one matvec per projection, so even ~1M-MAC logits projections benefit.
+constexpr std::int64_t kMatvecParallelMacs = std::int64_t{1} << 20;
 
 /// Splits [0, extent) into fixed `block`-sized chunks and runs body(lo, hi)
 /// for each, across the pool when the work is large enough. parallel_for
@@ -148,6 +153,36 @@ void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
 #endif
     generic::matmul_tn_cols(a, b, c, m, k, n, j0, j1);
   });
+}
+
+void matvec(const float* w, const float* x, float* y, std::int64_t out_dim,
+            std::int64_t in_dim) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::matvec_rows(w, x, y, 0, out_dim, in_dim);
+#endif
+  generic::matvec_rows(w, x, y, 0, out_dim, in_dim);
+}
+
+void parallel_matvec(const float* w, const float* x, float* y,
+                     std::int64_t out_dim, std::int64_t in_dim,
+                     ThreadPool* pool) {
+  const std::int64_t blocks =
+      (out_dim + kMatvecRowBlock - 1) / kMatvecRowBlock;
+  if (blocks <= 1 || out_dim * in_dim < kMatvecParallelMacs) {
+    matvec(w, x, y, out_dim, in_dim);
+    return;
+  }
+  ThreadPool& chosen = pool != nullptr ? *pool : global_thread_pool();
+  chosen.parallel_for(
+      static_cast<std::size_t>(blocks), [&](std::size_t index) {
+        const std::int64_t o0 =
+            static_cast<std::int64_t>(index) * kMatvecRowBlock;
+        const std::int64_t o1 = std::min(o0 + kMatvecRowBlock, out_dim);
+#if defined(CHIPALIGN_HAVE_AVX2)
+        if (use_avx2()) return avx2::matvec_rows(w, x, y, o0, o1, in_dim);
+#endif
+        generic::matvec_rows(w, x, y, o0, o1, in_dim);
+      });
 }
 
 }  // namespace chipalign::kernels

@@ -4,8 +4,9 @@
 ///
 /// This layer provides the hot inner loops behind tensor_ops: dot, norm,
 /// axpy, scale, hadamard, the fused scaled_sum (a*x + b*y — the SLERP
-/// combine), and blocked matmul variants. Two backends implement the same
-/// bit-level contract:
+/// combine), blocked matmul variants, and the matvec family driving
+/// token-by-token inference. Two backends implement the same bit-level
+/// contract:
 ///
 ///   - generic: unrolled multi-accumulator scalar code the compiler can
 ///     auto-vectorize; always compiled.
@@ -44,6 +45,10 @@
 
 #include <cstddef>
 #include <cstdint>
+
+namespace chipalign {
+class ThreadPool;
+}  // namespace chipalign
 
 namespace chipalign::kernels {
 
@@ -100,6 +105,24 @@ void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
 void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n);
 
+// -- matvec kernels (the token-decode hot path) -------------------------------
+
+/// y[o] = dot(w row o, x) for w [out_dim, in_dim] row-major: each output is
+/// the contract-reduced (8-lane fp64, fixed pairwise tree) inner product, so
+/// matvec(w, x, ...) == matmul_nt(x, w, ...) bit-for-bit on the same data.
+/// Serial over rows.
+void matvec(const float* w, const float* x, float* y, std::int64_t out_dim,
+            std::int64_t in_dim);
+
+/// Row-blocked matvec fanned across `pool` (nullptr selects the global
+/// pool). Every y[o] is computed by exactly one task with the same per-row
+/// reduction as matvec(), so the result is bitwise identical to matvec()
+/// for any pool size — including pool == nullptr inside a pool worker,
+/// where the fan-out runs inline. Small problems stay serial.
+void parallel_matvec(const float* w, const float* x, float* y,
+                     std::int64_t out_dim, std::int64_t in_dim,
+                     ThreadPool* pool = nullptr);
+
 /// Retained scalar reference: the executable definition of the contract.
 /// Every kernels::X above must equal kernels::ref::X bit-for-bit.
 namespace ref {
@@ -116,6 +139,8 @@ void matmul_nt(const float* a, const float* b, float* c, std::int64_t m,
                std::int64_t k, std::int64_t n);
 void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n);
+void matvec(const float* w, const float* x, float* y, std::int64_t out_dim,
+            std::int64_t in_dim);
 }  // namespace ref
 
 }  // namespace chipalign::kernels

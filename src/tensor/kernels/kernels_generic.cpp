@@ -95,4 +95,12 @@ void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
+void matvec_rows(const float* w, const float* x, float* y, std::int64_t o0,
+                 std::int64_t o1, std::int64_t in_dim) {
+  for (std::int64_t o = o0; o < o1; ++o) {
+    y[o] = static_cast<float>(
+        dot(w + o * in_dim, x, static_cast<std::size_t>(in_dim)));
+  }
+}
+
 }  // namespace chipalign::kernels::generic

@@ -97,4 +97,12 @@ void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
+void matvec(const float* w, const float* x, float* y, std::int64_t out_dim,
+            std::int64_t in_dim) {
+  for (std::int64_t o = 0; o < out_dim; ++o) {
+    y[o] = static_cast<float>(
+        dot(w + o * in_dim, x, static_cast<std::size_t>(in_dim)));
+  }
+}
+
 }  // namespace chipalign::kernels::ref

@@ -12,6 +12,7 @@
 
 #include "tensor/kernels/kernels.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace chipalign {
 namespace {
@@ -222,6 +223,54 @@ TEST_F(KernelBackends, ParallelMatmulIsBitIdenticalToSerialRef) {
   std::vector<float> got_tn(static_cast<std::size_t>(d * d));
   kernels::matmul_tn_accum(a.data(), b.data(), got_tn.data(), d, d, d);
   EXPECT_TRUE(bitwise_equal(got_tn, expected_tn));
+}
+
+// Matvec shapes: out dims around the 4-row AVX2 blocking (1..5) and the
+// 64-row parallel block boundary, in dims with odd lane tails.
+TEST_F(KernelBackends, MatvecMatchesRefBitwise) {
+  Rng rng(112);
+  struct Shape {
+    std::int64_t out, in;
+  };
+  const Shape shapes[] = {{1, 1},  {1, 17},  {2, 8},   {3, 33},  {4, 64},
+                          {5, 9},  {7, 100}, {8, 257}, {63, 31}, {64, 16},
+                          {65, 5}, {130, 48}};
+  for (const Shape& s : shapes) {
+    const auto w = random_vec(static_cast<std::size_t>(s.out * s.in), rng);
+    const auto x = random_vec(static_cast<std::size_t>(s.in), rng);
+    std::vector<float> expected(static_cast<std::size_t>(s.out));
+    kernels::ref::matvec(w.data(), x.data(), expected.data(), s.out, s.in);
+    for_each_backend([&](const char* backend) {
+      std::vector<float> got(static_cast<std::size_t>(s.out));
+      kernels::matvec(w.data(), x.data(), got.data(), s.out, s.in);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << s.out << "x" << s.in << " backend=" << backend;
+    });
+  }
+}
+
+// parallel_matvec must produce ref's bits at every thread count: each
+// output row is one contract-reduced dot, written by exactly one task, so
+// the row partitioning cannot show up in the result. 2048x1024 = 2.1M MACs
+// clears the parallelization threshold.
+TEST_F(KernelBackends, ParallelMatvecIsThreadCountInvariant) {
+  Rng rng(113);
+  const std::int64_t out_dim = 2048;
+  const std::int64_t in_dim = 1024;
+  const auto w = random_vec(static_cast<std::size_t>(out_dim * in_dim), rng);
+  const auto x = random_vec(static_cast<std::size_t>(in_dim), rng);
+  std::vector<float> expected(static_cast<std::size_t>(out_dim));
+  kernels::ref::matvec(w.data(), x.data(), expected.data(), out_dim, in_dim);
+  for_each_backend([&](const char* backend) {
+    for (const std::size_t threads : {1U, 2U, 8U}) {
+      ThreadPool pool(threads);
+      std::vector<float> got(static_cast<std::size_t>(out_dim));
+      kernels::parallel_matvec(w.data(), x.data(), got.data(), out_dim,
+                               in_dim, &pool);
+      EXPECT_TRUE(bitwise_equal(got, expected))
+          << "threads=" << threads << " backend=" << backend;
+    }
+  });
 }
 
 // The reduction contract in one picture: dot must equal the 8-lane pairwise
