@@ -16,13 +16,21 @@
 //
 // Exit status is non-zero when any of those checks fail, so the bench
 // doubles as an acceptance gate. `--quick` shrinks the workload for CI.
+// `--json FILE` additionally writes a machine-readable record of the
+// timings and gate results, including the fault-injection status: the
+// failpoint sites are compiled into this binary (the numbers include their
+// disarmed-path cost, one relaxed atomic load per site) and stay disarmed
+// unless CHIPALIGN_FAILPOINTS says otherwise.
 //
 // Usage: bench_stream_merge [--quick] [--method chipalign|ties|...]
+//                           [--json FILE]
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -37,6 +45,7 @@
 #include "stream/streaming_merge.hpp"
 #include "stream/tensor_source.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 #include "util/mem_probe.hpp"
 #include "util/rng.hpp"
@@ -113,16 +122,21 @@ double mb(std::uint64_t bytes) {
 
 int main(int argc, char** argv) {
   try {
+    failpoint::arm_from_env();  // benches accept injected faults too
     bool quick = false;
     std::string method = "chipalign";
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quick") == 0) {
         quick = true;
       } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
         method = argv[++i];
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path = argv[++i];
       } else {
         std::fprintf(stderr,
-                     "usage: bench_stream_merge [--quick] [--method M]\n");
+                     "usage: bench_stream_merge [--quick] [--method M] "
+                     "[--json FILE]\n");
         return 2;
       }
     }
@@ -257,8 +271,10 @@ int main(int argc, char** argv) {
     const unsigned hw_threads = std::thread::hardware_concurrency();
     const double speedup =
         best_pipelined > 0.0 ? best_serial / best_pipelined : 0.0;
+    const char* speedup_gate = "skipped";
     if (hw_threads >= 2) {
       const bool speedup_ok = speedup >= 1.3;
+      speedup_gate = speedup_ok ? "pass" : "fail";
       std::printf("pipelined speedup %.2fx over serial (>= 1.3x, %u hw "
                   "threads) -> %s\n",
                   speedup, hw_threads, speedup_ok ? "OK" : "FAIL");
@@ -268,22 +284,61 @@ int main(int argc, char** argv) {
                   "(single-core host)\n", speedup);
     }
 
+    const char* budget_gate = "skipped";
+    const char* below_inmemory_gate = "skipped";
     if (peak_rss_bytes() == 0) {
       std::printf("peak-RSS checks skipped (no /proc/self/status)\n");
     } else {
       const std::uint64_t bound =
           baseline_rss + config.max_inflight_bytes + bench.overhead_bytes;
       const bool budget_ok = streaming_rss <= bound;
+      budget_gate = budget_ok ? "pass" : "fail";
       std::printf("streaming peak %s <= baseline + budget + overhead %s -> "
                   "%s\n",
                   format_bytes(streaming_rss).c_str(),
                   format_bytes(bound).c_str(), budget_ok ? "OK" : "FAIL");
       const bool below_inmemory = streaming_rss < inmemory_rss;
+      below_inmemory_gate = below_inmemory ? "pass" : "fail";
       std::printf("streaming peak %s < in-memory peak %s -> %s\n",
                   format_bytes(streaming_rss).c_str(),
                   format_bytes(inmemory_rss).c_str(),
                   below_inmemory ? "OK" : "FAIL");
       ok = ok && budget_ok && below_inmemory;
+    }
+
+    if (!json_path.empty()) {
+      // The failpoints block records that fault-injection sites are
+      // compiled into these numbers (their disarmed cost is included) and
+      // whether anything was armed while measuring.
+      const char* env = std::getenv("CHIPALIGN_FAILPOINTS");
+      std::ofstream json(json_path, std::ios::trunc);
+      CA_CHECK(json.good(), "cannot write '" << json_path << "'");
+      json << "{\n"
+           << "  \"bench\": \"stream_merge\",\n"
+           << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+           << "  \"method\": \"" << method << "\",\n"
+           << "  \"tensor_count\": " << bench.tensor_count << ",\n"
+           << "  \"pipelined_best_s\": " << best_pipelined << ",\n"
+           << "  \"serial_best_s\": " << best_serial << ",\n"
+           << "  \"speedup\": " << speedup << ",\n"
+           << "  \"baseline_rss_bytes\": " << baseline_rss << ",\n"
+           << "  \"streaming_peak_rss_bytes\": " << streaming_rss << ",\n"
+           << "  \"inmemory_peak_rss_bytes\": " << inmemory_rss << ",\n"
+           << "  \"failpoints\": {\n"
+           << "    \"compiled\": true,\n"
+           << "    \"site_count\": " << failpoint::all_sites().size() << ",\n"
+           << "    \"armed\": \"" << (env != nullptr ? env : "") << "\"\n"
+           << "  },\n"
+           << "  \"gates\": {\n"
+           << "    \"byte_identity\": \"" << (bytes_ok ? "pass" : "fail")
+           << "\",\n"
+           << "    \"pipelined_speedup\": \"" << speedup_gate << "\",\n"
+           << "    \"rss_budget\": \"" << budget_gate << "\",\n"
+           << "    \"streaming_below_inmemory\": \"" << below_inmemory_gate
+           << "\"\n"
+           << "  }\n"
+           << "}\n";
+      std::printf("wrote %s\n", json_path.c_str());
     }
 
     std::filesystem::remove_all(root);

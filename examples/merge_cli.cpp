@@ -30,6 +30,7 @@
 #include "stream/tensor_source.hpp"
 #include "text/tokenizer.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/mem_probe.hpp"
 #include "util/string_utils.hpp"
@@ -38,6 +39,19 @@
 using namespace chipalign;
 
 namespace {
+
+// Exit-code taxonomy, so soak scripts and supervisors can assert on the
+// failure class without parsing stderr:
+//   0 — success
+//   2 — usage error (bad flags, missing arguments)
+//   3 — permanent I/O or validation failure (corrupt input, plan
+//       mismatch, ENOSPC, ...): retrying the same command will fail again
+//   4 — transient read failures exhausted the retry budget: rerunning
+//       (or raising --retry-reads) may succeed
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitPermanent = 3;
+constexpr int kExitRetriesExhausted = 4;
 
 struct Args {
   std::map<std::string, std::string> values;
@@ -102,7 +116,15 @@ void print_usage() {
       "  --prefetch-tensors N  cap on tensors in flight at once (default 16)\n"
       "  --no-pipeline       strictly serial read->merge->write escape hatch\n"
       "                      (same bytes, no read/compute/write overlap)\n"
-      "  --resume            continue an interrupted run from its journal\n",
+      "  --resume            continue an interrupted run from its journal\n"
+      "  --retry-reads N     attempts per source read before giving up on a\n"
+      "                      transient failure (default 1 = no retry)\n"
+      "  --retry-backoff-ms M  initial retry backoff, doubled per retry\n"
+      "                      (default 10)\n"
+      "\n"
+      "exit codes: 0 ok, 2 usage, 3 permanent I/O/validation failure,\n"
+      "4 transient read retries exhausted. CHIPALIGN_FAILPOINTS (see\n"
+      "src/util/failpoint.hpp) injects deterministic faults for testing.\n",
       join(merger_names(), ", ").c_str());
 }
 
@@ -147,17 +169,18 @@ std::uint64_t mb_to_bytes(double mb) {
 
 int main(int argc, char** argv) {
   try {
+    failpoint::arm_from_env();
     const Args args = parse_args(argc, argv);
     if (args.has("help")) {
       print_usage();
-      return 0;
+      return kExitOk;
     }
 
     const bool streaming = args.has("streaming");
     const bool demo = args.has("demo");
-    if (!demo && !args.has("chip") && !args.has("instruct")) {
+    if (!demo && (!args.has("chip") || !args.has("instruct"))) {
       print_usage();
-      return 2;
+      return kExitUsage;
     }
 
     const std::string method = args.get("method", "chipalign");
@@ -236,6 +259,18 @@ int main(int argc, char** argv) {
                  "--prefetch-tensors must be at least 1, got " << prefetch);
         config.prefetch_tensors = static_cast<std::size_t>(prefetch);
       }
+      if (args.has("retry-reads")) {
+        const double attempts = args.get_double("retry-reads", 1);
+        CA_CHECK(attempts >= 1,
+                 "--retry-reads must be at least 1, got " << attempts);
+        config.read_retry.max_attempts = static_cast<int>(attempts);
+      }
+      if (args.has("retry-backoff-ms")) {
+        const double backoff = args.get_double("retry-backoff-ms", 10);
+        CA_CHECK(backoff >= 1,
+                 "--retry-backoff-ms must be at least 1, got " << backoff);
+        config.read_retry.backoff_ms = static_cast<int>(backoff);
+      }
       config.progress = progress_line(chip.total_bytes());
 
       const StreamingMergeReport report =
@@ -250,14 +285,15 @@ int main(int argc, char** argv) {
           report.seconds, report.pipelined ? "pipelined" : "serial");
       std::printf(
           "stage busy time: read %.2f s, merge %.2f s, write %.2f s "
-          "(%zu source reads checksum-verified)\n",
+          "(%zu source reads checksum-verified, %zu transient reads "
+          "retried)\n",
           report.read_seconds, report.merge_seconds, report.write_seconds,
-          report.source_checksums_verified);
+          report.source_checksums_verified, report.read_retries);
       std::printf("wrote %s (peak RSS %s, in-flight budget %s)\n",
                   report.index_path.c_str(),
                   format_bytes(peak_rss_bytes()).c_str(),
                   format_bytes(config.max_inflight_bytes).c_str());
-      return 0;
+      return kExitOk;
     }
 
     Checkpoint chip;
@@ -274,7 +310,7 @@ int main(int argc, char** argv) {
     } else {
       if (!args.has("chip") || !args.has("instruct")) {
         print_usage();
-        return 2;
+        return kExitUsage;
       }
       chip = load_sharded_checkpoint(args.get("chip"));
       instruct = load_sharded_checkpoint(args.get("instruct"));
@@ -299,7 +335,7 @@ int main(int argc, char** argv) {
       std::printf("\nmean theta %.4f rad, max %.4f rad, mean tv-cosine %.3f\n",
                   summary.mean_theta, summary.max_theta,
                       summary.mean_tv_cosine);
-      return 0;
+      return kExitOk;
     }
 
     CA_CHECK(!merger->requires_base() || have_base,
@@ -321,9 +357,14 @@ int main(int argc, char** argv) {
     merged.save(out, out_dtype);
     std::printf("wrote %s (peak RSS %s)\n", out.c_str(),
                 format_bytes(peak_rss_bytes()).c_str());
-    return 0;
+    return kExitOk;
+  } catch (const RetriesExhaustedError& e) {
+    // Error messages carry the failing path (and failpoint name when one
+    // was injected), so soak scripts can assert on both class and site.
+    std::fprintf(stderr, "error (retries exhausted): %s\n", e.what());
+    return kExitRetriesExhausted;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitPermanent;
   }
 }

@@ -8,7 +8,11 @@
 #                              --quick configurations only
 #
 # bench_infer additionally writes BENCH_infer.json (machine-readable
-# decode/matvec/MCQ numbers) next to this script in both modes.
+# decode/matvec/MCQ numbers) next to this script in both modes, and
+# bench_stream_merge writes BENCH_stream_merge.json (timings, RSS, gate
+# results, and the fault-injection status — failpoints are compiled into
+# the measured binaries but stay disarmed unless CHIPALIGN_FAILPOINTS is
+# set).
 #
 # Every gated bench runs to completion even when an earlier one fails; a
 # per-bench PASS/FAIL summary is printed at the end and the exit status is
@@ -47,10 +51,12 @@ report() {
 }
 
 if [ "${1:-}" = "--quick" ]; then
-  for b in build/bench/bench_kernels build/bench/bench_stream_merge; do
-    [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
-    run_gated "$b --quick" "$b" --quick
-  done
+  b=build/bench/bench_kernels
+  [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
+  run_gated "$b --quick" "$b" --quick
+  b=build/bench/bench_stream_merge
+  [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
+  run_gated "$b --quick" "$b" --quick --json BENCH_stream_merge.json
   b=build/bench/bench_infer
   [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
   run_gated "$b --quick" "$b" --quick --json BENCH_infer.json
@@ -61,7 +67,8 @@ for b in build/bench/bench_*; do
   [ -x "$b" ] || continue
   case "$b" in
     # Acceptance gates: a miss fails the sweep (after all benches have run).
-    */bench_stream_merge) run_gated "$b" "$b" ;;
+    */bench_stream_merge)
+      run_gated "$b" "$b" --json BENCH_stream_merge.json ;;
     */bench_kernels) run_gated "$b --gate" "$b" --gate ;;
     */bench_infer)
       run_gated "$b --gate" "$b" --gate --json BENCH_infer.json ;;

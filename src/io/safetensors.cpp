@@ -8,6 +8,8 @@
 #include "io/json.hpp"
 #include "tensor/half.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs_io.hpp"
 
 namespace chipalign {
 
@@ -120,21 +122,28 @@ void save_safetensors(const std::string& path,
   const std::string header_text = build_safetensors_header_text(infos,
                                                                 metadata);
 
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  CA_CHECK(file.good(), "cannot open '" << path << "' for writing");
-  const std::uint64_t header_len = header_text.size();
-  std::uint8_t len_bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<std::uint8_t>((header_len >> (8 * i)) & 0xFF);
+  // Stream into a temp file, then durably rename onto `path`: a crash
+  // mid-save leaves the previous checkpoint (or nothing), never a torn one.
+  CA_FAILPOINT("safetensors.save");
+  const std::string tmp = fs_io::temp_path_for(path);
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    CA_CHECK(file.good(), "cannot open '" << tmp << "' for writing");
+    const std::uint64_t header_len = header_text.size();
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      len_bytes[i] = static_cast<std::uint8_t>((header_len >> (8 * i)) & 0xFF);
+    }
+    file.write(reinterpret_cast<const char*>(len_bytes), 8);
+    file.write(header_text.data(),
+               static_cast<std::streamsize>(header_text.size()));
+    for (const auto& buffer : buffers) {
+      file.write(reinterpret_cast<const char*>(buffer.data()),
+                 static_cast<std::streamsize>(buffer.size()));
+    }
+    CA_CHECK(file.good(), "write failed for '" << tmp << "'");
   }
-  file.write(reinterpret_cast<const char*>(len_bytes), 8);
-  file.write(header_text.data(),
-             static_cast<std::streamsize>(header_text.size()));
-  for (const auto& buffer : buffers) {
-    file.write(reinterpret_cast<const char*>(buffer.data()),
-               static_cast<std::streamsize>(buffer.size()));
-  }
-  CA_CHECK(file.good(), "write failed for '" << path << "'");
+  fs_io::commit_file(tmp, path);
 }
 
 SafetensorsHeader read_safetensors_header(const std::string& path) {

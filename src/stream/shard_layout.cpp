@@ -8,6 +8,8 @@
 
 #include "io/json.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs_io.hpp"
 
 namespace chipalign {
 
@@ -44,12 +46,12 @@ std::string ShardIndex::to_json_text() const {
 }
 
 std::string ShardIndex::save(const std::string& dir) const {
+  // The manifest is what marks a sharded checkpoint complete, so it must
+  // never exist in a torn state: durable temp-write + rename, not an
+  // in-place overwrite.
   const std::string path = dir + "/" + kShardIndexFileName;
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  CA_CHECK(file.good(), "cannot open '" << path << "' for writing");
-  const std::string text = to_json_text();
-  file.write(text.data(), static_cast<std::streamsize>(text.size()));
-  CA_CHECK(file.good(), "write failed for '" << path << "'");
+  CA_FAILPOINT("index.save");
+  fs_io::atomic_write_file(path, to_json_text());
   return path;
 }
 
@@ -58,7 +60,15 @@ ShardIndex ShardIndex::load(const std::string& index_path) {
   CA_CHECK(file.good(), "cannot open shard index '" << index_path << "'");
   std::string text((std::istreambuf_iterator<char>(file)),
                    std::istreambuf_iterator<char>());
-  const Json root = Json::parse(text);
+  Json root;
+  try {
+    root = Json::parse(text);
+  } catch (const Error& e) {
+    // A truncated or garbled manifest usually means the writing process
+    // died mid-save (pre-durable-write tooling) — say so, with the path.
+    CA_THROW("shard index '" << index_path
+                             << "' is truncated or corrupt: " << e.what());
+  }
   CA_CHECK(root.is_object(), "shard index is not a JSON object");
   CA_CHECK(root.contains("weight_map"),
            "shard index '" << index_path << "' lacks weight_map");

@@ -6,6 +6,8 @@
 #include "model/checkpoint.hpp"
 #include "stream/tensor_source.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs_io.hpp"
 #include "util/hash.hpp"
 
 namespace chipalign {
@@ -68,6 +70,7 @@ ShardSetWriter::ShardSetWriter(std::string out_dir, ShardPlan plan,
 
     kept_[s] = resume && file_matches_header(path, header, expected_size);
     if (!kept_[s]) {
+      CA_FAILPOINT("shard.create");
       // Create/truncate, write the header, and pre-size the file so later
       // offset writes never extend it (and resume-validation can trust the
       // file size).
@@ -109,6 +112,7 @@ void ShardSetWriter::write_tensor(const std::string& name,
   CA_CHECK(!finished_, "write_tensor after finish()");
   CA_CHECK(written_.insert(name).second,
            "tensor '" << name << "' written twice");
+  CA_FAILPOINT("shard.write");
   std::fstream& file = *files_[s];
   const std::uint64_t offset = 8 + header_texts_[s].size() + info.begin;
   file.seekp(static_cast<std::streamoff>(offset));
@@ -123,7 +127,11 @@ void ShardSetWriter::mark_written(const std::string& name) {
   CA_CHECK(plan_.shard_of.count(name) > 0,
            "tensor '" << name << "' is not in the plan");
   std::lock_guard<std::mutex> lock(mutex_);
-  written_.insert(name);
+  CA_CHECK(!finished_, "mark_written after finish()");
+  // A double mark would silently inflate written_count() toward finish()'s
+  // completeness check, letting a merge finish with a tensor never written.
+  CA_CHECK(written_.insert(name).second,
+           "tensor '" << name << "' marked written twice");
 }
 
 std::size_t ShardSetWriter::written_count() const {
@@ -138,10 +146,15 @@ std::string ShardSetWriter::finish(
   CA_CHECK(written_.size() == plan_.tensor_count(),
            "finish() with " << written_.size() << " of " << plan_.tensor_count()
                             << " tensors written");
-  for (auto& file : files_) {
-    file->flush();
-    CA_CHECK(file->good(), "shard flush failed");
-    file->close();
+  for (std::size_t s = 0; s < files_.size(); ++s) {
+    std::fstream& file = *files_[s];
+    file.flush();
+    CA_CHECK(file.good(), "shard flush failed");
+    file.close();
+    // Shard bytes must be on stable storage before the manifest that
+    // vouches for them exists (write-ahead ordering).
+    CA_FAILPOINT("shard.fsync");
+    fs_io::fsync_path(out_dir_ + "/" + plan_.shards[s].filename);
   }
   finished_ = true;
 

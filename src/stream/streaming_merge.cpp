@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <filesystem>
@@ -16,6 +17,8 @@
 #include "model/checkpoint.hpp"
 #include "stream/shard_writer.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs_io.hpp"
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
@@ -126,21 +129,50 @@ JournalState read_journal(const std::string& path) {
 
 /// Seek-reads one tensor's storage bytes, verifies them against the
 /// source's recorded checksum when one exists, and decodes to fp32.
+/// Transient failures — short reads, EINTR, checksum mismatches — are
+/// retried per `retry` with exponential backoff, re-reading AND
+/// re-verifying each attempt; attempts exhausted becomes
+/// RetriesExhaustedError. Everything else (missing tensor, bad header)
+/// stays a fail-fast permanent Error.
 Tensor read_verified(const TensorSource& source, const std::string& name,
+                     const RetryPolicy& retry,
                      std::atomic<std::uint64_t>& bytes_read,
-                     std::atomic<std::size_t>& verified) {
+                     std::atomic<std::size_t>& verified,
+                     std::atomic<std::size_t>& retried) {
   const TensorRecord& rec = source.record(name);
-  const std::vector<std::uint8_t> bytes = source.read_bytes(name);
-  bytes_read.fetch_add(bytes.size());
-  const std::string expected = source.stored_checksum(name);
-  if (!expected.empty()) {
-    CA_CHECK(hash_to_hex(xxh64(bytes.data(), bytes.size())) == expected,
-             "tensor '" << name << "' in '" << rec.file
-                        << "' does not match its manifest checksum — the "
-                           "source shard is corrupt");
-    verified.fetch_add(1);
+  const int attempts = std::max(1, retry.max_attempts);
+  int backoff_ms = std::max(1, retry.backoff_ms);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      const std::vector<std::uint8_t> bytes = source.read_bytes(name);
+      bytes_read.fetch_add(bytes.size());
+      const std::string expected = source.stored_checksum(name);
+      if (!expected.empty()) {
+        if (hash_to_hex(xxh64(bytes.data(), bytes.size())) != expected) {
+          CA_THROW_AS(TransientIoError,
+                      "tensor '" << name << "' in '" << rec.file
+                                 << "' does not match its manifest checksum");
+        }
+        verified.fetch_add(1);
+      }
+      return decode_tensor_bytes(bytes.data(), bytes.size(), rec.dtype,
+                                 rec.shape);
+    } catch (const TransientIoError& e) {
+      if (attempt >= attempts) {
+        CA_THROW_AS(RetriesExhaustedError,
+                    "tensor '" << name << "' in '" << rec.file
+                               << "': transient read failure persisted "
+                                  "after " << attempts
+                               << " attempt(s) — " << e.what());
+      }
+      retried.fetch_add(1);
+      CA_LOG_WARN("transient read failure for '"
+                  << name << "' (attempt " << attempt << "/" << attempts
+                  << "), retrying in " << backoff_ms << " ms: " << e.what());
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, std::max(1, retry.max_backoff_ms));
+    }
   }
-  return decode_tensor_bytes(bytes.data(), bytes.size(), rec.dtype, rec.shape);
 }
 
 /// Everything the two engines (serial and pipelined) share: the immutable
@@ -157,7 +189,7 @@ struct MergeRun {
   const std::vector<std::string>& names;
 
   ShardSetWriter& writer;
-  std::ofstream& journal_file;
+  fs_io::AppendFile& journal_file;
   std::map<std::string, std::string>& checksums;
   const std::set<std::string>& done;
   std::vector<std::size_t> todo{};  ///< plan indices still to merge, in order
@@ -166,9 +198,16 @@ struct MergeRun {
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
   std::atomic<std::size_t> checksum_verified{0};
+  std::atomic<std::size_t> read_retries{0};
   std::atomic<std::uint64_t> read_us{0};
   std::atomic<std::uint64_t> merge_us{0};
   std::atomic<std::uint64_t> write_us{0};
+
+  /// read_verified() with this run's retry policy and counters.
+  Tensor read_input(const TensorSource& source, const std::string& name) {
+    return read_verified(source, name, config.read_retry, bytes_read,
+                         checksum_verified, read_retries);
+  }
 
   std::uint64_t tensor_cost(const std::string& name) const {
     // An in-flight tensor costs its input storage bytes plus one fp32
@@ -194,9 +233,15 @@ struct MergeRun {
     const Timer write_timer;
     writer.write_tensor(name, bytes);
     bytes_written.fetch_add(bytes.size());
-    journal_file << "done " << checksum << ' ' << name << '\n';
-    journal_file.flush();
-    CA_CHECK(journal_file.good(), "journal append failed for '" << name << "'");
+    // Entry body and terminating newline are separate appends with a
+    // failpoint between them, so the soak can create exactly the torn
+    // trailing line a mid-append kill leaves. sync() makes the committed
+    // entry durable before the tensor counts as done.
+    journal_file.append("done " + checksum + ' ' + name);
+    CA_FAILPOINT("journal.append");
+    journal_file.append("\n");
+    CA_FAILPOINT("journal.sync");
+    journal_file.sync();
     checksums[name] = checksum;
     write_us.fetch_add(static_cast<std::uint64_t>(write_timer.seconds() * 1e6));
 
@@ -244,15 +289,12 @@ void run_serial(MergeRun& run, StreamingMergeReport& report) {
         report.max_inflight_bytes_observed, run.tensor_cost(name));
 
     const Timer read_timer;
-    const Tensor chip_tensor = read_verified(run.chip, name, run.bytes_read,
-                                             run.checksum_verified);
-    const Tensor instruct_tensor = read_verified(
-        run.instruct, name, run.bytes_read, run.checksum_verified);
+    const Tensor chip_tensor = run.read_input(run.chip, name);
+    const Tensor instruct_tensor = run.read_input(run.instruct, name);
     Tensor base_tensor;
     const Tensor* base_ptr = nullptr;
     if (run.base != nullptr) {
-      base_tensor = read_verified(*run.base, name, run.bytes_read,
-                                  run.checksum_verified);
+      base_tensor = run.read_input(*run.base, name);
       base_ptr = &base_tensor;
     }
     run.read_us.fetch_add(
@@ -385,14 +427,10 @@ void run_pipelined(MergeRun& run, StreamingMergeReport& report) {
       const std::string& name = run.names[index];
       try {
         const Timer read_timer;
-        slot.chip_tensor = read_verified(run.chip, name, run.bytes_read,
-                                         run.checksum_verified);
-        slot.instruct_tensor = read_verified(run.instruct, name,
-                                             run.bytes_read,
-                                             run.checksum_verified);
+        slot.chip_tensor = run.read_input(run.chip, name);
+        slot.instruct_tensor = run.read_input(run.instruct, name);
         if (run.base != nullptr) {
-          slot.base_tensor = read_verified(*run.base, name, run.bytes_read,
-                                           run.checksum_verified);
+          slot.base_tensor = run.read_input(*run.base, name);
           slot.has_base = true;
         }
         run.read_us.fetch_add(
@@ -538,16 +576,17 @@ StreamingMergeReport merge_streaming(const Merger& merger,
   }
 
   // (Re)write the journal: fingerprint line plus the entries still valid.
-  std::ofstream journal_file(journal_path, std::ios::trunc);
-  CA_CHECK(journal_file.good(), "cannot open journal '" << journal_path << "'");
-  journal_file << kJournalMagic << ' ' << hash_to_hex(fingerprint) << '\n';
+  // One fsync covers the whole rewrite before any new work is journaled.
+  fs_io::AppendFile journal_file(journal_path);
+  journal_file.append(std::string(kJournalMagic) + ' ' +
+                      hash_to_hex(fingerprint) + '\n');
   std::map<std::string, std::string> checksums;
   for (const std::string& name : done) {
     const std::string& checksum = journal.done.at(name);
-    journal_file << "done " << checksum << ' ' << name << '\n';
+    journal_file.append("done " + checksum + ' ' + name + '\n');
     checksums[name] = checksum;
   }
-  journal_file.flush();
+  journal_file.sync();
 
   StreamingMergeReport report;
   report.tensor_count = names.size();
@@ -571,6 +610,7 @@ StreamingMergeReport merge_streaming(const Merger& merger,
   report.bytes_read = run.bytes_read.load();
   report.bytes_written = run.bytes_written.load();
   report.source_checksums_verified = run.checksum_verified.load();
+  report.read_retries = run.read_retries.load();
   report.read_seconds = static_cast<double>(run.read_us.load()) * 1e-6;
   report.merge_seconds = static_cast<double>(run.merge_us.load()) * 1e-6;
   report.write_seconds = static_cast<double>(run.write_us.load()) * 1e-6;

@@ -52,6 +52,21 @@
 
 namespace chipalign {
 
+/// Bounded exponential-backoff retry for *transient* source-read failures
+/// (EINTR, short reads, checksum mismatches — TransientIoError). Each
+/// retry re-reads the bytes and re-verifies the checksum. Permanent
+/// failures (plan mismatch, missing tensors, bad headers) never retry;
+/// attempts exhausted becomes RetriesExhaustedError so callers can exit
+/// with a distinct code.
+struct RetryPolicy {
+  /// Total read attempts per tensor per source; 1 disables retry.
+  int max_attempts = 1;
+  /// Backoff before the first retry; doubles each retry.
+  int backoff_ms = 10;
+  /// Backoff ceiling.
+  int max_backoff_ms = 2000;
+};
+
 /// Knobs of the streaming pipeline (the merge math itself is configured by
 /// MergeOptions, shared with the in-memory path).
 struct StreamingMergeConfig {
@@ -85,6 +100,11 @@ struct StreamingMergeConfig {
   /// Throws Error when the journal belongs to a different merge plan.
   bool resume = false;
 
+  /// Retry policy for transient source-read failures. Deliberately absent
+  /// from the plan fingerprint: retries never change the output bytes, so
+  /// a merge may be resumed under a different policy.
+  RetryPolicy read_retry;
+
   /// Optional per-tensor completion callback (done, total); called from
   /// worker threads.
   MergeProgressFn progress;
@@ -117,6 +137,8 @@ struct StreamingMergeReport {
   bool pipelined = false;  ///< which engine ran (config.pipeline)
   /// Source reads that were verified against a manifest checksum.
   std::size_t source_checksums_verified = 0;
+  /// Transient read failures that were retried (and recovered from).
+  std::size_t read_retries = 0;
   /// Aggregate busy time per stage, summed across worker threads. In
   /// pipeline mode their sum exceeding `seconds` is the overlap win; in
   /// serial mode they sum to ~`seconds`.

@@ -6,6 +6,7 @@
 #include "io/safetensors.hpp"
 #include "model/checkpoint.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/string_utils.hpp"
 
 namespace chipalign {
@@ -103,14 +104,27 @@ std::vector<std::uint8_t> ShardedTensorSource::read_bytes(
   const TensorRecord& rec = record(name);
   // A fresh stream per call keeps reads thread-safe with no shared state;
   // the OS page cache makes reopening cheap.
+  CA_FAILPOINT("source.open");
   std::ifstream file(rec.file, std::ios::binary);
   CA_CHECK(file.good(), "cannot open shard '" << rec.file << "' for reading");
   file.seekg(static_cast<std::streamoff>(rec.begin), std::ios::beg);
   std::vector<std::uint8_t> bytes(rec.byte_size());
   file.read(reinterpret_cast<char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
-  CA_CHECK(file.good() || bytes.empty(),
-           "read failed for tensor '" << name << "' in '" << rec.file << "'");
+  // A short or failed read is transient (network filesystems return these
+  // under load); the caller's RetryPolicy may re-read. Structural problems
+  // (missing tensor, bad header) stay permanent Errors.
+  std::size_t got = file.good() || bytes.empty()
+                        ? bytes.size()
+                        : static_cast<std::size_t>(std::max<std::streamsize>(
+                              file.gcount(), 0));
+  got = failpoint::eval_io("source.read", bytes.data(), got);
+  if (got != bytes.size()) {
+    CA_THROW_AS(TransientIoError,
+                "short read for tensor '" << name << "' in '" << rec.file
+                                          << "': got " << got << " of "
+                                          << bytes.size() << " bytes");
+  }
   return bytes;
 }
 

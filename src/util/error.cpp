@@ -2,10 +2,14 @@
 
 namespace chipalign::detail {
 
-void throw_error(const char* file, int line, const std::string& msg) {
+std::string locate(const char* file, int line, const std::string& msg) {
   std::ostringstream oss;
   oss << msg << " [" << file << ":" << line << "]";
-  throw Error(oss.str());
+  return oss.str();
+}
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  throw Error(locate(file, line, msg));
 }
 
 }  // namespace chipalign::detail

@@ -18,7 +18,25 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// An I/O failure worth retrying: EINTR, a short read, or a checksum
+/// mismatch on a re-readable medium. The streaming merge's RetryPolicy
+/// re-reads (and re-verifies) on these; everything else fails fast.
+class TransientIoError : public Error {
+ public:
+  explicit TransientIoError(const std::string& what) : Error(what) {}
+};
+
+/// A transient failure that survived every RetryPolicy attempt. Callers
+/// (merge_cli) map this to its own exit code so supervisors can tell
+/// "retry budget too small / medium flaky" from a permanent failure.
+class RetriesExhaustedError : public Error {
+ public:
+  explicit RetriesExhaustedError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
+/// Appends the source location to a message ("msg [file:line]").
+std::string locate(const char* file, int line, const std::string& msg);
 /// Builds the final exception message including source location.
 [[noreturn]] void throw_error(const char* file, int line,
                               const std::string& msg);
@@ -44,4 +62,15 @@ namespace detail {
     if (!(cond)) {                                                    \
       CA_THROW("check failed: " #cond " — " << msg_stream);           \
     }                                                                 \
+  } while (false)
+
+/// Throws a specific Error subclass (TransientIoError, ...) with a streamed
+/// message and source location, e.g.
+///   CA_THROW_AS(TransientIoError, "short read of '" << path << "'");
+#define CA_THROW_AS(error_type, msg_stream)                           \
+  do {                                                                \
+    std::ostringstream ca_throw_oss_;                                 \
+    ca_throw_oss_ << msg_stream; /* NOLINT */                         \
+    throw error_type(::chipalign::detail::locate(__FILE__, __LINE__,  \
+                                                 ca_throw_oss_.str())); \
   } while (false)

@@ -1,0 +1,258 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace chipalign::failpoint {
+
+namespace {
+
+/// The complete site vocabulary. Each name is compiled into exactly one
+/// call site; the soak test arms `<site>=abort` for each in turn. Keep
+/// sorted and keep DESIGN.md §4f's table in sync.
+const std::vector<std::string> kSites = {
+    "fsio.dirsync",     // fs_io: directory fsync after a rename
+    "fsio.fsync",       // fs_io: file fsync before a rename
+    "fsio.rename",      // fs_io: rename of temp file onto its target
+    "fsio.write",       // fs_io: payload write into the temp file
+    "index.save",       // shard_layout: manifest serialization entry
+    "journal.append",   // streaming_merge: between entry body and newline
+    "journal.sync",     // streaming_merge: journal fsync after an append
+    "safetensors.save", // safetensors: single-file save entry
+    "shard.create",     // shard_writer: shard file creation / presizing
+    "shard.fsync",      // shard_writer: per-shard fsync in finish()
+    "shard.write",      // shard_writer: tensor write at its plan offset
+    "source.open",      // tensor_source: opening a shard for reading
+    "source.read",      // tensor_source: buffer site on freshly read bytes
+};
+
+struct ArmedSite {
+  Spec spec;
+  std::uint64_t hits = 0;   ///< evaluations (skipped + fired)
+  std::uint64_t fired = 0;  ///< injections actually performed
+  bool exhausted() const {
+    return spec.count >= 0 &&
+           fired >= static_cast<std::uint64_t>(spec.count);
+  }
+};
+
+std::mutex g_mutex;
+std::map<std::string, ArmedSite> g_armed_sites;
+/// Total evaluations per site since the registry was first armed; used by
+/// hit_count() so tests can assert "this site is actually on the path".
+std::map<std::string, std::uint64_t> g_hit_counts;
+
+bool is_known_site(const std::string& site) {
+  return std::binary_search(kSites.begin(), kSites.end(), site);
+}
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kError: return "error";
+    case Action::kTransient: return "transient";
+    case Action::kEnospc: return "enospc";
+    case Action::kAbort: return "abort";
+    case Action::kDelay: return "delay";
+    case Action::kBitflip: return "bitflip";
+    case Action::kShortIo: return "short";
+  }
+  return "?";
+}
+
+/// Parses one `action[:arg][@skip][xCOUNT]` spec body.
+Spec parse_spec(const std::string& site, std::string text) {
+  Spec spec;
+  const auto take_int = [&](char marker) -> int {
+    const std::size_t pos = text.rfind(marker);
+    if (pos == std::string::npos) return -1;
+    const std::string digits = text.substr(pos + 1);
+    CA_CHECK(!digits.empty() &&
+                 digits.find_first_not_of("0123456789") == std::string::npos,
+             "failpoint '" << site << "': '" << marker << "' needs a number, "
+                           << "got '" << digits << "'");
+    text = text.substr(0, pos);
+    return std::stoi(digits);
+  };
+  // Suffixes first (rightmost markers), so `delay:50@1x2` parses.
+  const int count = take_int('x');
+  if (count >= 0) spec.count = count;
+  const int skip = take_int('@');
+  if (skip >= 0) spec.skip = skip;
+  const int arg = take_int(':');
+  if (arg >= 0) spec.arg = arg;
+
+  if (text == "error") {
+    spec.action = Action::kError;
+  } else if (text == "transient") {
+    spec.action = Action::kTransient;
+  } else if (text == "enospc") {
+    spec.action = Action::kEnospc;
+  } else if (text == "abort") {
+    spec.action = Action::kAbort;
+  } else if (text == "delay") {
+    spec.action = Action::kDelay;
+  } else if (text == "bitflip") {
+    spec.action = Action::kBitflip;
+  } else if (text == "short") {
+    spec.action = Action::kShortIo;
+  } else {
+    CA_THROW("failpoint '" << site << "': unknown action '" << text
+                           << "' (error|transient|enospc|abort|delay|"
+                              "bitflip|short)");
+  }
+  return spec;
+}
+
+/// Decides what (if anything) to inject for this evaluation. Returns the
+/// action to perform, or no value to pass through. Runs under g_mutex;
+/// the injection itself happens outside the lock.
+struct Injection {
+  bool fire = false;
+  Spec spec;
+};
+
+Injection evaluate(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  ++g_hit_counts[site];
+  const auto it = g_armed_sites.find(site);
+  Injection injection;
+  if (it == g_armed_sites.end()) return injection;
+  ArmedSite& armed = it->second;
+  ++armed.hits;
+  if (armed.hits <= static_cast<std::uint64_t>(armed.spec.skip)) {
+    return injection;
+  }
+  if (armed.exhausted()) return injection;
+  ++armed.fired;
+  injection.fire = true;
+  injection.spec = armed.spec;
+  return injection;
+}
+
+[[noreturn]] void inject_throw(const char* site, const Spec& spec) {
+  switch (spec.action) {
+    case Action::kTransient:
+      CA_THROW_AS(TransientIoError,
+                  "failpoint '" << site << "' injected a transient I/O "
+                                   "failure");
+    case Action::kEnospc:
+      CA_THROW("failpoint '" << site
+                             << "' injected ENOSPC (no space left on device)");
+    default:
+      CA_THROW("failpoint '" << site << "' injected an error");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_sites() { return kSites; }
+
+void arm(const std::string& site, const Spec& spec) {
+  CA_CHECK(is_known_site(site),
+           "unknown failpoint '" << site << "' (see failpoint::all_sites())");
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_sites[site] = ArmedSite{spec};
+  detail::g_armed.store(static_cast<int>(g_armed_sites.size()),
+                        std::memory_order_relaxed);
+  CA_LOG_DEBUG("failpoint armed: " << site << "=" << action_name(spec.action)
+                                   << " skip=" << spec.skip
+                                   << " count=" << spec.count);
+}
+
+void arm_from_text(const std::string& text) {
+  for (const std::string& raw : split(text, ';')) {
+    const std::string entry = trim(raw);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    CA_CHECK(eq != std::string::npos && eq > 0,
+             "failpoint entry '" << entry << "' is not site=action[...]");
+    const std::string site = trim(entry.substr(0, eq));
+    arm(site, parse_spec(site, trim(entry.substr(eq + 1))));
+  }
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("CHIPALIGN_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  arm_from_text(env);
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_sites.erase(site);
+  detail::g_armed.store(static_cast<int>(g_armed_sites.size()),
+                        std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_sites.clear();
+  detail::g_armed.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = g_hit_counts.find(site);
+  return it != g_hit_counts.end() ? it->second : 0;
+}
+
+namespace detail {
+
+std::atomic<int> g_armed{0};
+
+void hit(const char* site) {
+  const Injection injection = evaluate(site);
+  if (!injection.fire) return;
+  switch (injection.spec.action) {
+    case Action::kAbort:
+      // Simulated SIGKILL: no destructors, no stream flushes, no atexit.
+      std::_Exit(kAbortExitCode);
+    case Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(injection.spec.arg));
+      return;
+    case Action::kBitflip:
+    case Action::kShortIo:
+      CA_THROW("failpoint '" << site << "': "
+                             << action_name(injection.spec.action)
+                             << " applies only to buffer sites");
+    default:
+      inject_throw(site, injection.spec);
+  }
+}
+
+std::size_t on_io(const char* site, void* data, std::size_t size) {
+  const Injection injection = evaluate(site);
+  if (!injection.fire) return size;
+  switch (injection.spec.action) {
+    case Action::kAbort:
+      std::_Exit(kAbortExitCode);
+    case Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(injection.spec.arg));
+      return size;
+    case Action::kBitflip: {
+      if (size > 0 && data != nullptr) {
+        static_cast<std::uint8_t*>(data)[size / 2] ^= 0x10;
+      }
+      return size;
+    }
+    case Action::kShortIo:
+      return std::min(size, static_cast<std::size_t>(
+                                std::max(injection.spec.arg, 0)));
+    default:
+      inject_throw(site, injection.spec);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace chipalign::failpoint

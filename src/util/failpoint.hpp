@@ -1,0 +1,108 @@
+#pragma once
+/// \file failpoint.hpp
+/// \brief Deterministic fault injection at named sites.
+///
+/// A failpoint is a named hook compiled into the persistence path (shard
+/// reads and writes, journal appends, fsyncs, manifest renames). Disarmed —
+/// the production state — a site costs one relaxed atomic load. Armed, via
+/// the API or the `CHIPALIGN_FAILPOINTS` environment variable, a site can
+/// inject:
+///
+///   * `error`      — throw a permanent chipalign::Error
+///   * `transient`  — throw chipalign::TransientIoError (retryable)
+///   * `enospc`     — throw an Error phrased as a no-space failure
+///   * `abort`      — `_Exit(kAbortExitCode)`: no destructors, no flushes —
+///                    a deterministic stand-in for SIGKILL / power loss
+///   * `delay:MS`   — sleep MS milliseconds, then continue
+///   * `bitflip`    — flip one bit of the I/O buffer (buffer sites only)
+///   * `short:N`    — truncate the I/O to N bytes (buffer sites only)
+///
+/// `CHIPALIGN_FAILPOINTS` holds `;`-separated entries of the form
+/// `site=action[:arg][@skip][xCOUNT]`: skip the first `skip` hits, then
+/// fire `COUNT` times (default: every hit). Example — flip a bit in the
+/// third source read, twice: `source.read=bitflip@2x2`.
+///
+/// The site-name vocabulary is fixed at compile time (all_sites()), so the
+/// crash-recovery soak test can enumerate every registered site and kill a
+/// merge at each in turn. arm() rejects unknown names.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chipalign::failpoint {
+
+/// Exit code of the `abort` action, distinguishable from every normal exit
+/// path so a supervising test can assert the simulated kill happened.
+inline constexpr int kAbortExitCode = 87;
+
+/// What an armed site injects.
+enum class Action {
+  kError,      ///< throw chipalign::Error (permanent failure)
+  kTransient,  ///< throw chipalign::TransientIoError (retryable)
+  kEnospc,     ///< throw Error phrased as an out-of-space failure
+  kAbort,      ///< _Exit(kAbortExitCode): simulated SIGKILL
+  kDelay,      ///< sleep `arg` milliseconds, then continue
+  kBitflip,    ///< flip one bit in the I/O buffer (buffer sites only)
+  kShortIo,    ///< truncate the I/O to `arg` bytes (buffer sites only)
+};
+
+/// One armed failpoint: fires `count` times after skipping `skip` hits.
+struct Spec {
+  Action action = Action::kError;
+  int arg = 0;     ///< delay ms (kDelay) or byte cap (kShortIo)
+  int skip = 0;    ///< hits to pass through before firing
+  int count = -1;  ///< firings before auto-disarm; -1 = unlimited
+};
+
+/// Every compiled-in site name, sorted — the enumeration surface for the
+/// kill-at-every-failpoint soak.
+const std::vector<std::string>& all_sites();
+
+/// Arms one site. Throws Error for names outside all_sites().
+void arm(const std::string& site, const Spec& spec);
+
+/// Parses and arms `site=action[:arg][@skip][xCOUNT];...` (the
+/// CHIPALIGN_FAILPOINTS grammar). Throws Error on malformed text.
+void arm_from_text(const std::string& text);
+
+/// Arms from the CHIPALIGN_FAILPOINTS environment variable; no-op when it
+/// is unset or empty. Entry points (merge_cli, benches) call this once.
+void arm_from_env();
+
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Times the site was evaluated while anything was armed (skip + fired);
+/// 0 when the registry has never been armed — the zero-cost-disarmed check.
+std::uint64_t hit_count(const std::string& site);
+
+namespace detail {
+extern std::atomic<int> g_armed;  ///< number of currently armed sites
+void hit(const char* site);
+std::size_t on_io(const char* site, void* data, std::size_t size);
+}  // namespace detail
+
+/// Evaluates a buffer site guarding a read/write of `size` bytes at `data`:
+/// may flip a bit, return a truncated size, throw, delay, or abort. Returns
+/// `size` unchanged when disarmed (one relaxed load).
+inline std::size_t eval_io(const char* site, void* data, std::size_t size) {
+  if (detail::g_armed.load(std::memory_order_relaxed) > 0) {
+    return detail::on_io(site, data, size);
+  }
+  return size;
+}
+
+}  // namespace chipalign::failpoint
+
+/// Evaluates a non-buffer failpoint site: may throw, delay, or abort per
+/// the armed spec; a single relaxed atomic load when disarmed.
+#define CA_FAILPOINT(site)                                              \
+  do {                                                                  \
+    if (::chipalign::failpoint::detail::g_armed.load(                   \
+            std::memory_order_relaxed) > 0) {                           \
+      ::chipalign::failpoint::detail::hit(site);                        \
+    }                                                                   \
+  } while (false)

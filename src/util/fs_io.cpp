@@ -1,0 +1,156 @@
+#include "util/fs_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace chipalign::fs_io {
+
+namespace {
+
+/// open(2) retrying EINTR; throws on failure.
+int open_checked(const std::string& path, int flags, mode_t mode = 0644) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  CA_CHECK(fd >= 0, "cannot open '" << path << "': " << std::strerror(errno));
+  return fd;
+}
+
+/// Full write(2) loop: retries EINTR and short writes until every byte of
+/// `data` is down (or a real error surfaces).
+void write_all(int fd, const std::string& path, std::string_view data) {
+  const char* cursor = data.data();
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    const ::ssize_t wrote = ::write(fd, cursor, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      CA_THROW("write failed for '" << path << "': "
+                                    << std::strerror(errno));
+    }
+    cursor += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void fsync_checked(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  CA_CHECK(rc == 0, "fsync failed for '" << path << "': "
+                                         << std::strerror(errno));
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  return dir.empty() ? std::string(".") : dir;
+}
+
+}  // namespace
+
+std::string temp_path_for(const std::string& path) { return path + ".tmp"; }
+
+void fsync_path(const std::string& path) {
+  const int fd = open_checked(path, O_RDONLY);
+  CA_FAILPOINT("fsio.fsync");
+  try {
+    fsync_checked(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = open_checked(dir, O_RDONLY | O_DIRECTORY);
+  CA_FAILPOINT("fsio.dirsync");
+  try {
+    fsync_checked(fd, dir);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+void atomic_write_file(const std::string& path, std::string_view data) {
+  const std::string tmp = temp_path_for(path);
+  const int fd = open_checked(tmp, O_WRONLY | O_CREAT | O_TRUNC);
+  try {
+    CA_FAILPOINT("fsio.write");
+    write_all(fd, tmp, data);
+    fsync_checked(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  try {
+    commit_file(tmp, path);
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+}
+
+void commit_file(const std::string& tmp, const std::string& path) {
+  fsync_path(tmp);
+  CA_FAILPOINT("fsio.rename");
+  CA_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "rename '" << tmp << "' -> '" << path
+                      << "' failed: " << std::strerror(errno));
+  fsync_dir(parent_dir(path));
+}
+
+AppendFile::AppendFile(const std::string& path)
+    : fd_(open_checked(path, O_WRONLY | O_CREAT | O_TRUNC | O_APPEND)),
+      path_(path) {}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { close(); }
+
+void AppendFile::append(std::string_view data) {
+  CA_CHECK(is_open(), "append to a closed file");
+  write_all(fd_, path_, data);
+}
+
+void AppendFile::sync() {
+  CA_CHECK(is_open(), "sync of a closed file");
+  fsync_checked(fd_, path_);
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace chipalign::fs_io

@@ -1,0 +1,79 @@
+#pragma once
+/// \file fs_io.hpp
+/// \brief Durable, crash-safe file I/O primitives (POSIX).
+///
+/// The persistence path writes three kinds of files, each with a different
+/// durability need, and this header covers all of them:
+///
+///   * atomic_write_file() — whole-file replace for small metadata
+///     (`index.json`): write a temp file in the target's directory, flush,
+///     fsync, rename over the target, fsync the directory. A crash at any
+///     point leaves either the old complete file or the new complete file,
+///     never a torn mix.
+///   * commit_file() — the same fsync → rename → dir-fsync tail for
+///     writers that stream a large payload into a temp file themselves
+///     (`save_safetensors`).
+///   * AppendFile — an fd-backed append-only file with explicit sync(),
+///     for the merge journal: an append is a single write() so a crash
+///     tears at most the final entry, and sync() makes committed entries
+///     survive power loss.
+///
+/// All helpers retry EINTR and throw chipalign::Error on real failures.
+/// Fault-injection sites (`fsio.*`) are compiled into each step.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace chipalign::fs_io {
+
+/// `<path>.tmp` — the temp name atomic_write_file() uses, exposed so tests
+/// can assert no temp litter survives a successful commit.
+std::string temp_path_for(const std::string& path);
+
+/// fsyncs an existing file by path (open O_RDONLY + fsync + close).
+void fsync_path(const std::string& path);
+
+/// fsyncs a directory, making completed renames inside it durable.
+void fsync_dir(const std::string& dir);
+
+/// Durably replaces `path` with `data`: temp write → fsync → rename →
+/// directory fsync. The temp file is removed on failure.
+void atomic_write_file(const std::string& path, std::string_view data);
+
+/// Durably moves a fully written temp file onto its target: fsync(tmp) →
+/// rename(tmp, path) → fsync(dir). For payloads too large to buffer
+/// through atomic_write_file().
+void commit_file(const std::string& tmp, const std::string& path);
+
+/// Append-only file over a POSIX fd. Movable, not copyable. Every append
+/// is one write() call (retrying EINTR/short writes), so an interrupted
+/// process tears at most the entry being appended.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  /// Opens (creating, truncating) `path` for appending.
+  explicit AppendFile(const std::string& path);
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends all of `data`; throws Error on failure.
+  void append(std::string_view data);
+
+  /// fsync — committed appends survive a crash after this returns.
+  void sync();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace chipalign::fs_io

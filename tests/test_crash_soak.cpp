@@ -1,0 +1,224 @@
+// Crash-recovery soak: kill a real merge_cli process at every registered
+// failpoint in turn (CHIPALIGN_FAILPOINTS=<site>=abort simulates SIGKILL /
+// power loss — no destructors, no flushes), resume the merge, and require
+// the final checkpoint to be bit-identical to an uninterrupted run. Also
+// pins the CLI's exit-code taxonomy (0 ok, 2 usage, 3 permanent, 4 retries
+// exhausted) end to end, through real child processes.
+//
+// CA_MERGE_CLI_PATH is injected by tests/CMakeLists.txt as the built
+// merge_cli binary's path.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+#include "stream/shard_layout.hpp"
+#include "stream/shard_writer.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+#ifndef CA_MERGE_CLI_PATH
+#error "CA_MERGE_CLI_PATH must be defined by the build"
+#endif
+
+namespace chipalign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small (~40 KB at f32) conformable checkpoint; sharded at 4 KB it
+/// spans many shards, so kills land mid-checkpoint rather than mid-nothing.
+Checkpoint make_soak_checkpoint(std::uint64_t seed, const std::string& name) {
+  Rng rng(seed);
+  Checkpoint ckpt;
+  ckpt.config().name = name;
+  ckpt.config().vocab_size = 48;
+  ckpt.config().d_model = 16;
+  ckpt.config().n_layers = 2;
+  ckpt.config().n_heads = 4;
+  ckpt.config().n_kv_heads = 2;
+  ckpt.config().d_ff = 32;
+  ckpt.config().max_seq_len = 32;
+  ckpt.put("embed.weight", Tensor::randn({48, 16}, rng, 0.1F));
+  for (int layer = 0; layer < 2; ++layer) {
+    const std::string prefix = "layers." + std::to_string(layer) + ".";
+    ckpt.put(prefix + "attn.wq", Tensor::randn({16, 16}, rng, 0.1F));
+    ckpt.put(prefix + "attn.wo", Tensor::randn({16, 16}, rng, 0.1F));
+    ckpt.put(prefix + "mlp.w1", Tensor::randn({32, 16}, rng, 0.1F));
+    ckpt.put(prefix + "norm.weight", Tensor::randn({16}, rng, 0.1F));
+  }
+  ckpt.put("norm.weight", Tensor::randn({16}, rng, 0.1F));
+  return ckpt;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << path;
+  return {std::istreambuf_iterator<char>(file),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Runs merge_cli in a child shell with CHIPALIGN_FAILPOINTS set to
+/// `failpoints` (empty = disarmed) and returns its exit code.
+int run_cli(const std::string& failpoints, const std::string& cli_args) {
+  std::string command = "CHIPALIGN_FAILPOINTS='" + failpoints + "' ";
+  command += std::string(CA_MERGE_CLI_PATH) + " " + cli_args;
+  command += " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  EXPECT_NE(status, -1) << "failed to spawn: " << command;
+  EXPECT_TRUE(WIFEXITED(status)) << "abnormal termination of: " << command;
+  return WEXITSTATUS(status);
+}
+
+class CrashSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() / "ca_crash_soak" /
+             ::testing::UnitTest::GetInstance()->current_test_info()->name())
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    // Inputs are fabricated by this (unarmed) parent process.
+    save_sharded_checkpoint(root_ + "/chip", make_soak_checkpoint(51, "chip"),
+                            4u << 10);
+    save_sharded_checkpoint(root_ + "/instruct",
+                            make_soak_checkpoint(52, "instruct"), 4u << 10);
+  }
+
+  /// The common streaming invocation, writing into `out`.
+  std::string cli_args(const std::string& out,
+                       const std::string& extra = "") const {
+    return "--streaming --method chipalign --lambda 0.6 --chip " + root_ +
+           "/chip --instruct " + root_ + "/instruct --out " + out +
+           " --shard-size-mb 0.004" + (extra.empty() ? "" : " " + extra);
+  }
+
+  /// Asserts `out` holds exactly the reference checkpoint: same file set,
+  /// same bytes, and no leftover journal or temp files.
+  void expect_identical_to_reference(const std::string& reference,
+                                     const std::string& out) {
+    std::map<std::string, std::string> want;
+    for (const auto& entry : fs::directory_iterator(reference)) {
+      const std::string name = entry.path().filename().string();
+      want[name] = read_file_bytes(entry.path().string());
+    }
+    ASSERT_FALSE(want.empty());
+    std::size_t got = 0;
+    for (const auto& entry : fs::directory_iterator(out)) {
+      const std::string name = entry.path().filename().string();
+      ASSERT_TRUE(want.count(name) > 0) << "unexpected output file " << name;
+      EXPECT_EQ(read_file_bytes(entry.path().string()), want.at(name))
+          << name << " differs from the uninterrupted run";
+      ++got;
+    }
+    EXPECT_EQ(got, want.size());
+  }
+
+  std::string root_;
+};
+
+// The tentpole acceptance check: for every registered failpoint, a merge
+// killed there and then resumed must converge to the exact bytes of a merge
+// that was never interrupted.
+TEST_F(CrashSoakTest, KillAtEveryFailpointThenResumeIsBitIdentical) {
+  const std::string reference = root_ + "/reference";
+  ASSERT_EQ(run_cli("", cli_args(reference)), 0);
+  ASSERT_TRUE(fs::exists(reference + "/" + std::string(kShardIndexFileName)));
+
+  for (const std::string& site : failpoint::all_sites()) {
+    SCOPED_TRACE("failpoint " + site);
+    const std::string out = root_ + "/kill_" + site;
+
+    const int killed = run_cli(site + "=abort", cli_args(out));
+    // kAbortExitCode proves the simulated kill fired; 0 means the site is
+    // not on this command's path (e.g. the single-file safetensors saver),
+    // which still exercises "nothing exploded with the site armed".
+    ASSERT_TRUE(killed == failpoint::kAbortExitCode || killed == 0)
+        << "unexpected exit code " << killed;
+
+    const int resumed = run_cli("", cli_args(out, "--resume"));
+    EXPECT_EQ(resumed, 0);
+    EXPECT_FALSE(fs::exists(out + "/merge.journal"));
+    expect_identical_to_reference(reference, out);
+  }
+}
+
+// Same matrix, mid-merge: skip the first few hits so the kill lands with
+// shards partially written and the journal non-trivial.
+TEST_F(CrashSoakTest, MidMergeKillsResumeBitIdentical) {
+  const std::string reference = root_ + "/reference";
+  ASSERT_EQ(run_cli("", cli_args(reference)), 0);
+
+  for (const std::string site :
+       {"shard.write", "journal.append", "journal.sync", "source.read"}) {
+    SCOPED_TRACE(std::string("failpoint ") + site);
+    const std::string out = root_ + "/midkill_" + site;
+    const int killed = run_cli(std::string(site) + "=abort@5", cli_args(out));
+    ASSERT_TRUE(killed == failpoint::kAbortExitCode || killed == 0)
+        << "unexpected exit code " << killed;
+    ASSERT_EQ(run_cli("", cli_args(out, "--resume")), 0);
+    expect_identical_to_reference(reference, out);
+  }
+}
+
+// A kill can also land during the *resume* run; a second resume must still
+// converge.
+TEST_F(CrashSoakTest, KillDuringResumeStillConverges) {
+  const std::string reference = root_ + "/reference";
+  ASSERT_EQ(run_cli("", cli_args(reference)), 0);
+
+  const std::string out = root_ + "/out";
+  ASSERT_EQ(run_cli("journal.sync=abort@3", cli_args(out)),
+            failpoint::kAbortExitCode);
+  const int second = run_cli("journal.sync=abort@3",
+                             cli_args(out, "--resume"));
+  ASSERT_TRUE(second == failpoint::kAbortExitCode || second == 0);
+  ASSERT_EQ(run_cli("", cli_args(out, "--resume")), 0);
+  expect_identical_to_reference(reference, out);
+}
+
+// Transient read faults under a sufficient --retry-reads budget: the run
+// completes (exit 0) despite three injected failures.
+TEST_F(CrashSoakTest, TransientFaultsWithRetryBudgetExitZero) {
+  const std::string out = root_ + "/out";
+  EXPECT_EQ(run_cli("source.read=transientx3",
+                    cli_args(out, "--retry-reads 5 --retry-backoff-ms 1")),
+            0);
+  EXPECT_TRUE(fs::exists(out + "/" + std::string(kShardIndexFileName)));
+}
+
+// The same fault without a retry budget exhausts immediately and exits with
+// the dedicated retries-exhausted code, leaving a resumable directory.
+TEST_F(CrashSoakTest, ExhaustedRetriesExitFour) {
+  const std::string out = root_ + "/out";
+  EXPECT_EQ(run_cli("source.read=transient", cli_args(out)), 4);
+  // Once the fault clears, resume completes normally.
+  EXPECT_EQ(run_cli("", cli_args(out, "--resume")), 0);
+}
+
+// Permanent failures (injected ENOSPC, resume-plan mismatches, bad usage)
+// map to their own codes.
+TEST_F(CrashSoakTest, PermanentAndUsageFailuresExitThreeAndTwo) {
+  const std::string out = root_ + "/out";
+  EXPECT_EQ(run_cli("shard.write=enospc", cli_args(out)), 3);
+
+  // Interrupt a run, then resume with a changed output dtype: the plan
+  // fingerprint refuses — permanent, not retryable.
+  const std::string mismatch = root_ + "/mismatch";
+  ASSERT_EQ(run_cli("journal.sync=abort@3", cli_args(mismatch)),
+            failpoint::kAbortExitCode);
+  EXPECT_EQ(run_cli("", cli_args(mismatch, "--resume --out-dtype bf16")), 3);
+
+  EXPECT_EQ(run_cli("", "--streaming --chip " + root_ + "/chip"), 2);
+}
+
+}  // namespace
+}  // namespace chipalign

@@ -1,0 +1,192 @@
+// Tests for the fault-injection registry (failpoint.hpp) and the durable
+// file-I/O primitives (fs_io.hpp): grammar parsing, skip/count semantics,
+// the zero-cost-disarmed contract, atomic replace, and append durability.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs_io.hpp"
+
+namespace chipalign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << path;
+  return {std::istreambuf_iterator<char>(file),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Every test leaves the registry disarmed, so suites that follow never see
+/// a stray armed site.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::disarm_all(); }
+
+  std::string dir(const std::string& name) {
+    const auto path = fs::temp_directory_path() / "ca_failpoint_tests" /
+                      (std::string(::testing::UnitTest::GetInstance()
+                                       ->current_test_info()
+                                       ->name()) +
+                       "_" + name);
+    fs::remove_all(path);
+    fs::create_directories(path);
+    return path.string();
+  }
+};
+
+TEST_F(FailpointTest, SiteVocabularyIsFixedAndSorted) {
+  const auto& sites = failpoint::all_sites();
+  ASSERT_FALSE(sites.empty());
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    EXPECT_LT(sites[i - 1], sites[i]);
+  }
+  // The soak test enumerates these; pin the ones it depends on.
+  const auto has = [&](const char* name) {
+    return std::find(sites.begin(), sites.end(), name) != sites.end();
+  };
+  EXPECT_TRUE(has("shard.write"));
+  EXPECT_TRUE(has("journal.append"));
+  EXPECT_TRUE(has("journal.sync"));
+  EXPECT_TRUE(has("index.save"));
+  EXPECT_TRUE(has("source.read"));
+}
+
+TEST_F(FailpointTest, ArmRejectsUnknownSite) {
+  failpoint::Spec spec;
+  EXPECT_THROW(failpoint::arm("no.such.site", spec), Error);
+  EXPECT_THROW(failpoint::arm_from_text("no.such.site=error"), Error);
+}
+
+TEST_F(FailpointTest, ArmFromTextRejectsMalformedEntries) {
+  EXPECT_THROW(failpoint::arm_from_text("shard.write"), Error);
+  EXPECT_THROW(failpoint::arm_from_text("shard.write=frobnicate"), Error);
+  EXPECT_THROW(failpoint::arm_from_text("shard.write=delay:abc"), Error);
+  EXPECT_THROW(failpoint::arm_from_text("shard.write=error@x"), Error);
+}
+
+TEST_F(FailpointTest, DisarmedSiteIsFreeAndCountsNothing) {
+  const std::uint64_t before = failpoint::hit_count("shard.write");
+  CA_FAILPOINT("shard.write");  // registry disarmed: no bookkeeping at all
+  EXPECT_EQ(failpoint::hit_count("shard.write"), before);
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsPermanentError) {
+  failpoint::arm_from_text("shard.write=error");
+  EXPECT_THROW(CA_FAILPOINT("shard.write"), Error);
+  // Other sites stay silent.
+  CA_FAILPOINT("shard.create");
+}
+
+TEST_F(FailpointTest, TransientActionThrowsRetryableError) {
+  failpoint::arm_from_text("source.read=transient");
+  bool caught_transient = false;
+  try {
+    CA_FAILPOINT("source.read");
+  } catch (const TransientIoError&) {
+    caught_transient = true;
+  }
+  EXPECT_TRUE(caught_transient);
+}
+
+TEST_F(FailpointTest, SkipAndCountWindowTheFirings) {
+  // Skip 2 hits, then fire exactly once: only the third hit throws.
+  const std::uint64_t before = failpoint::hit_count("shard.write");
+  failpoint::arm_from_text("shard.write=error@2x1");
+  CA_FAILPOINT("shard.write");
+  CA_FAILPOINT("shard.write");
+  EXPECT_THROW(CA_FAILPOINT("shard.write"), Error);
+  CA_FAILPOINT("shard.write");  // count exhausted: pass-through again
+  EXPECT_EQ(failpoint::hit_count("shard.write"), before + 4);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringAndDisarmAllClearsEverything) {
+  failpoint::arm_from_text("shard.write=error;journal.sync=error");
+  failpoint::disarm("shard.write");
+  CA_FAILPOINT("shard.write");
+  EXPECT_THROW(CA_FAILPOINT("journal.sync"), Error);
+  failpoint::disarm_all();
+  CA_FAILPOINT("journal.sync");
+}
+
+TEST_F(FailpointTest, BitflipCorruptsBufferInPlace) {
+  failpoint::arm_from_text("source.read=bitflip");
+  std::vector<std::uint8_t> buffer(16, 0);
+  const std::size_t got =
+      failpoint::eval_io("source.read", buffer.data(), buffer.size());
+  EXPECT_EQ(got, buffer.size());  // same length, different bytes
+  EXPECT_NE(buffer, std::vector<std::uint8_t>(16, 0));
+}
+
+TEST_F(FailpointTest, ShortIoTruncatesReportedSize) {
+  failpoint::arm_from_text("source.read=short:5");
+  std::vector<std::uint8_t> buffer(16, 0xAB);
+  EXPECT_EQ(failpoint::eval_io("source.read", buffer.data(), buffer.size()),
+            5u);
+}
+
+TEST_F(FailpointTest, EvalIoPassesThroughWhenDisarmed) {
+  std::vector<std::uint8_t> buffer(8, 0xCD);
+  EXPECT_EQ(failpoint::eval_io("source.read", buffer.data(), buffer.size()),
+            8u);
+  EXPECT_EQ(buffer, std::vector<std::uint8_t>(8, 0xCD));
+}
+
+TEST_F(FailpointTest, AtomicWriteFileReplacesAndLeavesNoTemp) {
+  const std::string d = dir("aw");
+  const std::string path = d + "/index.json";
+  fs_io::atomic_write_file(path, "old");
+  fs_io::atomic_write_file(path, "new contents");
+  EXPECT_EQ(read_file(path), "new contents");
+  EXPECT_FALSE(fs::exists(fs_io::temp_path_for(path)));
+}
+
+TEST_F(FailpointTest, AtomicWriteFailureLeavesTargetUntouched) {
+  const std::string d = dir("awf");
+  const std::string path = d + "/index.json";
+  fs_io::atomic_write_file(path, "survivor");
+
+  // Fail before the rename: the old file must survive, the temp must not.
+  failpoint::arm_from_text("fsio.rename=error");
+  EXPECT_THROW(fs_io::atomic_write_file(path, "doomed"), Error);
+  failpoint::disarm_all();
+  EXPECT_EQ(read_file(path), "survivor");
+  EXPECT_FALSE(fs::exists(fs_io::temp_path_for(path)));
+}
+
+TEST_F(FailpointTest, AppendFileAppendsAndSurvivesMove) {
+  const std::string d = dir("append");
+  const std::string path = d + "/journal";
+  fs_io::AppendFile file(path);
+  file.append("line one\n");
+  fs_io::AppendFile moved(std::move(file));
+  EXPECT_FALSE(file.is_open());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.is_open());
+  moved.append("line two\n");
+  moved.sync();
+  moved.close();
+  EXPECT_EQ(read_file(path), "line one\nline two\n");
+}
+
+TEST_F(FailpointTest, EnospcActionMentionsSpaceInTheMessage) {
+  failpoint::arm_from_text("fsio.write=enospc");
+  try {
+    CA_FAILPOINT("fsio.write");
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("space"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace chipalign

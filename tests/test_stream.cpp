@@ -17,6 +17,7 @@
 #include "stream/streaming_merge.hpp"
 #include "stream/tensor_source.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 #include "util/rng.hpp"
@@ -655,11 +656,187 @@ TEST_P(StreamingMergeTest, TinyBudgetStillMakesProgress) {
   expect_identical(run_in_memory(), out, DType::kF32);
 }
 
+/// Disarms every failpoint on scope exit, so a failed assertion cannot leak
+/// an armed site into later tests.
+struct FailpointGuard {
+  ~FailpointGuard() { failpoint::disarm_all(); }
+};
+
+// Resuming under a different output dtype would interleave old-dtype and
+// new-dtype tensors in one checkpoint; the plan fingerprint must refuse.
+TEST_P(StreamingMergeTest, ResumeRejectsChangedOutDtype) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+  config.fail_after_tensors = 3;
+  const std::string out = dir("out");
+  EXPECT_THROW(run_streaming(out, config), Error);
+
+  StreamingMergeConfig resuming;
+  resuming.shard_size_bytes = config.shard_size_bytes;
+  resuming.log_every = 0;
+  resuming.resume = true;
+  resuming.out_dtype = DType::kBF16;
+  try {
+    run_streaming(out, resuming);
+    FAIL() << "resume with a changed out_dtype must be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("different merge plan"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// A journal entry vouches for bytes in a shard file; if that file vanished
+// between runs, the entry must not be trusted and the tensor is remerged.
+TEST_P(StreamingMergeTest, DeletedShardInvalidatesItsJournaledTensors) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+
+  const std::string out = dir("out");
+  StreamingMergeConfig failing = config;
+  failing.fail_after_tensors = 5;
+  EXPECT_THROW(run_streaming(out, failing), Error);
+
+  // Delete the first output shard: it holds the earliest plan-order
+  // tensors, i.e. journaled ones.
+  bool removed = false;
+  for (const auto& entry : fs::directory_iterator(out)) {
+    if (entry.path().filename().string().rfind("model-00001-", 0) == 0) {
+      fs::remove(entry.path());
+      removed = true;
+    }
+  }
+  ASSERT_TRUE(removed);
+
+  StreamingMergeConfig resuming = config;
+  resuming.resume = true;
+  const StreamingMergeReport report = run_streaming(out, resuming);
+  EXPECT_LT(report.resumed_count, 5u);  // the deleted shard's entries dropped
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// A corrupted output manifest is detected on open, and a rerun over the
+// same directory rebuilds it (the shards themselves are still valid).
+TEST_P(StreamingMergeTest, CorruptOutputIndexIsDetectedAndRebuiltByRerun) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+  const std::string out = dir("out");
+  run_streaming(out, config);
+
+  const std::string index_path =
+      out + "/" + std::string(kShardIndexFileName);
+  fs::resize_file(index_path, fs::file_size(index_path) / 2);  // truncate
+  try {
+    ShardedTensorSource::open(out);
+    FAIL() << "a truncated index.json must not open";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated or corrupt"),
+              std::string::npos)
+        << e.what();
+  }
+
+  StreamingMergeConfig rerun = config;
+  rerun.resume = true;  // no journal left: a full, shard-reusing remerge
+  run_streaming(out, rerun);
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// Transient read faults (injected EINTR-style failures) are retried with
+// backoff; the merge completes with every source read checksum-verified.
+TEST_P(StreamingMergeTest, TransientReadFaultsAreRetriedToCompletion) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+  config.pipeline = false;
+  config.read_retry.max_attempts = 5;
+  config.read_retry.backoff_ms = 1;
+
+  FailpointGuard guard;
+  failpoint::arm_from_text("source.read=transientx3");
+  const std::string out = dir("out");
+  const StreamingMergeReport report = run_streaming(out, config);
+
+  EXPECT_EQ(report.read_retries, 3u);
+  const std::size_t sources = GetParam().needs_base ? 3u : 2u;
+  EXPECT_EQ(report.source_checksums_verified,
+            chip_.tensors().size() * sources);
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// A bit flipped in a read buffer fails checksum verification, which counts
+// as transient: the retry re-reads clean bytes and re-verifies them.
+TEST_P(StreamingMergeTest, BitflippedReadIsHealedByRetry) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+  config.pipeline = false;
+  config.read_retry.max_attempts = 3;
+  config.read_retry.backoff_ms = 1;
+
+  FailpointGuard guard;
+  failpoint::arm_from_text("source.read=bitflipx1");
+  const std::string out = dir("out");
+  const StreamingMergeReport report = run_streaming(out, config);
+
+  EXPECT_EQ(report.read_retries, 1u);
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
+// Without retries enabled (max_attempts = 1, the default), a persistent
+// transient fault surfaces as RetriesExhaustedError — the distinct class
+// merge_cli maps to its own exit code — and leaves a resumable journal.
+TEST_P(StreamingMergeTest, ExhaustedRetriesRaiseDistinctError) {
+  prepare();
+  StreamingMergeConfig config;
+  config.shard_size_bytes = 4u << 10;
+  config.log_every = 0;
+  config.pipeline = false;
+
+  FailpointGuard guard;
+  failpoint::arm_from_text("source.read=transient");
+  const std::string out = dir("out");
+  EXPECT_THROW(run_streaming(out, config), RetriesExhaustedError);
+  EXPECT_TRUE(fs::exists(out + "/merge.journal"));
+
+  // Once the fault clears, the same directory resumes to a full merge.
+  failpoint::disarm_all();
+  StreamingMergeConfig resuming = config;
+  resuming.resume = true;
+  run_streaming(out, resuming);
+  expect_identical(run_in_memory(), out, DType::kF32);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Methods, StreamingMergeTest,
     ::testing::Values(StreamingMergeCase{"chipalign", false},
                       StreamingMergeCase{"ties", true}),
     [](const auto& info) { return info.param.method; });
+
+// mark_written feeds finish()'s completeness check, so a double mark or an
+// off-plan name would let a merge "finish" with a tensor never written.
+TEST_F(StreamTest, MarkWrittenRejectsDuplicatesAndOffPlanNames) {
+  std::vector<std::pair<std::string, Shape>> entries = {{"a", {4}},
+                                                        {"b", {4}}};
+  ShardPlan plan = plan_shards(entries, DType::kF32, 0);
+  ShardSetWriter writer(dir("out"), std::move(plan), {});
+  writer.mark_written("a");
+  EXPECT_THROW(writer.mark_written("a"), Error);
+  EXPECT_THROW(writer.mark_written("off-plan"), Error);
+  // The same ledger backs write_tensor: a marked tensor cannot be written
+  // again either.
+  EXPECT_THROW(writer.write_tensor("a", std::vector<std::uint8_t>(16)),
+               Error);
+  writer.mark_written("b");
+  EXPECT_EQ(writer.written_count(), 2u);
+}
 
 TEST_F(StreamTest, StreamingRequiresBaseForTaskVectorMethods) {
   const Checkpoint chip = make_checkpoint(31, "chip");
