@@ -1,0 +1,331 @@
+// bench_serve — the multi-tenant serving engine (src/serve).
+//
+// Two phases, mirroring the two serving claims:
+//
+//   throughput  N distinct sessions served to completion at batch widths
+//               1/4/16/64 (prefix cache off). Aggregate tokens/sec =
+//               tokens advanced across all sessions / wall time. Batching
+//               streams each weight matrix once per step instead of once
+//               per session, so throughput must not degrade as the width
+//               grows.
+//   prefix      N sessions sharing a long QA instruction header, served
+//               with the radix prefix cache on and a small residency
+//               window (later sessions admit after earlier prompts were
+//               published). Reports the per-token cache hit rate.
+//
+// Gates (--gate):
+//
+//   serve_batch_scaling  min(tps@4/tps@1, tps@16/tps@4) >= 1.0 — batched
+//                        decode is monotonically no slower through width
+//                        16. Skipped on single-core hosts, where wider
+//                        batches only add scheduling overhead.
+//   serve_prefix_hit     prefix-cache hit rate > 0.90 on the shared-header
+//                        QA workload. Always enforced.
+//
+// Correctness is fatal in every mode: every width (and the prefix run)
+// must emit bit-identical outputs, equal to serial generate() anchors.
+//
+//   bench_serve            full sizes, report only
+//   bench_serve --gate     full sizes, enforce the gates (exit 1 on miss)
+//   bench_serve --quick    tiny sizes, no gates (CI smoke / sanitizers)
+//   bench_serve --json P   also write a machine-readable summary to P
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "data/fact_base.hpp"
+#include "data/qa_bench.hpp"
+#include "nn/infer.hpp"
+#include "serve/server.hpp"
+#include "tensor/kernels/kernels.hpp"
+#include "text/tokenizer.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace chipalign;
+
+namespace {
+
+struct Sizes {
+  // Serving-shaped model over the real tokenizer vocab.
+  std::int64_t d_model = 128;
+  std::int64_t n_layers = 2;
+  std::int64_t n_heads = 4;
+  std::int64_t n_kv_heads = 2;
+  std::int64_t d_ff = 256;
+  // Throughput phase.
+  int sessions = 64;
+  std::vector<std::int64_t> widths = {1, 4, 16, 64};
+  std::int64_t max_new = 24;
+  int reps = 2;
+  // Prefix phase.
+  int prefix_sessions = 64;
+  std::size_t header_chars = 1600;
+  std::int64_t prefix_max_new = 8;
+};
+
+Sizes quick_sizes() {
+  Sizes s;
+  s.d_model = 32;
+  s.n_layers = 2;
+  s.n_heads = 2;
+  s.n_kv_heads = 1;
+  s.d_ff = 64;
+  s.sessions = 8;
+  s.widths = {1, 2, 4};
+  s.max_new = 4;
+  s.reps = 1;
+  s.prefix_sessions = 8;
+  s.header_chars = 120;
+  s.prefix_max_new = 2;
+  return s;
+}
+
+/// Best-of-reps wall time of fn() in seconds.
+template <typename Fn>
+double best_seconds(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+struct GateResult {
+  std::string name;
+  double value = 0.0;
+  double floor = 0.0;
+  bool skipped = false;
+  std::string skip_reason;
+  bool pass() const { return skipped || value >= floor; }
+};
+
+void print_gate(const GateResult& g) {
+  if (g.skipped) {
+    std::printf("{\"gate\":\"%s\",\"status\":\"skip\",\"reason\":\"%s\"}\n",
+                g.name.c_str(), g.skip_reason.c_str());
+  } else {
+    std::printf(
+        "{\"gate\":\"%s\",\"value\":%.2f,\"floor\":%.2f,\"status\":\"%s\"}\n",
+        g.name.c_str(), g.value, g.floor, g.pass() ? "pass" : "fail");
+  }
+}
+
+/// Serves `prompts` to completion on a fresh Server and returns every
+/// result text (submission order) plus the final server stats.
+std::vector<std::string> serve_all(const TransformerModel& model,
+                                   const ServeConfig& serve,
+                                   const std::vector<std::string>& prompts,
+                                   const GenerateOptions& options,
+                                   ServerStats* stats_out) {
+  Server server(model, serve);
+  std::vector<SessionId> ids;
+  ids.reserve(prompts.size());
+  for (const auto& prompt : prompts) {
+    ids.push_back(server.submit(server.text_request(prompt, options)));
+  }
+  server.run();
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (const SessionId id : ids) {
+    out.push_back(server.wait_result(id).text);
+  }
+  if (stats_out != nullptr) *stats_out = server.stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool gate = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const Sizes sizes = quick ? quick_sizes() : Sizes{};
+
+  std::printf("{\"backend\":\"%s\",\"simd_available\":%s,\"cores\":%u}\n",
+              kernels::backend_name(),
+              kernels::simd_available() ? "true" : "false",
+              std::thread::hardware_concurrency());
+
+  ModelConfig config;
+  config.name = "bench-serve";
+  config.vocab_size = tokenizer().vocab_size();
+  config.d_model = sizes.d_model;
+  config.n_layers = sizes.n_layers;
+  config.n_heads = sizes.n_heads;
+  config.n_kv_heads = sizes.n_kv_heads;
+  config.d_ff = sizes.d_ff;
+  config.max_seq_len = 2048;
+  config.validate();
+  Rng rng(0x5E27EULL);
+  const TransformerModel model(config, rng);
+
+  // -- throughput: aggregate tokens/sec vs batch width -----------------------
+  std::vector<std::string> prompts;
+  for (int i = 0; i < sizes.sessions; ++i) {
+    prompts.push_back("do: report the design state\nq: status of block " +
+                      std::to_string(100 + i * 7) + "\nout: ");
+  }
+  GenerateOptions options;
+  options.max_new_tokens = sizes.max_new;
+
+  // Serial anchors: plain generate() for a handful of sessions pins the
+  // batched outputs to the single-session engine bit-for-bit.
+  std::vector<std::string> anchors;
+  for (std::size_t i = 0; i < std::min<std::size_t>(4, prompts.size()); ++i) {
+    anchors.push_back(generate(model, prompts[i], options));
+  }
+
+  bool outputs_equal = true;
+  std::vector<std::string> first_outputs;
+  std::vector<double> width_tps;
+  for (const std::int64_t width : sizes.widths) {
+    ServeConfig serve;
+    serve.max_sessions = static_cast<std::size_t>(sizes.sessions);
+    serve.max_batch = width;
+    ServerStats stats;
+    std::vector<std::string> outputs;
+    const double seconds = best_seconds(sizes.reps, [&] {
+      outputs = serve_all(model, serve, prompts, options, &stats);
+    });
+    const double tps = static_cast<double>(stats.step_tokens) / seconds;
+    width_tps.push_back(tps);
+    if (first_outputs.empty()) {
+      first_outputs = outputs;
+      for (std::size_t i = 0; i < anchors.size(); ++i) {
+        if (outputs[i] != anchors[i]) outputs_equal = false;
+      }
+    } else if (outputs != first_outputs) {
+      outputs_equal = false;
+    }
+    std::printf(
+        "{\"bench\":\"serve_throughput\",\"batch\":%lld,\"sessions\":%d,"
+        "\"step_tokens\":%lld,\"seconds\":%.3f,\"tokens_per_s\":%.1f,"
+        "\"steps\":%lld}\n",
+        static_cast<long long>(width), sizes.sessions,
+        static_cast<long long>(stats.step_tokens), seconds, tps,
+        static_cast<long long>(stats.steps));
+  }
+
+  // -- prefix cache: shared-header QA workload -------------------------------
+  const FactBase facts;
+  const auto items = build_openroad_eval(facts, 901, sizes.prefix_sessions);
+  std::string header = "follow the openroad flow rules ";
+  while (header.size() < sizes.header_chars) {
+    header += "and answer from the retrieved timing context only ";
+  }
+  std::vector<std::string> qa_prompts;
+  for (int i = 0; i < sizes.prefix_sessions; ++i) {
+    const auto& item = items[static_cast<std::size_t>(i) % items.size()];
+    qa_prompts.push_back(qa_prompt(
+        header, {}, item.question + " [" + std::to_string(i) + "]"));
+  }
+  GenerateOptions qa_options;
+  qa_options.max_new_tokens = sizes.prefix_max_new;
+
+  std::vector<std::string> qa_anchors;
+  for (std::size_t i = 0; i < std::min<std::size_t>(2, qa_prompts.size());
+       ++i) {
+    qa_anchors.push_back(generate(model, qa_prompts[i], qa_options));
+  }
+
+  ServeConfig prefix_serve;
+  // A small residency window is what makes sharing possible: sessions
+  // admitted later reuse the header KV that earlier sessions published.
+  prefix_serve.max_sessions = 2;
+  prefix_serve.max_batch = 2;
+  prefix_serve.prefix_cache_bytes = std::size_t{1} << 26;
+  ServerStats prefix_stats;
+  Timer prefix_timer;
+  const auto qa_outputs =
+      serve_all(model, prefix_serve, qa_prompts, qa_options, &prefix_stats);
+  const double prefix_seconds = prefix_timer.seconds();
+  for (std::size_t i = 0; i < qa_anchors.size(); ++i) {
+    if (qa_outputs[i] != qa_anchors[i]) outputs_equal = false;
+  }
+  const double hit_rate = prefix_stats.cache.hit_rate();
+  std::printf(
+      "{\"bench\":\"serve_prefix\",\"sessions\":%d,\"header_chars\":%zu,"
+      "\"seconds\":%.3f,\"hit_rate\":%.4f,\"hit_tokens\":%lld,"
+      "\"lookup_tokens\":%lld,\"evictions\":%lld}\n",
+      sizes.prefix_sessions, sizes.header_chars, prefix_seconds, hit_rate,
+      static_cast<long long>(prefix_stats.cache.hit_tokens),
+      static_cast<long long>(prefix_stats.cache.lookup_tokens),
+      static_cast<long long>(prefix_stats.cache.evictions));
+
+  // -- gates -----------------------------------------------------------------
+  double scaling = 1e300;
+  for (std::size_t i = 1; i < width_tps.size() && sizes.widths[i] <= 16;
+       ++i) {
+    scaling = std::min(scaling, width_tps[i] / width_tps[i - 1]);
+  }
+  GateResult scaling_gate{"serve_batch_scaling", scaling, 1.0, false, {}};
+  if (std::thread::hardware_concurrency() < 2) {
+    scaling_gate.skipped = true;
+    scaling_gate.skip_reason = "single-core host";
+  }
+  GateResult prefix_gate{"serve_prefix_hit", hit_rate, 0.90, false, {}};
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"backend\": \"%s\",\n  \"quick\": %s,\n",
+                 kernels::backend_name(), quick ? "true" : "false");
+    for (std::size_t i = 0; i < sizes.widths.size(); ++i) {
+      std::fprintf(f, "  \"tokens_per_s_batch%lld\": %.1f,\n",
+                   static_cast<long long>(sizes.widths[i]), width_tps[i]);
+    }
+    std::fprintf(f,
+                 "  \"batch_scaling\": %.3f,\n"
+                 "  \"prefix_hit_rate\": %.4f,\n"
+                 "  \"prefix_seconds\": %.3f,\n"
+                 "  \"outputs_equal\": %s\n"
+                 "}\n",
+                 scaling, hit_rate, prefix_seconds,
+                 outputs_equal ? "true" : "false");
+    std::fclose(f);
+  }
+
+  // A serving engine that changes any session's bits is broken, not slow.
+  if (!outputs_equal) {
+    std::fprintf(stderr,
+                 "bench_serve: FAILED (batched outputs differ across widths "
+                 "or from serial generate)\n");
+    return 1;
+  }
+
+  if (gate) {
+    bool ok = true;
+    for (const GateResult& g : {scaling_gate, prefix_gate}) {
+      print_gate(g);
+      if (!g.pass()) {
+        std::fprintf(stderr, "GATE MISS: %s %.2f < required %.2f\n",
+                     g.name.c_str(), g.value, g.floor);
+        ok = false;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bench_serve: FAILED (serving gate)\n");
+      return 1;
+    }
+    std::printf("{\"gate\":\"pass\"}\n");
+  }
+  return 0;
+}

@@ -8,11 +8,12 @@
 #                              --quick configurations only
 #
 # bench_infer additionally writes BENCH_infer.json (machine-readable
-# decode/matvec/MCQ numbers) next to this script in both modes, and
-# bench_stream_merge writes BENCH_stream_merge.json (timings, RSS, gate
-# results, and the fault-injection status — failpoints are compiled into
-# the measured binaries but stay disarmed unless CHIPALIGN_FAILPOINTS is
-# set).
+# decode/matvec/MCQ numbers) next to this script in both modes,
+# bench_serve writes BENCH_serve.json (batched-serving throughput and
+# prefix-cache hit rates), and bench_stream_merge writes
+# BENCH_stream_merge.json (timings, RSS, gate results, and the
+# fault-injection status — failpoints are compiled into the measured
+# binaries but stay disarmed unless CHIPALIGN_FAILPOINTS is set).
 #
 # Every gated bench runs to completion even when an earlier one fails; a
 # per-bench PASS/FAIL summary is printed at the end and the exit status is
@@ -60,6 +61,9 @@ if [ "${1:-}" = "--quick" ]; then
   b=build/bench/bench_infer
   [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
   run_gated "$b --quick" "$b" --quick --json BENCH_infer.json
+  b=build/bench/bench_serve
+  [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
+  run_gated "$b --quick" "$b" --quick --json BENCH_serve.json
   report
 fi
 
@@ -72,6 +76,8 @@ for b in build/bench/bench_*; do
     */bench_kernels) run_gated "$b --gate" "$b" --gate ;;
     */bench_infer)
       run_gated "$b --gate" "$b" --gate --json BENCH_infer.json ;;
+    */bench_serve)
+      run_gated "$b --gate" "$b" --gate --json BENCH_serve.json ;;
     *)
       echo ""
       echo "######## $b ########"

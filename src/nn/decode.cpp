@@ -1,0 +1,344 @@
+#include "nn/decode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels/kernels.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// y = W x with W [out, in] row-major, on the kernel layer: every output
+/// row is the contract-reduced dot product, fanned over the global thread
+/// pool when large enough (bitwise identical at any pool size).
+void matvec(const Tensor& w, std::span<const float> x, std::span<float> y) {
+  const std::int64_t out_dim = w.dim(0);
+  const std::int64_t in_dim = w.dim(1);
+  CA_CHECK(static_cast<std::int64_t>(x.size()) == in_dim, "matvec input size");
+  CA_CHECK(static_cast<std::int64_t>(y.size()) == out_dim,
+           "matvec output size");
+  kernels::parallel_matvec(w.data(), x.data(), y.data(), out_dim, in_dim);
+}
+
+void rmsnorm_row(std::span<const float> x, std::span<const float> gain,
+                 double eps, std::span<float> y) {
+  double mean_sq = 0.0;
+  for (float v : x) mean_sq += static_cast<double>(v) * v;
+  mean_sq /= static_cast<double>(x.size());
+  const auto r = static_cast<float>(1.0 / std::sqrt(mean_sq + eps));
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * r * gain[i];
+}
+
+float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
+
+/// gate[i] = gate[i] * sigmoid(gate[i]) * up[i] — the SwiGLU combine,
+/// shared by the serial and batched paths so their float ops agree exactly.
+void swiglu_row(std::span<float> gate, std::span<const float> up) {
+  for (std::size_t i = 0; i < gate.size(); ++i) {
+    gate[i] = gate[i] * sigmoid(gate[i]) * up[i];
+  }
+}
+
+void add_row(std::span<float> x, std::span<const float> delta) {
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += delta[i];
+}
+
+/// Causal GQA attention for one session at `pos` in `layer`; k/v for `pos`
+/// must already be written (and RoPE'd) into the state's cache. Reads q
+/// [d], writes att [d] using scores [>= pos+1] as scratch. Identical code
+/// serves the serial and batched paths.
+void attention_row(const TransformerModel& model, const SessionState& state,
+                   std::int64_t layer, std::int64_t pos,
+                   std::span<const float> q, std::span<float> att,
+                   std::span<float> scores) {
+  const auto& config = model.config();
+  const std::int64_t hd = config.head_dim();
+  const std::int64_t n_heads = config.n_heads;
+  const std::int64_t group = n_heads / config.n_kv_heads;
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+  const float* layer_k = state.k_at(layer, 0);
+  const float* layer_v = state.v_at(layer, 0);
+
+  std::fill(att.begin(), att.end(), 0.0F);
+  for (std::int64_t h = 0; h < n_heads; ++h) {
+    const std::int64_t kvh = h / group;
+    const float* q_h = q.data() + h * hd;
+    for (std::int64_t j = 0; j <= pos; ++j) {
+      const float* k_j = layer_k + j * state.kv_dim + kvh * hd;
+      scores[static_cast<std::size_t>(j)] =
+          static_cast<float>(
+              kernels::dot(q_h, k_j, static_cast<std::size_t>(hd))) *
+          scale;
+    }
+    ops::softmax_inplace(
+        std::span<float>(scores.data(), static_cast<std::size_t>(pos + 1)));
+    float* att_h = att.data() + h * hd;
+    for (std::int64_t j = 0; j <= pos; ++j) {
+      const float p = scores[static_cast<std::size_t>(j)];
+      const float* v_j = layer_v + j * state.kv_dim + kvh * hd;
+      kernels::axpy(p, v_j, att_h, static_cast<std::size_t>(hd));
+    }
+  }
+}
+
+void check_step_args(const ModelConfig& config, const SessionState& state,
+                     TokenId token) {
+  CA_CHECK(state.position < state.capacity,
+           "session KV cache full at position " << state.position
+                                                << " (capacity "
+                                                << state.capacity << ")");
+  CA_CHECK(state.kv_dim == config.n_kv_heads * config.head_dim() &&
+               state.n_layers == config.n_layers,
+           "session state shape (n_layers " << state.n_layers << ", kv_dim "
+                                            << state.kv_dim
+                                            << ") does not match this model");
+  CA_CHECK(token >= 0 && token < config.vocab_size,
+           "token id " << token << " out of vocab");
+}
+
+/// One projection for the whole batch: c[out, B] = W @ X^T via matmul_nt
+/// (each c[o][b] is the contract-reduced dot of W row o and X row b — the
+/// exact bits matvec would produce for session b), then transposed into the
+/// row-major [B, out] destination.
+void batched_project(const Tensor& w, const float* x, float* y,
+                     std::int64_t batch, DecodeScratch& scratch) {
+  const std::int64_t out_dim = w.dim(0);
+  const std::int64_t in_dim = w.dim(1);
+  float* staged = scratch.nt_out.data();
+  kernels::matmul_nt(w.data(), x, staged, out_dim, in_dim, batch);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    float* y_b = y + b * out_dim;
+    for (std::int64_t o = 0; o < out_dim; ++o) y_b[o] = staged[o * batch + b];
+  }
+}
+
+}  // namespace
+
+DecodeScratch::DecodeScratch(const ModelConfig& config,
+                             std::int64_t batch_limit)
+    : max_batch(batch_limit) {
+  CA_CHECK(max_batch > 0, "DecodeScratch needs max_batch > 0");
+  const auto b = static_cast<std::size_t>(max_batch);
+  const auto d = static_cast<std::size_t>(config.d_model);
+  const auto d_ff = static_cast<std::size_t>(config.d_ff);
+  const auto kv =
+      static_cast<std::size_t>(config.n_kv_heads * config.head_dim());
+  x.resize(b * d);
+  normed.resize(b * d);
+  q.resize(b * d);
+  att.resize(b * d);
+  proj.resize(b * d);
+  gate.resize(b * d_ff);
+  up.resize(b * d_ff);
+  k_new.resize(b * kv);
+  v_new.resize(b * kv);
+  const auto max_out = std::max<std::size_t>(
+      {d, d_ff, kv, static_cast<std::size_t>(config.vocab_size)});
+  nt_out.resize(max_out * b);
+  scores.resize(b * static_cast<std::size_t>(config.max_seq_len));
+}
+
+void decode_step(const TransformerModel& model, SessionState& state,
+                 DecodeScratch& scratch, TokenId token,
+                 std::span<float> logits) {
+  const auto& config = model.config();
+  check_step_args(config, state, token);
+  CA_CHECK(static_cast<std::int64_t>(logits.size()) == config.vocab_size,
+           "decode_step logits size");
+
+  const auto d = static_cast<std::size_t>(config.d_model);
+  const std::int64_t hd = config.head_dim();
+  const std::int64_t pos = state.position;
+  const auto kv = static_cast<std::size_t>(state.kv_dim);
+
+  const std::span<float> x(scratch.x.data(), d);
+  const std::span<float> normed(scratch.normed.data(), d);
+  const std::span<float> q(scratch.q.data(), d);
+  const std::span<float> att(scratch.att.data(), d);
+  const std::span<float> proj(scratch.proj.data(), d);
+  const std::span<float> gate(scratch.gate.data(),
+                              static_cast<std::size_t>(config.d_ff));
+  const std::span<float> up(scratch.up.data(),
+                            static_cast<std::size_t>(config.d_ff));
+  const std::span<float> scores(scratch.scores.data(),
+                                static_cast<std::size_t>(config.max_seq_len));
+
+  const auto embed_row = model.embed().value.row(token);
+  std::copy(embed_row.begin(), embed_row.end(), x.begin());
+
+  for (std::size_t layer = 0; layer < model.blocks().size(); ++layer) {
+    const TransformerBlock& block = model.blocks()[layer];
+    float* k_new = state.k_at(static_cast<std::int64_t>(layer), pos);
+    float* v_new = state.v_at(static_cast<std::int64_t>(layer), pos);
+
+    rmsnorm_row(x, block.input_norm.value.values(), config.norm_eps, normed);
+    matvec(block.q_proj.value, normed, q);
+    matvec(block.k_proj.value, normed, std::span<float>(k_new, kv));
+    matvec(block.v_proj.value, normed, std::span<float>(v_new, kv));
+
+    for (std::int64_t h = 0; h < config.n_heads; ++h) {
+      model.rotary().apply(
+          std::span<float>(q.data() + h * hd, static_cast<std::size_t>(hd)),
+          pos);
+    }
+    for (std::int64_t h = 0; h < config.n_kv_heads; ++h) {
+      model.rotary().apply(
+          std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)),
+          pos);
+    }
+
+    attention_row(model, state, static_cast<std::int64_t>(layer), pos, q, att,
+                  scores);
+
+    matvec(block.o_proj.value, att, proj);
+    add_row(x, proj);
+
+    rmsnorm_row(x, block.post_norm.value.values(), config.norm_eps, normed);
+    matvec(block.gate_proj.value, normed, gate);
+    matvec(block.up_proj.value, normed, up);
+    swiglu_row(gate, up);
+    matvec(block.down_proj.value, gate, proj);
+    add_row(x, proj);
+  }
+
+  rmsnorm_row(x, model.final_norm().value.values(), config.norm_eps, normed);
+  // The [vocab, d] tied LM head dominates per-token cost; parallel_matvec
+  // shards its output rows across the pool.
+  matvec(model.embed().value, normed, logits);
+  ++state.position;
+}
+
+void batched_decode_step(const TransformerModel& model,
+                         std::span<SessionState* const> states,
+                         std::span<const TokenId> tokens,
+                         DecodeScratch& scratch, std::span<float> logits,
+                         ThreadPool* pool) {
+  const auto& config = model.config();
+  const auto batch = static_cast<std::int64_t>(states.size());
+  CA_CHECK(batch > 0, "batched_decode_step on empty batch");
+  CA_CHECK(batch <= scratch.max_batch,
+           "batch " << batch << " exceeds scratch capacity "
+                    << scratch.max_batch);
+  CA_CHECK(static_cast<std::int64_t>(tokens.size()) == batch,
+           "batched_decode_step token count");
+  CA_CHECK(static_cast<std::int64_t>(logits.size()) ==
+               batch * config.vocab_size,
+           "batched_decode_step logits size");
+  if (batch == 1) {
+    // Single-row batches take the matvec path (identical bits, and
+    // parallel_matvec fans the big logits projection over the pool, which
+    // a one-row matmul_nt cannot).
+    decode_step(model, *states[0], scratch, tokens[0], logits);
+    return;
+  }
+  for (std::int64_t b = 0; b < batch; ++b) {
+    check_step_args(config, *states[b], tokens[b]);
+  }
+
+  const auto d = static_cast<std::size_t>(config.d_model);
+  const auto d_ff = static_cast<std::size_t>(config.d_ff);
+  const std::int64_t hd = config.head_dim();
+  const auto kv = static_cast<std::size_t>(config.n_kv_heads * hd);
+  const auto seq = static_cast<std::size_t>(config.max_seq_len);
+  const auto vocab = static_cast<std::size_t>(config.vocab_size);
+  const auto row_f = [](std::vector<float>& buf, std::int64_t b,
+                        std::size_t dim) {
+    return std::span<float>(buf.data() + static_cast<std::size_t>(b) * dim,
+                            dim);
+  };
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const auto embed_row = model.embed().value.row(tokens[b]);
+    std::copy(embed_row.begin(), embed_row.end(),
+              row_f(scratch.x, b, d).begin());
+  }
+
+  // Per-session work (KV write, RoPE, attention) is independent across the
+  // batch and writes disjoint rows, so fanning it over the pool changes
+  // nothing but wall-clock.
+  const auto for_each_row = [&](const std::function<void(std::size_t)>& fn) {
+    if (pool != nullptr && batch > 1) {
+      pool->parallel_for(static_cast<std::size_t>(batch), fn);
+    } else {
+      for (std::int64_t b = 0; b < batch; ++b) {
+        fn(static_cast<std::size_t>(b));
+      }
+    }
+  };
+
+  for (std::size_t layer = 0; layer < model.blocks().size(); ++layer) {
+    const TransformerBlock& block = model.blocks()[layer];
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+      rmsnorm_row(row_f(scratch.x, b, d), block.input_norm.value.values(),
+                  config.norm_eps, row_f(scratch.normed, b, d));
+    }
+    batched_project(block.q_proj.value, scratch.normed.data(),
+                    scratch.q.data(), batch, scratch);
+    batched_project(block.k_proj.value, scratch.normed.data(),
+                    scratch.k_new.data(), batch, scratch);
+    batched_project(block.v_proj.value, scratch.normed.data(),
+                    scratch.v_new.data(), batch, scratch);
+
+    for_each_row([&](std::size_t bi) {
+      const auto b = static_cast<std::int64_t>(bi);
+      SessionState& state = *states[b];
+      const std::int64_t pos = state.position;
+      const std::int64_t l = static_cast<std::int64_t>(layer);
+      float* k_new = state.k_at(l, pos);
+      float* v_new = state.v_at(l, pos);
+      std::copy_n(scratch.k_new.data() + bi * kv, kv, k_new);
+      std::copy_n(scratch.v_new.data() + bi * kv, kv, v_new);
+      const std::span<float> q = row_f(scratch.q, b, d);
+      for (std::int64_t h = 0; h < config.n_heads; ++h) {
+        model.rotary().apply(
+            std::span<float>(q.data() + h * hd, static_cast<std::size_t>(hd)),
+            pos);
+      }
+      for (std::int64_t h = 0; h < config.n_kv_heads; ++h) {
+        model.rotary().apply(
+            std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)),
+            pos);
+      }
+      attention_row(model, state, l, pos, q, row_f(scratch.att, b, d),
+                    row_f(scratch.scores, b, seq));
+    });
+
+    batched_project(block.o_proj.value, scratch.att.data(),
+                    scratch.proj.data(), batch, scratch);
+    for (std::int64_t b = 0; b < batch; ++b) {
+      add_row(row_f(scratch.x, b, d), row_f(scratch.proj, b, d));
+    }
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+      rmsnorm_row(row_f(scratch.x, b, d), block.post_norm.value.values(),
+                  config.norm_eps, row_f(scratch.normed, b, d));
+    }
+    batched_project(block.gate_proj.value, scratch.normed.data(),
+                    scratch.gate.data(), batch, scratch);
+    batched_project(block.up_proj.value, scratch.normed.data(),
+                    scratch.up.data(), batch, scratch);
+    for (std::int64_t b = 0; b < batch; ++b) {
+      swiglu_row(row_f(scratch.gate, b, d_ff), row_f(scratch.up, b, d_ff));
+    }
+    batched_project(block.down_proj.value, scratch.gate.data(),
+                    scratch.proj.data(), batch, scratch);
+    for (std::int64_t b = 0; b < batch; ++b) {
+      add_row(row_f(scratch.x, b, d), row_f(scratch.proj, b, d));
+    }
+  }
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    rmsnorm_row(row_f(scratch.x, b, d), model.final_norm().value.values(),
+                config.norm_eps, row_f(scratch.normed, b, d));
+  }
+  batched_project(model.embed().value, scratch.normed.data(), logits.data(),
+                  batch, scratch);
+  for (std::int64_t b = 0; b < batch; ++b) ++states[b]->position;
+}
+
+}  // namespace chipalign

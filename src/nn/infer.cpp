@@ -3,184 +3,63 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/kernels/kernels.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
 namespace chipalign {
 
-namespace {
-
-/// y = W x with W [out, in] row-major, on the kernel layer: every output
-/// row is the contract-reduced dot product, fanned over the global thread
-/// pool when large enough (bitwise identical at any pool size).
-void matvec(const Tensor& w, std::span<const float> x, std::span<float> y) {
-  const std::int64_t out_dim = w.dim(0);
-  const std::int64_t in_dim = w.dim(1);
-  CA_CHECK(static_cast<std::int64_t>(x.size()) == in_dim, "matvec input size");
-  CA_CHECK(static_cast<std::int64_t>(y.size()) == out_dim,
-           "matvec output size");
-  kernels::parallel_matvec(w.data(), x.data(), y.data(), out_dim, in_dim);
-}
-
-void rmsnorm_row(std::span<const float> x, std::span<const float> gain,
-                 double eps, std::span<float> y) {
-  double mean_sq = 0.0;
-  for (float v : x) mean_sq += static_cast<double>(v) * v;
-  mean_sq /= static_cast<double>(x.size());
-  const auto r = static_cast<float>(1.0 / std::sqrt(mean_sq + eps));
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * r * gain[i];
-}
-
-float sigmoid(float x) { return 1.0F / (1.0F + std::exp(-x)); }
-
-}  // namespace
-
 InferenceSession::InferenceSession(const TransformerModel& model)
-    : model_(model) {
-  const auto& config = model_.config();
-  kv_dim_ = config.n_kv_heads * config.head_dim();
-  layer_stride_ = config.max_seq_len * kv_dim_;
-  const auto cache_floats =
-      static_cast<std::size_t>(config.n_layers * layer_stride_);
-  // new[] without value-initialization: the cache starts dead and each
-  // position is written by step() before any read of it.
-  k_cache_.reset(new float[cache_floats]);
-  v_cache_.reset(new float[cache_floats]);
-
-  x_.resize(static_cast<std::size_t>(config.d_model));
-  normed_.resize(static_cast<std::size_t>(config.d_model));
-  q_.resize(static_cast<std::size_t>(config.d_model));
-  att_.resize(static_cast<std::size_t>(config.d_model));
-  proj_.resize(static_cast<std::size_t>(config.d_model));
-  gate_.resize(static_cast<std::size_t>(config.d_ff));
-  up_.resize(static_cast<std::size_t>(config.d_ff));
-  scores_.resize(static_cast<std::size_t>(config.max_seq_len));
-  logits_.resize(static_cast<std::size_t>(config.vocab_size));
+    : model_(model),
+      state_(model.config(), model.config().max_seq_len),
+      scratch_(model.config(), /*max_batch=*/1) {
+  logits_.resize(static_cast<std::size_t>(model.config().vocab_size));
 }
 
-void InferenceSession::reset() { position_ = 0; }
+void InferenceSession::reset() { state_.position = 0; }
 
 InferenceSession::Snapshot InferenceSession::snapshot() const {
   Snapshot snap;
-  snap.position = position_;
-  const std::int64_t n_layers = model_.config().n_layers;
-  const std::int64_t live = position_ * kv_dim_;
-  snap.k.resize(static_cast<std::size_t>(n_layers * live));
-  snap.v.resize(static_cast<std::size_t>(n_layers * live));
-  for (std::int64_t layer = 0; layer < n_layers; ++layer) {
-    std::copy_n(k_cache_.get() + layer * layer_stride_, live,
-                snap.k.data() + layer * live);
-    std::copy_n(v_cache_.get() + layer * layer_stride_, live,
-                snap.v.data() + layer * live);
+  snap.position = state_.position;
+  snap.n_layers = state_.n_layers;
+  snap.kv_dim = state_.kv_dim;
+  const std::int64_t live = state_.position * state_.kv_dim;
+  snap.k.resize(static_cast<std::size_t>(state_.n_layers * live));
+  snap.v.resize(static_cast<std::size_t>(state_.n_layers * live));
+  for (std::int64_t layer = 0; layer < state_.n_layers; ++layer) {
+    std::copy_n(state_.k_at(layer, 0), live, snap.k.data() + layer * live);
+    std::copy_n(state_.v_at(layer, 0), live, snap.v.data() + layer * live);
   }
   return snap;
 }
 
 void InferenceSession::restore(const Snapshot& snap) {
-  const auto& config = model_.config();
-  CA_CHECK(snap.position >= 0 && snap.position <= config.max_seq_len,
-           "snapshot position " << snap.position << " out of range");
-  const std::int64_t live = snap.position * kv_dim_;
+  CA_CHECK(snap.position >= 0 && snap.position <= state_.capacity,
+           "snapshot position " << snap.position
+                                << " exceeds session KV capacity "
+                                << state_.capacity);
+  CA_CHECK(snap.n_layers == state_.n_layers && snap.kv_dim == state_.kv_dim,
+           "snapshot geometry (n_layers "
+               << snap.n_layers << ", kv_dim " << snap.kv_dim
+               << ") was taken over a different model than this session's "
+                  "(n_layers "
+               << state_.n_layers << ", kv_dim " << state_.kv_dim << ")");
+  const std::int64_t live = snap.position * state_.kv_dim;
   CA_CHECK(static_cast<std::int64_t>(snap.k.size()) ==
-                   config.n_layers * live &&
+                   state_.n_layers * live &&
                snap.k.size() == snap.v.size(),
-           "snapshot cache size does not match this model");
-  for (std::int64_t layer = 0; layer < config.n_layers; ++layer) {
-    std::copy_n(snap.k.data() + layer * live, live,
-                k_cache_.get() + layer * layer_stride_);
-    std::copy_n(snap.v.data() + layer * live, live,
-                v_cache_.get() + layer * layer_stride_);
+           "snapshot cache holds " << snap.k.size() << " floats, expected "
+                                   << state_.n_layers * live
+                                   << " for position " << snap.position);
+  for (std::int64_t layer = 0; layer < state_.n_layers; ++layer) {
+    std::copy_n(snap.k.data() + layer * live, live, state_.k_at(layer, 0));
+    std::copy_n(snap.v.data() + layer * live, live, state_.v_at(layer, 0));
   }
-  position_ = snap.position;
+  state_.position = snap.position;
 }
 
 const std::vector<float>& InferenceSession::step(TokenId token) {
-  const auto& config = model_.config();
-  CA_CHECK(position_ < config.max_seq_len,
-           "KV cache full at position " << position_);
-  CA_CHECK(token >= 0 && token < config.vocab_size,
-           "token id " << token << " out of vocab");
-
-  const std::int64_t d = config.d_model;
-  const std::int64_t hd = config.head_dim();
-  const std::int64_t n_heads = config.n_heads;
-  const std::int64_t n_kv = config.n_kv_heads;
-  const std::int64_t group = n_heads / n_kv;
-  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
-  const std::int64_t pos = position_;
-
-  const auto embed_row = model_.embed().value.row(token);
-  std::copy(embed_row.begin(), embed_row.end(), x_.begin());
-
-  for (std::size_t layer = 0; layer < model_.blocks().size(); ++layer) {
-    const TransformerBlock& block = model_.blocks()[layer];
-    float* layer_k = k_cache_.get() + layer * layer_stride_;
-    float* layer_v = v_cache_.get() + layer * layer_stride_;
-    float* k_new = layer_k + pos * kv_dim_;
-    float* v_new = layer_v + pos * kv_dim_;
-
-    rmsnorm_row(x_, block.input_norm.value.values(), config.norm_eps, normed_);
-    matvec(block.q_proj.value, normed_, q_);
-    matvec(block.k_proj.value, normed_,
-           std::span<float>(k_new, static_cast<std::size_t>(kv_dim_)));
-    matvec(block.v_proj.value, normed_,
-           std::span<float>(v_new, static_cast<std::size_t>(kv_dim_)));
-
-    for (std::int64_t h = 0; h < n_heads; ++h) {
-      model_.rotary().apply(
-          std::span<float>(q_.data() + h * hd, static_cast<std::size_t>(hd)),
-              pos);
-    }
-    for (std::int64_t h = 0; h < n_kv; ++h) {
-      model_.rotary().apply(
-          std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)), pos);
-    }
-
-    std::fill(att_.begin(), att_.end(), 0.0F);
-    for (std::int64_t h = 0; h < n_heads; ++h) {
-      const std::int64_t kvh = h / group;
-      const float* q_h = q_.data() + h * hd;
-      for (std::int64_t j = 0; j <= pos; ++j) {
-        const float* k_j = layer_k + j * kv_dim_ + kvh * hd;
-        scores_[static_cast<std::size_t>(j)] =
-            static_cast<float>(
-                kernels::dot(q_h, k_j, static_cast<std::size_t>(hd))) *
-            scale;
-      }
-      ops::softmax_inplace(
-          std::span<float>(scores_.data(), static_cast<std::size_t>(pos + 1)));
-      float* att_h = att_.data() + h * hd;
-      for (std::int64_t j = 0; j <= pos; ++j) {
-        const float p = scores_[static_cast<std::size_t>(j)];
-        const float* v_j = layer_v + j * kv_dim_ + kvh * hd;
-        kernels::axpy(p, v_j, att_h, static_cast<std::size_t>(hd));
-      }
-    }
-
-    matvec(block.o_proj.value, att_, proj_);
-    for (std::int64_t i = 0; i < d; ++i) {
-      x_[static_cast<std::size_t>(i)] += proj_[static_cast<std::size_t>(i)];
-    }
-
-    rmsnorm_row(x_, block.post_norm.value.values(), config.norm_eps, normed_);
-    matvec(block.gate_proj.value, normed_, gate_);
-    matvec(block.up_proj.value, normed_, up_);
-    for (std::size_t i = 0; i < gate_.size(); ++i) {
-      gate_[i] = gate_[i] * sigmoid(gate_[i]) * up_[i];
-    }
-    matvec(block.down_proj.value, gate_, proj_);
-    for (std::int64_t i = 0; i < d; ++i) {
-      x_[static_cast<std::size_t>(i)] += proj_[static_cast<std::size_t>(i)];
-    }
-  }
-
-  rmsnorm_row(x_, model_.final_norm().value.values(), config.norm_eps,
-              normed_);
-  // The [vocab, d] tied LM head dominates per-token cost; parallel_matvec
-  // shards its output rows across the pool.
-  matvec(model_.embed().value, normed_, logits_);
-  ++position_;
+  decode_step(model_, state_, scratch_, token,
+              std::span<float>(logits_.data(), logits_.size()));
   return logits_;
 }
 

@@ -3,25 +3,29 @@
 /// \brief Incremental (KV-cache) inference and text generation.
 ///
 /// InferenceSession keeps per-layer key/value caches so each new token costs
-/// O(T) attention instead of re-running the full sequence. Every projection
-/// in the decode step runs on the tensor kernel layer (kernels::matvec /
-/// kernels::parallel_matvec), so logits are bit-identical across backends
-/// and thread counts (see kernels.hpp for the reduction contract). The
-/// session owns a reusable scratch arena and a lazily-initialized KV cache:
-/// positions >= position() are never read, so neither construction nor
-/// reset() pays an O(n_layers * max_seq_len * kv_dim) zero-fill.
+/// O(T) attention instead of re-running the full sequence. It is a thin
+/// single-sequence wrapper over the Model/session split used by the serving
+/// engine (src/serve): the immutable TransformerModel is shared, while all
+/// mutable state lives in a SessionState (session_state.hpp) and the decode
+/// math in decode_step() (decode.hpp). Every projection runs on the tensor
+/// kernel layer, so logits are bit-identical across backends and thread
+/// counts (see kernels.hpp for the reduction contract). The KV cache is
+/// lazily initialized: positions >= position() are never read, so neither
+/// construction nor reset() pays an O(n_layers * max_seq_len * kv_dim)
+/// zero-fill.
 ///
 /// The generation helpers below are what every benchmark harness uses to
 /// get model responses; temperature 0 (greedy) matches the paper's
 /// evaluation setup.
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "nn/decode.hpp"
+#include "nn/session_state.hpp"
 #include "nn/transformer.hpp"
 #include "util/rng.hpp"
 
@@ -33,9 +37,13 @@ class InferenceSession {
   /// Compact copy of a session's KV state at some position, taken with
   /// snapshot() and re-installed with restore(). Only the first position()
   /// entries of each layer cache are stored, so a snapshot after a shared
-  /// prompt is cheap to hold while scoring many continuations from it.
+  /// prompt is cheap to hold while scoring many continuations from it. The
+  /// cache geometry rides along so restore() can reject a snapshot taken
+  /// over a differently-shaped model instead of corrupting the cache.
   struct Snapshot {
     std::int64_t position = 0;
+    std::int64_t n_layers = 0;
+    std::int64_t kv_dim = 0;
     std::vector<float> k;  ///< [n_layers, position, kv_dim], flattened
     std::vector<float> v;
   };
@@ -53,7 +61,7 @@ class InferenceSession {
   std::vector<float> prefill(const std::vector<TokenId>& tokens);
 
   /// Tokens consumed so far.
-  std::int64_t position() const { return position_; }
+  std::int64_t position() const { return state_.position; }
 
   /// Resets the position to zero. O(1): the KV cache is not cleared because
   /// positions at or beyond the current position are never read.
@@ -65,29 +73,15 @@ class InferenceSession {
   /// Reinstalls a snapshot taken from a session over the same model,
   /// rewinding (or advancing) the position to the snapshot's. Subsequent
   /// steps produce bitwise-identical logits to a fresh session re-fed the
-  /// snapshot's tokens.
+  /// snapshot's tokens. Throws Error (with the offending dimensions in the
+  /// message) when the snapshot's position exceeds this session's cache
+  /// capacity or its layer/kv geometry does not match this model.
   void restore(const Snapshot& snap);
 
  private:
   const TransformerModel& model_;
-  std::int64_t position_ = 0;
-  std::int64_t kv_dim_ = 0;
-  std::int64_t layer_stride_ = 0;  ///< max_seq_len * kv_dim floats per layer
-
-  // Per layer: [max_seq_len, kv_dim] caches, flattened into one block each.
-  // Deliberately not value-initialized — entries past position_ are dead.
-  std::unique_ptr<float[]> k_cache_;
-  std::unique_ptr<float[]> v_cache_;
-
-  // Scratch arena, sized once at construction and reused by every step().
-  std::vector<float> x_;       ///< residual stream [d]
-  std::vector<float> normed_;  ///< RMSNorm output [d]
-  std::vector<float> q_;       ///< query heads [d]
-  std::vector<float> att_;     ///< attention output [d]
-  std::vector<float> proj_;    ///< o/down projection output [d]
-  std::vector<float> gate_;    ///< SwiGLU gate [d_ff]
-  std::vector<float> up_;      ///< SwiGLU up [d_ff]
-  std::vector<float> scores_;  ///< attention scores [max_seq_len]
+  SessionState state_;
+  DecodeScratch scratch_;      ///< batch-1 decode arena
   std::vector<float> logits_;  ///< LM-head output [vocab]
 };
 

@@ -1,0 +1,87 @@
+#pragma once
+/// \file session_state.hpp
+/// \brief Per-session mutable inference state: KV cache, position, RNG.
+///
+/// The serving engine's Model/session split: TransformerModel is the
+/// immutable shared Model (weights + config — safe to read from any number
+/// of concurrent sessions), and SessionState is everything that belongs to
+/// one conversation: the per-layer KV cache, the decode position and the
+/// sampler RNG stream. A state is bound to a model *shape* (n_layers,
+/// kv_dim) rather than to a model instance, and its cache capacity may be
+/// smaller than config.max_seq_len so that a server can admit many short
+/// sessions under one KV byte budget.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "model/model_config.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace chipalign {
+
+/// Mutable per-session decode state. Plain data, movable, no model pointer:
+/// decode_step()/batched_decode_step() pair it with the shared model.
+struct SessionState {
+  /// \param capacity_tokens KV rows per layer; the session can consume at
+  ///   most this many tokens. Must be in (0, config.max_seq_len].
+  SessionState(const ModelConfig& config, std::int64_t capacity_tokens,
+               std::uint64_t sampler_seed = 7)
+      : capacity(capacity_tokens),
+        kv_dim(config.n_kv_heads * config.head_dim()),
+        layer_stride(capacity_tokens * kv_dim),
+        n_layers(config.n_layers),
+        rng(sampler_seed) {
+    CA_CHECK(capacity > 0 && capacity <= config.max_seq_len,
+             "session KV capacity " << capacity << " out of range (1.."
+                                    << config.max_seq_len << ")");
+    const auto floats = static_cast<std::size_t>(n_layers * layer_stride);
+    // new[] without value-initialization: the cache starts dead and every
+    // position is written by a decode step before any read of it.
+    k_cache.reset(new float[floats]);
+    v_cache.reset(new float[floats]);
+  }
+
+  float* k_at(std::int64_t layer, std::int64_t pos) {
+    return k_cache.get() + layer * layer_stride + pos * kv_dim;
+  }
+  float* v_at(std::int64_t layer, std::int64_t pos) {
+    return v_cache.get() + layer * layer_stride + pos * kv_dim;
+  }
+  const float* k_at(std::int64_t layer, std::int64_t pos) const {
+    return k_cache.get() + layer * layer_stride + pos * kv_dim;
+  }
+  const float* v_at(std::int64_t layer, std::int64_t pos) const {
+    return v_cache.get() + layer * layer_stride + pos * kv_dim;
+  }
+
+  /// Bytes of KV cache this state owns (what a server's admission budget
+  /// charges for). Computable without constructing the state.
+  static std::size_t kv_bytes_for(const ModelConfig& config,
+                                  std::int64_t capacity_tokens) {
+    const std::int64_t kv = config.n_kv_heads * config.head_dim();
+    return 2 * static_cast<std::size_t>(config.n_layers * capacity_tokens *
+                                        kv) *
+           sizeof(float);
+  }
+  std::size_t kv_bytes() const {
+    return 2 * static_cast<std::size_t>(n_layers * layer_stride) *
+           sizeof(float);
+  }
+
+  std::int64_t position = 0;  ///< tokens consumed so far
+  std::int64_t capacity = 0;  ///< KV rows per layer
+  std::int64_t kv_dim = 0;
+  std::int64_t layer_stride = 0;  ///< capacity * kv_dim floats per layer
+  std::int64_t n_layers = 0;
+
+  // Per layer: [capacity, kv_dim] caches, flattened into one block each.
+  // Deliberately not value-initialized — entries past `position` are dead.
+  std::unique_ptr<float[]> k_cache;
+  std::unique_ptr<float[]> v_cache;
+
+  Rng rng;  ///< per-session sampler stream (temperature decoding)
+};
+
+}  // namespace chipalign

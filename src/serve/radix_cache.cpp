@@ -1,0 +1,255 @@
+#include "serve/radix_cache.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace chipalign {
+
+/// One path-compressed edge of the trie. Owns the KV rows of its edge
+/// tokens, stored layer-major ([n_layers, len, kv_dim] flattened) so a
+/// contiguous copy_n per layer moves them in or out of a SessionState.
+struct RadixKvCache::Node {
+  std::vector<TokenId> tokens;  ///< edge label
+  std::vector<float> k;         ///< [n_layers, len, kv_dim]
+  std::vector<float> v;
+  std::map<TokenId, std::unique_ptr<Node>> children;
+  Node* parent = nullptr;
+  std::int64_t refcount = 0;  ///< live Refs pinning this node
+  std::int64_t last_use = 0;  ///< LRU stamp
+
+  std::int64_t len() const {
+    return static_cast<std::int64_t>(tokens.size());
+  }
+};
+
+namespace {
+
+/// Keeps the first `keep` rows of each layer of a [n_layers, len, kv_dim]
+/// block (or the rows from `keep` on, when `tail` is set), re-packed
+/// contiguously for the new length.
+std::vector<float> slice_rows(const std::vector<float>& src,
+                              std::int64_t n_layers, std::int64_t len,
+                              std::int64_t kv_dim, std::int64_t keep,
+                              bool tail) {
+  const std::int64_t out_len = tail ? len - keep : keep;
+  std::vector<float> out(
+      static_cast<std::size_t>(n_layers * out_len * kv_dim));
+  for (std::int64_t l = 0; l < n_layers; ++l) {
+    const std::int64_t from = tail ? keep : 0;
+    std::copy_n(src.data() + (l * len + from) * kv_dim, out_len * kv_dim,
+                out.data() + l * out_len * kv_dim);
+  }
+  return out;
+}
+
+}  // namespace
+
+RadixKvCache::RadixKvCache(const ModelConfig& config, std::size_t max_bytes)
+    : root_(std::make_unique<Node>()),
+      n_layers_(config.n_layers),
+      kv_dim_(config.n_kv_heads * config.head_dim()),
+      max_bytes_(max_bytes) {}
+
+RadixKvCache::~RadixKvCache() = default;
+
+std::size_t RadixKvCache::node_bytes(std::int64_t token_count) const {
+  return 2 * static_cast<std::size_t>(n_layers_ * token_count * kv_dim_) *
+         sizeof(float);
+}
+
+RadixKvCache::Ref RadixKvCache::acquire(std::span<const TokenId> tokens,
+                                        SessionState& state) {
+  ++stats_.lookups;
+  stats_.lookup_tokens += static_cast<std::int64_t>(tokens.size());
+  if (max_bytes_ == 0 || tokens.empty()) return Ref{};
+  CA_CHECK(state.position == 0, "acquire into a non-empty session");
+  CA_CHECK(state.n_layers == n_layers_ && state.kv_dim == kv_dim_,
+           "session KV geometry does not match this cache");
+  CA_CHECK(state.capacity >= static_cast<std::int64_t>(tokens.size()),
+           "session capacity " << state.capacity << " below prompt length "
+                               << tokens.size());
+
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  std::int64_t offset = 0;
+  const auto total = static_cast<std::int64_t>(tokens.size());
+  while (offset < total) {
+    const auto it = node->children.find(tokens[offset]);
+    if (it == node->children.end()) break;
+    Node* child = it->second.get();
+    const std::int64_t room = total - offset;
+    std::int64_t m = 0;
+    while (m < child->len() && m < room &&
+           child->tokens[static_cast<std::size_t>(m)] == tokens[offset + m]) {
+      ++m;
+    }
+    // m >= 1: children are keyed by their edge's first token.
+    for (std::int64_t l = 0; l < n_layers_; ++l) {
+      std::copy_n(child->k.data() + l * child->len() * kv_dim_, m * kv_dim_,
+                  state.k_at(l, offset));
+      std::copy_n(child->v.data() + l * child->len() * kv_dim_, m * kv_dim_,
+                  state.v_at(l, offset));
+    }
+    ++child->refcount;
+    child->last_use = ++clock_;
+    path.push_back(child);
+    offset += m;
+    if (m < child->len()) break;  // diverged (or prompt ended) mid-edge
+    node = child;
+  }
+  state.position = offset;
+  stats_.hit_tokens += offset;
+  return Ref(this, std::move(path), offset);
+}
+
+void RadixKvCache::insert(std::span<const TokenId> tokens,
+                          const SessionState& state) {
+  if (max_bytes_ == 0 || tokens.empty()) return;
+  const auto total = static_cast<std::int64_t>(tokens.size());
+  CA_CHECK(state.position >= total,
+           "insert of " << total << " tokens from a session at position "
+                        << state.position);
+  CA_CHECK(state.n_layers == n_layers_ && state.kv_dim == kv_dim_,
+           "session KV geometry does not match this cache");
+
+  const auto fill_from_state = [&](Node& dst, std::int64_t start,
+                                   std::int64_t count) {
+    dst.tokens.assign(tokens.begin() + start, tokens.begin() + start + count);
+    dst.k.resize(static_cast<std::size_t>(n_layers_ * count * kv_dim_));
+    dst.v.resize(dst.k.size());
+    for (std::int64_t l = 0; l < n_layers_; ++l) {
+      std::copy_n(state.k_at(l, start), count * kv_dim_,
+                  dst.k.data() + l * count * kv_dim_);
+      std::copy_n(state.v_at(l, start), count * kv_dim_,
+                  dst.v.data() + l * count * kv_dim_);
+    }
+  };
+
+  Node* node = root_.get();
+  std::int64_t offset = 0;
+  while (offset < total) {
+    const auto it = node->children.find(tokens[offset]);
+    if (it == node->children.end()) {
+      // Fresh branch: one node carries the whole remaining suffix.
+      auto fresh = std::make_unique<Node>();
+      fill_from_state(*fresh, offset, total - offset);
+      fresh->parent = node;
+      fresh->last_use = ++clock_;
+      stats_.inserted_tokens += total - offset;
+      stats_.bytes += static_cast<std::int64_t>(node_bytes(total - offset));
+      ++stats_.nodes;
+      node->children.emplace(tokens[offset], std::move(fresh));
+      break;
+    }
+    Node* child = it->second.get();
+    const std::int64_t room = total - offset;
+    std::int64_t m = 0;
+    while (m < child->len() && m < room &&
+           child->tokens[static_cast<std::size_t>(m)] == tokens[offset + m]) {
+      ++m;
+    }
+    child->last_use = ++clock_;
+    if (m == child->len()) {  // edge fully shared; descend
+      offset += m;
+      node = child;
+      continue;
+    }
+    if (offset + m == total) break;  // prompt is a prefix of this edge
+    // Divergence mid-edge: split. `child` keeps the suffix (so live Refs
+    // pinning it stay valid) and a new prefix node takes the first m rows.
+    auto prefix = std::make_unique<Node>();
+    prefix->tokens.assign(child->tokens.begin(), child->tokens.begin() + m);
+    prefix->k = slice_rows(child->k, n_layers_, child->len(), kv_dim_, m,
+                           /*tail=*/false);
+    prefix->v = slice_rows(child->v, n_layers_, child->len(), kv_dim_, m,
+                           /*tail=*/false);
+    prefix->parent = node;
+    prefix->last_use = child->last_use;
+    child->k = slice_rows(child->k, n_layers_, child->len(), kv_dim_, m,
+                          /*tail=*/true);
+    child->v = slice_rows(child->v, n_layers_, child->len(), kv_dim_, m,
+                          /*tail=*/true);
+    child->tokens.erase(child->tokens.begin(), child->tokens.begin() + m);
+    child->parent = prefix.get();
+    auto child_owner = std::move(it->second);
+    node->children.erase(it);
+    prefix->children.emplace(child->tokens.front(), std::move(child_owner));
+    Node* prefix_raw = prefix.get();
+    node->children.emplace(prefix_raw->tokens.front(), std::move(prefix));
+    ++stats_.nodes;  // split adds one node, zero bytes
+    node = prefix_raw;
+    offset += m;
+    // Loop continues: tokens[offset] now misses in prefix's children (it
+    // diverged from child's edge), so the next iteration adds the branch.
+  }
+  ++stats_.inserts;
+  evict_to_budget();
+}
+
+void RadixKvCache::release(std::vector<Node*>& path) {
+  for (Node* node : path) {
+    CA_CHECK(node->refcount > 0, "radix cache refcount underflow");
+    --node->refcount;
+  }
+}
+
+void RadixKvCache::evict_to_budget() {
+  while (stats_.bytes > static_cast<std::int64_t>(max_bytes_)) {
+    // LRU leaf scan; the tree holds at most a few dozen nodes, so O(n) per
+    // eviction is cheaper than maintaining an intrusive LRU list.
+    Node* victim = nullptr;
+    std::vector<Node*> stack{root_.get()};
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      for (const auto& [first, child] : node->children) {
+        stack.push_back(child.get());
+      }
+      if (node == root_.get() || !node->children.empty() ||
+          node->refcount > 0) {
+        continue;
+      }
+      if (victim == nullptr || node->last_use < victim->last_use) {
+        victim = node;
+      }
+    }
+    if (victim == nullptr) return;  // everything left is pinned
+    ++stats_.evictions;
+    stats_.evicted_tokens += victim->len();
+    stats_.bytes -= static_cast<std::int64_t>(node_bytes(victim->len()));
+    --stats_.nodes;
+    victim->parent->children.erase(victim->tokens.front());
+  }
+}
+
+void RadixKvCache::clear() {
+  // Peel unpinned leaves until only pinned paths (and the root) remain.
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    std::vector<Node*> stack{root_.get()};
+    std::vector<Node*> victims;
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      for (const auto& [first, child] : node->children) {
+        stack.push_back(child.get());
+      }
+      if (node != root_.get() && node->children.empty() &&
+          node->refcount == 0) {
+        victims.push_back(node);
+      }
+    }
+    for (Node* victim : victims) {
+      ++stats_.evictions;
+      stats_.evicted_tokens += victim->len();
+      stats_.bytes -= static_cast<std::int64_t>(node_bytes(victim->len()));
+      --stats_.nodes;
+      victim->parent->children.erase(victim->tokens.front());
+      removed = true;
+    }
+  }
+}
+
+}  // namespace chipalign

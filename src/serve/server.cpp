@@ -1,0 +1,272 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "nn/decode.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+/// Per-session bookkeeping. The KV-bearing SessionState is allocated at
+/// admission (not submission) so queued sessions cost no cache memory.
+struct Server::Session {
+  SessionId id = 0;
+  Request request;
+  std::int64_t max_new = 0;        ///< effective budget (context-clamped)
+  std::int64_t capacity = 0;       ///< KV rows this session needs
+  std::int64_t cached_tokens = 0;  ///< prefix-cache hit length
+  std::int64_t feed_index = 0;     ///< next prompt token to feed
+  TokenId pending = -1;            ///< sampled token awaiting its feed
+  bool inserted = false;           ///< prompt published to the prefix cache
+  std::vector<TokenId> emitted;
+  std::unique_ptr<SessionState> state;  ///< live while resident
+  RadixKvCache::Ref cache_ref;
+
+  std::int64_t prompt_len() const {
+    return static_cast<std::int64_t>(request.prompt.size());
+  }
+};
+
+Server::Server(const TransformerModel& model, ServeConfig config)
+    : model_(model),
+      config_(config),
+      cache_(model.config(), config.prefix_cache_bytes),
+      scratch_(model.config(), config.max_batch) {
+  CA_CHECK(config_.max_sessions > 0, "ServeConfig.max_sessions must be > 0");
+  logits_.resize(static_cast<std::size_t>(config_.max_batch *
+                                          model_.config().vocab_size));
+  newline_id_ = tokenizer().char_to_id('\n');
+}
+
+Server::~Server() = default;
+
+Request Server::text_request(std::string_view prompt,
+                             const GenerateOptions& options,
+                             bool stop_at_newline) const {
+  Request request;
+  request.prompt = tokenizer().encode(prompt, /*add_bos=*/true);
+  request.max_new_tokens = options.max_new_tokens;
+  request.temperature = options.temperature;
+  request.seed = options.seed;
+  request.stop_at_newline = stop_at_newline;
+  return request;
+}
+
+SessionId Server::submit(Request request) {
+  const auto& config = model_.config();
+  const auto prompt_len = static_cast<std::int64_t>(request.prompt.size());
+  CA_CHECK(prompt_len > 0, "submit with empty prompt");
+  CA_CHECK(prompt_len < config.max_seq_len,
+           "prompt of " << prompt_len
+                        << " tokens fills the whole context window ("
+                        << config.max_seq_len << ")");
+  for (const TokenId token : request.prompt) {
+    CA_CHECK(token >= 0 && token < config.vocab_size,
+             "prompt token id " << token << " out of vocab");
+  }
+  CA_CHECK(request.max_new_tokens > 0,
+           "submit with non-positive max_new_tokens "
+               << request.max_new_tokens);
+
+  auto session = std::make_unique<Session>();
+  session->request = std::move(request);
+  session->max_new = std::min<std::int64_t>(session->request.max_new_tokens,
+                                            config.max_seq_len - prompt_len);
+  // The final emitted token is never fed back (generate() feeds it only to
+  // throw the logits away), so the cache needs one row fewer than
+  // prompt + budget.
+  session->capacity = prompt_len + session->max_new - 1;
+  if (session->capacity < 1) session->capacity = 1;
+  const std::size_t bytes =
+      SessionState::kv_bytes_for(config, session->capacity);
+  CA_CHECK(config_.max_kv_bytes == 0 || bytes <= config_.max_kv_bytes,
+           "session needs " << bytes << " KV bytes, over the server budget "
+                            << config_.max_kv_bytes
+                            << " — no admission order can ever run it");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  session->id = next_id_++;
+  const SessionId id = session->id;
+  ++stats_.submitted;
+  waiting_.push_back(std::move(session));
+  return id;
+}
+
+void Server::admit_locked() {
+  const auto& config = model_.config();
+  while (!waiting_.empty() && active_.size() < config_.max_sessions) {
+    Session& session = *waiting_.front();
+    const std::size_t bytes =
+        SessionState::kv_bytes_for(config, session.capacity);
+    if (config_.max_kv_bytes > 0 &&
+        resident_kv_bytes_ + bytes > config_.max_kv_bytes) {
+      break;  // FIFO: later (smaller) sessions wait their turn too
+    }
+    session.state = std::make_unique<SessionState>(config, session.capacity,
+                                                   session.request.seed);
+    // Reuse cached prefill for all but the last prompt token — that one
+    // must be fed live to produce the logits the first sample needs.
+    if (config_.prefix_cache_bytes > 0 && session.prompt_len() > 1) {
+      session.cache_ref = cache_.acquire(
+          std::span<const TokenId>(session.request.prompt.data(),
+                                   session.request.prompt.size() - 1),
+          *session.state);
+      session.cached_tokens = session.cache_ref.matched();
+      session.feed_index = session.cached_tokens;
+    }
+    resident_kv_bytes_ += bytes;
+    active_.push_back(std::move(waiting_.front()));
+    waiting_.erase(waiting_.begin());
+    stats_.peak_resident =
+        std::max(stats_.peak_resident,
+                 static_cast<std::int64_t>(active_.size()));
+  }
+}
+
+TokenId Server::sample_next(Session& session, std::span<const float> row) {
+  if (session.request.temperature <= 0.0) {
+    return static_cast<TokenId>(ops::argmax(row));
+  }
+  std::vector<float> probs(row.begin(), row.end());
+  const auto inv_temp =
+      static_cast<float>(1.0 / session.request.temperature);
+  for (float& v : probs) v *= inv_temp;
+  ops::softmax_inplace(std::span<float>(probs.data(), probs.size()));
+  return static_cast<TokenId>(sample_from_probs(
+      std::span<const float>(probs.data(), probs.size()),
+      session.state->rng.uniform()));
+}
+
+void Server::finish_locked(std::unique_ptr<Session> session) {
+  SessionResult result;
+  result.tokens = std::move(session->emitted);
+  result.text = tokenizer().decode(result.tokens);
+  result.prompt_tokens = session->prompt_len();
+  result.cached_tokens = session->cached_tokens;
+  session->cache_ref.release();
+  resident_kv_bytes_ -= session->state->kv_bytes();
+  results_.emplace(session->id, std::move(result));
+  ++stats_.completed;
+  finished_cv_.notify_all();
+}
+
+bool Server::step() {
+  const auto& config = model_.config();
+  std::vector<Session*> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    admit_locked();
+    if (active_.empty()) return false;
+    const auto width = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.max_batch), active_.size());
+    batch.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      batch.push_back(active_[i].get());
+    }
+  }
+  const auto width = static_cast<std::int64_t>(batch.size());
+
+  std::vector<SessionState*> states;
+  std::vector<TokenId> tokens;
+  states.reserve(batch.size());
+  tokens.reserve(batch.size());
+  for (Session* session : batch) {
+    states.push_back(session->state.get());
+    tokens.push_back(session->feed_index < session->prompt_len()
+                         ? session->request.prompt[static_cast<std::size_t>(
+                               session->feed_index)]
+                         : session->pending);
+  }
+  const std::span<float> logits(
+      logits_.data(), static_cast<std::size_t>(width * config.vocab_size));
+  batched_decode_step(
+      model_, std::span<SessionState* const>(states.data(), states.size()),
+      std::span<const TokenId>(tokens.data(), tokens.size()), scratch_,
+      logits, config_.pool != nullptr ? config_.pool : &global_thread_pool());
+
+  std::vector<bool> done(batch.size(), false);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Session& session = *batch[i];
+    if (session.feed_index < session.prompt_len()) {
+      ++session.feed_index;
+      if (session.feed_index < session.prompt_len()) {
+        continue;  // still prefilling; this row's logits are discarded
+      }
+      // Prompt fully consumed: publish its KV for future prefix sharing.
+      if (config_.prefix_cache_bytes > 0 && !session.inserted) {
+        cache_.insert(std::span<const TokenId>(session.request.prompt.data(),
+                                               session.request.prompt.size()),
+                      *session.state);
+        session.inserted = true;
+      }
+    }
+    const std::span<const float> row(
+        logits.data() + static_cast<std::size_t>(i) * config.vocab_size,
+        static_cast<std::size_t>(config.vocab_size));
+    const TokenId next = sample_next(session, row);
+    if (next == CharTokenizer::kEos ||
+        (session.request.stop_at_newline && next == newline_id_)) {
+      done[i] = true;
+      continue;
+    }
+    session.emitted.push_back(next);
+    if (session.request.on_token) {
+      session.request.on_token(session.id, next);
+    }
+    if (static_cast<std::int64_t>(session.emitted.size()) >=
+        session.max_new) {
+      done[i] = true;  // budget spent; the last token is never fed back
+      continue;
+    }
+    session.pending = next;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.steps;
+  stats_.step_tokens += width;
+  stats_.peak_batch = std::max(stats_.peak_batch, width);
+  stats_.cache = cache_.stats();
+  // Round-robin: surviving batch members rotate to the back so sessions
+  // beyond max_batch get the next steps.
+  std::vector<std::unique_ptr<Session>> stepped;
+  stepped.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    stepped.push_back(std::move(active_[i]));
+  }
+  active_.erase(active_.begin(),
+                active_.begin() + static_cast<std::ptrdiff_t>(batch.size()));
+  for (std::size_t i = 0; i < stepped.size(); ++i) {
+    if (done[i]) {
+      finish_locked(std::move(stepped[i]));
+    } else {
+      active_.push_back(std::move(stepped[i]));
+    }
+  }
+  return !active_.empty() || !waiting_.empty();
+}
+
+void Server::run() {
+  while (step()) {
+  }
+}
+
+bool Server::busy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !waiting_.empty() || !active_.empty();
+}
+
+SessionResult Server::wait_result(SessionId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CA_CHECK(id >= 1 && id < next_id_, "unknown session id " << id);
+  finished_cv_.wait(lock, [&] { return results_.count(id) > 0; });
+  return results_.at(id);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace chipalign

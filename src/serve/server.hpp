@@ -1,0 +1,169 @@
+#pragma once
+/// \file server.hpp
+/// \brief Multi-tenant serving engine: continuous batching over one model.
+///
+/// One immutable TransformerModel, many concurrent sessions. Clients
+/// submit() Requests (thread-safe) and get back an opaque SessionId; a
+/// driver thread calls run() (or step() in a loop), which advances EVERY
+/// runnable session by one token per iteration in a single
+/// batched_decode_step — each weight matrix streams through the cache once
+/// per step instead of once per session, which is where batched serving
+/// throughput comes from.
+///
+/// Continuous batching: sessions join and leave the batch at token
+/// granularity. A freshly admitted session spends its first steps feeding
+/// prompt tokens (its logits rows are discarded) while its batch-mates are
+/// already decoding; when a session finishes or a new one is admitted, the
+/// next step's batch simply re-forms. Admission control bounds residency
+/// by session count and KV bytes; waiting requests queue FIFO. Within a
+/// step, runnable sessions are picked round-robin so no session starves
+/// when more than max_batch are resident.
+///
+/// Sampling, stop conditions and token budgets replicate generate()
+/// exactly, and batched_decode_step is bit-identical to the serial decode
+/// path, so a session's output token sequence is bitwise equal to what
+/// generate() would produce for its prompt — independent of batch-mates,
+/// batch width, admission order, or prefix-cache hits. The serving tests
+/// pin this.
+///
+/// A shared RadixKvCache (optional) lets sessions whose prompts share a
+/// token prefix skip the shared part of prefill: acquire() on admission,
+/// insert() once the prompt is fully consumed.
+///
+/// Threading model: submit()/wait_result()/stats() are thread-safe;
+/// step()/run() must be called from one driver thread at a time. Token
+/// callbacks fire on the driver thread.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/infer.hpp"
+#include "nn/transformer.hpp"
+#include "serve/radix_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace chipalign {
+
+/// Opaque handle for a submitted request; assigned by submit().
+using SessionId = std::int64_t;
+
+/// Serving engine knobs. Defaults suit the test-scale models in this repo.
+struct ServeConfig {
+  /// Sessions resident (holding KV) at once; excess submissions queue.
+  std::size_t max_sessions = 32;
+  /// Admission budget for resident sessions' KV bytes. 0 = unlimited.
+  std::size_t max_kv_bytes = 0;
+  /// Widest batched step; more runnable sessions round-robin across steps.
+  std::int64_t max_batch = 16;
+  /// Budget for the shared prefix cache; 0 disables prefix reuse.
+  std::size_t prefix_cache_bytes = 0;
+  /// Pool for fanning per-session attention inside a batched step; nullptr
+  /// uses the global pool. Purely a throughput knob (bits never change).
+  ThreadPool* pool = nullptr;
+};
+
+/// One generation request. Prompt tokens are raw ids (use text_request()
+/// to encode a string the way generate() does, with <bos>).
+struct Request {
+  std::vector<TokenId> prompt;
+  std::int64_t max_new_tokens = 128;
+  double temperature = 0.0;  ///< 0 => greedy decoding
+  std::uint64_t seed = 7;    ///< sampler stream, used when temperature > 0
+  bool stop_at_newline = false;
+  /// Streaming callback, fired on the driver thread as each token is
+  /// emitted (before the result is complete). May be empty.
+  std::function<void(SessionId, TokenId)> on_token;
+};
+
+/// Completed generation.
+struct SessionResult {
+  std::vector<TokenId> tokens;  ///< emitted tokens (no prompt, no <eos>)
+  std::string text;             ///< tokens decoded
+  std::int64_t prompt_tokens = 0;
+  std::int64_t cached_tokens = 0;  ///< prompt tokens served by prefix cache
+};
+
+/// Aggregate serving counters (see also RadixKvCache::Stats).
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t steps = 0;          ///< batched decode steps executed
+  std::int64_t step_tokens = 0;    ///< tokens advanced across all steps
+  std::int64_t peak_batch = 0;     ///< widest batch seen
+  std::int64_t peak_resident = 0;  ///< most concurrently resident sessions
+  RadixKvCache::Stats cache;
+};
+
+class Server {
+ public:
+  Server(const TransformerModel& model, ServeConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Validates and enqueues a request; returns its handle. Throws Error on
+  /// an unservable request: empty prompt, prompt at/over the context
+  /// window, out-of-vocab tokens, non-positive token budget, or a KV
+  /// footprint no budget state could ever admit. Thread-safe.
+  SessionId submit(Request request);
+
+  /// Builds a Request for a text prompt exactly the way generate() would:
+  /// <bos>-prefixed encoding and the GenerateOptions sampling knobs.
+  Request text_request(std::string_view prompt,
+                       const GenerateOptions& options = {},
+                       bool stop_at_newline = false) const;
+
+  /// Advances every runnable session by one token (one batched decode
+  /// step), admitting queued sessions first. Returns false when no queued
+  /// or resident work remains. Driver thread only.
+  bool step();
+
+  /// Runs step() until all submitted work has completed.
+  void run();
+
+  /// True when queued or resident sessions exist. Thread-safe.
+  bool busy() const;
+
+  /// Blocks until `id` completes and returns (a copy of) its result.
+  /// Throws Error for an id submit() never returned. The driver must be
+  /// running (or the session already finished) or this waits forever.
+  SessionResult wait_result(SessionId id);
+
+  ServerStats stats() const;
+
+ private:
+  struct Session;
+
+  void admit_locked();
+  TokenId sample_next(Session& session, std::span<const float> row);
+  void finish_locked(std::unique_ptr<Session> session);
+
+  const TransformerModel& model_;
+  ServeConfig config_;
+  RadixKvCache cache_;
+  DecodeScratch scratch_;
+  std::vector<float> logits_;  ///< [max_batch, vocab]
+  TokenId newline_id_ = -1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable finished_cv_;
+  SessionId next_id_ = 1;
+  std::vector<std::unique_ptr<Session>> waiting_;  ///< FIFO admission queue
+  std::vector<std::unique_ptr<Session>> active_;   ///< resident sessions
+  std::size_t resident_kv_bytes_ = 0;
+  std::size_t rr_next_ = 0;  ///< round-robin cursor into active_
+  std::map<SessionId, SessionResult> results_;
+  ServerStats stats_;
+};
+
+}  // namespace chipalign

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "tensor/kernels/backend.hpp"
 #include "util/thread_pool.hpp"
@@ -45,9 +46,19 @@ constexpr std::int64_t kMatvecRowBlock = 64;
 /// Fan out across the pool only when the multiply does at least this many
 /// scalar MACs; below it, task overhead dominates.
 constexpr std::int64_t kParallelMacs = std::int64_t{1} << 22;
-/// Matvec fan-out threshold. Lower than kParallelMacs: a decode step issues
-/// one matvec per projection, so even ~1M-MAC logits projections benefit.
-constexpr std::int64_t kMatvecParallelMacs = std::int64_t{1} << 20;
+
+/// Runtime override for the matvec fan-out threshold; 0 means "use the
+/// default" (env var or built-in). See matvec_parallel_macs() in the header.
+std::int64_t g_matvec_parallel_macs = 0;
+
+std::int64_t default_matvec_parallel_macs() {
+  if (const char* env = std::getenv("CHIPALIGN_MATVEC_PAR_MACS")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && parsed > 0) return parsed;
+  }
+  return std::int64_t{1} << 21;
+}
 
 /// Splits [0, extent) into fixed `block`-sized chunks and runs body(lo, hi)
 /// for each, across the pool when the work is large enough. parallel_for
@@ -78,6 +89,15 @@ bool simd_available() {
 const char* backend_name() { return use_avx2() ? "avx2" : "generic"; }
 
 void force_generic(bool on) { g_force_generic = on; }
+
+std::int64_t matvec_parallel_macs() {
+  static const std::int64_t configured = default_matvec_parallel_macs();
+  return g_matvec_parallel_macs > 0 ? g_matvec_parallel_macs : configured;
+}
+
+void set_matvec_parallel_macs(std::int64_t macs) {
+  g_matvec_parallel_macs = macs;
+}
 
 double dot(const float* a, const float* b, std::size_t n) {
 #if defined(CHIPALIGN_HAVE_AVX2)
@@ -168,7 +188,7 @@ void parallel_matvec(const float* w, const float* x, float* y,
                      ThreadPool* pool) {
   const std::int64_t blocks =
       (out_dim + kMatvecRowBlock - 1) / kMatvecRowBlock;
-  if (blocks <= 1 || out_dim * in_dim < kMatvecParallelMacs) {
+  if (blocks <= 1 || out_dim * in_dim < matvec_parallel_macs()) {
     matvec(w, x, y, out_dim, in_dim);
     return;
   }

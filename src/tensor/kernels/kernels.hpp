@@ -65,6 +65,23 @@ const char* backend_name();
 /// backend. Not thread-safe; flip only around single-threaded test sections.
 void force_generic(bool on);
 
+// -- tuning ------------------------------------------------------------------
+
+/// MAC threshold below which parallel_matvec runs serially. The default is
+/// 2^21 (~2M MACs, roughly half a millisecond of serial work): profiling
+/// the decode path showed that even with the work-sharing parallel_for
+/// dispatch, fanning out sub-half-millisecond projections loses more to
+/// worker wake-up latency than the parallelism recovers (the near-1.0x
+/// 1→4-thread scaling ROADMAP item 5 describes). Overridable per host via
+/// the CHIPALIGN_MATVEC_PAR_MACS environment variable (read once) or
+/// set_matvec_parallel_macs().
+std::int64_t matvec_parallel_macs();
+
+/// Overrides the parallel_matvec threshold; 0 restores the built-in/env
+/// default. Like force_generic, not thread-safe: set it before spinning up
+/// concurrent work (bench/test hook).
+void set_matvec_parallel_macs(std::int64_t macs);
+
 // -- reductions (8-lane double accumulation, fixed combine tree) -------------
 
 /// Sum of elementwise products, accumulated per the reduction contract.

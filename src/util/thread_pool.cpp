@@ -75,11 +75,52 @@ void ThreadPool::parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  // Work-sharing dispatch: helpers and the calling thread pull indices from
+  // a shared counter, so the queue sees at most workers_.size() entries (one
+  // lock + one notify each) instead of `count` — and the caller's share of
+  // indices runs immediately, before any worker has even woken up. Index →
+  // thread assignment becomes scheduling-dependent, but each index runs
+  // exactly once, which is all the deterministic kernels require.
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&fn, &next, count] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
   Batch batch;
-  for (std::size_t i = 0; i < count; ++i) {
-    submit(batch, [&fn, i] { fn(i); });
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  const auto helper = [&batch, &drain] {
+    try {
+      if (!batch.cancelled()) drain();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.mutex_);
+      if (!batch.first_error_) batch.first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(batch.mutex_);
+    if (--batch.pending_ == 0) batch.done_.notify_all();
+  };
+  {
+    std::lock_guard<std::mutex> lock(batch.mutex_);
+    batch.pending_ = helpers;
   }
-  batch.wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) tasks_.push(helper);
+  }
+  if (helpers > 1) {
+    task_available_.notify_all();
+  } else {
+    task_available_.notify_one();
+  }
+  std::exception_ptr caller_error;
+  try {
+    drain();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  batch.wait();  // rethrows the first helper error, if any
+  if (caller_error) std::rethrow_exception(caller_error);
 }
 
 void ThreadPool::worker_loop() {

@@ -201,6 +201,48 @@ TEST_F(InferEngine, SnapshotRoundtripReplaysIdenticalDecode) {
   EXPECT_EQ(first_run, second_run);
 }
 
+// restore() must reject snapshots it cannot install instead of silently
+// corrupting the KV cache: positions beyond the cache capacity, snapshots
+// taken over a differently-shaped model, and internally inconsistent ones.
+TEST_F(InferEngine, RestoreRejectsOversizedPosition) {
+  Rng rng(26);
+  const TransformerModel model(engine_config(), rng);
+  InferenceSession session(model);
+  session.prefill(ramp_tokens(4, model.config().vocab_size, 7));
+  InferenceSession::Snapshot snap = session.snapshot();
+  snap.position = model.config().max_seq_len + 1;
+  EXPECT_THROW(session.restore(snap), Error);
+  snap.position = -1;
+  EXPECT_THROW(session.restore(snap), Error);
+}
+
+TEST_F(InferEngine, RestoreRejectsSnapshotFromDifferentModelShape) {
+  Rng rng(27);
+  const TransformerModel model(engine_config(), rng);
+  ModelConfig other_config = engine_config();
+  other_config.n_layers = 1;
+  other_config.validate();
+  Rng other_rng(27);
+  const TransformerModel other(other_config, other_rng);
+
+  InferenceSession donor(other);
+  donor.prefill(ramp_tokens(4, other.config().vocab_size, 7));
+  const InferenceSession::Snapshot snap = donor.snapshot();
+
+  InferenceSession session(model);
+  EXPECT_THROW(session.restore(snap), Error);
+}
+
+TEST_F(InferEngine, RestoreRejectsInconsistentCacheSizes) {
+  Rng rng(28);
+  const TransformerModel model(engine_config(), rng);
+  InferenceSession session(model);
+  session.prefill(ramp_tokens(4, model.config().vocab_size, 7));
+  InferenceSession::Snapshot snap = session.snapshot();
+  snap.k.pop_back();
+  EXPECT_THROW(session.restore(snap), Error);
+}
+
 TEST_F(InferEngine, SampleFromProbsSkipsZeroProbabilityTail) {
   // The pre-fix sampler fell off the CDF on float underflow and returned
   // the last index even at probability zero. The renormalized walk must
