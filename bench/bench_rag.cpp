@@ -1,0 +1,368 @@
+// bench_rag — the production retrieval subsystem (src/rag).
+//
+// Builds hybrid retrieval indexes over synthetic documentation corpora at
+// fact-base sizes 1k / 100k / 1M (reduced in --quick) and measures, per
+// tier: index build time, persisted save/load time, and batched queries/s
+// for BM25, the exact dense scan, the IVF dense path and the fused hybrid
+// pipeline.
+//
+// Correctness is fatal in every mode:
+//
+//   persist   rankings from a loaded index are bitwise-identical (doc ids
+//             AND scores) to the in-memory build it was saved from.
+//   batch     retrieve_batch across the thread pool is bitwise-identical
+//             to serial retrieve() per query.
+//
+// Gates (--gate):
+//
+//   rag_ann_recall    IVF recall@10 vs the exact dense scan >= 0.95 at the
+//                     100k-doc tier (the ANN trade-off knob is nprobe).
+//   rag_ann_speedup   IVF dense queries/s >= 3x the exact scan at 100k
+//                     docs — the algorithmic win, independent of cores.
+//
+//   bench_rag            full sizes, report only
+//   bench_rag --gate     full sizes, enforce the gates (exit 1 on miss)
+//   bench_rag --quick    tiny sizes, no gates (CI smoke / sanitizers)
+//   bench_rag --json P   also write a machine-readable summary to P
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rag/retrieval.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace chipalign;
+
+namespace {
+
+struct Tier {
+  std::size_t docs = 0;
+  std::size_t embed_dim = 256;
+  std::size_t ann_nlist = 0;  ///< 0 = auto (~sqrt(N))
+  std::size_t queries = 256;
+  bool persist = true;  ///< run the save/load identity phase
+};
+
+struct Sizes {
+  std::vector<Tier> tiers;
+  std::size_t recall_tier = 1;  ///< index into tiers for the ANN gates
+  std::size_t nprobe = 8;
+  std::size_t top_k = 10;
+};
+
+Sizes full_sizes() {
+  Sizes s;
+  // 1M keeps dim/queries modest (the point is scale, not feature width)
+  // and skips the persist phase to bound the bench's disk footprint.
+  s.tiers = {{1'000, 256, 0, 256, true},
+             {100'000, 256, 0, 256, true},
+             {1'000'000, 64, 256, 64, false}};
+  s.recall_tier = 1;
+  // ~sqrt(100k) = 316 partitions; probing 32 (~10%) clears recall 0.95
+  // while keeping the ANN scan well above the 3x throughput floor.
+  s.nprobe = 32;
+  return s;
+}
+
+Sizes quick_sizes() {
+  Sizes s;
+  s.tiers = {{200, 64, 0, 32, true}, {2'000, 64, 0, 64, true}};
+  s.recall_tier = 1;
+  s.nprobe = 12;
+  return s;
+}
+
+/// Deterministic synthetic documentation corpus: templated sentences over a
+/// shared vocabulary plus a rare per-document identifier token, so queries
+/// have both common-word and rare-term structure like the real fact base.
+std::vector<std::string> synth_corpus(std::size_t count) {
+  static const char* kSubjects[] = {"command", "stage", "panel", "signal",
+                                    "macro",   "net",   "clock", "driver"};
+  static const char* kVerbs[] = {"routes", "checks", "reports", "updates",
+                                 "exports", "buffers", "places", "syncs"};
+  static const char* kObjects[] = {"the nets", "the timing arcs",
+                                   "the floorplan", "the scan chains",
+                                   "the power grid", "the netlist",
+                                   "the constraints", "the clock tree"};
+  static const char* kModes[] = {"fast", "safe", "verbose", "batch",
+                                 "strict", "legacy", "debug", "quiet"};
+  Rng rng(0xC0FFEE ^ count);
+  std::vector<std::string> docs;
+  docs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string doc = "the ";
+    doc += kSubjects[rng.uniform_index(8)];
+    doc += " op" + std::to_string(i) + " ";
+    doc += kVerbs[rng.uniform_index(8)];
+    doc += " ";
+    doc += kObjects[rng.uniform_index(8)];
+    doc += " in ";
+    doc += kModes[rng.uniform_index(8)];
+    doc += " mode";
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+/// Queries referencing real documents (by their rare token) with phrasing
+/// noise, so both retriever halves have work to do.
+std::vector<std::string> synth_queries(std::size_t count,
+                                       std::size_t corpus_size) {
+  Rng rng(0xBEEF ^ count);
+  std::vector<std::string> queries;
+  queries.reserve(count);
+  for (std::size_t q = 0; q < count; ++q) {
+    const std::size_t doc = rng.uniform_index(corpus_size);
+    queries.push_back("what does op" + std::to_string(doc) +
+                      " do with the clock nets");
+  }
+  return queries;
+}
+
+bool hits_equal(const std::vector<std::vector<RetrievalHit>>& a,
+                const std::vector<std::vector<RetrievalHit>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].doc_index != b[i][j].doc_index ||
+          a[i][j].score != b[i][j].score) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct GateResult {
+  std::string name;
+  double value = 0.0;
+  double floor = 0.0;
+  bool skipped = false;
+  std::string skip_reason;
+  bool pass() const { return skipped || value >= floor; }
+};
+
+void print_gate(const GateResult& g) {
+  if (g.skipped) {
+    std::printf("{\"gate\":\"%s\",\"status\":\"skip\",\"reason\":\"%s\"}\n",
+                g.name.c_str(), g.skip_reason.c_str());
+  } else {
+    std::printf(
+        "{\"gate\":\"%s\",\"value\":%.3f,\"floor\":%.3f,\"status\":\"%s\"}\n",
+        g.name.c_str(), g.value, g.floor, g.pass() ? "pass" : "fail");
+  }
+}
+
+struct TierReport {
+  std::size_t docs = 0;
+  double build_s = 0.0;
+  double save_s = 0.0;
+  double load_s = 0.0;
+  double hybrid_qps = 0.0;
+  double bm25_qps = 0.0;
+  double dense_exact_qps = 0.0;
+  double dense_ann_qps = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool gate = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const Sizes sizes = quick ? quick_sizes() : full_sizes();
+  ThreadPool& pool = global_thread_pool();
+  std::printf("{\"bench\":\"rag\",\"threads\":%zu,\"quick\":%s}\n",
+              pool.size(), quick ? "true" : "false");
+
+  const std::string index_path = "bench_rag_index.bin";
+  bool persist_identical = true;
+  bool batch_identical = true;
+  double ann_recall = 1.0;
+  double ann_speedup = 0.0;
+  std::vector<TierReport> reports;
+
+  for (std::size_t t = 0; t < sizes.tiers.size(); ++t) {
+    const Tier& tier = sizes.tiers[t];
+    TierReport report;
+    report.docs = tier.docs;
+    const auto corpus = synth_corpus(tier.docs);
+    const auto queries = synth_queries(tier.queries, tier.docs);
+
+    // Every tier gets an ANN partition: RetrievalPipeline treats nlist 0 as
+    // "no ANN", so resolve the auto size (~sqrt(N)) here when unset.
+    RetrievalConfig build_config;
+    build_config.embed_dim = tier.embed_dim;
+    build_config.ann_nprobe = sizes.nprobe;
+    build_config.ann_nlist =
+        tier.ann_nlist != 0
+            ? tier.ann_nlist
+            : static_cast<std::size_t>(
+                  std::max(1.0, std::sqrt(static_cast<double>(tier.docs))));
+
+    Timer build_timer;
+    const RetrievalPipeline pipeline(corpus, build_config);
+    report.build_s = build_timer.seconds();
+
+    // -- batched == serial (fatal) ------------------------------------------
+    const auto batched = pipeline.retrieve_batch(queries, sizes.top_k, &pool);
+    std::vector<std::vector<RetrievalHit>> serial(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      serial[q] = pipeline.retrieve(queries[q], sizes.top_k);
+    }
+    if (!hits_equal(batched, serial)) batch_identical = false;
+
+    // -- persisted load == in-memory build (fatal) --------------------------
+    if (tier.persist) {
+      Timer save_timer;
+      pipeline.save(index_path);
+      report.save_s = save_timer.seconds();
+      Timer load_timer;
+      const RetrievalPipeline loaded =
+          RetrievalPipeline::load(index_path, build_config);
+      report.load_s = load_timer.seconds();
+      const auto reloaded = loaded.retrieve_batch(queries, sizes.top_k, &pool);
+      if (!hits_equal(batched, reloaded)) persist_identical = false;
+      std::remove(index_path.c_str());
+    }
+
+    // -- throughput ---------------------------------------------------------
+    const auto qps = [&](auto&& fn) {
+      Timer timer;
+      fn();
+      const double s = timer.seconds();
+      return s > 0.0 ? static_cast<double>(queries.size()) / s : 0.0;
+    };
+    report.hybrid_qps = qps([&] {
+      (void)pipeline.retrieve_batch(queries, sizes.top_k, &pool);
+    });
+    report.bm25_qps = qps([&] {
+      for (const auto& q : queries) (void)pipeline.bm25().query(q, sizes.top_k);
+    });
+    report.dense_exact_qps = qps([&] {
+      for (const auto& q : queries) {
+        (void)pipeline.dense().query(q, sizes.top_k);
+      }
+    });
+    report.dense_ann_qps = qps([&] {
+      for (const auto& q : queries) {
+        (void)pipeline.ann().query(pipeline.dense().embedder().embed(q),
+                                   sizes.top_k, sizes.nprobe,
+                                   pipeline.dense().embeddings());
+      }
+    });
+
+    // -- ANN recall vs the exact dense scan (gated tier only) ---------------
+    if (t == sizes.recall_tier) {
+      double recall_sum = 0.0;
+      std::size_t recall_n = 0;
+      for (const auto& q : queries) {
+        const auto exact = pipeline.dense().query(q, sizes.top_k);
+        if (exact.empty()) continue;
+        const auto approx = pipeline.ann().query(
+            pipeline.dense().embedder().embed(q), sizes.top_k, sizes.nprobe,
+            pipeline.dense().embeddings());
+        std::set<std::size_t> approx_ids;
+        for (const auto& hit : approx) approx_ids.insert(hit.doc_index);
+        std::size_t found = 0;
+        for (const auto& hit : exact) found += approx_ids.count(hit.doc_index);
+        recall_sum +=
+            static_cast<double>(found) / static_cast<double>(exact.size());
+        ++recall_n;
+      }
+      ann_recall = recall_n > 0 ? recall_sum / recall_n : 1.0;
+      ann_speedup = report.dense_exact_qps > 0.0
+                        ? report.dense_ann_qps / report.dense_exact_qps
+                        : 0.0;
+    }
+
+    std::printf(
+        "{\"bench\":\"rag_tier\",\"docs\":%zu,\"build_s\":%.3f,"
+        "\"save_s\":%.3f,\"load_s\":%.3f,\"hybrid_qps\":%.1f,"
+        "\"bm25_qps\":%.1f,\"dense_exact_qps\":%.1f,\"dense_ann_qps\":%.1f}"
+        "\n",
+        report.docs, report.build_s, report.save_s, report.load_s,
+        report.hybrid_qps, report.bm25_qps, report.dense_exact_qps,
+        report.dense_ann_qps);
+    reports.push_back(report);
+  }
+
+  GateResult recall_gate{"rag_ann_recall", ann_recall, 0.95, false, {}};
+  GateResult speedup_gate{"rag_ann_speedup", ann_speedup, 3.0, false, {}};
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_rag: cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f, "{\n  \"quick\": %s,\n", quick ? "true" : "false");
+    for (const TierReport& r : reports) {
+      std::fprintf(f,
+                   "  \"docs%zu\": {\"build_s\": %.3f, \"save_s\": %.3f, "
+                   "\"load_s\": %.3f, \"hybrid_qps\": %.1f, \"bm25_qps\": "
+                   "%.1f, \"dense_exact_qps\": %.1f, \"dense_ann_qps\": "
+                   "%.1f},\n",
+                   r.docs, r.build_s, r.save_s, r.load_s, r.hybrid_qps,
+                   r.bm25_qps, r.dense_exact_qps, r.dense_ann_qps);
+    }
+    std::fprintf(f,
+                 "  \"ann_recall_at_%zu\": %.4f,\n"
+                 "  \"ann_speedup\": %.2f,\n"
+                 "  \"persist_identical\": %s,\n"
+                 "  \"batch_identical\": %s\n"
+                 "}\n",
+                 sizes.top_k, ann_recall, ann_speedup,
+                 persist_identical ? "true" : "false",
+                 batch_identical ? "true" : "false");
+    std::fclose(f);
+  }
+
+  // A retrieval stack that changes rankings when persisted or batched is
+  // broken, not slow — fatal in every mode.
+  if (!persist_identical) {
+    std::fprintf(stderr,
+                 "bench_rag: FAILED (loaded index rankings differ from the "
+                 "in-memory build)\n");
+    return 1;
+  }
+  if (!batch_identical) {
+    std::fprintf(stderr,
+                 "bench_rag: FAILED (batched retrieval differs from serial)"
+                 "\n");
+    return 1;
+  }
+
+  if (gate) {
+    bool ok = true;
+    for (const GateResult& g : {recall_gate, speedup_gate}) {
+      print_gate(g);
+      if (!g.pass()) {
+        std::fprintf(stderr, "GATE MISS: %s %.3f < required %.3f\n",
+                     g.name.c_str(), g.value, g.floor);
+        ok = false;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bench_rag: FAILED (retrieval gate)\n");
+      return 1;
+    }
+    std::printf("{\"gate\":\"pass\"}\n");
+  }
+  return 0;
+}

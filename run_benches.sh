@@ -10,10 +10,12 @@
 # bench_infer additionally writes BENCH_infer.json (machine-readable
 # decode/matvec/MCQ numbers) next to this script in both modes,
 # bench_serve writes BENCH_serve.json (batched-serving throughput and
-# prefix-cache hit rates), and bench_stream_merge writes
-# BENCH_stream_merge.json (timings, RSS, gate results, and the
-# fault-injection status — failpoints are compiled into the measured
-# binaries but stay disarmed unless CHIPALIGN_FAILPOINTS is set).
+# prefix-cache hit rates), bench_rag writes BENCH_rag.json (retrieval
+# build/load times, queries/s per fact-base size, ANN recall), and
+# bench_stream_merge writes BENCH_stream_merge.json (timings, RSS, gate
+# results, and the fault-injection status — failpoints are compiled into
+# the measured binaries but stay disarmed unless CHIPALIGN_FAILPOINTS is
+# set).
 #
 # Every gated bench runs to completion even when an earlier one fails; a
 # per-bench PASS/FAIL summary is printed at the end and the exit status is
@@ -64,6 +66,9 @@ if [ "${1:-}" = "--quick" ]; then
   b=build/bench/bench_serve
   [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
   run_gated "$b --quick" "$b" --quick --json BENCH_serve.json
+  b=build/bench/bench_rag
+  [ -x "$b" ] || { echo "$b not built (run cmake --build build)"; exit 2; }
+  run_gated "$b --quick" "$b" --quick --json BENCH_rag.json
   report
 fi
 
@@ -78,6 +83,8 @@ for b in build/bench/bench_*; do
       run_gated "$b --gate" "$b" --gate --json BENCH_infer.json ;;
     */bench_serve)
       run_gated "$b --gate" "$b" --gate --json BENCH_serve.json ;;
+    */bench_rag)
+      run_gated "$b --gate" "$b" --gate --json BENCH_rag.json ;;
     *)
       echo ""
       echo "######## $b ########"

@@ -21,7 +21,10 @@ EvalSuite build_eval_suite(const FactBase& facts) {
                                            /*per_domain=*/5);
   suite.mcq = build_mcq_eval(facts, /*seed=*/903, /*per_domain=*/10);
   suite.ifeval = build_ifeval_set(/*seed=*/904, /*count=*/120);
-  suite.rag = std::make_unique<RetrievalPipeline>(facts.corpus_sentences());
+  // One shared DocStore: the corpus is held once and both retriever halves
+  // of the pipeline reference it.
+  suite.rag = std::make_unique<RetrievalPipeline>(
+      make_doc_store(facts.corpus_sentences()));
   return suite;
 }
 

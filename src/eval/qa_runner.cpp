@@ -85,15 +85,22 @@ CategoryScores run_openroad_eval(const TransformerModel& model,
                                  const RetrievalPipeline* rag,
                                  std::size_t rag_top_k, ThreadPool* pool) {
   CA_CHECK(!items.empty(), "OpenROAD eval set is empty");
+  // Retrieval runs as one batch up front (fanned across the pool); per-query
+  // results are bitwise-identical to serial retrieve_texts calls, so the
+  // prompts — and the scores — are unchanged.
+  std::vector<std::vector<std::string>> rag_chunks;
+  if (rag != nullptr) {
+    std::vector<std::string> questions;
+    questions.reserve(items.size());
+    for (const QaEvalItem& item : items) questions.push_back(item.question);
+    rag_chunks = rag->retrieve_texts_batch(questions, rag_top_k, pool);
+  }
   const auto scores = map_items<ItemScore>(
       items.size(), pool, [&](std::size_t index) {
         const QaEvalItem& item = items[index];
-        std::vector<std::string> chunks;
-        if (rag != nullptr) {
-          chunks = rag->retrieve_texts(item.question, rag_top_k);
-        } else {
-          chunks.push_back(item.golden_context);
-        }
+        const std::vector<std::string> chunks =
+            rag != nullptr ? rag_chunks[index]
+                           : std::vector<std::string>{item.golden_context};
         const std::string prompt = qa_prompt(
             instruction_header(item.instructions), chunks, item.question);
         const std::string response = generate(model, prompt, answer_options(),
@@ -110,15 +117,29 @@ CategoryScores run_industrial_eval(const TransformerModel& model,
                                    bool multi_turn, std::size_t rag_top_k,
                                    ThreadPool* pool) {
   CA_CHECK(!items.empty(), "industrial eval set is empty");
+  // Both turns' questions are known up front (turn 2 retrieves by its own
+  // question, not by the model's turn-1 answer), so all retrieval runs as
+  // two batches before any generation — identical chunks to the serial
+  // per-item calls.
+  std::vector<std::string> turn1_questions;
+  std::vector<std::string> turn2_questions;
+  for (const IndustrialItem& item : items) {
+    CA_CHECK(item.turns.size() >= 2, "industrial items need two turns");
+    turn1_questions.push_back(item.turns[0].question);
+    turn2_questions.push_back(item.turns[1].question);
+  }
+  const auto turn1_chunks =
+      rag.retrieve_texts_batch(turn1_questions, rag_top_k, pool);
+  const auto turn2_chunks =
+      multi_turn ? rag.retrieve_texts_batch(turn2_questions, rag_top_k, pool)
+                 : std::vector<std::vector<std::string>>{};
   const auto scores = map_items<ItemScore>(
       items.size(), pool, [&](std::size_t index) {
         const IndustrialItem& item = items[index];
-        CA_CHECK(item.turns.size() >= 2, "industrial items need two turns");
         const std::string header = instruction_header(item.instructions);
 
         // Turn 1.
-        const std::vector<std::string> chunks1 =
-            rag.retrieve_texts(item.turns[0].question, rag_top_k);
+        const std::vector<std::string>& chunks1 = turn1_chunks[index];
         const std::string prompt1 =
             qa_prompt(header, chunks1, item.turns[0].question);
         const std::string response1 = generate(model, prompt1,
@@ -135,8 +156,7 @@ CategoryScores run_industrial_eval(const TransformerModel& model,
         // Turn 2: the follow-up sees the first exchange (with the model's
         // own answer) plus retrieved context for the new question.
         std::vector<std::string> chunks2 = chunks1;
-        for (const std::string& chunk :
-             rag.retrieve_texts(item.turns[1].question, rag_top_k)) {
+        for (const std::string& chunk : turn2_chunks[index]) {
           if (std::find(chunks2.begin(), chunks2.end(), chunk) ==
               chunks2.end()) {
             chunks2.push_back(chunk);

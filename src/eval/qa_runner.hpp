@@ -7,7 +7,10 @@
 /// Parallelism is deterministic by construction: per-item results are
 /// gathered into a slot indexed by item, then reduced in item order, and the
 /// per-item inference itself runs on the bitwise-deterministic kernel layer
-/// — so scores are identical to the serial path at any thread count.
+/// — so scores are identical to the serial path at any thread count. RAG
+/// contexts are fetched as one retrieve_texts_batch up front (itself fanned
+/// across the same pool, bitwise-equal to serial retrieval) before any
+/// generation starts.
 
 #include <map>
 #include <string>

@@ -1,0 +1,182 @@
+#include "rag/ann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace chipalign {
+
+namespace {
+
+/// Dot product of two dim-length float rows, accumulated in fp64 (the same
+/// contract as HashedEmbedder::cosine, so IVF scores match exact scores
+/// bitwise).
+double dot(const float* a, const float* b, std::size_t dim) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+/// Index of the nearest centroid by dot product; ties toward lower index.
+std::size_t nearest_centroid(const float* vec,
+                             const std::vector<float>& centroids,
+                             std::size_t nlist, std::size_t dim) {
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t c = 0; c < nlist; ++c) {
+    const double score = dot(vec, centroids.data() + c * dim, dim);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IvfIndex IvfIndex::build(const std::vector<float>& embeddings,
+                         std::size_t dim, const IvfConfig& config,
+                         ThreadPool* pool) {
+  CA_CHECK(dim > 0, "IVF build needs a positive dim");
+  CA_CHECK(!embeddings.empty() && embeddings.size() % dim == 0,
+           "IVF build: embedding block of " << embeddings.size()
+                                            << " floats is not a multiple of "
+                                               "dim "
+                                            << dim);
+  const std::size_t count = embeddings.size() / dim;
+
+  std::size_t nlist = config.nlist;
+  if (nlist == 0) {
+    nlist = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(count))));
+  }
+  nlist = std::clamp<std::size_t>(nlist, 1, std::min<std::size_t>(count, 4096));
+
+  // Deterministic stride subsample for k-means training.
+  const std::size_t sample =
+      std::min<std::size_t>(count, std::max<std::size_t>(config.train_sample,
+                                                         nlist));
+  const std::size_t stride = count / sample;
+  std::vector<std::size_t> train;
+  train.reserve(sample);
+  for (std::size_t i = 0; i < sample; ++i) train.push_back(i * stride);
+
+  // Init: spread seeds across the training sample.
+  IvfIndex index;
+  index.dim_ = dim;
+  index.centroids_.resize(nlist * dim);
+  for (std::size_t c = 0; c < nlist; ++c) {
+    const std::size_t doc = train[c * train.size() / nlist];
+    std::copy_n(embeddings.data() + doc * dim, dim,
+                index.centroids_.data() + c * dim);
+  }
+
+  // Spherical k-means on the sample: assign to max-dot centroid, recompute
+  // means, renormalize. Empty partitions keep their previous centroid.
+  std::vector<double> sums(nlist * dim);
+  std::vector<std::size_t> members(nlist);
+  for (int iter = 0; iter < config.train_iters; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(members.begin(), members.end(), 0);
+    for (const std::size_t doc : train) {
+      const float* vec = embeddings.data() + doc * dim;
+      const std::size_t c = nearest_centroid(vec, index.centroids_, nlist,
+                                             dim);
+      double* sum = sums.data() + c * dim;
+      for (std::size_t i = 0; i < dim; ++i) sum[i] += vec[i];
+      ++members[c];
+    }
+    for (std::size_t c = 0; c < nlist; ++c) {
+      if (members[c] == 0) continue;
+      const double* sum = sums.data() + c * dim;
+      double norm_sq = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) norm_sq += sum[i] * sum[i];
+      if (norm_sq <= 0.0) continue;
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      float* centroid = index.centroids_.data() + c * dim;
+      for (std::size_t i = 0; i < dim; ++i) {
+        centroid[i] = static_cast<float>(sum[i] * inv);
+      }
+    }
+  }
+
+  // Final assignment of every document — the expensive O(N * nlist * dim)
+  // pass. Each document writes only its own slot, so fanning it across the
+  // pool keeps the partition lists bitwise-identical to a serial build.
+  std::vector<std::uint32_t> assignment(count);
+  const auto assign_one = [&](std::size_t doc) {
+    assignment[doc] = static_cast<std::uint32_t>(nearest_centroid(
+        embeddings.data() + doc * dim, index.centroids_, nlist, dim));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(count, assign_one);
+  } else {
+    for (std::size_t doc = 0; doc < count; ++doc) assign_one(doc);
+  }
+
+  index.lists_.resize(nlist);
+  for (std::size_t doc = 0; doc < count; ++doc) {
+    index.lists_[assignment[doc]].push_back(
+        static_cast<std::uint32_t>(doc));
+  }
+  return index;
+}
+
+IvfIndex IvfIndex::from_parts(std::size_t dim, std::vector<float> centroids,
+                              std::vector<std::vector<std::uint32_t>> lists) {
+  CA_CHECK(dim > 0, "IVF parts need a positive dim");
+  CA_CHECK(!lists.empty() && centroids.size() == lists.size() * dim,
+           "IVF parts: " << centroids.size() << " centroid floats do not "
+                         << "cover " << lists.size() << " partitions x dim "
+                         << dim);
+  IvfIndex index;
+  index.dim_ = dim;
+  index.centroids_ = std::move(centroids);
+  index.lists_ = std::move(lists);
+  return index;
+}
+
+std::vector<RetrievalHit> IvfIndex::query(
+    std::span<const float> query_vec, std::size_t top_k, std::size_t nprobe,
+    const std::vector<float>& embeddings) const {
+  CA_CHECK(!empty(), "query on an empty IVF index");
+  CA_CHECK(query_vec.size() == dim_, "IVF query vector dim mismatch");
+  CA_CHECK(embeddings.size() % dim_ == 0,
+           "IVF query: embedding block mismatch");
+  const std::size_t nlist = lists_.size();
+  nprobe = std::clamp<std::size_t>(nprobe, 1, nlist);
+
+  // Rank partitions by centroid similarity (ties toward lower index).
+  std::vector<RetrievalHit> parts;
+  parts.reserve(nlist);
+  for (std::size_t c = 0; c < nlist; ++c) {
+    parts.push_back(
+        {c, dot(query_vec.data(), centroids_.data() + c * dim_, dim_)});
+  }
+  const auto by_score = [](const RetrievalHit& a, const RetrievalHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_index < b.doc_index;
+  };
+  std::partial_sort(parts.begin(), parts.begin() + nprobe, parts.end(),
+                    by_score);
+
+  // Exact scoring within the probed partitions.
+  std::vector<RetrievalHit> hits;
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    for (const std::uint32_t doc : lists_[parts[p].doc_index]) {
+      const double sim =
+          dot(query_vec.data(), embeddings.data() + doc * dim_, dim_);
+      if (sim > 0.0) hits.push_back({doc, sim});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), by_score);
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace chipalign

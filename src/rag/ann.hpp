@@ -1,0 +1,76 @@
+#pragma once
+/// \file ann.hpp
+/// \brief IVF-style approximate-nearest-neighbor index over dense embeddings.
+///
+/// Large fact bases make the brute-force dense scan the retrieval
+/// bottleneck, so the dense side gets a classic inverted-file (IVF)
+/// partition: spherical k-means clusters the (L2-normalized) document
+/// embeddings into nlist partitions; a query scores all centroids, probes
+/// the nprobe nearest partitions, and scores only their documents exactly.
+/// Expected scan cost drops from O(N * dim) to O((nlist + N * nprobe /
+/// nlist) * dim), with recall controlled by the nprobe knob.
+///
+/// Everything is deterministic: training samples by fixed stride, k-means
+/// ties break toward the lower centroid index, and the final assignment
+/// writes one slot per document, so a parallel build is bitwise-identical
+/// to a serial one at any thread count.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rag/common.hpp"
+
+namespace chipalign {
+
+class ThreadPool;
+
+/// IVF build knobs.
+struct IvfConfig {
+  std::size_t nlist = 0;  ///< partitions; 0 = auto (~sqrt(N), capped)
+  std::size_t train_sample = 16384;  ///< k-means training subsample cap
+  int train_iters = 6;               ///< k-means refinement iterations
+};
+
+/// Inverted-file partition over a flat [N * dim] embedding block. The
+/// embeddings themselves stay owned by the DenseIndex; the IVF holds only
+/// centroids and per-partition document lists.
+class IvfIndex {
+ public:
+  /// An empty index (no partitions); query() on it is invalid.
+  IvfIndex() = default;
+
+  /// Clusters `embeddings` ([count * dim] floats, L2-normalized rows).
+  /// \param pool parallelizes the final document->partition assignment;
+  ///   results are bitwise-identical at any pool size.
+  static IvfIndex build(const std::vector<float>& embeddings, std::size_t dim,
+                        const IvfConfig& config = {},
+                        ThreadPool* pool = nullptr);
+
+  /// Reassembles an index from persisted parts (index_store).
+  static IvfIndex from_parts(std::size_t dim, std::vector<float> centroids,
+                             std::vector<std::vector<std::uint32_t>> lists);
+
+  bool empty() const { return centroids_.empty(); }
+  std::size_t dim() const { return dim_; }
+  std::size_t nlist() const { return lists_.size(); }
+  const std::vector<float>& centroids() const { return centroids_; }
+  const std::vector<std::vector<std::uint32_t>>& lists() const {
+    return lists_;
+  }
+
+  /// Top-k hits among the nprobe nearest partitions, scored exactly against
+  /// `embeddings` (the block the index was built over). With nprobe >=
+  /// nlist the result equals the brute-force scan exactly (same scores,
+  /// same tie ordering). Zero-similarity documents are omitted.
+  std::vector<RetrievalHit> query(std::span<const float> query_vec,
+                                  std::size_t top_k, std::size_t nprobe,
+                                  const std::vector<float>& embeddings) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<float> centroids_;                   ///< flat [nlist * dim]
+  std::vector<std::vector<std::uint32_t>> lists_;  ///< ascending doc ids
+};
+
+}  // namespace chipalign

@@ -8,58 +8,107 @@
 
 namespace chipalign {
 
-Bm25Index::Bm25Index(std::vector<std::string> documents, double k1, double b)
+Bm25Index::Bm25Index(DocStore documents, double k1, double b)
     : documents_(std::move(documents)), k1_(k1), b_(b) {
-  CA_CHECK(!documents_.empty(), "BM25 index needs at least one document");
+  CA_CHECK(documents_ != nullptr && !documents_->empty(),
+           "BM25 index needs at least one document");
   CA_CHECK(k1_ > 0.0 && b_ >= 0.0 && b_ <= 1.0, "invalid BM25 parameters");
 
-  doc_tokens_.reserve(documents_.size());
-  doc_len_.reserve(documents_.size());
-  double total_len = 0.0;
-  for (std::size_t d = 0; d < documents_.size(); ++d) {
-    doc_tokens_.push_back(word_tokens(documents_[d]));
-    doc_len_.push_back(static_cast<double>(doc_tokens_.back().size()));
-    total_len += doc_len_.back();
+  doc_token_counts_.reserve(documents_->size());
+  for (std::size_t d = 0; d < documents_->size(); ++d) {
+    const std::vector<std::string> tokens = word_tokens((*documents_)[d]);
+    doc_token_counts_.push_back(static_cast<std::uint32_t>(tokens.size()));
 
-    // Record each document once per distinct term.
-    std::vector<std::string> seen;
-    for (const std::string& term : doc_tokens_.back()) {
-      if (std::find(seen.begin(), seen.end(), term) == seen.end()) {
-        seen.push_back(term);
-        postings_[term].push_back(d);
-      }
+    // Count each term once per document; the postings carry the frequency,
+    // so queries never rescan the document's token list.
+    std::map<std::string, std::uint32_t> tf;
+    for (const std::string& term : tokens) ++tf[term];
+    for (const auto& [term, freq] : tf) {
+      postings_[term].push_back({static_cast<std::uint32_t>(d), freq});
     }
   }
-  avg_doc_len_ = total_len / static_cast<double>(documents_.size());
+  finalize_statistics();
+}
 
-  const auto n = static_cast<double>(documents_.size());
-  for (const auto& [term, docs] : postings_) {
-    const auto df = static_cast<double>(docs.size());
+Bm25Index::Bm25Index(std::vector<std::string> documents, double k1, double b)
+    : Bm25Index(make_doc_store(std::move(documents)), k1, b) {}
+
+Bm25Index::Bm25Index(FromPartsTag, DocStore documents, double k1, double b)
+    : documents_(std::move(documents)), k1_(k1), b_(b) {
+  CA_CHECK(documents_ != nullptr && !documents_->empty(),
+           "BM25 index needs at least one document");
+  CA_CHECK(k1_ > 0.0 && b_ >= 0.0 && b_ <= 1.0, "invalid BM25 parameters");
+}
+
+Bm25Index Bm25Index::from_parts(
+    DocStore documents, double k1, double b,
+    std::vector<std::uint32_t> doc_token_counts,
+    std::map<std::string, std::vector<Bm25Posting>> postings) {
+  Bm25Index index(FromPartsTag{}, std::move(documents), k1, b);
+  CA_CHECK(doc_token_counts.size() == index.documents_->size(),
+           "BM25 parts: token-count table covers "
+               << doc_token_counts.size() << " documents, store has "
+               << index.documents_->size());
+  index.doc_token_counts_ = std::move(doc_token_counts);
+  index.postings_ = std::move(postings);
+  for (const auto& [term, posting_list] : index.postings_) {
+    CA_CHECK(!posting_list.empty(),
+             "BM25 parts: term '" << term << "' has an empty postings list");
+    for (const Bm25Posting& posting : posting_list) {
+      CA_CHECK(posting.doc < index.documents_->size(),
+               "BM25 parts: term '" << term << "' references document "
+                                    << posting.doc << " outside the store");
+    }
+  }
+  index.finalize_statistics();
+  return index;
+}
+
+void Bm25Index::finalize_statistics() {
+  double total_len = 0.0;
+  for (const std::uint32_t count : doc_token_counts_) {
+    total_len += static_cast<double>(count);
+  }
+  avg_doc_len_ = total_len / static_cast<double>(documents_->size());
+
+  const auto n = static_cast<double>(documents_->size());
+  for (const auto& [term, posting_list] : postings_) {
+    const auto df = static_cast<double>(posting_list.size());
     // BM25+ style non-negative idf.
     idf_[term] = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
   }
 }
 
 const std::string& Bm25Index::document(std::size_t index) const {
-  CA_CHECK(index < documents_.size(), "document index out of range");
-  return documents_[index];
+  CA_CHECK(index < documents_->size(), "document index out of range");
+  return (*documents_)[index];
 }
 
 std::vector<RetrievalHit> Bm25Index::query(std::string_view text,
                                            std::size_t top_k) const {
+  // Aggregate the query to distinct terms (first-occurrence order) so a
+  // repeated term contributes once instead of once per occurrence.
   const std::vector<std::string> terms = word_tokens(text);
-  std::vector<double> scores(documents_.size(), 0.0);
-
+  std::vector<std::string> distinct;
+  distinct.reserve(terms.size());
   for (const std::string& term : terms) {
+    if (std::find(distinct.begin(), distinct.end(), term) == distinct.end()) {
+      distinct.push_back(term);
+    }
+  }
+
+  std::vector<double> scores(documents_->size(), 0.0);
+  for (const std::string& term : distinct) {
     const auto idf_it = idf_.find(term);
     if (idf_it == idf_.end()) continue;
     const auto postings_it = postings_.find(term);
-    for (std::size_t d : postings_it->second) {
-      const auto tf = static_cast<double>(
-          std::count(doc_tokens_[d].begin(), doc_tokens_[d].end(), term));
+    for (const Bm25Posting& posting : postings_it->second) {
+      const auto tf = static_cast<double>(posting.tf);
       const double denom =
-          tf + k1_ * (1.0 - b_ + b_ * doc_len_[d] / avg_doc_len_);
-      scores[d] += idf_it->second * tf * (k1_ + 1.0) / denom;
+          tf + k1_ * (1.0 - b_ +
+                      b_ * static_cast<double>(doc_token_counts_[posting.doc]) /
+                          avg_doc_len_);
+      scores[posting.doc] += idf_it->second * tf * (k1_ + 1.0) / denom;
     }
   }
 

@@ -6,6 +6,11 @@
 /// dense bge embedder). Documents are tokenized with word_tokens(); scoring
 /// uses the standard BM25 formula with the non-negative "plus 1" idf variant
 /// so common terms never subtract.
+///
+/// Term frequencies are counted once at build time and stored in the
+/// postings, so a query costs O(postings of its terms) regardless of
+/// document length, and a query term that appears several times ("clock
+/// clock skew") is scored once, not once per occurrence.
 
 #include <cstdint>
 #include <map>
@@ -13,35 +18,67 @@
 #include <string_view>
 #include <vector>
 
+#include "rag/common.hpp"
+
 namespace chipalign {
 
-/// A scored document reference returned by retrieval components.
-struct RetrievalHit {
-  std::size_t doc_index = 0;
-  double score = 0.0;
+/// One postings entry: a document and the term's frequency inside it.
+struct Bm25Posting {
+  std::uint32_t doc = 0;
+  std::uint32_t tf = 0;
 };
 
 /// Immutable BM25 index over a sentence corpus.
 class Bm25Index {
  public:
+  /// Builds over a shared document store (held by reference, not copied).
   /// \param k1 term-frequency saturation; \param b length normalization.
+  explicit Bm25Index(DocStore documents, double k1 = 1.5, double b = 0.75);
+
+  /// Convenience: wraps the corpus into its own store first.
   explicit Bm25Index(std::vector<std::string> documents, double k1 = 1.5,
                      double b = 0.75);
 
-  std::size_t size() const { return documents_.size(); }
+  /// Reassembles an index from persisted parts (index_store). The derived
+  /// statistics (idf, average length) are recomputed from the postings with
+  /// the build-time arithmetic, so scores are bitwise-identical to a fresh
+  /// build over the same corpus.
+  static Bm25Index from_parts(DocStore documents, double k1, double b,
+                              std::vector<std::uint32_t> doc_token_counts,
+                              std::map<std::string, std::vector<Bm25Posting>>
+                                  postings);
+
+  std::size_t size() const { return documents_->size(); }
   const std::string& document(std::size_t index) const;
+  const DocStore& documents() const { return documents_; }
 
   /// Top-k documents by BM25 score (ties broken by lower index). Documents
   /// with zero score are omitted, so fewer than top_k hits may return.
+  /// Repeated query terms are collapsed before scoring.
   std::vector<RetrievalHit> query(std::string_view text,
                                   std::size_t top_k) const;
 
+  // Persisted state (index_store serializes exactly these).
+  double k1() const { return k1_; }
+  double b() const { return b_; }
+  const std::vector<std::uint32_t>& doc_token_counts() const {
+    return doc_token_counts_;
+  }
+  const std::map<std::string, std::vector<Bm25Posting>>& postings() const {
+    return postings_;
+  }
+
  private:
-  std::vector<std::string> documents_;
-  std::vector<std::vector<std::string>> doc_tokens_;
-  std::map<std::string, std::vector<std::size_t>> postings_;  ///< term -> docs
+  struct FromPartsTag {};
+  Bm25Index(FromPartsTag, DocStore documents, double k1, double b);
+
+  /// Computes idf and the average document length from postings + counts.
+  void finalize_statistics();
+
+  DocStore documents_;
+  std::map<std::string, std::vector<Bm25Posting>> postings_;
   std::map<std::string, double> idf_;
-  std::vector<double> doc_len_;
+  std::vector<std::uint32_t> doc_token_counts_;
   double avg_doc_len_ = 0.0;
   double k1_;
   double b_;

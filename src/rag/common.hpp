@@ -1,0 +1,31 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared retrieval types: scored hits and the shared document store.
+///
+/// Every retriever (BM25, dense, ANN) scores documents out of one corpus.
+/// The corpus is held exactly once, behind a shared_ptr, so a hybrid
+/// pipeline holding a lexical and a dense index does not double resident
+/// memory for large fact bases.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chipalign {
+
+/// A scored document reference returned by retrieval components.
+struct RetrievalHit {
+  std::size_t doc_index = 0;
+  double score = 0.0;
+};
+
+/// Immutable corpus shared between retrievers (held once per pipeline).
+using DocStore = std::shared_ptr<const std::vector<std::string>>;
+
+/// Wraps a corpus into a shared store.
+inline DocStore make_doc_store(std::vector<std::string> documents) {
+  return std::make_shared<const std::vector<std::string>>(
+      std::move(documents));
+}
+
+}  // namespace chipalign

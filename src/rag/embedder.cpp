@@ -55,27 +55,61 @@ double HashedEmbedder::cosine(std::span<const float> a,
   return acc;  // inputs are L2-normalized
 }
 
-DenseIndex::DenseIndex(std::vector<std::string> documents,
-                       HashedEmbedder embedder)
+DenseIndex::DenseIndex(DocStore documents, HashedEmbedder embedder)
     : documents_(std::move(documents)), embedder_(embedder) {
-  CA_CHECK(!documents_.empty(), "dense index needs at least one document");
-  embeddings_.reserve(documents_.size());
-  for (const std::string& doc : documents_) {
-    embeddings_.push_back(embedder_.embed(doc));
+  CA_CHECK(documents_ != nullptr && !documents_->empty(),
+           "dense index needs at least one document");
+  embeddings_.reserve(documents_->size() * embedder_.dim());
+  for (const std::string& doc : *documents_) {
+    const std::vector<float> vec = embedder_.embed(doc);
+    embeddings_.insert(embeddings_.end(), vec.begin(), vec.end());
   }
 }
 
+DenseIndex::DenseIndex(std::vector<std::string> documents,
+                       HashedEmbedder embedder)
+    : DenseIndex(make_doc_store(std::move(documents)), embedder) {}
+
+DenseIndex::DenseIndex(FromPartsTag, DocStore documents,
+                       HashedEmbedder embedder)
+    : documents_(std::move(documents)), embedder_(embedder) {
+  CA_CHECK(documents_ != nullptr && !documents_->empty(),
+           "dense index needs at least one document");
+}
+
+DenseIndex DenseIndex::from_parts(DocStore documents, HashedEmbedder embedder,
+                                  std::vector<float> embeddings) {
+  DenseIndex index(FromPartsTag{}, std::move(documents), embedder);
+  CA_CHECK(embeddings.size() ==
+               index.documents_->size() * index.embedder_.dim(),
+           "dense parts: " << embeddings.size() << " floats do not cover "
+                           << index.documents_->size() << " documents x dim "
+                           << index.embedder_.dim());
+  index.embeddings_ = std::move(embeddings);
+  return index;
+}
+
 const std::string& DenseIndex::document(std::size_t index) const {
-  CA_CHECK(index < documents_.size(), "document index out of range");
-  return documents_[index];
+  CA_CHECK(index < documents_->size(), "document index out of range");
+  return (*documents_)[index];
+}
+
+std::span<const float> DenseIndex::embedding(std::size_t index) const {
+  CA_CHECK(index < documents_->size(), "document index out of range");
+  return std::span<const float>(embeddings_).subspan(index * embedder_.dim(),
+                                                     embedder_.dim());
 }
 
 std::vector<RetrievalHit> DenseIndex::query(std::string_view text,
                                             std::size_t top_k) const {
-  const std::vector<float> query_vec = embedder_.embed(text);
+  return query_vec(embedder_.embed(text), top_k);
+}
+
+std::vector<RetrievalHit> DenseIndex::query_vec(
+    std::span<const float> query_vec, std::size_t top_k) const {
   std::vector<RetrievalHit> hits;
-  for (std::size_t d = 0; d < embeddings_.size(); ++d) {
-    const double sim = HashedEmbedder::cosine(query_vec, embeddings_[d]);
+  for (std::size_t d = 0; d < documents_->size(); ++d) {
+    const double sim = HashedEmbedder::cosine(query_vec, embedding(d));
     if (sim > 0.0) hits.push_back({d, sim});
   }
   std::sort(hits.begin(), hits.end(),

@@ -7,6 +7,10 @@
 /// bucket; the resulting count vector is L2-normalized. Cosine similarity of
 /// such vectors is a serviceable semantic proxy for the short documentation
 /// sentences in this repo's corpus.
+///
+/// DenseIndex stores the corpus embeddings as one flat [size * dim] float
+/// block (cache-friendly to scan, trivially serializable) and reads its
+/// documents out of the shared DocStore.
 
 #include <cstdint>
 #include <span>
@@ -14,7 +18,7 @@
 #include <string_view>
 #include <vector>
 
-#include "rag/bm25.hpp"
+#include "rag/common.hpp"
 
 namespace chipalign {
 
@@ -25,6 +29,7 @@ class HashedEmbedder {
   explicit HashedEmbedder(std::size_t dim = 256, int ngram = 3);
 
   std::size_t dim() const { return dim_; }
+  int ngram() const { return ngram_; }
 
   /// L2-normalized embedding (zero vector for texts shorter than n).
   std::vector<float> embed(std::string_view text) const;
@@ -39,19 +44,42 @@ class HashedEmbedder {
 /// Brute-force cosine-similarity index over precomputed embeddings.
 class DenseIndex {
  public:
+  /// Embeds every document of a shared store.
+  DenseIndex(DocStore documents, HashedEmbedder embedder);
+
+  /// Convenience: wraps the corpus into its own store first.
   DenseIndex(std::vector<std::string> documents, HashedEmbedder embedder);
 
-  std::size_t size() const { return documents_.size(); }
+  /// Reassembles an index from persisted embeddings (index_store); the
+  /// stored floats are used as-is, so loaded similarities are bitwise
+  /// identical to a fresh build.
+  static DenseIndex from_parts(DocStore documents, HashedEmbedder embedder,
+                               std::vector<float> embeddings);
+
+  std::size_t size() const { return documents_->size(); }
   const std::string& document(std::size_t index) const;
+  const DocStore& documents() const { return documents_; }
+  const HashedEmbedder& embedder() const { return embedder_; }
+
+  /// Flat [size * dim] embedding block.
+  const std::vector<float>& embeddings() const { return embeddings_; }
+  std::span<const float> embedding(std::size_t index) const;
 
   /// Top-k documents by cosine similarity (zero-similarity hits omitted).
   std::vector<RetrievalHit> query(std::string_view text,
                                   std::size_t top_k) const;
 
+  /// Same, over an already-embedded query vector.
+  std::vector<RetrievalHit> query_vec(std::span<const float> query_vec,
+                                      std::size_t top_k) const;
+
  private:
-  std::vector<std::string> documents_;
+  struct FromPartsTag {};
+  DenseIndex(FromPartsTag, DocStore documents, HashedEmbedder embedder);
+
+  DocStore documents_;
   HashedEmbedder embedder_;
-  std::vector<std::vector<float>> embeddings_;
+  std::vector<float> embeddings_;  ///< flat [size * dim]
 };
 
 }  // namespace chipalign

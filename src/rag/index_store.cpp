@@ -1,0 +1,357 @@
+#include "rag/index_store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs_io.hpp"
+#include "util/hash.hpp"
+
+namespace chipalign {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5849444947415243ULL;  // "CARAGIDX" tail
+constexpr std::uint64_t kFooterBytes = 40;
+constexpr std::uint64_t kTableEntryBytes = 32;
+
+enum SectionId : std::uint32_t {
+  kSectionDocs = 1,
+  kSectionBm25 = 2,
+  kSectionDense = 3,
+  kSectionAnn = 4,
+};
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Little-endian append-only serializer for one section buffer.
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void floats(const std::vector<float>& v) {
+    raw(v.data(), v.size() * sizeof(float));
+  }
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over one section's bytes.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  double f64() { return fixed<double>(); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string out(data_ + pos_, len);
+    pos_ += len;
+    return out;
+  }
+  void floats(std::vector<float>& out, std::size_t count) {
+    need(count * sizeof(float));
+    out.resize(count);
+    std::memcpy(out.data(), data_ + pos_, count * sizeof(float));
+    pos_ += count * sizeof(float);
+  }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T fixed() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t bytes) {
+    CA_CHECK(size_ - pos_ >= bytes, "section ends after " << size_
+                                                          << " bytes, needed "
+                                                          << bytes << " more");
+  }
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::string docs_section(const Bm25Index& bm25) {
+  Writer w;
+  const std::vector<std::string>& docs = *bm25.documents();
+  w.u64(docs.size());
+  for (const std::string& doc : docs) w.str(doc);
+  return w.bytes();
+}
+
+std::string bm25_section(const Bm25Index& bm25) {
+  Writer w;
+  w.f64(bm25.k1());
+  w.f64(bm25.b());
+  w.u64(bm25.doc_token_counts().size());
+  for (const std::uint32_t count : bm25.doc_token_counts()) w.u32(count);
+  w.u64(bm25.postings().size());
+  for (const auto& [term, posting_list] : bm25.postings()) {
+    w.str(term);
+    w.u64(posting_list.size());
+    for (const Bm25Posting& posting : posting_list) {
+      w.u32(posting.doc);
+      w.u32(posting.tf);
+    }
+  }
+  return w.bytes();
+}
+
+std::string dense_section(const DenseIndex& dense) {
+  Writer w;
+  w.u64(dense.embedder().dim());
+  w.u64(static_cast<std::uint64_t>(dense.embedder().ngram()));
+  w.u64(dense.size());
+  w.floats(dense.embeddings());
+  return w.bytes();
+}
+
+std::string ann_section(const IvfIndex& ann) {
+  Writer w;
+  w.u64(ann.dim());
+  w.u64(ann.nlist());
+  w.floats(ann.centroids());
+  for (const auto& list : ann.lists()) {
+    w.u64(list.size());
+    for (const std::uint32_t doc : list) w.u32(doc);
+  }
+  return w.bytes();
+}
+
+DocStore parse_docs(Reader& r) {
+  const std::uint64_t count = r.u64();
+  std::vector<std::string> docs;
+  docs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) docs.push_back(r.str());
+  return make_doc_store(std::move(docs));
+}
+
+Bm25Index parse_bm25(Reader& r, const DocStore& docs) {
+  const double k1 = r.f64();
+  const double b = r.f64();
+  const std::uint64_t doc_count = r.u64();
+  std::vector<std::uint32_t> counts;
+  counts.reserve(doc_count);
+  for (std::uint64_t i = 0; i < doc_count; ++i) counts.push_back(r.u32());
+  const std::uint64_t term_count = r.u64();
+  std::map<std::string, std::vector<Bm25Posting>> postings;
+  for (std::uint64_t t = 0; t < term_count; ++t) {
+    std::string term = r.str();
+    const std::uint64_t posting_count = r.u64();
+    std::vector<Bm25Posting> list;
+    list.reserve(posting_count);
+    for (std::uint64_t p = 0; p < posting_count; ++p) {
+      Bm25Posting posting;
+      posting.doc = r.u32();
+      posting.tf = r.u32();
+      list.push_back(posting);
+    }
+    postings.emplace(std::move(term), std::move(list));
+  }
+  return Bm25Index::from_parts(docs, k1, b, std::move(counts),
+                               std::move(postings));
+}
+
+DenseIndex parse_dense(Reader& r, const DocStore& docs) {
+  const std::uint64_t dim = r.u64();
+  const std::uint64_t ngram = r.u64();
+  const std::uint64_t doc_count = r.u64();
+  CA_CHECK(dim >= 1 && dim <= (1ULL << 20), "implausible dense dim " << dim);
+  CA_CHECK(doc_count == docs->size(), "dense section covers "
+                                          << doc_count
+                                          << " documents, DOCS section has "
+                                          << docs->size());
+  std::vector<float> embeddings;
+  r.floats(embeddings, doc_count * dim);
+  return DenseIndex::from_parts(
+      docs, HashedEmbedder(dim, static_cast<int>(ngram)),
+      std::move(embeddings));
+}
+
+IvfIndex parse_ann(Reader& r) {
+  const std::uint64_t dim = r.u64();
+  const std::uint64_t nlist = r.u64();
+  CA_CHECK(dim >= 1 && dim <= (1ULL << 20), "implausible ANN dim " << dim);
+  CA_CHECK(nlist >= 1 && nlist <= (1ULL << 20),
+           "implausible ANN partition count " << nlist);
+  std::vector<float> centroids;
+  r.floats(centroids, nlist * dim);
+  std::vector<std::vector<std::uint32_t>> lists(nlist);
+  for (std::uint64_t c = 0; c < nlist; ++c) {
+    const std::uint64_t size = r.u64();
+    lists[c].reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) lists[c].push_back(r.u32());
+  }
+  return IvfIndex::from_parts(dim, std::move(centroids), std::move(lists));
+}
+
+}  // namespace
+
+void save_retrieval_index(const std::string& path, const Bm25Index& bm25,
+                          const DenseIndex& dense, const IvfIndex* ann) {
+  CA_CHECK(bm25.documents() == dense.documents(),
+           "retrieval index save: BM25 and dense must share one DocStore");
+  CA_FAILPOINT("ragindex.save");
+
+  const std::string tmp = fs_io::temp_path_for(path);
+  try {
+    fs_io::AppendFile out(tmp);
+    std::vector<SectionEntry> entries;
+    std::uint64_t offset = 0;
+    // One section buffer lives in memory at a time; each streams straight
+    // into the temp file once its checksum is recorded.
+    const auto append_section = [&](std::uint32_t id, std::string bytes) {
+      entries.push_back(
+          {id, offset, bytes.size(), xxh64(bytes.data(), bytes.size())});
+      out.append(bytes);
+      offset += bytes.size();
+    };
+    append_section(kSectionDocs, docs_section(bm25));
+    append_section(kSectionBm25, bm25_section(bm25));
+    append_section(kSectionDense, dense_section(dense));
+    if (ann != nullptr && !ann->empty()) {
+      append_section(kSectionAnn, ann_section(*ann));
+    }
+
+    Writer table;
+    for (const SectionEntry& entry : entries) {
+      table.u32(entry.id);
+      table.u32(0);
+      table.u64(entry.offset);
+      table.u64(entry.size);
+      table.u64(entry.checksum);
+    }
+    Writer footer;
+    footer.u64(offset);
+    footer.u64(entries.size());
+    footer.u64(xxh64(table.bytes().data(), table.bytes().size()));
+    footer.u32(kRetrievalIndexVersion);
+    footer.u32(0);
+    footer.u64(kMagic);
+    out.append(table.bytes());
+    out.append(footer.bytes());
+    out.sync();
+    out.close();
+    fs_io::commit_file(tmp, path);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+RetrievalIndexParts load_retrieval_index(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  CA_CHECK(file.good(), "cannot open retrieval index '" << path << "'");
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  // Buffer failpoint: tests inject bitflips / short reads here to prove
+  // corruption is caught by the checksums below, not by undefined parses.
+  data.resize(failpoint::eval_io("ragindex.read", data.data(), data.size()));
+
+  try {
+    CA_CHECK(data.size() >= kFooterBytes, "file is only "
+                                              << data.size()
+                                              << " bytes, smaller than the "
+                                                 "footer");
+    Reader footer(data.data() + data.size() - kFooterBytes, kFooterBytes);
+    const std::uint64_t table_offset = footer.u64();
+    const std::uint64_t section_count = footer.u64();
+    const std::uint64_t table_checksum = footer.u64();
+    const std::uint32_t version = footer.u32();
+    footer.u32();
+    CA_CHECK(footer.u64() == kMagic, "not a retrieval index (bad magic)");
+    CA_CHECK(version == kRetrievalIndexVersion,
+             "format version " << version << " is not the supported version "
+                               << kRetrievalIndexVersion);
+
+    CA_CHECK(section_count >= 1 && section_count <= 64,
+             "implausible section count " << section_count);
+    const std::uint64_t table_size = section_count * kTableEntryBytes;
+    CA_CHECK(table_offset <= data.size() - kFooterBytes &&
+                 table_size == data.size() - kFooterBytes - table_offset,
+             "section table does not line up with the file size (truncated "
+             "write?)");
+    CA_CHECK(xxh64(data.data() + table_offset, table_size) == table_checksum,
+             "section table checksum mismatch");
+
+    Reader table(data.data() + table_offset, table_size);
+    DocStore docs;
+    std::optional<Bm25Index> bm25_opt;
+    std::optional<DenseIndex> dense_opt;
+    IvfIndex ann;
+    for (std::uint64_t s = 0; s < section_count; ++s) {
+      SectionEntry entry;
+      entry.id = table.u32();
+      table.u32();
+      entry.offset = table.u64();
+      entry.size = table.u64();
+      entry.checksum = table.u64();
+      CA_CHECK(entry.size <= table_offset &&
+                   entry.offset <= table_offset - entry.size,
+               "section " << entry.id << " extends past the section table");
+      const char* bytes = data.data() + entry.offset;
+      CA_CHECK(xxh64(bytes, entry.size) == entry.checksum,
+               "section " << entry.id << " checksum mismatch (corrupt "
+                          << "bytes)");
+      Reader r(bytes, entry.size);
+      switch (entry.id) {
+        case kSectionDocs:
+          docs = parse_docs(r);
+          break;
+        case kSectionBm25:
+          CA_CHECK(docs != nullptr, "BM25 section precedes DOCS");
+          bm25_opt.emplace(parse_bm25(r, docs));
+          break;
+        case kSectionDense:
+          CA_CHECK(docs != nullptr, "DENSE section precedes DOCS");
+          dense_opt.emplace(parse_dense(r, docs));
+          break;
+        case kSectionAnn:
+          ann = parse_ann(r);
+          break;
+        default:
+          CA_THROW("unknown section id " << entry.id);
+      }
+      CA_CHECK(r.done(), "section " << entry.id << " has trailing bytes");
+    }
+    CA_CHECK(docs != nullptr && bm25_opt.has_value() && dense_opt.has_value(),
+             "missing a required section (DOCS, BM25, DENSE)");
+    if (!ann.empty()) {
+      CA_CHECK(ann.dim() == dense_opt->embedder().dim(),
+               "ANN dim " << ann.dim() << " does not match dense dim "
+                          << dense_opt->embedder().dim());
+    }
+    return RetrievalIndexParts{std::move(docs), std::move(*bm25_opt),
+                               std::move(*dense_opt), std::move(ann)};
+  } catch (const Error& e) {
+    CA_THROW("retrieval index '" << path << "' is truncated or corrupt: "
+                                 << e.what());
+  }
+}
+
+}  // namespace chipalign

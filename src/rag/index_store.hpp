@@ -1,0 +1,64 @@
+#pragma once
+/// \file index_store.hpp
+/// \brief On-disk retrieval index: documents, BM25 postings, dense
+/// embeddings and the optional IVF partition in one checksummed file.
+///
+/// Layout (little-endian):
+///
+///   [section 0 bytes][section 1 bytes]...[section table][footer]
+///
+///   footer (40 bytes, at the end of the file so sections stream out
+///   without back-patching): table offset, section count, XXH64 of the
+///   table, format version, magic.
+///   table: per section {id, reserved, offset, size, XXH64 of the bytes}.
+///   sections: DOCS (length-prefixed sentences), BM25 (k1/b, per-document
+///   token counts, term -> postings with stored tf), DENSE (dim, ngram,
+///   flat fp32 embeddings), ANN (optional: centroids + partition lists).
+///
+/// Writing goes through the PR-5 durable primitives: sections append into
+/// `<path>.tmp` (one buffered section in memory at a time), then
+/// fs_io::commit_file fsyncs and renames — a crash leaves either the old
+/// complete index or the new one, never a torn mix. Loading verifies the
+/// magic, version, table checksum and every section checksum before any
+/// parsing, and wraps all failures in a clear "retrieval index '<path>'
+/// ..." error. Failpoint sites: `ragindex.save` (entry), `ragindex.read`
+/// (buffer site over the loaded bytes — bitflip / short-read injectable).
+///
+/// The derived BM25 statistics are recomputed on load with the build-time
+/// arithmetic and the dense floats are stored verbatim, so a loaded index
+/// ranks bitwise-identically to the in-memory build it was saved from.
+
+#include <string>
+
+#include "rag/ann.hpp"
+#include "rag/bm25.hpp"
+#include "rag/common.hpp"
+#include "rag/embedder.hpp"
+
+namespace chipalign {
+
+/// Current file-format version.
+inline constexpr std::uint32_t kRetrievalIndexVersion = 1;
+
+/// The parts a retrieval index file persists. `ann` is empty when the
+/// pipeline was saved without an IVF partition. All three indexes share
+/// `documents` (held once).
+struct RetrievalIndexParts {
+  DocStore documents;
+  Bm25Index bm25;
+  DenseIndex dense;
+  IvfIndex ann;
+};
+
+/// Durably writes the index to `path` (temp write -> fsync -> rename ->
+/// dir fsync). \param ann may be null or empty to omit the ANN section.
+void save_retrieval_index(const std::string& path, const Bm25Index& bm25,
+                          const DenseIndex& dense,
+                          const IvfIndex* ann = nullptr);
+
+/// Loads and verifies an index written by save_retrieval_index(). Throws
+/// chipalign::Error with the offending path (and section, for checksum
+/// mismatches) on truncated, corrupt or version-mismatched files.
+RetrievalIndexParts load_retrieval_index(const std::string& path);
+
+}  // namespace chipalign

@@ -3,20 +3,78 @@
 #include <algorithm>
 #include <map>
 
+#include "rag/index_store.hpp"
+#include "util/string_utils.hpp"
+#include "util/thread_pool.hpp"
+
 namespace chipalign {
+
+namespace {
+
+IvfIndex maybe_build_ann(const DenseIndex& dense,
+                         const RetrievalConfig& config) {
+  if (config.ann_nlist == 0) return IvfIndex{};
+  IvfConfig ivf;
+  ivf.nlist = config.ann_nlist;
+  return IvfIndex::build(dense.embeddings(), dense.embedder().dim(), ivf,
+                         &global_thread_pool());
+}
+
+}  // namespace
+
+RetrievalPipeline::RetrievalPipeline(DocStore corpus, RetrievalConfig config)
+    : config_(config),
+      bm25_(corpus),
+      dense_(corpus, HashedEmbedder(config.embed_dim, config.embed_ngram)),
+      ann_(maybe_build_ann(dense_, config)) {}
 
 RetrievalPipeline::RetrievalPipeline(std::vector<std::string> corpus,
                                      RetrievalConfig config)
+    : RetrievalPipeline(make_doc_store(std::move(corpus)), config) {}
+
+RetrievalPipeline::RetrievalPipeline(RetrievalConfig config, Bm25Index bm25,
+                                     DenseIndex dense, IvfIndex ann)
     : config_(config),
-      bm25_(corpus),
-      dense_(corpus, HashedEmbedder(config.embed_dim, config.embed_ngram)) {}
+      bm25_(std::move(bm25)),
+      dense_(std::move(dense)),
+      ann_(std::move(ann)) {}
+
+void RetrievalPipeline::save(const std::string& path) const {
+  save_retrieval_index(path, bm25_, dense_, &ann_);
+}
+
+RetrievalPipeline RetrievalPipeline::load(const std::string& path,
+                                          RetrievalConfig config) {
+  RetrievalIndexParts parts = load_retrieval_index(path);
+  config.embed_dim = parts.dense.embedder().dim();
+  config.embed_ngram = parts.dense.embedder().ngram();
+  config.ann_nlist = parts.ann.nlist();
+  return RetrievalPipeline(config, std::move(parts.bm25),
+                           std::move(parts.dense), std::move(parts.ann));
+}
+
+std::vector<RetrievalHit> RetrievalPipeline::dense_candidates(
+    const std::string& query) const {
+  if (!has_ann() || config_.ann_nprobe == 0) {
+    return dense_.query(query, config_.candidates_per_retriever);
+  }
+  return ann_.query(dense_.embedder().embed(query),
+                    config_.candidates_per_retriever, config_.ann_nprobe,
+                    dense_.embeddings());
+}
 
 std::vector<RetrievalHit> RetrievalPipeline::retrieve(const std::string& query,
                                                       std::size_t top_k) const {
+  // A query with no word tokens (empty, whitespace, pure punctuation) has
+  // nothing to retrieve on; without this guard the character-n-gram dense
+  // side can still hash punctuation into buckets and produce noise hits.
+  if (word_tokens(query).empty()) return {};
   const auto lexical = bm25_.query(query, config_.candidates_per_retriever);
-  const auto semantic = dense_.query(query, config_.candidates_per_retriever);
+  const auto semantic = dense_candidates(query);
 
   // Reciprocal-rank fusion: score(d) = sum over lists of 1 / (k + rank).
+  // Addition is commutative over a per-document accumulator, so the fused
+  // scores do not depend on which retriever's list is folded in first.
   std::map<std::size_t, double> fused;
   for (std::size_t rank = 0; rank < lexical.size(); ++rank) {
     fused[lexical[rank].doc_index] +=
@@ -44,6 +102,37 @@ std::vector<std::string> RetrievalPipeline::retrieve_texts(
   std::vector<std::string> out;
   for (const RetrievalHit& hit : retrieve(query, top_k)) {
     out.push_back(bm25_.document(hit.doc_index));
+  }
+  return out;
+}
+
+std::vector<std::vector<RetrievalHit>> RetrievalPipeline::retrieve_batch(
+    const std::vector<std::string>& queries, std::size_t top_k,
+    ThreadPool* pool) const {
+  std::vector<std::vector<RetrievalHit>> results(queries.size());
+  // Queries are independent and retrieve() is a pure read, so each index
+  // writes only its own slot — pooled results are bitwise-equal to serial.
+  const auto retrieve_one = [&](std::size_t i) {
+    results[i] = retrieve(queries[i], top_k);
+  };
+  if (pool != nullptr && queries.size() > 1) {
+    pool->parallel_for(queries.size(), retrieve_one);
+  } else {
+    for (std::size_t i = 0; i < queries.size(); ++i) retrieve_one(i);
+  }
+  return results;
+}
+
+std::vector<std::vector<std::string>> RetrievalPipeline::retrieve_texts_batch(
+    const std::vector<std::string>& queries, std::size_t top_k,
+    ThreadPool* pool) const {
+  const auto hit_lists = retrieve_batch(queries, top_k, pool);
+  std::vector<std::vector<std::string>> out(hit_lists.size());
+  for (std::size_t i = 0; i < hit_lists.size(); ++i) {
+    out[i].reserve(hit_lists[i].size());
+    for (const RetrievalHit& hit : hit_lists[i]) {
+      out[i].push_back(bm25_.document(hit.doc_index));
+    }
   }
   return out;
 }

@@ -6,14 +6,26 @@
 /// bge reranker): both retrievers nominate candidates, and a reciprocal-rank
 /// -fusion reranker produces the final ordering. Used to build the "RAG
 /// Context" column of Table 1.
+///
+/// Production shape: the corpus is held once (one DocStore shared by the
+/// lexical and dense indexes), the whole pipeline persists to one
+/// checksummed index file (save()/load(), see index_store.hpp) so large
+/// fact bases index once instead of per process, the dense side can route
+/// through an IVF partition (ann_nlist/ann_nprobe) instead of a brute-force
+/// scan, and retrieve_batch() fans independent queries across a ThreadPool
+/// with results bitwise-identical to serial retrieve().
 
 #include <string>
 #include <vector>
 
+#include "rag/ann.hpp"
 #include "rag/bm25.hpp"
+#include "rag/common.hpp"
 #include "rag/embedder.hpp"
 
 namespace chipalign {
+
+class ThreadPool;
 
 /// Pipeline knobs.
 struct RetrievalConfig {
@@ -21,17 +33,38 @@ struct RetrievalConfig {
   double rrf_k = 10.0;                       ///< reciprocal-rank-fusion offset
   std::size_t embed_dim = 256;
   int embed_ngram = 3;
+  /// Build an IVF partition over the dense embeddings (0 = keep the exact
+  /// scan). Auto-sized (~sqrt(N)) when set to IvfConfig{}.nlist semantics.
+  std::size_t ann_nlist = 0;
+  /// Partitions probed per dense query when an ANN partition is present;
+  /// 0 forces the exact scan even if one was built/loaded.
+  std::size_t ann_nprobe = 8;
 };
 
 /// Immutable two-stage retrieval pipeline over a sentence corpus.
 class RetrievalPipeline {
  public:
+  /// Builds all indexes in memory over a shared corpus store.
+  explicit RetrievalPipeline(DocStore corpus, RetrievalConfig config = {});
+
+  /// Convenience: wraps the corpus into its own store first.
   explicit RetrievalPipeline(std::vector<std::string> corpus,
                              RetrievalConfig config = {});
 
+  /// Durably persists every index to one checksummed file (index_store).
+  void save(const std::string& path) const;
+
+  /// Loads a persisted pipeline. Index parameters (BM25 k1/b, embedder
+  /// dim/ngram, ANN partitions) come from the file; `config` supplies the
+  /// query-time knobs (fusion depth, rrf_k, ann_nprobe). Rankings are
+  /// bitwise-identical to the in-memory build the file was saved from.
+  static RetrievalPipeline load(const std::string& path,
+                                RetrievalConfig config = {});
+
   std::size_t corpus_size() const { return bm25_.size(); }
 
-  /// Final reranked top-k hits (RRF score; higher is better).
+  /// Final reranked top-k hits (RRF score; higher is better). An empty or
+  /// stop-word-only query returns no hits.
   std::vector<RetrievalHit> retrieve(const std::string& query,
                                      std::size_t top_k) const;
 
@@ -39,14 +72,41 @@ class RetrievalPipeline {
   std::vector<std::string> retrieve_texts(const std::string& query,
                                           std::size_t top_k) const;
 
+  /// Batched retrieval: one result list per query, bitwise-identical to
+  /// calling retrieve() serially. \param pool fans queries across workers
+  /// (each query writes only its own slot); null runs serially.
+  std::vector<std::vector<RetrievalHit>> retrieve_batch(
+      const std::vector<std::string>& queries, std::size_t top_k,
+      ThreadPool* pool = nullptr) const;
+
+  /// Batched retrieve_texts (same contract as retrieve_batch).
+  std::vector<std::vector<std::string>> retrieve_texts_batch(
+      const std::vector<std::string>& queries, std::size_t top_k,
+      ThreadPool* pool = nullptr) const;
+
   const std::string& document(std::size_t index) const {
     return bm25_.document(index);
   }
+  const DocStore& documents() const { return bm25_.documents(); }
+
+  const RetrievalConfig& config() const { return config_; }
+  const Bm25Index& bm25() const { return bm25_; }
+  const DenseIndex& dense() const { return dense_; }
+  const IvfIndex& ann() const { return ann_; }
+  bool has_ann() const { return !ann_.empty(); }
 
  private:
+  RetrievalPipeline(RetrievalConfig config, Bm25Index bm25, DenseIndex dense,
+                    IvfIndex ann);
+
+  /// Dense candidates via the IVF partition when present (and nprobe > 0),
+  /// the exact scan otherwise.
+  std::vector<RetrievalHit> dense_candidates(const std::string& query) const;
+
   RetrievalConfig config_;
   Bm25Index bm25_;
   DenseIndex dense_;
+  IvfIndex ann_;
 };
 
 }  // namespace chipalign

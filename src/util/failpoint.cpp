@@ -26,6 +26,8 @@ const std::vector<std::string> kSites = {
     "index.save",       // shard_layout: manifest serialization entry
     "journal.append",   // streaming_merge: between entry body and newline
     "journal.sync",     // streaming_merge: journal fsync after an append
+    "ragindex.read",    // index_store: buffer site on loaded index bytes
+    "ragindex.save",    // index_store: retrieval-index save entry
     "safetensors.save", // safetensors: single-file save entry
     "shard.create",     // shard_writer: shard file creation / presizing
     "shard.fsync",      // shard_writer: per-shard fsync in finish()
