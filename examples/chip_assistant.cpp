@@ -18,6 +18,8 @@
 //
 //   ./examples/chip_assistant            # demo questions
 //   ./examples/chip_assistant --rag      # retrieve context instead of golden
+//   ./examples/chip_assistant --dtype int8 --kv-dtype f16
+//                                        # quantized weights + fp16 KV cache
 
 #include <cstdio>
 #include <cstring>
@@ -63,8 +65,26 @@ RetrievalPipeline load_or_build_rag(const ModelZoo& zoo) {
 
 int main(int argc, char** argv) {
   bool use_rag = false;
+  DType weight_dtype = DType::kF32;
+  DType kv_dtype = DType::kF32;
+  const auto parse_dtype_flag = [](const char* text, bool kv) {
+    const std::string t(text);
+    if (t == "f32") return DType::kF32;
+    if (t == "f16") return DType::kF16;
+    if (!kv && t == "bf16") return DType::kBF16;
+    if (!kv && t == "int8") return DType::kI8;
+    CA_THROW("unknown " << (kv ? "--kv-dtype" : "--dtype") << " '" << t
+                        << "' (use " << (kv ? "f32|f16" : "f32|f16|bf16|int8")
+                        << ")");
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rag") == 0) use_rag = true;
+    if (std::strcmp(argv[i], "--rag") == 0) {
+      use_rag = true;
+    } else if (std::strcmp(argv[i], "--dtype") == 0 && i + 1 < argc) {
+      weight_dtype = parse_dtype_flag(argv[++i], /*kv=*/false);
+    } else if (std::strcmp(argv[i], "--kv-dtype") == 0 && i + 1 < argc) {
+      kv_dtype = parse_dtype_flag(argv[++i], /*kv=*/true);
+    }
   }
 
   set_log_level(LogLevel::kInfo);
@@ -87,6 +107,13 @@ int main(int argc, char** argv) {
   TransformerModel chip_model = TransformerModel::from_checkpoint(chip_ckpt);
   TransformerModel merged_model =
       TransformerModel::from_checkpoint(merged_ckpt);
+  if (weight_dtype != DType::kF32) {
+    std::printf("quantizing weights to %s for serving...\n",
+                dtype_name(weight_dtype).c_str());
+    instruct_model.quantize_weights(weight_dtype);
+    chip_model.quantize_weights(weight_dtype);
+    merged_model.quantize_weights(weight_dtype);
+  }
 
   const RetrievalPipeline rag = load_or_build_rag(zoo);
 
@@ -134,6 +161,7 @@ int main(int argc, char** argv) {
     ServeConfig serve;
     serve.max_batch = static_cast<std::int64_t>(prompts.size());
     serve.prefix_cache_bytes = std::size_t{1} << 24;
+    serve.kv_dtype = kv_dtype;
     Server server(*entries[m].model, serve);
     std::vector<SessionId> ids;
     for (const std::string& prompt : prompts) {
@@ -177,6 +205,8 @@ int main(int argc, char** argv) {
       static_cast<long long>(last_stats.steps),
       static_cast<long long>(last_stats.peak_batch),
       last_stats.cache.hit_rate());
+  std::printf("dtypes: weights %s, KV cache %s (--dtype / --kv-dtype)\n",
+              dtype_name(weight_dtype).c_str(), dtype_name(kv_dtype).c_str());
   std::printf("context mode: %s — rerun with %s to flip.\n",
               use_rag ? "RAG (retrieved)" : "golden",
               use_rag ? "no flag" : "--rag");

@@ -85,7 +85,8 @@ DType parse_dtype(const std::string& text) {
   if (text == "f32") return DType::kF32;
   if (text == "f16") return DType::kF16;
   if (text == "bf16") return DType::kBF16;
-  CA_THROW("unknown output dtype '" << text << "' (use f32|f16|bf16)");
+  if (text == "int8") return DType::kI8;
+  CA_THROW("unknown output dtype '" << text << "' (use f32|f16|bf16|int8)");
 }
 
 void print_usage() {
@@ -100,8 +101,10 @@ void print_usage() {
       "  --instruct PATH instruction model checkpoint\n"
       "  --base PATH     common base model (task-vector methods)\n"
       "  --out PATH      output checkpoint (a directory with --streaming)\n"
-      "  --out-dtype T   f32|f16|bf16 output storage (default f32;\n"
-      "                  --storage is accepted as an alias)\n"
+      "  --out-dtype T   f32|f16|bf16|int8 output storage (default f32;\n"
+      "                  --storage is accepted as an alias; int8 stores\n"
+      "                  rank-2 tensors as codes + per-row .quant_scale\n"
+      "                  companions, in-memory mode only)\n"
       "  --analyze       print weight-space geometry instead of merging\n"
       "  --demo          run on freshly initialized models (no files)\n"
       "\n"
@@ -211,6 +214,10 @@ int main(int argc, char** argv) {
 
     if (streaming) {
       CA_CHECK(!args.has("analyze"), "--analyze is an in-memory mode");
+      CA_CHECK(out_dtype != DType::kI8,
+               "--out-dtype int8 needs the in-memory path (the sharded "
+               "writer does not emit .quant_scale companions); drop "
+               "--streaming");
       const std::string out_dir = args.get("out", "merged_checkpoint");
 
       std::string chip_path = args.get("chip");

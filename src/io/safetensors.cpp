@@ -1,6 +1,7 @@
 #include "io/safetensors.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -36,6 +37,19 @@ std::vector<std::uint8_t> encode_tensor_bytes(const Tensor& tensor,
       }
       break;
     }
+    case DType::kI8: {
+      // Values are expected to be integer codes already (the checkpoint
+      // layer quantizes and keeps per-row scales in a companion tensor);
+      // round-to-nearest and clamp so arbitrary floats still encode sanely.
+      auto* out = reinterpret_cast<std::int8_t*>(bytes.data());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        float q = std::nearbyintf(values[i]);
+        if (q > 127.0F) q = 127.0F;
+        if (q < -127.0F) q = -127.0F;
+        out[i] = static_cast<std::int8_t>(q);
+      }
+      break;
+    }
   }
   return bytes;
 }
@@ -64,6 +78,13 @@ Tensor decode_tensor_bytes(const std::uint8_t* bytes, std::size_t byte_count,
       const auto* in = reinterpret_cast<const std::uint16_t*>(bytes);
       for (std::size_t i = 0; i < values.size(); ++i) {
         values[i] = bf16_bits_to_f32(in[i]);
+      }
+      break;
+    }
+    case DType::kI8: {
+      const auto* in = reinterpret_cast<const std::int8_t*>(bytes);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = static_cast<float>(in[i]);
       }
       break;
     }
@@ -104,14 +125,25 @@ void save_safetensors(const std::string& path,
                       const std::map<std::string, Tensor>& tensors,
                       DType storage,
                       const std::map<std::string, std::string>& metadata) {
+  std::map<std::string, DType> dtypes;
+  for (const auto& [name, tensor] : tensors) dtypes.emplace(name, storage);
+  save_safetensors_mixed(path, tensors, dtypes, metadata);
+}
+
+void save_safetensors_mixed(
+    const std::string& path, const std::map<std::string, Tensor>& tensors,
+    const std::map<std::string, DType>& dtypes,
+    const std::map<std::string, std::string>& metadata) {
   std::map<std::string, SafetensorsTensorInfo> infos;
   std::vector<std::vector<std::uint8_t>> buffers;
   buffers.reserve(tensors.size());
   std::uint64_t offset = 0;
   for (const auto& [name, tensor] : tensors) {
-    buffers.push_back(encode_tensor_bytes(tensor, storage));
+    const auto it = dtypes.find(name);
+    const DType dtype = it != dtypes.end() ? it->second : DType::kF32;
+    buffers.push_back(encode_tensor_bytes(tensor, dtype));
     SafetensorsTensorInfo info;
-    info.dtype = storage;
+    info.dtype = dtype;
     info.shape = tensor.shape();
     info.begin = offset;
     info.end = offset + buffers.back().size();

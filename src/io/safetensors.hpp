@@ -4,7 +4,9 @@
 ///
 /// Layout: an 8-byte little-endian header length, a JSON header mapping
 /// tensor names to {dtype, shape, data_offsets}, then the raw tensor bytes.
-/// We support F32/F16/BF16 storage; tensors are decoded to fp32 on load.
+/// We support F32/F16/BF16/I8 storage; tensors are decoded to fp32 on load
+/// (I8 codes decode to their exact integer values — per-row scales live in
+/// companion tensors, see checkpoint.cpp).
 /// Files written here are readable by the reference Python implementation
 /// (and vice versa for the supported dtypes).
 ///
@@ -92,6 +94,17 @@ void save_safetensors(const std::string& path,
                       const std::map<std::string, Tensor>& tensors,
                       DType storage = DType::kF32,
                       const std::map<std::string, std::string>& metadata = {});
+
+/// save_safetensors() with a per-tensor storage dtype (missing entries
+/// default to F32). Same layout contract and byte determinism; the
+/// single-dtype writer delegates here, so a uniform dtype map produces
+/// byte-identical files to save_safetensors(). Int8 checkpoints use this to
+/// store quantized weights as I8 next to their F32 ".quant_scale"
+/// companions.
+void save_safetensors_mixed(
+    const std::string& path, const std::map<std::string, Tensor>& tensors,
+    const std::map<std::string, DType>& dtypes,
+    const std::map<std::string, std::string>& metadata = {});
 
 /// Loads a safetensors file, decoding every tensor to fp32. Throws Error on
 /// malformed files (bad magic length, overlapping/oob offsets, unknown

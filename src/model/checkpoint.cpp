@@ -1,12 +1,16 @@
 #include "model/checkpoint.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "io/safetensors.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
 namespace chipalign {
+
+const char* const kQuantScaleSuffix = ".quant_scale";
 
 const Tensor& Checkpoint::at(const std::string& name) const {
   const auto it = tensors_.find(name);
@@ -84,13 +88,74 @@ ModelConfig config_from_metadata(
 }
 
 void Checkpoint::save(const std::string& path, DType storage) const {
-  save_safetensors(path, tensors_, storage, checkpoint_metadata(config_));
+  if (storage != DType::kI8) {
+    save_safetensors(path, tensors_, storage, checkpoint_metadata(config_));
+    return;
+  }
+  // int8 storage: each rank-2 tensor ships its codes as I8 plus an F32
+  // per-row scale companion "<name>.quant_scale"; other ranks (the tiny
+  // rmsnorm vectors) stay F32. load() reconstructs code * scale[row].
+  std::map<std::string, Tensor> out;
+  std::map<std::string, DType> dtypes;
+  for (const auto& [name, tensor] : tensors_) {
+    if (tensor.rank() != 2) {
+      out.emplace(name, tensor);
+      dtypes.emplace(name, DType::kF32);
+      continue;
+    }
+    const QuantTensor qt = quantize_tensor(tensor, DType::kI8);
+    std::vector<float> codes(qt.q.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      codes[i] = static_cast<float>(qt.q[i]);
+    }
+    out.emplace(name, Tensor(tensor.shape(), std::move(codes)));
+    dtypes.emplace(name, DType::kI8);
+    const std::string scale_name = name + kQuantScaleSuffix;
+    out.emplace(scale_name, Tensor({qt.rows}, qt.scales));
+    dtypes.emplace(scale_name, DType::kF32);
+  }
+  save_safetensors_mixed(path, out, dtypes, checkpoint_metadata(config_));
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
   SafetensorsFile file = load_safetensors(path);
   Checkpoint ckpt;
   ckpt.config_ = config_from_metadata(file.metadata, path);
+
+  // Reconstruct int8-quantized tensors: a "<name>.quant_scale" companion
+  // marks a code tensor whose fp32 value is code * scale[row] (exactly the
+  // dequantize_row arithmetic, so load(save(kI8)) equals
+  // dequantize(quantize) bit-for-bit).
+  std::vector<std::string> scale_names;
+  for (const auto& [name, tensor] : file.tensors) {
+    if (name.ends_with(kQuantScaleSuffix)) scale_names.push_back(name);
+  }
+  for (const std::string& scale_name : scale_names) {
+    const std::string base =
+        scale_name.substr(0, scale_name.size() -
+                                 std::string(kQuantScaleSuffix).size());
+    const auto it = file.tensors.find(base);
+    CA_CHECK(it != file.tensors.end(),
+             "'" << path << "' has companion '" << scale_name
+                 << "' without tensor '" << base << "'");
+    Tensor& codes = it->second;
+    const Tensor& scales = file.tensors.at(scale_name);
+    CA_CHECK(codes.rank() == 2 && scales.rank() == 1 &&
+                 scales.dim(0) == codes.dim(0),
+             "'" << path << "' tensor '" << base << "' ("
+                 << shape_to_string(codes.shape())
+                 << ") does not match its quant_scale ("
+                 << shape_to_string(scales.shape()) << ")");
+    const std::int64_t cols = codes.dim(1);
+    for (std::int64_t r = 0; r < codes.dim(0); ++r) {
+      const float scale = scales[r];
+      float* row = codes.data() + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) row[c] *= scale;
+    }
+  }
+  for (const std::string& scale_name : scale_names) {
+    file.tensors.erase(scale_name);
+  }
   ckpt.tensors_ = std::move(file.tensors);
   return ckpt;
 }

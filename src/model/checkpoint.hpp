@@ -17,6 +17,10 @@
 
 namespace chipalign {
 
+/// Suffix of the F32 per-row-scale companion tensor an int8 checkpoint
+/// stores next to each I8 code tensor (e.g. "...q_proj.weight.quant_scale").
+extern const char* const kQuantScaleSuffix;
+
 /// Summary statistics of one tensor within a checkpoint.
 struct TensorStats {
   std::string name;
@@ -61,9 +65,14 @@ class Checkpoint {
   bool all_finite() const;
 
   /// Saves to a safetensors file with the config embedded as metadata.
+  /// kI8 stores rank-2 tensors as int8 codes plus F32 ".quant_scale"
+  /// per-row companions (other ranks stay F32); the other dtypes store
+  /// every tensor uniformly.
   void save(const std::string& path, DType storage = DType::kF32) const;
 
-  /// Loads a checkpoint; throws if the file lacks config metadata.
+  /// Loads a checkpoint; throws if the file lacks config metadata. Int8
+  /// code tensors are reconstructed to fp32 (code * scale[row]) and their
+  /// companions dropped, so callers always see plain named weights.
   static Checkpoint load(const std::string& path);
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/kernels/kernels.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -14,14 +15,49 @@ namespace {
 
 /// y = W x with W [out, in] row-major, on the kernel layer: every output
 /// row is the contract-reduced dot product, fanned over the global thread
-/// pool when large enough (bitwise identical at any pool size).
-void matvec(const Tensor& w, std::span<const float> x, std::span<float> y) {
-  const std::int64_t out_dim = w.dim(0);
-  const std::int64_t in_dim = w.dim(1);
+/// pool when large enough (bitwise identical at any pool size). Dispatches
+/// on the parameter's storage dtype: quantized weights run the dequantizing
+/// kernel variants, which share the fp32 reduction contract.
+void project(const Parameter& p, std::span<const float> x,
+             std::span<float> y) {
+  const std::int64_t out_dim = p.quantized() ? p.qvalue.rows : p.value.dim(0);
+  const std::int64_t in_dim = p.quantized() ? p.qvalue.cols : p.value.dim(1);
   CA_CHECK(static_cast<std::int64_t>(x.size()) == in_dim, "matvec input size");
   CA_CHECK(static_cast<std::int64_t>(y.size()) == out_dim,
            "matvec output size");
-  kernels::parallel_matvec(w.data(), x.data(), y.data(), out_dim, in_dim);
+  if (!p.quantized()) {
+    kernels::parallel_matvec(p.value.data(), x.data(), y.data(), out_dim,
+                             in_dim);
+    return;
+  }
+  switch (p.qvalue.dtype) {
+    case DType::kF16:
+      kernels::parallel_matvec_f16(p.qvalue.half.data(), x.data(), y.data(),
+                                   out_dim, in_dim);
+      return;
+    case DType::kBF16:
+      kernels::parallel_matvec_bf16(p.qvalue.half.data(), x.data(), y.data(),
+                                    out_dim, in_dim);
+      return;
+    case DType::kI8:
+      kernels::parallel_matvec_i8(p.qvalue.q.data(), p.qvalue.scales.data(),
+                                  x.data(), y.data(), out_dim, in_dim);
+      return;
+    default:
+      CA_THROW("unsupported weight dtype " << dtype_name(p.qvalue.dtype));
+  }
+}
+
+/// Copies the embedding row for `token` into x, dequantizing when the
+/// embedding is stored quantized (the same per-element reconstruction the
+/// tied LM-head matvec applies).
+void embed_lookup(const Parameter& embed, TokenId token, std::span<float> x) {
+  if (embed.quantized()) {
+    dequantize_row(embed.qvalue, token, x.data());
+    return;
+  }
+  const auto row = embed.value.row(token);
+  std::copy(row.begin(), row.end(), x.begin());
 }
 
 void rmsnorm_row(std::span<const float> x, std::span<const float> gain,
@@ -48,9 +84,10 @@ void add_row(std::span<float> x, std::span<const float> delta) {
 }
 
 /// Causal GQA attention for one session at `pos` in `layer`; k/v for `pos`
-/// must already be written (and RoPE'd) into the state's cache. Reads q
-/// [d], writes att [d] using scores [>= pos+1] as scratch. Identical code
-/// serves the serial and batched paths.
+/// must already be written (RoPE'd and dtype-converted) into the state's
+/// cache. Reads q [d], writes att [d] using scores [>= pos+1] as scratch.
+/// Identical code serves the serial and batched paths; an fp16 cache swaps
+/// dot/axpy for their exactly-dequantizing fp16 variants.
 void attention_row(const TransformerModel& model, const SessionState& state,
                    std::int64_t layer, std::int64_t pos,
                    std::span<const float> q, std::span<float> att,
@@ -60,27 +97,40 @@ void attention_row(const TransformerModel& model, const SessionState& state,
   const std::int64_t n_heads = config.n_heads;
   const std::int64_t group = n_heads / config.n_kv_heads;
   const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
-  const float* layer_k = state.k_at(layer, 0);
-  const float* layer_v = state.v_at(layer, 0);
+  const bool half_kv = state.kv_dtype == DType::kF16;
+  const float* layer_k = half_kv ? nullptr : state.k_at(layer, 0);
+  const float* layer_v = half_kv ? nullptr : state.v_at(layer, 0);
+  const std::uint16_t* layer_k16 = half_kv ? state.k16_at(layer, 0) : nullptr;
+  const std::uint16_t* layer_v16 = half_kv ? state.v16_at(layer, 0) : nullptr;
 
   std::fill(att.begin(), att.end(), 0.0F);
   for (std::int64_t h = 0; h < n_heads; ++h) {
     const std::int64_t kvh = h / group;
     const float* q_h = q.data() + h * hd;
     for (std::int64_t j = 0; j <= pos; ++j) {
-      const float* k_j = layer_k + j * state.kv_dim + kvh * hd;
+      const std::int64_t off = j * state.kv_dim + kvh * hd;
+      const double dot =
+          half_kv
+              ? kernels::dot_f16(layer_k16 + off, q_h,
+                                 static_cast<std::size_t>(hd))
+              : kernels::dot(q_h, layer_k + off,
+                             static_cast<std::size_t>(hd));
       scores[static_cast<std::size_t>(j)] =
-          static_cast<float>(
-              kernels::dot(q_h, k_j, static_cast<std::size_t>(hd))) *
-          scale;
+          static_cast<float>(dot) * scale;
     }
     ops::softmax_inplace(
         std::span<float>(scores.data(), static_cast<std::size_t>(pos + 1)));
     float* att_h = att.data() + h * hd;
     for (std::int64_t j = 0; j <= pos; ++j) {
       const float p = scores[static_cast<std::size_t>(j)];
-      const float* v_j = layer_v + j * state.kv_dim + kvh * hd;
-      kernels::axpy(p, v_j, att_h, static_cast<std::size_t>(hd));
+      const std::int64_t off = j * state.kv_dim + kvh * hd;
+      if (half_kv) {
+        kernels::axpy_f16(p, layer_v16 + off, att_h,
+                          static_cast<std::size_t>(hd));
+      } else {
+        kernels::axpy(p, layer_v + off, att_h,
+                      static_cast<std::size_t>(hd));
+      }
     }
   }
 }
@@ -103,13 +153,33 @@ void check_step_args(const ModelConfig& config, const SessionState& state,
 /// One projection for the whole batch: c[out, B] = W @ X^T via matmul_nt
 /// (each c[o][b] is the contract-reduced dot of W row o and X row b — the
 /// exact bits matvec would produce for session b), then transposed into the
-/// row-major [B, out] destination.
-void batched_project(const Tensor& w, const float* x, float* y,
+/// row-major [B, out] destination. Dispatches on the parameter's storage
+/// dtype like project().
+void batched_project(const Parameter& p, const float* x, float* y,
                      std::int64_t batch, DecodeScratch& scratch) {
-  const std::int64_t out_dim = w.dim(0);
-  const std::int64_t in_dim = w.dim(1);
+  const std::int64_t out_dim = p.quantized() ? p.qvalue.rows : p.value.dim(0);
+  const std::int64_t in_dim = p.quantized() ? p.qvalue.cols : p.value.dim(1);
   float* staged = scratch.nt_out.data();
-  kernels::matmul_nt(w.data(), x, staged, out_dim, in_dim, batch);
+  if (!p.quantized()) {
+    kernels::matmul_nt(p.value.data(), x, staged, out_dim, in_dim, batch);
+  } else {
+    switch (p.qvalue.dtype) {
+      case DType::kF16:
+        kernels::matmul_nt_f16(p.qvalue.half.data(), x, staged, out_dim,
+                               in_dim, batch);
+        break;
+      case DType::kBF16:
+        kernels::matmul_nt_bf16(p.qvalue.half.data(), x, staged, out_dim,
+                                in_dim, batch);
+        break;
+      case DType::kI8:
+        kernels::matmul_nt_i8(p.qvalue.q.data(), p.qvalue.scales.data(), x,
+                              staged, out_dim, in_dim, batch);
+        break;
+      default:
+        CA_THROW("unsupported weight dtype " << dtype_name(p.qvalue.dtype));
+    }
+  }
   for (std::int64_t b = 0; b < batch; ++b) {
     float* y_b = y + b * out_dim;
     for (std::int64_t o = 0; o < out_dim; ++o) y_b[o] = staged[o * batch + b];
@@ -167,18 +237,20 @@ void decode_step(const TransformerModel& model, SessionState& state,
   const std::span<float> scores(scratch.scores.data(),
                                 static_cast<std::size_t>(config.max_seq_len));
 
-  const auto embed_row = model.embed().value.row(token);
-  std::copy(embed_row.begin(), embed_row.end(), x.begin());
+  embed_lookup(model.embed(), token, x);
 
   for (std::size_t layer = 0; layer < model.blocks().size(); ++layer) {
     const TransformerBlock& block = model.blocks()[layer];
-    float* k_new = state.k_at(static_cast<std::int64_t>(layer), pos);
-    float* v_new = state.v_at(static_cast<std::int64_t>(layer), pos);
+    const auto l = static_cast<std::int64_t>(layer);
+    // Fresh K/V rows are computed and RoPE'd in fp32 scratch, then stored
+    // through the cache's dtype converter (bit copy for an fp32 cache).
+    const std::span<float> k_new(scratch.k_new.data(), kv);
+    const std::span<float> v_new(scratch.v_new.data(), kv);
 
     rmsnorm_row(x, block.input_norm.value.values(), config.norm_eps, normed);
-    matvec(block.q_proj.value, normed, q);
-    matvec(block.k_proj.value, normed, std::span<float>(k_new, kv));
-    matvec(block.v_proj.value, normed, std::span<float>(v_new, kv));
+    project(block.q_proj, normed, q);
+    project(block.k_proj, normed, k_new);
+    project(block.v_proj, normed, v_new);
 
     for (std::int64_t h = 0; h < config.n_heads; ++h) {
       model.rotary().apply(
@@ -187,28 +259,30 @@ void decode_step(const TransformerModel& model, SessionState& state,
     }
     for (std::int64_t h = 0; h < config.n_kv_heads; ++h) {
       model.rotary().apply(
-          std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)),
+          std::span<float>(k_new.data() + h * hd,
+                           static_cast<std::size_t>(hd)),
           pos);
     }
+    state.store_k_row(l, pos, k_new.data());
+    state.store_v_row(l, pos, v_new.data());
 
-    attention_row(model, state, static_cast<std::int64_t>(layer), pos, q, att,
-                  scores);
+    attention_row(model, state, l, pos, q, att, scores);
 
-    matvec(block.o_proj.value, att, proj);
+    project(block.o_proj, att, proj);
     add_row(x, proj);
 
     rmsnorm_row(x, block.post_norm.value.values(), config.norm_eps, normed);
-    matvec(block.gate_proj.value, normed, gate);
-    matvec(block.up_proj.value, normed, up);
+    project(block.gate_proj, normed, gate);
+    project(block.up_proj, normed, up);
     swiglu_row(gate, up);
-    matvec(block.down_proj.value, gate, proj);
+    project(block.down_proj, gate, proj);
     add_row(x, proj);
   }
 
   rmsnorm_row(x, model.final_norm().value.values(), config.norm_eps, normed);
   // The [vocab, d] tied LM head dominates per-token cost; parallel_matvec
   // shards its output rows across the pool.
-  matvec(model.embed().value, normed, logits);
+  project(model.embed(), normed, logits);
   ++state.position;
 }
 
@@ -244,7 +318,6 @@ void batched_decode_step(const TransformerModel& model,
   const std::int64_t hd = config.head_dim();
   const auto kv = static_cast<std::size_t>(config.n_kv_heads * hd);
   const auto seq = static_cast<std::size_t>(config.max_seq_len);
-  const auto vocab = static_cast<std::size_t>(config.vocab_size);
   const auto row_f = [](std::vector<float>& buf, std::int64_t b,
                         std::size_t dim) {
     return std::span<float>(buf.data() + static_cast<std::size_t>(b) * dim,
@@ -252,9 +325,7 @@ void batched_decode_step(const TransformerModel& model,
   };
 
   for (std::int64_t b = 0; b < batch; ++b) {
-    const auto embed_row = model.embed().value.row(tokens[b]);
-    std::copy(embed_row.begin(), embed_row.end(),
-              row_f(scratch.x, b, d).begin());
+    embed_lookup(model.embed(), tokens[b], row_f(scratch.x, b, d));
   }
 
   // Per-session work (KV write, RoPE, attention) is independent across the
@@ -277,11 +348,11 @@ void batched_decode_step(const TransformerModel& model,
       rmsnorm_row(row_f(scratch.x, b, d), block.input_norm.value.values(),
                   config.norm_eps, row_f(scratch.normed, b, d));
     }
-    batched_project(block.q_proj.value, scratch.normed.data(),
-                    scratch.q.data(), batch, scratch);
-    batched_project(block.k_proj.value, scratch.normed.data(),
+    batched_project(block.q_proj, scratch.normed.data(), scratch.q.data(),
+                    batch, scratch);
+    batched_project(block.k_proj, scratch.normed.data(),
                     scratch.k_new.data(), batch, scratch);
-    batched_project(block.v_proj.value, scratch.normed.data(),
+    batched_project(block.v_proj, scratch.normed.data(),
                     scratch.v_new.data(), batch, scratch);
 
     for_each_row([&](std::size_t bi) {
@@ -289,10 +360,7 @@ void batched_decode_step(const TransformerModel& model,
       SessionState& state = *states[b];
       const std::int64_t pos = state.position;
       const std::int64_t l = static_cast<std::int64_t>(layer);
-      float* k_new = state.k_at(l, pos);
-      float* v_new = state.v_at(l, pos);
-      std::copy_n(scratch.k_new.data() + bi * kv, kv, k_new);
-      std::copy_n(scratch.v_new.data() + bi * kv, kv, v_new);
+      float* k_new = scratch.k_new.data() + bi * kv;
       const std::span<float> q = row_f(scratch.q, b, d);
       for (std::int64_t h = 0; h < config.n_heads; ++h) {
         model.rotary().apply(
@@ -304,12 +372,14 @@ void batched_decode_step(const TransformerModel& model,
             std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)),
             pos);
       }
+      state.store_k_row(l, pos, k_new);
+      state.store_v_row(l, pos, scratch.v_new.data() + bi * kv);
       attention_row(model, state, l, pos, q, row_f(scratch.att, b, d),
                     row_f(scratch.scores, b, seq));
     });
 
-    batched_project(block.o_proj.value, scratch.att.data(),
-                    scratch.proj.data(), batch, scratch);
+    batched_project(block.o_proj, scratch.att.data(), scratch.proj.data(),
+                    batch, scratch);
     for (std::int64_t b = 0; b < batch; ++b) {
       add_row(row_f(scratch.x, b, d), row_f(scratch.proj, b, d));
     }
@@ -318,14 +388,14 @@ void batched_decode_step(const TransformerModel& model,
       rmsnorm_row(row_f(scratch.x, b, d), block.post_norm.value.values(),
                   config.norm_eps, row_f(scratch.normed, b, d));
     }
-    batched_project(block.gate_proj.value, scratch.normed.data(),
+    batched_project(block.gate_proj, scratch.normed.data(),
                     scratch.gate.data(), batch, scratch);
-    batched_project(block.up_proj.value, scratch.normed.data(),
-                    scratch.up.data(), batch, scratch);
+    batched_project(block.up_proj, scratch.normed.data(), scratch.up.data(),
+                    batch, scratch);
     for (std::int64_t b = 0; b < batch; ++b) {
       swiglu_row(row_f(scratch.gate, b, d_ff), row_f(scratch.up, b, d_ff));
     }
-    batched_project(block.down_proj.value, scratch.gate.data(),
+    batched_project(block.down_proj, scratch.gate.data(),
                     scratch.proj.data(), batch, scratch);
     for (std::int64_t b = 0; b < batch; ++b) {
       add_row(row_f(scratch.x, b, d), row_f(scratch.proj, b, d));
@@ -336,8 +406,8 @@ void batched_decode_step(const TransformerModel& model,
     rmsnorm_row(row_f(scratch.x, b, d), model.final_norm().value.values(),
                 config.norm_eps, row_f(scratch.normed, b, d));
   }
-  batched_project(model.embed().value, scratch.normed.data(), logits.data(),
-                  batch, scratch);
+  batched_project(model.embed(), scratch.normed.data(), logits.data(), batch,
+                  scratch);
   for (std::int64_t b = 0; b < batch; ++b) ++states[b]->position;
 }
 

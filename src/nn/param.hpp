@@ -4,22 +4,30 @@
 
 #include <string>
 
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace chipalign {
 
 /// One trainable tensor. The gradient buffer always matches the value shape
 /// and is accumulated into by backward passes until zero_grad().
+///
+/// TransformerModel::quantize_weights() moves rank-2 weights into `qvalue`
+/// (f16/bf16/int8 storage read directly by the dequantizing kernels) and
+/// frees `value`/`grad`; a quantized parameter is inference-only.
 struct Parameter {
   std::string name;
   Tensor value;
   Tensor grad;
+  QuantTensor qvalue;
 
   Parameter() = default;
   Parameter(std::string param_name, Tensor initial)
       : name(std::move(param_name)),
         value(std::move(initial)),
         grad(value.shape()) {}
+
+  bool quantized() const { return !qvalue.empty(); }
 
   void zero_grad() { grad.fill(0.0F); }
 };

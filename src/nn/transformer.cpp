@@ -217,8 +217,28 @@ void TransformerModel::zero_grad() {
 
 std::int64_t TransformerModel::parameter_count() const {
   std::int64_t total = 0;
-  for (const Parameter* p : parameters()) total += p->value.numel();
+  for (const Parameter* p : parameters()) {
+    total += p->quantized() ? p->qvalue.rows * p->qvalue.cols
+                            : p->value.numel();
+  }
   return total;
+}
+
+void TransformerModel::quantize_weights(DType dtype) {
+  CA_CHECK(dtype == DType::kF16 || dtype == DType::kBF16 ||
+               dtype == DType::kI8,
+           "quantize_weights: unsupported dtype " << dtype_name(dtype));
+  CA_CHECK(weight_dtype_ == DType::kF32,
+           "model weights are already quantized (" <<
+               dtype_name(weight_dtype_) << ")");
+  cache_.reset();  // any pending training forward is void after this
+  for (Parameter* p : parameters()) {
+    if (p->value.rank() != 2) continue;  // rmsnorm vectors stay fp32
+    p->qvalue = quantize_tensor(p->value, dtype);
+    p->value = Tensor();
+    p->grad = Tensor();
+  }
+  weight_dtype_ = dtype;
 }
 
 // -- forward
@@ -226,6 +246,10 @@ std::int64_t TransformerModel::parameter_count() const {
 
 Tensor TransformerModel::forward(const std::vector<TokenId>& tokens) {
   const auto t_len = static_cast<std::int64_t>(tokens.size());
+  CA_CHECK(weight_dtype_ == DType::kF32,
+           "training forward requires fp32 weights; this model was "
+           "quantized to " << dtype_name(weight_dtype_)
+                           << " for inference-only decode");
   CA_CHECK(t_len > 0, "forward on empty token sequence");
   CA_CHECK(t_len <= config_.max_seq_len,
            "sequence length " << t_len << " exceeds max_seq_len "
@@ -499,7 +523,10 @@ void TransformerModel::backward(const Tensor& dlogits) {
 
 Checkpoint TransformerModel::to_checkpoint() const {
   std::map<std::string, Tensor> tensors;
-  for (const Parameter* p : parameters()) tensors.emplace(p->name, p->value);
+  for (const Parameter* p : parameters()) {
+    tensors.emplace(p->name, p->quantized() ? dequantize_tensor(p->qvalue)
+                                            : p->value);
+  }
   return Checkpoint(config_, std::move(tensors));
 }
 
@@ -511,6 +538,9 @@ TransformerModel TransformerModel::from_checkpoint(
 }
 
 void TransformerModel::load_weights(const Checkpoint& checkpoint) {
+  CA_CHECK(weight_dtype_ == DType::kF32,
+           "load_weights on a quantized model; build a fresh model from the "
+           "checkpoint instead");
   auto params = parameters();
   CA_CHECK(checkpoint.tensors().size() == params.size(),
            "checkpoint has " << checkpoint.tensors().size()

@@ -56,6 +56,17 @@ class TransformerModel {
   const ModelConfig& config() const { return config_; }
   const RotaryCache& rotary() const { return rotary_; }
 
+  /// Storage dtype of the rank-2 weights: kF32 until quantize_weights().
+  DType weight_dtype() const { return weight_dtype_; }
+
+  /// Quantizes every rank-2 weight (embedding + the nine block matrices)
+  /// into `dtype` storage (kF16 / kBF16 / kI8), freeing the fp32 values and
+  /// gradients; rmsnorm vectors stay fp32. The model becomes
+  /// inference-only: decode reads the quantized storage directly through
+  /// the dequantizing kernels, while forward()/backward() throw. Shrinks
+  /// resident weight bytes 2x (f16/bf16) or ~4x (int8).
+  void quantize_weights(DType dtype);
+
   /// All parameters in a stable order (embedding, blocks, final norm).
   std::vector<Parameter*> parameters();
   std::vector<const Parameter*> parameters() const;
@@ -111,6 +122,7 @@ class TransformerModel {
   Parameter embed_;  ///< [vocab, d]; also the tied LM head
   std::vector<TransformerBlock> blocks_;
   Parameter final_norm_;  ///< [d]
+  DType weight_dtype_ = DType::kF32;
 
   std::unique_ptr<ForwardCache> cache_;  ///< pending forward activations
 };

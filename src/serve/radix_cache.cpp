@@ -9,10 +9,12 @@ namespace chipalign {
 /// One path-compressed edge of the trie. Owns the KV rows of its edge
 /// tokens, stored layer-major ([n_layers, len, kv_dim] flattened) so a
 /// contiguous copy_n per layer moves them in or out of a SessionState.
+/// Rows are kept as raw bytes in the cache's kv_dtype (fp32 or fp16), so
+/// copies never convert — a hit restores the prefill's exact bits.
 struct RadixKvCache::Node {
-  std::vector<TokenId> tokens;  ///< edge label
-  std::vector<float> k;         ///< [n_layers, len, kv_dim]
-  std::vector<float> v;
+  std::vector<TokenId> tokens;     ///< edge label
+  std::vector<unsigned char> k;    ///< [n_layers, len, kv_dim] elements
+  std::vector<unsigned char> v;
   std::map<TokenId, std::unique_ptr<Node>> children;
   Node* parent = nullptr;
   std::int64_t refcount = 0;  ///< live Refs pinning this node
@@ -27,35 +29,45 @@ namespace {
 
 /// Keeps the first `keep` rows of each layer of a [n_layers, len, kv_dim]
 /// block (or the rows from `keep` on, when `tail` is set), re-packed
-/// contiguously for the new length.
-std::vector<float> slice_rows(const std::vector<float>& src,
-                              std::int64_t n_layers, std::int64_t len,
-                              std::int64_t kv_dim, std::int64_t keep,
-                              bool tail) {
+/// contiguously for the new length. `row_bytes` is kv_dim * element size.
+std::vector<unsigned char> slice_rows(const std::vector<unsigned char>& src,
+                                      std::int64_t n_layers, std::int64_t len,
+                                      std::size_t row_bytes,
+                                      std::int64_t keep, bool tail) {
   const std::int64_t out_len = tail ? len - keep : keep;
-  std::vector<float> out(
-      static_cast<std::size_t>(n_layers * out_len * kv_dim));
+  std::vector<unsigned char> out(static_cast<std::size_t>(n_layers * out_len) *
+                                 row_bytes);
   for (std::int64_t l = 0; l < n_layers; ++l) {
     const std::int64_t from = tail ? keep : 0;
-    std::copy_n(src.data() + (l * len + from) * kv_dim, out_len * kv_dim,
-                out.data() + l * out_len * kv_dim);
+    std::copy_n(src.data() + static_cast<std::size_t>(l * len + from) *
+                                 row_bytes,
+                static_cast<std::size_t>(out_len) * row_bytes,
+                out.data() + static_cast<std::size_t>(l * out_len) *
+                                 row_bytes);
   }
   return out;
 }
 
 }  // namespace
 
-RadixKvCache::RadixKvCache(const ModelConfig& config, std::size_t max_bytes)
+RadixKvCache::RadixKvCache(const ModelConfig& config, std::size_t max_bytes,
+                           DType kv_dtype)
     : root_(std::make_unique<Node>()),
       n_layers_(config.n_layers),
       kv_dim_(config.n_kv_heads * config.head_dim()),
-      max_bytes_(max_bytes) {}
+      kv_dtype_(kv_dtype),
+      elem_size_(dtype_size(kv_dtype)),
+      max_bytes_(max_bytes) {
+  CA_CHECK(kv_dtype == DType::kF32 || kv_dtype == DType::kF16,
+           "radix cache KV dtype must be F32 or F16, got "
+               << dtype_name(kv_dtype));
+}
 
 RadixKvCache::~RadixKvCache() = default;
 
 std::size_t RadixKvCache::node_bytes(std::int64_t token_count) const {
   return 2 * static_cast<std::size_t>(n_layers_ * token_count * kv_dim_) *
-         sizeof(float);
+         elem_size_;
 }
 
 RadixKvCache::Ref RadixKvCache::acquire(std::span<const TokenId> tokens,
@@ -64,7 +76,8 @@ RadixKvCache::Ref RadixKvCache::acquire(std::span<const TokenId> tokens,
   stats_.lookup_tokens += static_cast<std::int64_t>(tokens.size());
   if (max_bytes_ == 0 || tokens.empty()) return Ref{};
   CA_CHECK(state.position == 0, "acquire into a non-empty session");
-  CA_CHECK(state.n_layers == n_layers_ && state.kv_dim == kv_dim_,
+  CA_CHECK(state.n_layers == n_layers_ && state.kv_dim == kv_dim_ &&
+               state.kv_dtype == kv_dtype_,
            "session KV geometry does not match this cache");
   CA_CHECK(state.capacity >= static_cast<std::int64_t>(tokens.size()),
            "session capacity " << state.capacity << " below prompt length "
@@ -85,11 +98,17 @@ RadixKvCache::Ref RadixKvCache::acquire(std::span<const TokenId> tokens,
       ++m;
     }
     // m >= 1: children are keyed by their edge's first token.
+    const std::size_t row_bytes = static_cast<std::size_t>(kv_dim_) *
+                                  elem_size_;
     for (std::int64_t l = 0; l < n_layers_; ++l) {
-      std::copy_n(child->k.data() + l * child->len() * kv_dim_, m * kv_dim_,
-                  state.k_at(l, offset));
-      std::copy_n(child->v.data() + l * child->len() * kv_dim_, m * kv_dim_,
-                  state.v_at(l, offset));
+      std::copy_n(child->k.data() + static_cast<std::size_t>(l * child->len())
+                                        * row_bytes,
+                  static_cast<std::size_t>(m) * row_bytes,
+                  state.k_raw(l, offset));
+      std::copy_n(child->v.data() + static_cast<std::size_t>(l * child->len())
+                                        * row_bytes,
+                  static_cast<std::size_t>(m) * row_bytes,
+                  state.v_raw(l, offset));
     }
     ++child->refcount;
     child->last_use = ++clock_;
@@ -110,19 +129,26 @@ void RadixKvCache::insert(std::span<const TokenId> tokens,
   CA_CHECK(state.position >= total,
            "insert of " << total << " tokens from a session at position "
                         << state.position);
-  CA_CHECK(state.n_layers == n_layers_ && state.kv_dim == kv_dim_,
+  CA_CHECK(state.n_layers == n_layers_ && state.kv_dim == kv_dim_ &&
+               state.kv_dtype == kv_dtype_,
            "session KV geometry does not match this cache");
 
+  const std::size_t row_bytes = static_cast<std::size_t>(kv_dim_) *
+                                elem_size_;
   const auto fill_from_state = [&](Node& dst, std::int64_t start,
                                    std::int64_t count) {
     dst.tokens.assign(tokens.begin() + start, tokens.begin() + start + count);
-    dst.k.resize(static_cast<std::size_t>(n_layers_ * count * kv_dim_));
+    dst.k.resize(static_cast<std::size_t>(n_layers_ * count) * row_bytes);
     dst.v.resize(dst.k.size());
     for (std::int64_t l = 0; l < n_layers_; ++l) {
-      std::copy_n(state.k_at(l, start), count * kv_dim_,
-                  dst.k.data() + l * count * kv_dim_);
-      std::copy_n(state.v_at(l, start), count * kv_dim_,
-                  dst.v.data() + l * count * kv_dim_);
+      std::copy_n(state.k_raw(l, start),
+                  static_cast<std::size_t>(count) * row_bytes,
+                  dst.k.data() + static_cast<std::size_t>(l * count) *
+                                     row_bytes);
+      std::copy_n(state.v_raw(l, start),
+                  static_cast<std::size_t>(count) * row_bytes,
+                  dst.v.data() + static_cast<std::size_t>(l * count) *
+                                     row_bytes);
     }
   };
 
@@ -160,15 +186,15 @@ void RadixKvCache::insert(std::span<const TokenId> tokens,
     // pinning it stay valid) and a new prefix node takes the first m rows.
     auto prefix = std::make_unique<Node>();
     prefix->tokens.assign(child->tokens.begin(), child->tokens.begin() + m);
-    prefix->k = slice_rows(child->k, n_layers_, child->len(), kv_dim_, m,
+    prefix->k = slice_rows(child->k, n_layers_, child->len(), row_bytes, m,
                            /*tail=*/false);
-    prefix->v = slice_rows(child->v, n_layers_, child->len(), kv_dim_, m,
+    prefix->v = slice_rows(child->v, n_layers_, child->len(), row_bytes, m,
                            /*tail=*/false);
     prefix->parent = node;
     prefix->last_use = child->last_use;
-    child->k = slice_rows(child->k, n_layers_, child->len(), kv_dim_, m,
+    child->k = slice_rows(child->k, n_layers_, child->len(), row_bytes, m,
                           /*tail=*/true);
-    child->v = slice_rows(child->v, n_layers_, child->len(), kv_dim_, m,
+    child->v = slice_rows(child->v, n_layers_, child->len(), row_bytes, m,
                           /*tail=*/true);
     child->tokens.erase(child->tokens.begin(), child->tokens.begin() + m);
     child->parent = prefix.get();

@@ -36,6 +36,7 @@
 
 #include "model/model_config.hpp"
 #include "nn/session_state.hpp"
+#include "tensor/dtype.hpp"
 #include "text/tokenizer.hpp"
 
 namespace chipalign {
@@ -67,7 +68,11 @@ class RadixKvCache {
 
   /// \param max_bytes eviction budget for stored KV; 0 disables the cache
   ///   (acquire always misses, insert is a no-op).
-  RadixKvCache(const ModelConfig& config, std::size_t max_bytes);
+  /// \param kv_dtype row storage dtype; must match the SessionStates the
+  ///   cache exchanges rows with (kF32 or kF16). Rows move as opaque bytes,
+  ///   so a hit hands back the exact bits the prefill stored either way.
+  RadixKvCache(const ModelConfig& config, std::size_t max_bytes,
+               DType kv_dtype = DType::kF32);
   ~RadixKvCache();
 
   RadixKvCache(const RadixKvCache&) = delete;
@@ -102,6 +107,8 @@ class RadixKvCache {
   std::unique_ptr<Node> root_;
   std::int64_t n_layers_ = 0;
   std::int64_t kv_dim_ = 0;
+  DType kv_dtype_ = DType::kF32;
+  std::size_t elem_size_ = sizeof(float);  ///< dtype_size(kv_dtype_)
   std::size_t max_bytes_ = 0;
   std::int64_t clock_ = 0;  ///< monotonic LRU stamp
   Stats stats_;

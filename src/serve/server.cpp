@@ -32,7 +32,7 @@ struct Server::Session {
 Server::Server(const TransformerModel& model, ServeConfig config)
     : model_(model),
       config_(config),
-      cache_(model.config(), config.prefix_cache_bytes),
+      cache_(model.config(), config.prefix_cache_bytes, config.kv_dtype),
       scratch_(model.config(), config.max_batch) {
   CA_CHECK(config_.max_sessions > 0, "ServeConfig.max_sessions must be > 0");
   logits_.resize(static_cast<std::size_t>(config_.max_batch *
@@ -80,7 +80,8 @@ SessionId Server::submit(Request request) {
   session->capacity = prompt_len + session->max_new - 1;
   if (session->capacity < 1) session->capacity = 1;
   const std::size_t bytes =
-      SessionState::kv_bytes_for(config, session->capacity);
+      SessionState::kv_bytes_for(config, session->capacity,
+                                 config_.kv_dtype);
   CA_CHECK(config_.max_kv_bytes == 0 || bytes <= config_.max_kv_bytes,
            "session needs " << bytes << " KV bytes, over the server budget "
                             << config_.max_kv_bytes
@@ -99,13 +100,15 @@ void Server::admit_locked() {
   while (!waiting_.empty() && active_.size() < config_.max_sessions) {
     Session& session = *waiting_.front();
     const std::size_t bytes =
-        SessionState::kv_bytes_for(config, session.capacity);
+        SessionState::kv_bytes_for(config, session.capacity,
+                                   config_.kv_dtype);
     if (config_.max_kv_bytes > 0 &&
         resident_kv_bytes_ + bytes > config_.max_kv_bytes) {
       break;  // FIFO: later (smaller) sessions wait their turn too
     }
     session.state = std::make_unique<SessionState>(config, session.capacity,
-                                                   session.request.seed);
+                                                   session.request.seed,
+                                                   config_.kv_dtype);
     // Reuse cached prefill for all but the last prompt token — that one
     // must be fed live to produce the logits the first sample needs.
     if (config_.prefix_cache_bytes > 0 && session.prompt_len() > 1) {

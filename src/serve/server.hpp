@@ -66,6 +66,11 @@ struct ServeConfig {
   std::int64_t max_batch = 16;
   /// Budget for the shared prefix cache; 0 disables prefix reuse.
   std::size_t prefix_cache_bytes = 0;
+  /// KV cache storage dtype for every session (and the prefix cache):
+  /// kF32, or kF16 to halve resident KV bytes — so twice the sessions fit
+  /// a given max_kv_bytes — at a small accuracy cost (rows round to
+  /// nearest-even on store). Outputs stay bitwise deterministic either way.
+  DType kv_dtype = DType::kF32;
   /// Pool for fanning per-session attention inside a batched step; nullptr
   /// uses the global pool. Purely a throughput knob (bits never change).
   ThreadPool* pool = nullptr;

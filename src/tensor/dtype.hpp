@@ -1,10 +1,12 @@
 #pragma once
 /// \file dtype.hpp
-/// \brief Storage dtypes supported by checkpoint serialization.
+/// \brief Storage dtypes supported by checkpoint serialization and the
+/// quantized inference path.
 ///
-/// In-memory compute is always fp32; F16/BF16 exist as *storage* formats in
-/// safetensors files, mirroring how real LLM checkpoints ship in half
-/// precision while merge arithmetic runs in fp32.
+/// Merge arithmetic always runs in fp32. F16/BF16 are both storage formats in
+/// safetensors files and weight formats for quantized decode (dequantized
+/// on the fly inside the kernels); I8 is per-row-scale int8 quantization
+/// whose scales travel as a separate F32 tensor (see quant.hpp).
 
 #include <cstddef>
 #include <string>
@@ -19,6 +21,7 @@ enum class DType {
   kF32,   ///< IEEE 754 binary32
   kF16,   ///< IEEE 754 binary16
   kBF16,  ///< bfloat16 (truncated binary32)
+  kI8,    ///< int8 with per-row fp32 scales (symmetric, zero-point 0)
 };
 
 /// Bytes per element of the storage dtype.
@@ -29,6 +32,8 @@ inline std::size_t dtype_size(DType dtype) {
     case DType::kF16:
     case DType::kBF16:
       return 2;
+    case DType::kI8:
+      return 1;
   }
   CA_THROW("unknown dtype");
 }
@@ -42,6 +47,8 @@ inline std::string dtype_name(DType dtype) {
       return "F16";
     case DType::kBF16:
       return "BF16";
+    case DType::kI8:
+      return "I8";
   }
   CA_THROW("unknown dtype");
 }
@@ -51,6 +58,7 @@ inline DType dtype_from_name(std::string_view name) {
   if (name == "F32") return DType::kF32;
   if (name == "F16") return DType::kF16;
   if (name == "BF16") return DType::kBF16;
+  if (name == "I8") return DType::kI8;
   CA_THROW("unsupported dtype tag '" << name << "'");
 }
 

@@ -39,6 +39,27 @@ void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
 /// Rows [o0, o1) of y = w @ x (w row-major [out, in]).
 void matvec_rows(const float* w, const float* x, float* y, std::int64_t o0,
                  std::int64_t o1, std::int64_t in_dim);
+// Quantized variants: dequantize-on-the-fly with the same reduction shape.
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n);
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n);
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n);
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n);
+void matvec_f16_rows(const std::uint16_t* w, const float* x, float* y,
+                     std::int64_t o0, std::int64_t o1, std::int64_t in_dim);
+void matvec_bf16_rows(const std::uint16_t* w, const float* x, float* y,
+                      std::int64_t o0, std::int64_t o1, std::int64_t in_dim);
+void matvec_i8_rows(const std::int8_t* w, const float* scales, const float* x,
+                    float* y, std::int64_t o0, std::int64_t o1,
+                    std::int64_t in_dim);
+void matmul_nt_f16_rows(const std::uint16_t* a, const float* b, float* c,
+                        std::int64_t i0, std::int64_t i1, std::int64_t k,
+                        std::int64_t n);
+void matmul_nt_bf16_rows(const std::uint16_t* a, const float* b, float* c,
+                         std::int64_t i0, std::int64_t i1, std::int64_t k,
+                         std::int64_t n);
+void matmul_nt_i8_rows(const std::int8_t* a, const float* a_scales,
+                       const float* b, float* c, std::int64_t i0,
+                       std::int64_t i1, std::int64_t k, std::int64_t n);
 }  // namespace generic
 
 #if defined(CHIPALIGN_HAVE_AVX2)
@@ -59,6 +80,30 @@ void matmul_tn_cols(const float* a, const float* b, float* c, std::int64_t m,
                     std::int64_t j1);
 void matvec_rows(const float* w, const float* x, float* y, std::int64_t o0,
                  std::int64_t o1, std::int64_t in_dim);
+// bf16 / int8 dequant uses only AVX2 integer ops; f16 additionally needs
+// F16C (vcvtph2ps), probed separately and checked at runtime.
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n);
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n);
+void matvec_bf16_rows(const std::uint16_t* w, const float* x, float* y,
+                      std::int64_t o0, std::int64_t o1, std::int64_t in_dim);
+void matvec_i8_rows(const std::int8_t* w, const float* scales, const float* x,
+                    float* y, std::int64_t o0, std::int64_t o1,
+                    std::int64_t in_dim);
+void matmul_nt_bf16_rows(const std::uint16_t* a, const float* b, float* c,
+                         std::int64_t i0, std::int64_t i1, std::int64_t k,
+                         std::int64_t n);
+void matmul_nt_i8_rows(const std::int8_t* a, const float* a_scales,
+                       const float* b, float* c, std::int64_t i0,
+                       std::int64_t i1, std::int64_t k, std::int64_t n);
+#if defined(CHIPALIGN_HAVE_F16C)
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n);
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n);
+void matvec_f16_rows(const std::uint16_t* w, const float* x, float* y,
+                     std::int64_t o0, std::int64_t o1, std::int64_t in_dim);
+void matmul_nt_f16_rows(const std::uint16_t* a, const float* b, float* c,
+                        std::int64_t i0, std::int64_t i1, std::int64_t k,
+                        std::int64_t n);
+#endif
 }  // namespace avx2
 #endif
 

@@ -37,6 +37,21 @@ bool use_avx2() {
   return available && !g_force_generic;
 }
 
+bool cpu_has_f16c() {
+#if defined(CHIPALIGN_HAVE_F16C)
+  return __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+/// The AVX2 f16 kernels additionally need F16C (vcvtph2ps); without it the
+/// f16 family falls back to the generic backend (bitwise identical).
+[[maybe_unused]] bool use_avx2_f16() {
+  static const bool available = cpu_has_avx2() && cpu_has_f16c();
+  return available && !g_force_generic;
+}
+
 /// Rows of output per parallel task (matmul / matmul_nt).
 constexpr std::int64_t kRowBlock = 16;
 /// Output columns per parallel task (matmul_tn_accum).
@@ -203,6 +218,167 @@ void parallel_matvec(const float* w, const float* x, float* y,
 #endif
         generic::matvec_rows(w, x, y, o0, o1, in_dim);
       });
+}
+
+// -- quantized dispatch ------------------------------------------------------
+
+namespace {
+
+/// parallel_matvec's fan-out shape, shared by every quantized variant: the
+/// same kMatvecRowBlock blocks and MAC threshold, with rows_fn(o0, o1)
+/// computing each block. Geometry depends only on the problem shape.
+template <typename RowsFn>
+void parallel_matvec_blocks(std::int64_t out_dim, std::int64_t in_dim,
+                            ThreadPool* pool, const RowsFn& rows_fn) {
+  const std::int64_t blocks =
+      (out_dim + kMatvecRowBlock - 1) / kMatvecRowBlock;
+  if (blocks <= 1 || out_dim * in_dim < matvec_parallel_macs()) {
+    rows_fn(std::int64_t{0}, out_dim);
+    return;
+  }
+  ThreadPool& chosen = pool != nullptr ? *pool : global_thread_pool();
+  chosen.parallel_for(
+      static_cast<std::size_t>(blocks), [&](std::size_t index) {
+        const std::int64_t o0 =
+            static_cast<std::int64_t>(index) * kMatvecRowBlock;
+        rows_fn(o0, std::min(o0 + kMatvecRowBlock, out_dim));
+      });
+}
+
+void matvec_f16_rows_dispatch(const std::uint16_t* w, const float* x,
+                              float* y, std::int64_t o0, std::int64_t o1,
+                              std::int64_t in_dim) {
+#if defined(CHIPALIGN_HAVE_F16C)
+  if (use_avx2_f16()) return avx2::matvec_f16_rows(w, x, y, o0, o1, in_dim);
+#endif
+  generic::matvec_f16_rows(w, x, y, o0, o1, in_dim);
+}
+
+void matvec_bf16_rows_dispatch(const std::uint16_t* w, const float* x,
+                               float* y, std::int64_t o0, std::int64_t o1,
+                               std::int64_t in_dim) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::matvec_bf16_rows(w, x, y, o0, o1, in_dim);
+#endif
+  generic::matvec_bf16_rows(w, x, y, o0, o1, in_dim);
+}
+
+void matvec_i8_rows_dispatch(const std::int8_t* w, const float* scales,
+                             const float* x, float* y, std::int64_t o0,
+                             std::int64_t o1, std::int64_t in_dim) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) {
+    return avx2::matvec_i8_rows(w, scales, x, y, o0, o1, in_dim);
+  }
+#endif
+  generic::matvec_i8_rows(w, scales, x, y, o0, o1, in_dim);
+}
+
+}  // namespace
+
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_F16C)
+  if (use_avx2_f16()) return avx2::dot_f16(a, b, n);
+#endif
+  return generic::dot_f16(a, b, n);
+}
+
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::dot_bf16(a, b, n);
+#endif
+  return generic::dot_bf16(a, b, n);
+}
+
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+  if (use_avx2()) return avx2::dot_i8(q, x, n);
+#endif
+  return generic::dot_i8(q, x, n);
+}
+
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n) {
+#if defined(CHIPALIGN_HAVE_F16C)
+  if (use_avx2_f16()) return avx2::axpy_f16(alpha, x, y, n);
+#endif
+  generic::axpy_f16(alpha, x, y, n);
+}
+
+void matvec_f16(const std::uint16_t* w, const float* x, float* y,
+                std::int64_t out_dim, std::int64_t in_dim) {
+  matvec_f16_rows_dispatch(w, x, y, 0, out_dim, in_dim);
+}
+
+void matvec_bf16(const std::uint16_t* w, const float* x, float* y,
+                 std::int64_t out_dim, std::int64_t in_dim) {
+  matvec_bf16_rows_dispatch(w, x, y, 0, out_dim, in_dim);
+}
+
+void matvec_i8(const std::int8_t* w, const float* scales, const float* x,
+               float* y, std::int64_t out_dim, std::int64_t in_dim) {
+  matvec_i8_rows_dispatch(w, scales, x, y, 0, out_dim, in_dim);
+}
+
+void parallel_matvec_f16(const std::uint16_t* w, const float* x, float* y,
+                         std::int64_t out_dim, std::int64_t in_dim,
+                         ThreadPool* pool) {
+  parallel_matvec_blocks(out_dim, in_dim, pool,
+                         [&](std::int64_t o0, std::int64_t o1) {
+                           matvec_f16_rows_dispatch(w, x, y, o0, o1, in_dim);
+                         });
+}
+
+void parallel_matvec_bf16(const std::uint16_t* w, const float* x, float* y,
+                          std::int64_t out_dim, std::int64_t in_dim,
+                          ThreadPool* pool) {
+  parallel_matvec_blocks(out_dim, in_dim, pool,
+                         [&](std::int64_t o0, std::int64_t o1) {
+                           matvec_bf16_rows_dispatch(w, x, y, o0, o1, in_dim);
+                         });
+}
+
+void parallel_matvec_i8(const std::int8_t* w, const float* scales,
+                        const float* x, float* y, std::int64_t out_dim,
+                        std::int64_t in_dim, ThreadPool* pool) {
+  parallel_matvec_blocks(
+      out_dim, in_dim, pool, [&](std::int64_t o0, std::int64_t o1) {
+        matvec_i8_rows_dispatch(w, scales, x, y, o0, o1, in_dim);
+      });
+}
+
+void matmul_nt_f16(const std::uint16_t* a, const float* b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n) {
+  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0,
+                                                std::int64_t i1) {
+#if defined(CHIPALIGN_HAVE_F16C)
+    if (use_avx2_f16()) return avx2::matmul_nt_f16_rows(a, b, c, i0, i1, k, n);
+#endif
+    generic::matmul_nt_f16_rows(a, b, c, i0, i1, k, n);
+  });
+}
+
+void matmul_nt_bf16(const std::uint16_t* a, const float* b, float* c,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
+  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0,
+                                                std::int64_t i1) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+    if (use_avx2()) return avx2::matmul_nt_bf16_rows(a, b, c, i0, i1, k, n);
+#endif
+    generic::matmul_nt_bf16_rows(a, b, c, i0, i1, k, n);
+  });
+}
+
+void matmul_nt_i8(const std::int8_t* a, const float* a_scales, const float* b,
+                  float* c, std::int64_t m, std::int64_t k, std::int64_t n) {
+  blocked_parallel(m, kRowBlock, m * k * n, [&](std::int64_t i0,
+                                                std::int64_t i1) {
+#if defined(CHIPALIGN_HAVE_AVX2)
+    if (use_avx2()) {
+      return avx2::matmul_nt_i8_rows(a, a_scales, b, c, i0, i1, k, n);
+    }
+#endif
+    generic::matmul_nt_i8_rows(a, a_scales, b, c, i0, i1, k, n);
+  });
 }
 
 }  // namespace chipalign::kernels

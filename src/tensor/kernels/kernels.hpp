@@ -42,6 +42,20 @@
 /// Large matmuls parallelize across the global ThreadPool in fixed-size row
 /// (matmul, matmul_nt) or column (matmul_tn_accum) blocks; block geometry
 /// depends only on the problem shape, never on the thread count.
+///
+/// ## Quantized kernels
+///
+/// The _f16 / _bf16 / _i8 variants read sub-fp32 weight storage and
+/// dequantize on the fly. Every stored element converts *exactly* to fp32
+/// (f16 and bf16 are fp32 subsets; int8 codes are small integers) before
+/// feeding the same 8-lane fp64 reduction, so the contract above — bitwise
+/// run-to-run, thread-count and backend invariance — holds unchanged. The
+/// int8 per-row scale is factored out of the reduction and applied once per
+/// output in fp64 (y[o] = float(scale[o] * dot), with the dot's lanes
+/// accumulating exact double(q)*double(x) products), so the scale never
+/// perturbs lane order. The AVX2 f16 path additionally requires F16C
+/// (probed at compile time, checked at runtime) and falls back to the
+/// generic backend without it.
 
 #include <cstddef>
 #include <cstdint>
@@ -140,6 +154,59 @@ void parallel_matvec(const float* w, const float* x, float* y,
                      std::int64_t out_dim, std::int64_t in_dim,
                      ThreadPool* pool = nullptr);
 
+// -- quantized kernels (dequantize-on-the-fly, same reduction contract) ------
+
+/// dot() with `a` stored as fp16 bit patterns: each element converts exactly
+/// to fp32 before entering the 8-lane fp64 reduction.
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n);
+
+/// dot() with `a` stored as bf16 bit patterns (exact high-half expansion).
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n);
+
+/// Unscaled int8 dot: lanes accumulate double(float(q[i])) * double(x[i]).
+/// Callers apply the per-row scale once on the combined result.
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n);
+
+/// y[i] += alpha * f16(x[i]) — the fp16 KV-cache attention accumulate.
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n);
+
+/// matvec() over fp16-stored weights: y[o] = float(dot_f16(w row o, x)).
+void matvec_f16(const std::uint16_t* w, const float* x, float* y,
+                std::int64_t out_dim, std::int64_t in_dim);
+
+/// matvec() over bf16-stored weights.
+void matvec_bf16(const std::uint16_t* w, const float* x, float* y,
+                 std::int64_t out_dim, std::int64_t in_dim);
+
+/// matvec() over int8 weights with per-row scales:
+/// y[o] = float(double(scales[o]) * dot_i8(w row o, x)).
+void matvec_i8(const std::int8_t* w, const float* scales, const float* x,
+               float* y, std::int64_t out_dim, std::int64_t in_dim);
+
+/// parallel_matvec() counterparts: identical per-row arithmetic, fanned in
+/// the same fixed row blocks, bitwise equal to the serial variants for any
+/// pool size.
+void parallel_matvec_f16(const std::uint16_t* w, const float* x, float* y,
+                         std::int64_t out_dim, std::int64_t in_dim,
+                         ThreadPool* pool = nullptr);
+void parallel_matvec_bf16(const std::uint16_t* w, const float* x, float* y,
+                          std::int64_t out_dim, std::int64_t in_dim,
+                          ThreadPool* pool = nullptr);
+void parallel_matvec_i8(const std::int8_t* w, const float* scales,
+                        const float* x, float* y, std::int64_t out_dim,
+                        std::int64_t in_dim, ThreadPool* pool = nullptr);
+
+/// matmul_nt() with a quantized A operand (the batched-decode projections:
+/// A = weights [m,k], B = activations [n,k]). Row i of the output uses the
+/// exact matvec_* per-row arithmetic, so batched decode stays bitwise equal
+/// to serial decode under quantization.
+void matmul_nt_f16(const std::uint16_t* a, const float* b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n);
+void matmul_nt_bf16(const std::uint16_t* a, const float* b, float* c,
+                    std::int64_t m, std::int64_t k, std::int64_t n);
+void matmul_nt_i8(const std::int8_t* a, const float* a_scales, const float* b,
+                  float* c, std::int64_t m, std::int64_t k, std::int64_t n);
+
 /// Retained scalar reference: the executable definition of the contract.
 /// Every kernels::X above must equal kernels::ref::X bit-for-bit.
 namespace ref {
@@ -158,6 +225,22 @@ void matmul_tn_accum(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n);
 void matvec(const float* w, const float* x, float* y, std::int64_t out_dim,
             std::int64_t in_dim);
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n);
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n);
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n);
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n);
+void matvec_f16(const std::uint16_t* w, const float* x, float* y,
+                std::int64_t out_dim, std::int64_t in_dim);
+void matvec_bf16(const std::uint16_t* w, const float* x, float* y,
+                 std::int64_t out_dim, std::int64_t in_dim);
+void matvec_i8(const std::int8_t* w, const float* scales, const float* x,
+               float* y, std::int64_t out_dim, std::int64_t in_dim);
+void matmul_nt_f16(const std::uint16_t* a, const float* b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n);
+void matmul_nt_bf16(const std::uint16_t* a, const float* b, float* c,
+                    std::int64_t m, std::int64_t k, std::int64_t n);
+void matmul_nt_i8(const std::int8_t* a, const float* a_scales, const float* b,
+                  float* c, std::int64_t m, std::int64_t k, std::int64_t n);
 }  // namespace ref
 
 }  // namespace chipalign::kernels

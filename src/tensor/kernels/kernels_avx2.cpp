@@ -14,6 +14,7 @@
 
 #include <cmath>
 
+#include "tensor/half.hpp"
 #include "tensor/kernels/backend.hpp"
 #include "tensor/kernels/kernels.hpp"
 
@@ -105,6 +106,155 @@ inline void dot4_lanes(const float* w0, const float* w1, const float* w2,
           static_cast<double>(rows[r][i]) * static_cast<double>(x[i]);
     }
     y[r] = static_cast<float>(combine_lanes(lanes[r]));
+  }
+}
+
+// -- quantized loaders --------------------------------------------------------
+//
+// Each loader expands 8 stored elements to an exact fp32 vector; the
+// templated dot bodies below then perform the identical fp64 FMA sequence
+// as dot_lanes / dot4_lanes, so quantized results match the scalar
+// reference bit-for-bit.
+
+struct VLoadBF16 {
+  using Elem = std::uint16_t;
+  static __m256 vec(const Elem* p) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16));
+  }
+  static float scalar(Elem v) { return bf16_bits_to_f32(v); }
+};
+
+struct VLoadI8 {
+  using Elem = std::int8_t;
+  static __m256 vec(const Elem* p) {
+    const __m128i raw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+  }
+  static float scalar(Elem v) { return static_cast<float>(v); }
+};
+
+#if defined(CHIPALIGN_HAVE_F16C)
+struct VLoadF16 {
+  using Elem = std::uint16_t;
+  static __m256 vec(const Elem* p) {
+    return _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static float scalar(Elem v) { return f16_bits_to_f32(v); }
+};
+#endif
+
+/// dot_lanes with a dequantizing load on the `a` stream.
+template <typename L>
+inline double dot_lanes_q(const typename L::Elem* a, const float* b,
+                          std::size_t n) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    const __m256 va = L::vec(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(va));
+    const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(va, 1));
+    const __m256d b_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vb));
+    const __m256d b_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(vb, 1));
+    acc_lo = _mm256_fmadd_pd(a_lo, b_lo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(a_hi, b_hi, acc_hi);
+  }
+  double lanes[kLanes];
+  _mm256_storeu_pd(lanes, acc_lo);
+  _mm256_storeu_pd(lanes + 4, acc_hi);
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] +=
+        static_cast<double>(L::scalar(a[i])) * static_cast<double>(b[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+/// dot4_lanes over quantized rows: identical per-row arithmetic to four
+/// dot_lanes_q calls, shared converted x halves, four independent FMA
+/// chains. Outputs the raw fp64 dots so the int8 caller can apply per-row
+/// scales before the final float cast.
+template <typename L>
+inline void dot4_lanes_q(const typename L::Elem* w0,
+                         const typename L::Elem* w1,
+                         const typename L::Elem* w2,
+                         const typename L::Elem* w3, const float* x,
+                         double* out, std::size_t n) {
+  __m256d a0_lo = _mm256_setzero_pd();
+  __m256d a0_hi = _mm256_setzero_pd();
+  __m256d a1_lo = _mm256_setzero_pd();
+  __m256d a1_hi = _mm256_setzero_pd();
+  __m256d a2_lo = _mm256_setzero_pd();
+  __m256d a2_hi = _mm256_setzero_pd();
+  __m256d a3_lo = _mm256_setzero_pd();
+  __m256d a3_hi = _mm256_setzero_pd();
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256d x_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(vx));
+    const __m256d x_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(vx, 1));
+    const __m256 v0 = L::vec(w0 + i);
+    a0_lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v0)),
+                            x_lo, a0_lo);
+    a0_hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v0, 1)),
+                            x_hi, a0_hi);
+    const __m256 v1 = L::vec(w1 + i);
+    a1_lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v1)),
+                            x_lo, a1_lo);
+    a1_hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v1, 1)),
+                            x_hi, a1_hi);
+    const __m256 v2 = L::vec(w2 + i);
+    a2_lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v2)),
+                            x_lo, a2_lo);
+    a2_hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v2, 1)),
+                            x_hi, a2_hi);
+    const __m256 v3 = L::vec(w3 + i);
+    a3_lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v3)),
+                            x_lo, a3_lo);
+    a3_hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v3, 1)),
+                            x_hi, a3_hi);
+  }
+  double lanes[4][kLanes];
+  _mm256_storeu_pd(lanes[0], a0_lo);
+  _mm256_storeu_pd(lanes[0] + 4, a0_hi);
+  _mm256_storeu_pd(lanes[1], a1_lo);
+  _mm256_storeu_pd(lanes[1] + 4, a1_hi);
+  _mm256_storeu_pd(lanes[2], a2_lo);
+  _mm256_storeu_pd(lanes[2] + 4, a2_hi);
+  _mm256_storeu_pd(lanes[3], a3_lo);
+  _mm256_storeu_pd(lanes[3] + 4, a3_hi);
+  const typename L::Elem* rows[4] = {w0, w1, w2, w3};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t i = n8; i < n; ++i) {
+      lanes[r][i - n8] += static_cast<double>(L::scalar(rows[r][i])) *
+                          static_cast<double>(x[i]);
+    }
+    out[r] = combine_lanes(lanes[r]);
+  }
+}
+
+/// Rows [o0, o1) of a quantized matvec, 4-row blocked like matvec_rows.
+template <typename L>
+inline void matvec_rows_q(const typename L::Elem* w, const float* x, float* y,
+                          std::int64_t o0, std::int64_t o1,
+                          std::int64_t in_dim) {
+  const auto n = static_cast<std::size_t>(in_dim);
+  std::int64_t o = o0;
+  for (; o + 4 <= o1; o += 4) {
+    const typename L::Elem* base = w + o * in_dim;
+    double d[4];
+    dot4_lanes_q<L>(base, base + in_dim, base + 2 * in_dim,
+                    base + 3 * in_dim, x, d, n);
+    for (std::size_t r = 0; r < 4; ++r) {
+      y[o + static_cast<std::int64_t>(r)] = static_cast<float>(d[r]);
+    }
+  }
+  for (; o < o1; ++o) {
+    y[o] = static_cast<float>(dot_lanes_q<L>(w + o * in_dim, x, n));
   }
 }
 
@@ -225,6 +375,101 @@ void matvec_rows(const float* w, const float* x, float* y, std::int64_t o0,
     y[o] = static_cast<float>(dot_lanes(w + o * in_dim, x, n));
   }
 }
+
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n) {
+  return dot_lanes_q<VLoadBF16>(a, b, n);
+}
+
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n) {
+  return dot_lanes_q<VLoadI8>(q, x, n);
+}
+
+void matvec_bf16_rows(const std::uint16_t* w, const float* x, float* y,
+                      std::int64_t o0, std::int64_t o1, std::int64_t in_dim) {
+  matvec_rows_q<VLoadBF16>(w, x, y, o0, o1, in_dim);
+}
+
+void matvec_i8_rows(const std::int8_t* w, const float* scales, const float* x,
+                    float* y, std::int64_t o0, std::int64_t o1,
+                    std::int64_t in_dim) {
+  const auto n = static_cast<std::size_t>(in_dim);
+  std::int64_t o = o0;
+  for (; o + 4 <= o1; o += 4) {
+    const std::int8_t* base = w + o * in_dim;
+    double d[4];
+    dot4_lanes_q<VLoadI8>(base, base + in_dim, base + 2 * in_dim,
+                          base + 3 * in_dim, x, d, n);
+    for (std::size_t r = 0; r < 4; ++r) {
+      const std::int64_t row = o + static_cast<std::int64_t>(r);
+      y[row] = static_cast<float>(static_cast<double>(scales[row]) * d[r]);
+    }
+  }
+  for (; o < o1; ++o) {
+    y[o] = static_cast<float>(static_cast<double>(scales[o]) *
+                              dot_lanes_q<VLoadI8>(w + o * in_dim, x, n));
+  }
+}
+
+void matmul_nt_bf16_rows(const std::uint16_t* a, const float* b, float* c,
+                         std::int64_t i0, std::int64_t i1, std::int64_t k,
+                         std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::uint16_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(dot_lanes_q<VLoadBF16>(
+          a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+
+void matmul_nt_i8_rows(const std::int8_t* a, const float* a_scales,
+                       const float* b, float* c, std::int64_t i0,
+                       std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::int8_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          static_cast<double>(a_scales[i]) *
+          dot_lanes_q<VLoadI8>(a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+
+#if defined(CHIPALIGN_HAVE_F16C)
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n) {
+  return dot_lanes_q<VLoadF16>(a, b, n);
+}
+
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 p = _mm256_mul_ps(va, VLoadF16::vec(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), p));
+  }
+  for (; i < n; ++i) y[i] += alpha * f16_bits_to_f32(x[i]);
+}
+
+void matvec_f16_rows(const std::uint16_t* w, const float* x, float* y,
+                     std::int64_t o0, std::int64_t o1, std::int64_t in_dim) {
+  matvec_rows_q<VLoadF16>(w, x, y, o0, o1, in_dim);
+}
+
+void matmul_nt_f16_rows(const std::uint16_t* a, const float* b, float* c,
+                        std::int64_t i0, std::int64_t i1, std::int64_t k,
+                        std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::uint16_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(dot_lanes_q<VLoadF16>(
+          a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+#endif  // CHIPALIGN_HAVE_F16C
 
 }  // namespace chipalign::kernels::avx2
 

@@ -7,10 +7,46 @@
 /// whatever width the target offers without changing a single bit (FP
 /// contraction is disabled for this translation unit).
 
+#include "tensor/half.hpp"
 #include "tensor/kernels/backend.hpp"
 #include "tensor/kernels/kernels.hpp"
 
 namespace chipalign::kernels::generic {
+
+namespace {
+
+// Type-generic element loaders: one reduction body serves every storage
+// dtype. Each load is an *exact* conversion to fp32, so the shared loop
+// reproduces the contract reduction bit-for-bit regardless of dtype.
+struct LoadF16 {
+  float operator()(std::uint16_t v) const { return f16_bits_to_f32(v); }
+};
+struct LoadBF16 {
+  float operator()(std::uint16_t v) const { return bf16_bits_to_f32(v); }
+};
+struct LoadI8 {
+  float operator()(std::int8_t v) const { return static_cast<float>(v); }
+};
+
+/// Contract-shaped dot with a dequantizing load on the `a` stream.
+template <typename T, typename Load>
+double dot_q(const T* a, const float* b, std::size_t n, Load load) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(load(a[i + l])) *
+                  static_cast<double>(b[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] +=
+        static_cast<double>(load(a[i])) * static_cast<double>(b[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+}  // namespace
 
 double dot(const float* a, const float* b, std::size_t n) {
   double lanes[kLanes] = {0};
@@ -100,6 +136,88 @@ void matvec_rows(const float* w, const float* x, float* y, std::int64_t o0,
   for (std::int64_t o = o0; o < o1; ++o) {
     y[o] = static_cast<float>(
         dot(w + o * in_dim, x, static_cast<std::size_t>(in_dim)));
+  }
+}
+
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n) {
+  return dot_q(a, b, n, LoadF16{});
+}
+
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n) {
+  return dot_q(a, b, n, LoadBF16{});
+}
+
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n) {
+  return dot_q(q, x, n, LoadI8{});
+}
+
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * f16_bits_to_f32(x[i]);
+}
+
+void matvec_f16_rows(const std::uint16_t* w, const float* x, float* y,
+                     std::int64_t o0, std::int64_t o1, std::int64_t in_dim) {
+  for (std::int64_t o = o0; o < o1; ++o) {
+    y[o] = static_cast<float>(dot_q(
+        w + o * in_dim, x, static_cast<std::size_t>(in_dim), LoadF16{}));
+  }
+}
+
+void matvec_bf16_rows(const std::uint16_t* w, const float* x, float* y,
+                      std::int64_t o0, std::int64_t o1, std::int64_t in_dim) {
+  for (std::int64_t o = o0; o < o1; ++o) {
+    y[o] = static_cast<float>(dot_q(
+        w + o * in_dim, x, static_cast<std::size_t>(in_dim), LoadBF16{}));
+  }
+}
+
+void matvec_i8_rows(const std::int8_t* w, const float* scales, const float* x,
+                    float* y, std::int64_t o0, std::int64_t o1,
+                    std::int64_t in_dim) {
+  for (std::int64_t o = o0; o < o1; ++o) {
+    y[o] = static_cast<float>(
+        static_cast<double>(scales[o]) *
+        dot_q(w + o * in_dim, x, static_cast<std::size_t>(in_dim), LoadI8{}));
+  }
+}
+
+void matmul_nt_f16_rows(const std::uint16_t* a, const float* b, float* c,
+                        std::int64_t i0, std::int64_t i1, std::int64_t k,
+                        std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::uint16_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          dot_q(a_row, b + j * k, static_cast<std::size_t>(k), LoadF16{}));
+    }
+  }
+}
+
+void matmul_nt_bf16_rows(const std::uint16_t* a, const float* b, float* c,
+                         std::int64_t i0, std::int64_t i1, std::int64_t k,
+                         std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::uint16_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          dot_q(a_row, b + j * k, static_cast<std::size_t>(k), LoadBF16{}));
+    }
+  }
+}
+
+void matmul_nt_i8_rows(const std::int8_t* a, const float* a_scales,
+                       const float* b, float* c, std::int64_t i0,
+                       std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::int8_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          static_cast<double>(a_scales[i]) *
+          dot_q(a_row, b + j * k, static_cast<std::size_t>(k), LoadI8{}));
+    }
   }
 }
 

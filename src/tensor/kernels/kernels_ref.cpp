@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "tensor/half.hpp"
 #include "tensor/kernels/backend.hpp"
 #include "tensor/kernels/kernels.hpp"
 
@@ -102,6 +103,127 @@ void matvec(const float* w, const float* x, float* y, std::int64_t out_dim,
   for (std::int64_t o = 0; o < out_dim; ++o) {
     y[o] = static_cast<float>(
         dot(w + o * in_dim, x, static_cast<std::size_t>(in_dim)));
+  }
+}
+
+// -- quantized reference kernels ---------------------------------------------
+//
+// Each stored element dequantizes *exactly* to fp32 (f16/bf16 are fp32
+// subsets; int8 codes are small integers), then feeds the identical 8-lane
+// fp64 reduction as the fp32 dot above. The int8 per-row scale is applied
+// once per output, in fp64, after the lane combine.
+
+double dot_f16(const std::uint16_t* a, const float* b, std::size_t n) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(f16_bits_to_f32(a[i + l])) *
+                  static_cast<double>(b[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] +=
+        static_cast<double>(f16_bits_to_f32(a[i])) * static_cast<double>(b[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+double dot_bf16(const std::uint16_t* a, const float* b, std::size_t n) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(bf16_bits_to_f32(a[i + l])) *
+                  static_cast<double>(b[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(bf16_bits_to_f32(a[i])) *
+                     static_cast<double>(b[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+double dot_i8(const std::int8_t* q, const float* x, std::size_t n) {
+  double lanes[kLanes] = {0};
+  const std::size_t n8 = n & ~(kLanes - 1);
+  for (std::size_t i = 0; i < n8; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] += static_cast<double>(static_cast<float>(q[i + l])) *
+                  static_cast<double>(x[i + l]);
+    }
+  }
+  for (std::size_t i = n8; i < n; ++i) {
+    lanes[i - n8] += static_cast<double>(static_cast<float>(q[i])) *
+                     static_cast<double>(x[i]);
+  }
+  return combine_lanes(lanes);
+}
+
+void axpy_f16(float alpha, const std::uint16_t* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * f16_bits_to_f32(x[i]);
+}
+
+void matvec_f16(const std::uint16_t* w, const float* x, float* y,
+                std::int64_t out_dim, std::int64_t in_dim) {
+  for (std::int64_t o = 0; o < out_dim; ++o) {
+    y[o] = static_cast<float>(
+        dot_f16(w + o * in_dim, x, static_cast<std::size_t>(in_dim)));
+  }
+}
+
+void matvec_bf16(const std::uint16_t* w, const float* x, float* y,
+                 std::int64_t out_dim, std::int64_t in_dim) {
+  for (std::int64_t o = 0; o < out_dim; ++o) {
+    y[o] = static_cast<float>(
+        dot_bf16(w + o * in_dim, x, static_cast<std::size_t>(in_dim)));
+  }
+}
+
+void matvec_i8(const std::int8_t* w, const float* scales, const float* x,
+               float* y, std::int64_t out_dim, std::int64_t in_dim) {
+  for (std::int64_t o = 0; o < out_dim; ++o) {
+    y[o] = static_cast<float>(
+        static_cast<double>(scales[o]) *
+        dot_i8(w + o * in_dim, x, static_cast<std::size_t>(in_dim)));
+  }
+}
+
+void matmul_nt_f16(const std::uint16_t* a, const float* b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint16_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          dot_f16(a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+
+void matmul_nt_bf16(const std::uint16_t* a, const float* b, float* c,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint16_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          dot_bf16(a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
+  }
+}
+
+void matmul_nt_i8(const std::int8_t* a, const float* a_scales, const float* b,
+                  float* c, std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      c_row[j] = static_cast<float>(
+          static_cast<double>(a_scales[i]) *
+          dot_i8(a_row, b + j * k, static_cast<std::size_t>(k)));
+    }
   }
 }
 

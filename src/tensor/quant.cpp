@@ -1,0 +1,114 @@
+#include "tensor/quant.hpp"
+
+#include <cmath>
+
+#include "tensor/half.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+float int8_row_scale(const float* row, std::int64_t cols) {
+  float max_abs = 0.0F;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    const float a = std::fabs(row[c]);
+    if (a > max_abs) max_abs = a;
+  }
+  return max_abs / 127.0F;
+}
+
+void quantize_row_i8(const float* row, std::int64_t cols, float scale,
+                     std::int8_t* out) {
+  if (scale == 0.0F) {
+    for (std::int64_t c = 0; c < cols; ++c) out[c] = 0;
+    return;
+  }
+  for (std::int64_t c = 0; c < cols; ++c) {
+    // nearbyintf rounds to nearest even in the (never changed) default
+    // floating environment, matching the kernel determinism contract.
+    float q = std::nearbyintf(row[c] / scale);
+    if (q > 127.0F) q = 127.0F;
+    if (q < -127.0F) q = -127.0F;
+    out[c] = static_cast<std::int8_t>(q);
+  }
+}
+
+QuantTensor quantize_tensor(const Tensor& value, DType dtype) {
+  CA_CHECK(value.rank() == 2,
+           "quantize_tensor requires a rank-2 tensor, got "
+               << shape_to_string(value.shape()));
+  CA_CHECK(dtype != DType::kF32, "quantize_tensor: kF32 is not a quantized "
+                                 "dtype");
+  QuantTensor qt;
+  qt.dtype = dtype;
+  qt.rows = value.dim(0);
+  qt.cols = value.dim(1);
+  const std::size_t n = static_cast<std::size_t>(value.numel());
+  const float* src = value.data();
+  switch (dtype) {
+    case DType::kF16:
+      qt.half.resize(n);
+      for (std::size_t i = 0; i < n; ++i) qt.half[i] = f32_to_f16_bits(src[i]);
+      break;
+    case DType::kBF16:
+      qt.half.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        qt.half[i] = f32_to_bf16_bits(src[i]);
+      }
+      break;
+    case DType::kI8:
+      qt.q.resize(n);
+      qt.scales.resize(static_cast<std::size_t>(qt.rows));
+      for (std::int64_t r = 0; r < qt.rows; ++r) {
+        const float* row = src + r * qt.cols;
+        const float scale = int8_row_scale(row, qt.cols);
+        qt.scales[static_cast<std::size_t>(r)] = scale;
+        quantize_row_i8(row, qt.cols, scale, qt.q.data() + r * qt.cols);
+      }
+      break;
+    case DType::kF32:
+      CA_THROW("unreachable");
+  }
+  return qt;
+}
+
+Tensor dequantize_tensor(const QuantTensor& qt) {
+  CA_CHECK(!qt.empty(), "dequantize_tensor: empty QuantTensor");
+  Tensor out({qt.rows, qt.cols});
+  for (std::int64_t r = 0; r < qt.rows; ++r) {
+    dequantize_row(qt, r, out.data() + r * qt.cols);
+  }
+  return out;
+}
+
+void dequantize_row(const QuantTensor& qt, std::int64_t row, float* out) {
+  CA_CHECK(row >= 0 && row < qt.rows,
+           "dequantize_row: row " << row << " out of range [0, " << qt.rows
+                                  << ")");
+  const std::size_t base = static_cast<std::size_t>(row * qt.cols);
+  switch (qt.dtype) {
+    case DType::kF16:
+      for (std::int64_t c = 0; c < qt.cols; ++c) {
+        out[c] = f16_bits_to_f32(qt.half[base + static_cast<std::size_t>(c)]);
+      }
+      return;
+    case DType::kBF16:
+      for (std::int64_t c = 0; c < qt.cols; ++c) {
+        out[c] = bf16_bits_to_f32(qt.half[base + static_cast<std::size_t>(c)]);
+      }
+      return;
+    case DType::kI8: {
+      const float scale = qt.scales[static_cast<std::size_t>(row)];
+      for (std::int64_t c = 0; c < qt.cols; ++c) {
+        out[c] =
+            static_cast<float>(qt.q[base + static_cast<std::size_t>(c)]) *
+            scale;
+      }
+      return;
+    }
+    case DType::kF32:
+      CA_THROW("dequantize_row: empty QuantTensor");
+  }
+  CA_THROW("unknown dtype");
+}
+
+}  // namespace chipalign

@@ -1,0 +1,63 @@
+#pragma once
+/// \file quant.hpp
+/// \brief Quantized weight storage for the inference path.
+///
+/// A QuantTensor holds a rank-2 weight matrix in one of the sub-fp32 storage
+/// formats: fp16 / bf16 (elementwise conversion, no scales) or int8 with a
+/// per-row fp32 scale (symmetric, zero-point 0). Kernels dequantize on the
+/// fly: every stored element converts *exactly* to fp32 before entering the
+/// shared 8-lane fp64 reduction, so quantized matvecs inherit the bitwise
+/// run-to-run / thread-count determinism contract of the fp32 kernels (see
+/// DESIGN.md §4i).
+///
+/// int8 rows quantize as q = clamp(round(x / scale), -127, 127) with
+/// scale = max|x| / 127 (scale 0 for an all-zero row); the reconstruction
+/// q * scale is within scale/2 of the original element.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dtype.hpp"
+#include "tensor/tensor.hpp"
+
+namespace chipalign {
+
+/// Rank-2 weight matrix stored quantized. Exactly one payload vector is
+/// non-empty: `half` for kF16/kBF16 bit patterns, `q` (+ `scales`) for kI8.
+struct QuantTensor {
+  DType dtype = DType::kF32;  ///< kF32 means "empty / not quantized"
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::uint16_t> half;  ///< [rows*cols] f16/bf16 bit patterns
+  std::vector<std::int8_t> q;       ///< [rows*cols] int8 codes
+  std::vector<float> scales;        ///< [rows] per-row scales (kI8 only)
+
+  bool empty() const { return dtype == DType::kF32; }
+
+  /// Payload bytes actually held (codes + scales).
+  std::size_t bytes() const {
+    return half.size() * sizeof(std::uint16_t) +
+           q.size() * sizeof(std::int8_t) + scales.size() * sizeof(float);
+  }
+};
+
+/// Per-row int8 scale: max|row| / 127, or 0 for an all-zero row.
+float int8_row_scale(const float* row, std::int64_t cols);
+
+/// Quantizes one row with the given scale into int8 codes
+/// (round-to-nearest, clamped to [-127, 127]; all zeros when scale == 0).
+void quantize_row_i8(const float* row, std::int64_t cols, float scale,
+                     std::int8_t* out);
+
+/// Quantizes a rank-2 fp32 tensor into the given storage dtype
+/// (kF16 / kBF16 / kI8). Throws on rank != 2 or dtype kF32.
+QuantTensor quantize_tensor(const Tensor& value, DType dtype);
+
+/// Exact fp32 reconstruction (f16/bf16 dequant, or q * scale for int8).
+Tensor dequantize_tensor(const QuantTensor& qt);
+
+/// Dequantizes one row into `out` (cols floats). Used for embedding lookup
+/// so the looked-up row matches what the quantized LM-head matvec sees.
+void dequantize_row(const QuantTensor& qt, std::int64_t row, float* out);
+
+}  // namespace chipalign
