@@ -17,6 +17,14 @@
 // cache (the production memory configuration) and pins run-to-run bitwise
 // determinism of the quantized engine; its tokens/s is trend-tracked in CI.
 //
+// A fourth phase turns on speculative decoding (ServeConfig::speculative:
+// prompt-lookup drafting + one multi-token verify_step per greedy session
+// per step) in three configurations — fp32, fp32 + prefix cache on the QA
+// workload, and int8 + fp16 KV — and requires every output byte-identical
+// to its non-speculative counterpart (fatal): greedy acceptance makes
+// speculation a pure throughput knob. Per-phase acceptance length and
+// draft hit rate land in BENCH_serve.json.
+//
 // Gates (--gate):
 //
 //   serve_batch_scaling  min(tps@4/tps@1, tps@16/tps@4) >= 1.0 — batched
@@ -334,6 +342,64 @@ int main(int argc, char** argv) {
       quant_tps / width_tps.back(), quant_deterministic ? "true" : "false",
       static_cast<double>(kv_row_f16) / static_cast<double>(kv_row_f32));
 
+  // -- speculative serving: draft + verify for greedy sessions ---------------
+  // Identity is the claim under test: with greedy acceptance, a served
+  // session's bytes must not move when speculation is enabled — across the
+  // throughput workload, the prefix-cache QA workload (drafting composes
+  // with radix reuse: the cache only ever sees accepted prefixes), and the
+  // quantized configuration. Throughput and acceptance are reported and
+  // trend-tracked; identity misses are fatal.
+  ServeConfig spec_serve;
+  spec_serve.max_sessions = static_cast<std::size_t>(sizes.sessions);
+  spec_serve.max_batch = quant_width;
+  spec_serve.speculative = true;
+  ServerStats spec_stats;
+  std::vector<std::string> spec_outputs;
+  const double spec_seconds = best_seconds(sizes.reps, [&] {
+    spec_outputs = serve_all(model, spec_serve, prompts, options,
+                             &spec_stats);
+  });
+  const double spec_tps =
+      static_cast<double>(spec_stats.step_tokens) / spec_seconds;
+  bool spec_outputs_equal = spec_outputs == first_outputs;
+  std::printf(
+      "{\"bench\":\"serve_spec\",\"batch\":%lld,\"tokens_per_s\":%.1f,"
+      "\"vs_plain\":%.2f,\"accept_len\":%.2f,\"draft_hit_rate\":%.2f,"
+      "\"outputs_equal\":%s}\n",
+      static_cast<long long>(quant_width), spec_tps,
+      spec_tps / width_tps.back(), spec_stats.spec.accept_len_mean(),
+      spec_stats.spec.draft_hit_rate(),
+      spec_outputs_equal ? "true" : "false");
+
+  ServeConfig spec_prefix_serve = prefix_serve;
+  spec_prefix_serve.speculative = true;
+  ServerStats spec_prefix_stats;
+  const auto spec_qa_outputs = serve_all(model, spec_prefix_serve,
+                                         qa_prompts, qa_options,
+                                         &spec_prefix_stats);
+  if (spec_qa_outputs != qa_outputs) spec_outputs_equal = false;
+  std::printf(
+      "{\"bench\":\"serve_spec_prefix\",\"hit_rate\":%.4f,"
+      "\"accept_len\":%.2f,\"draft_hit_rate\":%.2f,\"outputs_equal\":%s}\n",
+      spec_prefix_stats.cache.hit_rate(),
+      spec_prefix_stats.spec.accept_len_mean(),
+      spec_prefix_stats.spec.draft_hit_rate(),
+      spec_qa_outputs == qa_outputs ? "true" : "false");
+
+  ServeConfig spec_quant_serve = quant_serve;
+  spec_quant_serve.speculative = true;
+  ServerStats spec_quant_stats;
+  const auto spec_quant_outputs = serve_all(qmodel, spec_quant_serve,
+                                            prompts, options,
+                                            &spec_quant_stats);
+  if (spec_quant_outputs != quant_outputs) spec_outputs_equal = false;
+  std::printf(
+      "{\"bench\":\"serve_spec_quant\",\"accept_len\":%.2f,"
+      "\"draft_hit_rate\":%.2f,\"outputs_equal\":%s}\n",
+      spec_quant_stats.spec.accept_len_mean(),
+      spec_quant_stats.spec.draft_hit_rate(),
+      spec_quant_outputs == quant_outputs ? "true" : "false");
+
   // -- gates -----------------------------------------------------------------
   double scaling = 1e300;
   for (std::size_t i = 1; i < width_tps.size() && sizes.widths[i] <= 16;
@@ -366,9 +432,24 @@ int main(int argc, char** argv) {
                  "  \"prefix_seconds\": %.3f,\n"
                  "  \"tokens_per_s_quant\": %.1f,\n"
                  "  \"quant_deterministic\": %s,\n"
+                 "  \"tokens_per_s_spec\": %.1f,\n"
+                 "  \"spec_accept_len\": %.4f,\n"
+                 "  \"spec_draft_hit_rate\": %.4f,\n"
+                 "  \"spec_prefix_accept_len\": %.4f,\n"
+                 "  \"spec_prefix_draft_hit_rate\": %.4f,\n"
+                 "  \"spec_quant_accept_len\": %.4f,\n"
+                 "  \"spec_quant_draft_hit_rate\": %.4f,\n"
+                 "  \"spec_outputs_equal\": %s,\n"
                  "  \"outputs_equal\": %s,\n",
                  scaling, hit_rate, prefix_seconds, quant_tps,
-                 quant_deterministic ? "true" : "false",
+                 quant_deterministic ? "true" : "false", spec_tps,
+                 spec_stats.spec.accept_len_mean(),
+                 spec_stats.spec.draft_hit_rate(),
+                 spec_prefix_stats.spec.accept_len_mean(),
+                 spec_prefix_stats.spec.draft_hit_rate(),
+                 spec_quant_stats.spec.accept_len_mean(),
+                 spec_quant_stats.spec.draft_hit_rate(),
+                 spec_outputs_equal ? "true" : "false",
                  outputs_equal ? "true" : "false");
     write_gates_json(f, gates);
     std::fprintf(f, "}\n");
@@ -386,6 +467,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bench_serve: FAILED (quantized serving outputs not "
                  "bitwise deterministic)\n");
+    return 1;
+  }
+  if (!spec_outputs_equal) {
+    std::fprintf(stderr,
+                 "bench_serve: FAILED (speculative serving outputs differ "
+                 "from non-speculative serving)\n");
     return 1;
   }
 

@@ -20,8 +20,12 @@
 //   ./examples/chip_assistant --rag      # retrieve context instead of golden
 //   ./examples/chip_assistant --dtype int8 --kv-dtype f16
 //                                        # quantized weights + fp16 KV cache
+//   ./examples/chip_assistant --speculative --draft-k 4
+//                                        # prompt-lookup draft + multi-token
+//                                        # verify; same bytes, fewer steps
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -65,6 +69,8 @@ RetrievalPipeline load_or_build_rag(const ModelZoo& zoo) {
 
 int main(int argc, char** argv) {
   bool use_rag = false;
+  bool speculative = false;
+  long draft_k = 4;
   DType weight_dtype = DType::kF32;
   DType kv_dtype = DType::kF32;
   const auto parse_dtype_flag = [](const char* text, bool kv) {
@@ -84,6 +90,11 @@ int main(int argc, char** argv) {
       weight_dtype = parse_dtype_flag(argv[++i], /*kv=*/false);
     } else if (std::strcmp(argv[i], "--kv-dtype") == 0 && i + 1 < argc) {
       kv_dtype = parse_dtype_flag(argv[++i], /*kv=*/true);
+    } else if (std::strcmp(argv[i], "--speculative") == 0) {
+      speculative = true;
+    } else if (std::strcmp(argv[i], "--draft-k") == 0 && i + 1 < argc) {
+      draft_k = std::atol(argv[++i]);
+      CA_CHECK(draft_k >= 0, "--draft-k must be >= 0, got " << draft_k);
     }
   }
 
@@ -162,6 +173,8 @@ int main(int argc, char** argv) {
     serve.max_batch = static_cast<std::int64_t>(prompts.size());
     serve.prefix_cache_bytes = std::size_t{1} << 24;
     serve.kv_dtype = kv_dtype;
+    serve.speculative = speculative;
+    serve.draft_k = static_cast<std::int64_t>(draft_k);
     Server server(*entries[m].model, serve);
     std::vector<SessionId> ids;
     for (const std::string& prompt : prompts) {
@@ -207,6 +220,13 @@ int main(int argc, char** argv) {
       last_stats.cache.hit_rate());
   std::printf("dtypes: weights %s, KV cache %s (--dtype / --kv-dtype)\n",
               dtype_name(weight_dtype).c_str(), dtype_name(kv_dtype).c_str());
+  if (speculative) {
+    std::printf(
+        "speculative decoding: draft_k %ld, accept len %.2f, draft hit "
+        "rate %.2f (same bytes as plain greedy serving)\n",
+        draft_k, last_stats.spec.accept_len_mean(),
+        last_stats.spec.draft_hit_rate());
+  }
   std::printf("context mode: %s — rerun with %s to flip.\n",
               use_rag ? "RAG (retrieved)" : "golden",
               use_rag ? "no flag" : "--rag");

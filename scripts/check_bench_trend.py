@@ -80,6 +80,8 @@ BENCH_FILES = [
 THROUGHPUT_RULES = [
     ("decode_tps", 0.85),
     ("decode_tps_*", 0.85),
+    ("spec_decode_tps", 0.85),
+    ("spec_plain_tps", 0.85),
     ("prefill_tps", 0.85),
     ("mcq_items_per_s", 0.85),
     ("tokens_per_s_*", 0.85),
@@ -93,6 +95,11 @@ QUALITY_RULES = [
     ("rouge_*", 0.98),
     ("ann_recall_*", 0.98),
     ("prefix_hit_rate", 0.98),
+    # Speculative acceptance is a deterministic function of the (pinned)
+    # greedy token stream and the drafter, so it gets the tight band too:
+    # a drop means drafting got worse, not that the host got slower.
+    ("*accept_len", 0.98),
+    ("*draft_hit_rate", 0.98),
 ]
 
 BOOLEAN_KEYS = [
@@ -100,6 +107,8 @@ BOOLEAN_KEYS = [
     "deterministic_*",
     "quant_deterministic",
     "outputs_equal",
+    "spec_identical",
+    "spec_outputs_equal",
     "persist_identical",
     "batch_identical",
 ]

@@ -107,30 +107,23 @@ void attention_row(const TransformerModel& model, const SessionState& state,
   for (std::int64_t h = 0; h < n_heads; ++h) {
     const std::int64_t kvh = h / group;
     const float* q_h = q.data() + h * hd;
-    for (std::int64_t j = 0; j <= pos; ++j) {
-      const std::int64_t off = j * state.kv_dim + kvh * hd;
-      const double dot =
-          half_kv
-              ? kernels::dot_f16(layer_k16 + off, q_h,
-                                 static_cast<std::size_t>(hd))
-              : kernels::dot(q_h, layer_k + off,
-                             static_cast<std::size_t>(hd));
-      scores[static_cast<std::size_t>(j)] =
-          static_cast<float>(dot) * scale;
+    const std::int64_t head_off = kvh * hd;
+    if (half_kv) {
+      ops::attention_scores_f16(q_h, layer_k16 + head_off, state.kv_dim,
+                                pos + 1, hd, scale, scores.data());
+    } else {
+      ops::attention_scores(q_h, layer_k + head_off, state.kv_dim, pos + 1,
+                            hd, scale, scores.data());
     }
     ops::softmax_inplace(
         std::span<float>(scores.data(), static_cast<std::size_t>(pos + 1)));
     float* att_h = att.data() + h * hd;
-    for (std::int64_t j = 0; j <= pos; ++j) {
-      const float p = scores[static_cast<std::size_t>(j)];
-      const std::int64_t off = j * state.kv_dim + kvh * hd;
-      if (half_kv) {
-        kernels::axpy_f16(p, layer_v16 + off, att_h,
-                          static_cast<std::size_t>(hd));
-      } else {
-        kernels::axpy(p, layer_v + off, att_h,
-                      static_cast<std::size_t>(hd));
-      }
+    if (half_kv) {
+      ops::attention_mix_f16(scores.data(), layer_v16 + head_off,
+                             state.kv_dim, pos + 1, hd, att_h);
+    } else {
+      ops::attention_mix(scores.data(), layer_v + head_off, state.kv_dim,
+                         pos + 1, hd, att_h);
     }
   }
 }
@@ -409,6 +402,137 @@ void batched_decode_step(const TransformerModel& model,
   batched_project(model.embed(), scratch.normed.data(), logits.data(), batch,
                   scratch);
   for (std::int64_t b = 0; b < batch; ++b) ++states[b]->position;
+}
+
+void verify_step(const TransformerModel& model, SessionState& state,
+                 DecodeScratch& scratch, std::span<const TokenId> tokens,
+                 std::span<float> logits, ThreadPool* pool) {
+  const auto& config = model.config();
+  const auto block_len = static_cast<std::int64_t>(tokens.size());
+  CA_CHECK(block_len > 0, "verify_step on empty token block");
+  CA_CHECK(block_len <= scratch.max_batch,
+           "verify block " << block_len << " exceeds scratch capacity "
+                           << scratch.max_batch);
+  CA_CHECK(static_cast<std::int64_t>(logits.size()) ==
+               block_len * config.vocab_size,
+           "verify_step logits size");
+  if (block_len == 1) {
+    // One-token blocks take the matvec path: bit-identical (the kernel
+    // contract), and parallel_matvec fans the logits row over the pool.
+    decode_step(model, state, scratch, tokens[0], logits);
+    return;
+  }
+  CA_CHECK(state.position + block_len <= state.capacity,
+           "verify block of " << block_len << " tokens overflows KV capacity "
+                              << state.capacity << " at position "
+                              << state.position);
+  check_step_args(config, state, tokens[0]);
+  for (std::int64_t t = 1; t < block_len; ++t) {
+    CA_CHECK(tokens[t] >= 0 && tokens[t] < config.vocab_size,
+             "token id " << tokens[t] << " out of vocab");
+  }
+
+  const auto d = static_cast<std::size_t>(config.d_model);
+  const auto d_ff = static_cast<std::size_t>(config.d_ff);
+  const std::int64_t hd = config.head_dim();
+  const auto kv = static_cast<std::size_t>(config.n_kv_heads * hd);
+  const auto seq = static_cast<std::size_t>(config.max_seq_len);
+  const std::int64_t pos0 = state.position;
+  const auto row_f = [](std::vector<float>& buf, std::int64_t t,
+                        std::size_t dim) {
+    return std::span<float>(buf.data() + static_cast<std::size_t>(t) * dim,
+                            dim);
+  };
+
+  for (std::int64_t t = 0; t < block_len; ++t) {
+    embed_lookup(model.embed(), tokens[t], row_f(scratch.x, t, d));
+  }
+
+  // Rows fan over the pool in two waves per layer: first every row's RoPE +
+  // KV store (disjoint cache rows), then — only once ALL block rows are in
+  // the cache — every row's attention, since row t reads the K/V this block
+  // just stored for rows 0..t. Within a wave rows are independent, so any
+  // pool size produces identical bits.
+  const auto for_each_row = [&](const std::function<void(std::size_t)>& fn) {
+    if (pool != nullptr) {
+      pool->parallel_for(static_cast<std::size_t>(block_len), fn);
+    } else {
+      for (std::int64_t t = 0; t < block_len; ++t) {
+        fn(static_cast<std::size_t>(t));
+      }
+    }
+  };
+
+  for (std::size_t layer = 0; layer < model.blocks().size(); ++layer) {
+    const TransformerBlock& block = model.blocks()[layer];
+    const auto l = static_cast<std::int64_t>(layer);
+
+    for (std::int64_t t = 0; t < block_len; ++t) {
+      rmsnorm_row(row_f(scratch.x, t, d), block.input_norm.value.values(),
+                  config.norm_eps, row_f(scratch.normed, t, d));
+    }
+    batched_project(block.q_proj, scratch.normed.data(), scratch.q.data(),
+                    block_len, scratch);
+    batched_project(block.k_proj, scratch.normed.data(),
+                    scratch.k_new.data(), block_len, scratch);
+    batched_project(block.v_proj, scratch.normed.data(),
+                    scratch.v_new.data(), block_len, scratch);
+
+    for_each_row([&](std::size_t ti) {
+      const auto t = static_cast<std::int64_t>(ti);
+      const std::int64_t pos = pos0 + t;
+      float* k_new = scratch.k_new.data() + ti * kv;
+      const std::span<float> q = row_f(scratch.q, t, d);
+      for (std::int64_t h = 0; h < config.n_heads; ++h) {
+        model.rotary().apply(
+            std::span<float>(q.data() + h * hd, static_cast<std::size_t>(hd)),
+            pos);
+      }
+      for (std::int64_t h = 0; h < config.n_kv_heads; ++h) {
+        model.rotary().apply(
+            std::span<float>(k_new + h * hd, static_cast<std::size_t>(hd)),
+            pos);
+      }
+      state.store_k_row(l, pos, k_new);
+      state.store_v_row(l, pos, scratch.v_new.data() + ti * kv);
+    });
+    for_each_row([&](std::size_t ti) {
+      const auto t = static_cast<std::int64_t>(ti);
+      attention_row(model, state, l, pos0 + t, row_f(scratch.q, t, d),
+                    row_f(scratch.att, t, d), row_f(scratch.scores, t, seq));
+    });
+
+    batched_project(block.o_proj, scratch.att.data(), scratch.proj.data(),
+                    block_len, scratch);
+    for (std::int64_t t = 0; t < block_len; ++t) {
+      add_row(row_f(scratch.x, t, d), row_f(scratch.proj, t, d));
+    }
+
+    for (std::int64_t t = 0; t < block_len; ++t) {
+      rmsnorm_row(row_f(scratch.x, t, d), block.post_norm.value.values(),
+                  config.norm_eps, row_f(scratch.normed, t, d));
+    }
+    batched_project(block.gate_proj, scratch.normed.data(),
+                    scratch.gate.data(), block_len, scratch);
+    batched_project(block.up_proj, scratch.normed.data(), scratch.up.data(),
+                    block_len, scratch);
+    for (std::int64_t t = 0; t < block_len; ++t) {
+      swiglu_row(row_f(scratch.gate, t, d_ff), row_f(scratch.up, t, d_ff));
+    }
+    batched_project(block.down_proj, scratch.gate.data(),
+                    scratch.proj.data(), block_len, scratch);
+    for (std::int64_t t = 0; t < block_len; ++t) {
+      add_row(row_f(scratch.x, t, d), row_f(scratch.proj, t, d));
+    }
+  }
+
+  for (std::int64_t t = 0; t < block_len; ++t) {
+    rmsnorm_row(row_f(scratch.x, t, d), model.final_norm().value.values(),
+                config.norm_eps, row_f(scratch.normed, t, d));
+  }
+  batched_project(model.embed(), scratch.normed.data(), logits.data(),
+                  block_len, scratch);
+  state.position += block_len;
 }
 
 }  // namespace chipalign

@@ -64,4 +64,23 @@ void batched_decode_step(const TransformerModel& model,
                          DecodeScratch& scratch, std::span<float> logits,
                          ThreadPool* pool = nullptr);
 
+/// Speculative-verify step: feeds the T = tokens.size() tokens to ONE
+/// session in a single pass — token t lands at position() + t — and writes
+/// logits row-major [T, vocab]. Like batched_decode_step it runs one
+/// matmul_nt per projection over the stacked [T, d] activations (the
+/// weights stream through the cache once per block instead of once per
+/// token), but the batch axis is consecutive positions of one sequence, so
+/// attention is block-causal: all T K/V rows are RoPE'd and stored first,
+/// then row t attends positions 0..position()+t. Advances position by T.
+///
+/// Bitwise contract: row t is bit-identical to the logits of the t-th of T
+/// serial decode_step() calls (same matmul_nt/matvec kernel equivalence and
+/// shared per-row helpers as the batched path), which is what lets greedy
+/// speculative decoding accept drafted tokens without changing output bits.
+/// T == 1 dispatches to decode_step(). Requires T <= scratch.max_batch and
+/// position() + T <= the session's capacity.
+void verify_step(const TransformerModel& model, SessionState& state,
+                 DecodeScratch& scratch, std::span<const TokenId> tokens,
+                 std::span<float> logits, ThreadPool* pool = nullptr);
+
 }  // namespace chipalign

@@ -1,0 +1,92 @@
+#pragma once
+/// \file drafter.hpp
+/// \brief Draft-token proposers for speculative decoding.
+///
+/// A Drafter guesses the next few tokens of a sequence so the target model
+/// can verify the whole guess in one multi-token verify_step() instead of
+/// one pass per token (nn/decode.hpp). Correctness never depends on the
+/// drafter: greedy acceptance (nn/spec_decode.hpp) compares each drafted
+/// token against the target model's own argmax, so a bad drafter only costs
+/// speed. Drafters therefore don't have to be deterministic for output
+/// determinism — but both implementations here are, which keeps end-to-end
+/// runs bitwise reproducible in wall-clock too.
+///
+/// PromptLookupDrafter is the zero-cost default: chip-design QA answers
+/// copy long spans from the prompt (retrieved context, signal names, code),
+/// so matching the last n-gram of the generated suffix against the earlier
+/// context and proposing the tokens that followed it gets long accepted
+/// runs with no second model at all. SelfSpeculativeDrafter runs the target
+/// model's own int8-quantized weights as a cheap draft pass — a real draft
+/// model with guaranteed vocabulary/tokenizer agreement and ~4x smaller
+/// weight traffic.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/decode.hpp"
+#include "nn/session_state.hpp"
+#include "nn/transformer.hpp"
+
+namespace chipalign {
+
+/// Proposes up to `max_tokens` continuation tokens for `context` (every
+/// token consumed so far: prompt + generated, in order). Returns how many
+/// tokens were written to the front of `out` (0 = no proposal; the caller
+/// falls back to plain one-token decode). out.size() >= max_tokens.
+class Drafter {
+ public:
+  virtual ~Drafter() = default;
+  virtual std::size_t draft(std::span<const TokenId> context,
+                            std::size_t max_tokens,
+                            std::span<TokenId> out) = 0;
+  /// Forgets any per-sequence state; call between independent sequences.
+  virtual void reset() {}
+};
+
+/// Prompt-lookup (n-gram) drafting: find the most recent earlier occurrence
+/// of the longest matching suffix n-gram (n from ngram_max down to
+/// ngram_min) and propose the tokens that followed it, extending the
+/// continuation cyclically when it reaches the end of the context (a suffix
+/// repeating with period p predicts the next tokens with the same period).
+/// O(n * len) scan per call, no model, no allocation. Stateless across
+/// calls.
+class PromptLookupDrafter : public Drafter {
+ public:
+  explicit PromptLookupDrafter(std::int64_t ngram_min = 1,
+                               std::int64_t ngram_max = 3);
+
+  std::size_t draft(std::span<const TokenId> context, std::size_t max_tokens,
+                    std::span<TokenId> out) override;
+
+ private:
+  std::int64_t ngram_min_;
+  std::int64_t ngram_max_;
+};
+
+/// Self-speculative drafting: greedy decode on an int8-quantized copy of
+/// the target model. Keeps its own KV session across calls and rewinds to
+/// the longest common prefix when the caller's context diverges from what
+/// was previously fed (rejected drafts), so each call costs one decode step
+/// per *new* context token plus one per proposed token.
+class SelfSpeculativeDrafter : public Drafter {
+ public:
+  /// Builds the draft model by round-tripping the target's weights through
+  /// a checkpoint (dequantizing if the target is already quantized) and
+  /// quantizing the copy to int8.
+  explicit SelfSpeculativeDrafter(const TransformerModel& target);
+
+  std::size_t draft(std::span<const TokenId> context, std::size_t max_tokens,
+                    std::span<TokenId> out) override;
+  void reset() override;
+
+ private:
+  TransformerModel draft_model_;
+  SessionState state_;
+  DecodeScratch scratch_;
+  std::vector<float> logits_;
+  std::vector<TokenId> fed_;  ///< tokens the draft session has consumed
+};
+
+}  // namespace chipalign

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/spec_decode.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
@@ -63,6 +64,27 @@ const std::vector<float>& InferenceSession::step(TokenId token) {
   return logits_;
 }
 
+std::span<const float> InferenceSession::verify(
+    std::span<const TokenId> tokens) {
+  const auto block_len = static_cast<std::int64_t>(tokens.size());
+  CA_CHECK(block_len > 0, "verify on empty token block");
+  DecodeScratch* scratch = &scratch_;
+  if (block_len > 1) {
+    if (verify_scratch_ == nullptr || verify_scratch_->max_batch < block_len) {
+      verify_scratch_ =
+          std::make_unique<DecodeScratch>(model_.config(), block_len);
+    }
+    scratch = verify_scratch_.get();
+  }
+  verify_logits_.resize(static_cast<std::size_t>(
+      block_len * model_.config().vocab_size));
+  verify_step(model_, state_, *scratch, tokens,
+              std::span<float>(verify_logits_.data(), verify_logits_.size()));
+  return std::span<const float>(verify_logits_.data(), verify_logits_.size());
+}
+
+void InferenceSession::truncate(std::int64_t pos) { state_.truncate(pos); }
+
 std::vector<float> InferenceSession::prefill(
     const std::vector<TokenId>& tokens) {
   CA_CHECK(!tokens.empty(), "prefill on empty prompt");
@@ -96,6 +118,9 @@ std::int64_t sample_from_probs(std::span<const float> probs, double u) {
 
 std::string generate(const TransformerModel& model, std::string_view prompt,
                      const GenerateOptions& options, bool stop_at_newline) {
+  if (options.speculative && options.temperature <= 0.0) {
+    return speculative_generate(model, prompt, options, stop_at_newline);
+  }
   const CharTokenizer& tok = tokenizer();
   std::vector<TokenId> prompt_tokens = tok.encode(prompt, /*add_bos=*/true);
   const std::int64_t budget = model.config().max_seq_len -

@@ -19,6 +19,7 @@
 /// evaluation setup.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -60,8 +61,28 @@ class InferenceSession {
   /// token. The prompt must be non-empty.
   std::vector<float> prefill(const std::vector<TokenId>& tokens);
 
+  /// Speculative verify: feeds all T = tokens.size() tokens in ONE
+  /// verify_step() pass and returns their logits rows, row-major
+  /// [T, vocab]. Row t is bit-identical to what the t-th of T serial
+  /// step() calls would return. Advances position() by T; rewind rejected
+  /// suffix rows with truncate(). The span aliases session-owned scratch
+  /// (overwritten by the next step/verify).
+  std::span<const float> verify(std::span<const TokenId> tokens);
+
+  /// Rewinds to `pos` in [0, position()], discarding later tokens. O(1):
+  /// the lazily-initialized KV rows past the position are simply dead.
+  /// Re-decoding from a truncated position is bitwise identical to a
+  /// session that never consumed the discarded tokens.
+  void truncate(std::int64_t pos);
+
   /// Tokens consumed so far.
   std::int64_t position() const { return state_.position; }
+
+  /// KV rows this session can hold (the model's max_seq_len).
+  std::int64_t capacity() const { return state_.capacity; }
+
+  /// Model vocabulary size (the width of a logits row).
+  std::int64_t vocab_size() const { return model_.config().vocab_size; }
 
   /// Resets the position to zero. O(1): the KV cache is not cleared because
   /// positions at or beyond the current position are never read.
@@ -83,6 +104,9 @@ class InferenceSession {
   SessionState state_;
   DecodeScratch scratch_;      ///< batch-1 decode arena
   std::vector<float> logits_;  ///< LM-head output [vocab]
+  /// Multi-token verify arena, grown on first verify() past one token.
+  std::unique_ptr<DecodeScratch> verify_scratch_;
+  std::vector<float> verify_logits_;  ///< [T, vocab] verify output
 };
 
 /// Options for generate().
@@ -90,11 +114,21 @@ struct GenerateOptions {
   std::int64_t max_new_tokens = 128;
   double temperature = 0.0;  ///< 0 => greedy decoding
   std::uint64_t seed = 7;    ///< used only when temperature > 0
+
+  // Speculative decoding (nn/spec_decode.hpp). Greedy acceptance keeps the
+  // output byte-identical to non-speculative greedy decoding, so this is a
+  // pure throughput knob; it only engages when temperature <= 0.
+  bool speculative = false;    ///< draft+verify instead of one-token steps
+  std::int64_t draft_k = 4;    ///< draft tokens proposed per verify pass
+  std::int64_t ngram_min = 1;  ///< prompt-lookup shortest suffix n-gram
+  std::int64_t ngram_max = 3;  ///< prompt-lookup longest suffix n-gram
 };
 
 /// Generates a continuation of `prompt` (encoded with <bos>), stopping at
 /// <eos>, a '\n' if stop_at_newline, or the token budget. Returns decoded
-/// text without the prompt.
+/// text without the prompt. With options.speculative and greedy sampling
+/// the byte-identical speculative path runs instead (spec_decode.hpp);
+/// temperature > 0 always takes the plain sampling loop.
 std::string generate(const TransformerModel& model, std::string_view prompt,
                      const GenerateOptions& options = {},
                      bool stop_at_newline = false);

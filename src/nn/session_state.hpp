@@ -114,6 +114,17 @@ struct SessionState {
     store_row(v_raw(layer, pos), src);
   }
 
+  /// Rewinds the session to `pos`, discarding every later token (the KV
+  /// rollback primitive speculative decoding uses to drop rejected draft
+  /// rows). O(1): the cache is lazy, so rows at or past the position are
+  /// dead and a subsequent decode step simply overwrites them. `pos` must
+  /// be in [0, position].
+  void truncate(std::int64_t pos) {
+    CA_CHECK(pos >= 0 && pos <= position,
+             "truncate to " << pos << " outside [0, " << position << "]");
+    position = pos;
+  }
+
   /// Bytes of KV cache this state owns (what a server's admission budget
   /// charges for). Computable without constructing the state.
   static std::size_t kv_bytes_for(const ModelConfig& config,

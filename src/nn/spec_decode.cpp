@@ -1,0 +1,140 @@
+#include "nn/spec_decode.hpp"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace chipalign {
+
+SpecWalkResult spec_accept_walk(std::span<const float> rows,
+                                std::int64_t vocab,
+                                std::span<const TokenId> drafts,
+                                const std::function<bool(TokenId)>& stop,
+                                const std::function<bool(TokenId)>& emit) {
+  const auto n_rows = static_cast<std::int64_t>(drafts.size()) + 1;
+  CA_CHECK(static_cast<std::int64_t>(rows.size()) == n_rows * vocab,
+           "spec_accept_walk: " << rows.size() << " logits for " << n_rows
+                                << " rows of vocab " << vocab);
+  SpecWalkResult result;
+  for (std::int64_t i = 0; i < n_rows; ++i) {
+    const std::span<const float> row(
+        rows.data() + static_cast<std::size_t>(i * vocab),
+        static_cast<std::size_t>(vocab));
+    const auto next = static_cast<TokenId>(ops::argmax(row));
+    if (stop(next)) {
+      result.stopped = true;
+      break;
+    }
+    const bool matched =
+        i < static_cast<std::int64_t>(drafts.size()) &&
+        next == drafts[static_cast<std::size_t>(i)];
+    if (matched) ++result.accepted;
+    const bool budget_left = emit(next);
+    ++result.emitted;
+    result.last = next;
+    // A mismatching row still emitted a valid token (all its context was
+    // accepted), but the rows after it scored a rejected continuation.
+    if (!matched || !budget_left) break;
+  }
+  result.consumed = 1 + result.accepted;
+  return result;
+}
+
+std::vector<TokenId> speculative_decode_tokens(
+    InferenceSession& session, std::span<const float> prefill_logits,
+    std::span<const TokenId> prompt, Drafter& drafter, std::int64_t draft_k,
+    std::int64_t max_new, bool stop_at_newline,
+    SpecDecodeStats* stats) {
+  CA_CHECK(draft_k >= 0, "negative draft_k " << draft_k);
+  const CharTokenizer& tok = tokenizer();
+  const TokenId newline_id = tok.char_to_id('\n');
+  const auto stop = [&](TokenId t) {
+    return t == CharTokenizer::kEos || (stop_at_newline && t == newline_id);
+  };
+
+  std::vector<TokenId> out;
+  if (max_new <= 0) return out;
+
+  // The first new token comes straight off the prefill row — exactly the
+  // first iteration of the plain greedy loop.
+  const auto first = static_cast<TokenId>(ops::argmax(prefill_logits));
+  if (stop(first)) return out;
+  out.push_back(first);
+
+  std::vector<TokenId> context(prompt.begin(), prompt.end());
+  context.push_back(first);
+  std::vector<TokenId> draft_buf(static_cast<std::size_t>(draft_k));
+  std::vector<TokenId> block;
+  TokenId pending = first;  // emitted, not yet fed
+
+  while (static_cast<std::int64_t>(out.size()) < max_new) {
+    const std::int64_t pos0 = session.position();
+    const std::int64_t k =
+        std::min<std::int64_t>(draft_k, session.capacity() - pos0 - 1);
+    std::size_t drafted = 0;
+    if (k > 0) {
+      drafted = drafter.draft(
+          std::span<const TokenId>(context.data(), context.size()),
+          static_cast<std::size_t>(k),
+          std::span<TokenId>(draft_buf.data(), draft_buf.size()));
+    }
+    block.clear();
+    block.push_back(pending);
+    block.insert(block.end(), draft_buf.begin(),
+                 draft_buf.begin() + static_cast<std::ptrdiff_t>(drafted));
+
+    const std::span<const float> rows = session.verify(
+        std::span<const TokenId>(block.data(), block.size()));
+    const SpecWalkResult walk = spec_accept_walk(
+        rows, session.vocab_size(),
+        std::span<const TokenId>(block.data() + 1, drafted), stop,
+        [&](TokenId t) {
+          out.push_back(t);
+          context.push_back(t);
+          return static_cast<std::int64_t>(out.size()) < max_new;
+        });
+    session.truncate(pos0 + walk.consumed);
+    if (stats != nullptr) {
+      ++stats->verify_passes;
+      stats->drafted += static_cast<std::int64_t>(drafted);
+      stats->accepted += walk.accepted;
+      stats->emitted += walk.emitted;
+    }
+    if (walk.stopped) break;
+    pending = walk.last;
+  }
+  return out;
+}
+
+std::string speculative_generate(const TransformerModel& model,
+                                 std::string_view prompt,
+                                 const GenerateOptions& options,
+                                 bool stop_at_newline, Drafter* drafter,
+                                 SpecDecodeStats* stats) {
+  CA_CHECK(options.temperature <= 0.0,
+           "speculative_generate is greedy-only (temperature "
+               << options.temperature << ")");
+  const CharTokenizer& tok = tokenizer();
+  const std::vector<TokenId> prompt_tokens =
+      tok.encode(prompt, /*add_bos=*/true);
+  const std::int64_t budget =
+      model.config().max_seq_len -
+      static_cast<std::int64_t>(prompt_tokens.size());
+  CA_CHECK(budget > 0, "prompt fills the whole context window");
+
+  InferenceSession session(model);
+  const std::vector<float> logits = session.prefill(prompt_tokens);
+  const std::int64_t max_new =
+      std::min<std::int64_t>(options.max_new_tokens, budget);
+
+  PromptLookupDrafter fallback(options.ngram_min, options.ngram_max);
+  Drafter& active = drafter != nullptr ? *drafter : fallback;
+  const std::vector<TokenId> generated = speculative_decode_tokens(
+      session, std::span<const float>(logits.data(), logits.size()),
+      std::span<const TokenId>(prompt_tokens.data(), prompt_tokens.size()),
+      active, options.draft_k, max_new, stop_at_newline, stats);
+  return tok.decode(generated);
+}
+
+}  // namespace chipalign

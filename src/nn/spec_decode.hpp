@@ -1,0 +1,110 @@
+#pragma once
+/// \file spec_decode.hpp
+/// \brief Speculative greedy decoding: draft, verify, accept, roll back.
+///
+/// The loop: a Drafter proposes K continuation tokens, verify_step()
+/// (decode.hpp) scores the pending token plus all K drafts in ONE pass, and
+/// the acceptance walk below emits the target model's own argmax row by row
+/// for as long as each argmax agrees with the corresponding draft. The
+/// first disagreeing row still yields one emitted token (its context is
+/// entirely accepted tokens, so its argmax is exactly what serial decode
+/// would produce there); the rejected draft rows are then discarded with
+/// SessionState::truncate() — an O(1) rewind thanks to the lazy KV cache.
+///
+/// Determinism: every emitted token is argmax over a logits row that
+/// verify_step() guarantees bit-identical to serial decode_step(), and the
+/// walk replicates generate()'s stop/budget decisions in order. Greedy
+/// speculative output is therefore byte-identical to non-speculative greedy
+/// output for ANY drafter, at any draft_k, including a drafter that
+/// proposes garbage — drafting quality only moves throughput, via the mean
+/// accepted length. The serving engine (src/serve) and generate() both run
+/// this walk; tests pin the identity across draft_k, weight dtypes, and
+/// prefix-cache states.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/drafter.hpp"
+#include "nn/infer.hpp"
+
+namespace chipalign {
+
+/// Aggregate speculative-decoding counters (one generation or a whole
+/// serving run). accept_len_mean is the key throughput number: tokens
+/// emitted per verify pass — 1.0 means drafting never helped, 1 + K means
+/// every draft was accepted.
+struct SpecDecodeStats {
+  std::int64_t verify_passes = 0;  ///< verify_step() calls
+  std::int64_t drafted = 0;        ///< draft tokens proposed
+  std::int64_t accepted = 0;       ///< draft tokens accepted
+  std::int64_t emitted = 0;        ///< tokens emitted via spec passes
+
+  double accept_len_mean() const {
+    return verify_passes > 0
+               ? static_cast<double>(emitted) /
+                     static_cast<double>(verify_passes)
+               : 0.0;
+  }
+  double draft_hit_rate() const {
+    return drafted > 0
+               ? static_cast<double>(accepted) / static_cast<double>(drafted)
+               : 0.0;
+  }
+  void merge(const SpecDecodeStats& other) {
+    verify_passes += other.verify_passes;
+    drafted += other.drafted;
+    accepted += other.accepted;
+    emitted += other.emitted;
+  }
+};
+
+/// Outcome of one acceptance walk over a verify block's logits rows.
+struct SpecWalkResult {
+  std::int64_t consumed = 0;  ///< KV rows to keep: truncate to pos0 + this
+  std::int64_t accepted = 0;  ///< drafts that matched the model's argmax
+  std::int64_t emitted = 0;   ///< tokens emitted this pass
+  bool stopped = false;       ///< hit a stop token; generation is over
+  TokenId last = -1;          ///< last emitted token (the next pending feed)
+};
+
+/// Walks the [1 + drafts.size(), vocab] logits rows of a verify block
+/// (row 0 scored the pending token, row 1 + i scored drafts[i]) in serial
+/// order. Per row: argmax -> stop(token)? end generation : emit(token);
+/// emit returns false when the token budget is now spent. Rows stay valid
+/// only while every prior draft matched its argmax, so the walk breaks at
+/// the first mismatch — emitting that row's argmax as the corrected token.
+/// The caller must truncate the session to pos0 + consumed afterwards.
+SpecWalkResult spec_accept_walk(std::span<const float> rows,
+                                std::int64_t vocab,
+                                std::span<const TokenId> drafts,
+                                const std::function<bool(TokenId)>& stop,
+                                const std::function<bool(TokenId)>& emit);
+
+/// Greedy speculative token loop over an already-prefilled session:
+/// `prefill_logits` is the row predicting the first new token and `prompt`
+/// the tokens the session consumed. Emits up to max_new tokens, stopping at
+/// <eos> (and '\n' when stop_at_newline). Byte-identical to the plain
+/// greedy loop in generate() for any drafter. Accumulates into *stats when
+/// given.
+std::vector<TokenId> speculative_decode_tokens(
+    InferenceSession& session, std::span<const float> prefill_logits,
+    std::span<const TokenId> prompt, Drafter& drafter, std::int64_t draft_k,
+    std::int64_t max_new, bool stop_at_newline,
+    SpecDecodeStats* stats = nullptr);
+
+/// Speculative counterpart of generate() (infer.hpp): same <bos> encoding,
+/// stop conditions and budget, byte-identical greedy output. Uses `drafter`
+/// when given, else a PromptLookupDrafter(options.ngram_min/max). Requires
+/// options.temperature <= 0 (greedy acceptance only).
+std::string speculative_generate(const TransformerModel& model,
+                                 std::string_view prompt,
+                                 const GenerateOptions& options = {},
+                                 bool stop_at_newline = false,
+                                 Drafter* drafter = nullptr,
+                                 SpecDecodeStats* stats = nullptr);
+
+}  // namespace chipalign

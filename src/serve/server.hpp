@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "nn/infer.hpp"
+#include "nn/spec_decode.hpp"
 #include "nn/transformer.hpp"
 #include "serve/radix_cache.hpp"
 #include "util/thread_pool.hpp"
@@ -74,6 +75,17 @@ struct ServeConfig {
   /// Pool for fanning per-session attention inside a batched step; nullptr
   /// uses the global pool. Purely a throughput knob (bits never change).
   ThreadPool* pool = nullptr;
+
+  // Speculative decoding (nn/spec_decode.hpp). When enabled, greedy
+  // sessions past prefill advance up to draft_k + 1 tokens per step via
+  // prompt-lookup drafting + one multi-token verify_step; acceptance is
+  // greedy, so emitted tokens stay byte-identical to non-speculative
+  // decoding (a pure throughput knob). Prefilling and temperature-sampled
+  // sessions keep the plain batched path.
+  bool speculative = false;    ///< enable draft+verify for greedy sessions
+  std::int64_t draft_k = 4;    ///< draft tokens proposed per verify pass
+  std::int64_t ngram_min = 1;  ///< prompt-lookup shortest suffix n-gram
+  std::int64_t ngram_max = 3;  ///< prompt-lookup longest suffix n-gram
 };
 
 /// One generation request. Prompt tokens are raw ids (use text_request()
@@ -105,6 +117,7 @@ struct ServerStats {
   std::int64_t step_tokens = 0;    ///< tokens advanced across all steps
   std::int64_t peak_batch = 0;     ///< widest batch seen
   std::int64_t peak_resident = 0;  ///< most concurrently resident sessions
+  SpecDecodeStats spec;            ///< speculative draft/verify counters
   RadixKvCache::Stats cache;
 };
 
@@ -152,6 +165,12 @@ class Server {
   void admit_locked();
   TokenId sample_next(Session& session, std::span<const float> row);
   void finish_locked(std::unique_ptr<Session> session);
+  /// True when `session` should advance via draft+verify this step.
+  bool speculative_eligible(const Session& session) const;
+  /// One speculative pass for `session`: draft, verify_step, acceptance
+  /// walk, KV truncate. Returns true when the session finished.
+  bool spec_advance(Session& session, SpecDecodeStats& pass_stats,
+                    ThreadPool* pool);
 
   const TransformerModel& model_;
   ServeConfig config_;
@@ -159,6 +178,10 @@ class Server {
   DecodeScratch scratch_;
   std::vector<float> logits_;  ///< [max_batch, vocab]
   TokenId newline_id_ = -1;
+  PromptLookupDrafter drafter_;     ///< shared, stateless (driver thread)
+  std::vector<float> spec_logits_;  ///< [draft_k + 1, vocab]
+  std::vector<TokenId> spec_context_;  ///< prompt + emitted scratch
+  std::vector<TokenId> spec_block_;    ///< pending + drafts scratch
 
   mutable std::mutex mutex_;
   std::condition_variable finished_cv_;

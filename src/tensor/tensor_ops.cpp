@@ -79,6 +79,44 @@ std::int64_t argmax(std::span<const float> values) {
       std::max_element(values.begin(), values.end()) - values.begin());
 }
 
+void attention_scores(const float* q_head, const float* k_base,
+                      std::int64_t row_stride, std::int64_t n_rows,
+                      std::int64_t head_dim, float scale, float* scores) {
+  for (std::int64_t j = 0; j < n_rows; ++j) {
+    const double d = kernels::dot(q_head, k_base + j * row_stride,
+                                  static_cast<std::size_t>(head_dim));
+    scores[j] = static_cast<float>(d) * scale;
+  }
+}
+
+void attention_scores_f16(const float* q_head, const std::uint16_t* k_base,
+                          std::int64_t row_stride, std::int64_t n_rows,
+                          std::int64_t head_dim, float scale, float* scores) {
+  for (std::int64_t j = 0; j < n_rows; ++j) {
+    const double d = kernels::dot_f16(k_base + j * row_stride, q_head,
+                                      static_cast<std::size_t>(head_dim));
+    scores[j] = static_cast<float>(d) * scale;
+  }
+}
+
+void attention_mix(const float* probs, const float* v_base,
+                   std::int64_t row_stride, std::int64_t n_rows,
+                   std::int64_t head_dim, float* att_head) {
+  for (std::int64_t j = 0; j < n_rows; ++j) {
+    kernels::axpy(probs[j], v_base + j * row_stride, att_head,
+                  static_cast<std::size_t>(head_dim));
+  }
+}
+
+void attention_mix_f16(const float* probs, const std::uint16_t* v_base,
+                       std::int64_t row_stride, std::int64_t n_rows,
+                       std::int64_t head_dim, float* att_head) {
+  for (std::int64_t j = 0; j < n_rows; ++j) {
+    kernels::axpy_f16(probs[j], v_base + j * row_stride, att_head,
+                      static_cast<std::size_t>(head_dim));
+  }
+}
+
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
   Tensor out = a;
