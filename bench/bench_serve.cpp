@@ -25,6 +25,15 @@
 // speculation a pure throughput knob. Per-phase acceptance length and
 // draft hit rate land in BENCH_serve.json.
 //
+// A fifth phase exercises the request lifecycle deterministically (fake
+// clock, no failpoints): a mix of plain, cancelled, and deadlined sessions
+// plus a shed-oldest overload burst, finished by a graceful drain. It
+// reports the terminal-status counters (lifecycle_completed / _cancelled /
+// _expired / _shed) and a `drain_clean` boolean: every accepted session
+// terminal, completed outputs bitwise equal to the plain serving run,
+// early-exited outputs a prefix of it, zero resident KV bytes and zero
+// prefix-cache pins after drain, and the lifecycle counters balanced.
+//
 // Gates (--gate):
 //
 //   serve_batch_scaling  min(tps@4/tps@1, tps@16/tps@4) >= 1.0 — batched
@@ -33,6 +42,8 @@
 //                        batches only add scheduling overhead.
 //   serve_prefix_hit     prefix-cache hit rate > 0.90 on the shared-header
 //                        QA workload. Always enforced.
+//   drain_clean          boolean, enforced by the CI trend checker: a
+//                        baseline-true value must stay true.
 //
 // Correctness is fatal in every mode: every width (and the prefix run)
 // must emit bit-identical outputs, equal to serial generate() anchors.
@@ -43,8 +54,10 @@
 //   bench_serve --json P   also write a machine-readable summary to P
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -400,6 +413,116 @@ int main(int argc, char** argv) {
       spec_quant_stats.spec.draft_hit_rate(),
       spec_quant_outputs == quant_outputs ? "true" : "false");
 
+  // -- request lifecycle: cancel/deadline/shed/drain -------------------------
+  // Deterministic by construction: a fake millisecond clock, no driver
+  // thread, no failpoints. The workload reuses the throughput prompts so
+  // completed sessions can be pinned bitwise against `first_outputs`.
+  const auto is_text_prefix = [](const std::string& full,
+                                 const std::string& part) {
+    return part.size() <= full.size() &&
+           full.compare(0, part.size(), part) == 0;
+  };
+  bool drain_clean = true;
+  long long lifecycle_completed = 0;
+  long long lifecycle_cancelled = 0;
+  long long lifecycle_expired = 0;
+  long long lifecycle_shed = 0;
+  {
+    // Overload burst: bounded queue with the shed-oldest policy, no driver
+    // running. The four oldest submissions are shed with explicit results;
+    // the survivors complete.
+    ServeConfig shed_serve;
+    shed_serve.max_queue = 2;
+    shed_serve.shed_oldest_on_full = true;
+    Server shed_server(model, shed_serve);
+    std::vector<SessionId> shed_ids;
+    for (int i = 0; i < 6; ++i) {
+      shed_ids.push_back(shed_server.submit(shed_server.text_request(
+          prompts[static_cast<std::size_t>(i) % prompts.size()], options)));
+    }
+    shed_server.run();
+    for (const SessionId id : shed_ids) {
+      const auto result = shed_server.wait_result_for(id, 0);
+      if (!result.has_value()) drain_clean = false;
+    }
+    const ServerStats shed_stats = shed_server.stats();
+    lifecycle_shed = shed_stats.shed;
+    if (shed_stats.shed != 4 || shed_stats.completed != 2) {
+      drain_clean = false;
+    }
+  }
+  {
+    auto fake_ms = std::make_shared<std::atomic<std::int64_t>>(0);
+    ServeConfig life_serve;
+    life_serve.max_sessions = 4;
+    life_serve.max_batch = 4;
+    life_serve.prefix_cache_bytes = std::size_t{1} << 26;
+    life_serve.now_ms = [fake_ms] { return fake_ms->load(); };
+    Server server(model, life_serve);
+    const int life_sessions = std::min<int>(sizes.sessions, 16);
+    std::vector<SessionId> ids;
+    for (int i = 0; i < life_sessions; ++i) {
+      Request request = server.text_request(
+          prompts[static_cast<std::size_t>(i)], options);
+      if (i % 4 == 2) request.deadline_ms = 5;
+      const SessionId id = server.submit(std::move(request));
+      ids.push_back(id);
+      if (i % 4 == 1) server.cancel(id);  // cancelled while queued
+    }
+    // Decode past prefill so resident deadlined sessions are evicted
+    // mid-stream (token granularity). One step after the clock advance
+    // expires both residents (mid-decode) and queued deadlined sessions
+    // (queue sweep) before the drain flushes the rest as kShuttingDown.
+    const std::int64_t warm_steps = static_cast<std::int64_t>(
+        server.text_request(prompts[0], options).prompt.size() + 1);
+    for (std::int64_t s = 0; s < warm_steps && server.step(); ++s) {
+    }
+    fake_ms->fetch_add(10);
+    server.step();
+    server.drain();
+    server.run();
+
+    for (int i = 0; i < life_sessions; ++i) {
+      const auto result =
+          server.wait_result_for(ids[static_cast<std::size_t>(i)], 0);
+      if (!result.has_value()) {
+        drain_clean = false;
+        continue;
+      }
+      if (result->status == SessionStatus::kCompleted) {
+        if (result->text != first_outputs[static_cast<std::size_t>(i)]) {
+          drain_clean = false;
+        }
+      } else if (!is_text_prefix(first_outputs[static_cast<std::size_t>(i)],
+                                 result->text)) {
+        drain_clean = false;
+      }
+    }
+    const ServerStats stats = server.stats();
+    lifecycle_completed = stats.completed;
+    lifecycle_cancelled = stats.cancelled;
+    lifecycle_expired = stats.expired;
+    const bool balanced =
+        stats.submitted == stats.completed + stats.cancelled +
+                               stats.expired + stats.shed +
+                               stats.shutdown_terminated + stats.failed +
+                               stats.waiting + stats.resident;
+    if (!balanced || stats.waiting != 0 || stats.resident != 0 ||
+        stats.resident_kv_bytes != 0 || stats.cache.pinned_nodes != 0 ||
+        stats.expired == 0 || stats.cancelled == 0) {
+      drain_clean = false;
+    }
+    std::printf(
+        "{\"bench\":\"serve_lifecycle\",\"sessions\":%d,\"completed\":%lld,"
+        "\"cancelled\":%lld,\"expired\":%lld,\"shed\":%lld,"
+        "\"shutdown_terminated\":%lld,\"drain_clean\":%s}\n",
+        life_sessions, static_cast<long long>(stats.completed),
+        static_cast<long long>(stats.cancelled),
+        static_cast<long long>(stats.expired), lifecycle_shed,
+        static_cast<long long>(stats.shutdown_terminated),
+        drain_clean ? "true" : "false");
+  }
+
   // -- gates -----------------------------------------------------------------
   double scaling = 1e300;
   for (std::size_t i = 1; i < width_tps.size() && sizes.widths[i] <= 16;
@@ -440,7 +563,12 @@ int main(int argc, char** argv) {
                  "  \"spec_quant_accept_len\": %.4f,\n"
                  "  \"spec_quant_draft_hit_rate\": %.4f,\n"
                  "  \"spec_outputs_equal\": %s,\n"
-                 "  \"outputs_equal\": %s,\n",
+                 "  \"outputs_equal\": %s,\n"
+                 "  \"lifecycle_completed\": %lld,\n"
+                 "  \"lifecycle_cancelled\": %lld,\n"
+                 "  \"lifecycle_expired\": %lld,\n"
+                 "  \"lifecycle_shed\": %lld,\n"
+                 "  \"drain_clean\": %s,\n",
                  scaling, hit_rate, prefix_seconds, quant_tps,
                  quant_deterministic ? "true" : "false", spec_tps,
                  spec_stats.spec.accept_len_mean(),
@@ -450,7 +578,9 @@ int main(int argc, char** argv) {
                  spec_quant_stats.spec.accept_len_mean(),
                  spec_quant_stats.spec.draft_hit_rate(),
                  spec_outputs_equal ? "true" : "false",
-                 outputs_equal ? "true" : "false");
+                 outputs_equal ? "true" : "false", lifecycle_completed,
+                 lifecycle_cancelled, lifecycle_expired, lifecycle_shed,
+                 drain_clean ? "true" : "false");
     write_gates_json(f, gates);
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -473,6 +603,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bench_serve: FAILED (speculative serving outputs differ "
                  "from non-speculative serving)\n");
+    return 1;
+  }
+  if (!drain_clean) {
+    std::fprintf(stderr,
+                 "bench_serve: FAILED (lifecycle drain left residue, "
+                 "unterminated sessions, or non-reference outputs)\n");
     return 1;
   }
 

@@ -23,7 +23,15 @@
 //   ./examples/chip_assistant --speculative --draft-k 4
 //                                        # prompt-lookup draft + multi-token
 //                                        # verify; same bytes, fewer steps
+//   ./examples/chip_assistant --request-timeout-ms 5000
+//                                        # per-question deadline; slow
+//                                        # questions expire, the rest finish
+//
+// Ctrl-C (SIGINT) or SIGTERM drains the servers instead of dying mid-batch:
+// admission closes, resident sessions finish (or hit their deadlines), and
+// the summary reports what completed versus what was shut down.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,12 +73,20 @@ RetrievalPipeline load_or_build_rag(const ModelZoo& zoo) {
   return rag;
 }
 
+/// Set by the SIGINT/SIGTERM handler; the serving loop polls it and drains
+/// instead of letting the process die mid-batch. sig_atomic_t is the only
+/// type the C++ standard guarantees is safe to write from a signal handler.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_signal(int) { g_interrupted = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool use_rag = false;
   bool speculative = false;
   long draft_k = 4;
+  long request_timeout_ms = 0;
   DType weight_dtype = DType::kF32;
   DType kv_dtype = DType::kF32;
   const auto parse_dtype_flag = [](const char* text, bool kv) {
@@ -95,8 +111,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--draft-k") == 0 && i + 1 < argc) {
       draft_k = std::atol(argv[++i]);
       CA_CHECK(draft_k >= 0, "--draft-k must be >= 0, got " << draft_k);
+    } else if (std::strcmp(argv[i], "--request-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      request_timeout_ms = std::atol(argv[++i]);
+      CA_CHECK(request_timeout_ms >= 0,
+               "--request-timeout-ms must be >= 0, got "
+                   << request_timeout_ms);
     }
   }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
 
   set_log_level(LogLevel::kInfo);
   std::printf("chip_assistant — ChipAlign end-to-end demo\n");
@@ -166,8 +191,12 @@ int main(int argc, char** argv) {
   };
 
   // One server per model; all engineer queries run as concurrent sessions.
+  // A SIGINT/SIGTERM mid-run drains the current server (admission closes,
+  // residents finish or hit their deadlines) instead of killing the
+  // process mid-batch, and skips the remaining models.
   std::vector<std::vector<std::string>> responses(entries.size());
   ServerStats last_stats;
+  std::int64_t terminated_early = 0;
   for (std::size_t m = 0; m < entries.size(); ++m) {
     ServeConfig serve;
     serve.max_batch = static_cast<std::int64_t>(prompts.size());
@@ -178,14 +207,32 @@ int main(int argc, char** argv) {
     Server server(*entries[m].model, serve);
     std::vector<SessionId> ids;
     for (const std::string& prompt : prompts) {
-      ids.push_back(server.submit(
-          server.text_request(prompt, gen, /*stop_at_newline=*/true)));
+      Request request =
+          server.text_request(prompt, gen, /*stop_at_newline=*/true);
+      request.deadline_ms = static_cast<std::int64_t>(request_timeout_ms);
+      ids.push_back(server.submit(std::move(request)));
     }
-    server.run();
+    bool drained = false;
+    while (server.step()) {
+      if (g_interrupted != 0 && !drained) {
+        std::printf("\nsignal received — draining server %zu/%zu...\n",
+                    m + 1, entries.size());
+        server.drain();
+        drained = true;
+      }
+    }
     for (const SessionId id : ids) {
-      responses[m].push_back(server.wait_result(id).text);
+      const SessionResult result = server.wait_result(id);
+      if (result.status == SessionStatus::kCompleted) {
+        responses[m].push_back(result.text);
+      } else {
+        ++terminated_early;
+        responses[m].push_back(std::string("[") +
+                               session_status_name(result.status) + "]");
+      }
     }
     last_stats = server.stats();
+    if (g_interrupted != 0) break;
   }
 
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -201,6 +248,7 @@ int main(int argc, char** argv) {
     std::printf("golden:       %s\n\n", item.golden_answer.c_str());
 
     for (std::size_t m = 0; m < entries.size(); ++m) {
+      if (i >= responses[m].size()) continue;  // model skipped after signal
       const std::string& response = responses[m][i];
       const double rouge = rouge_l(response, item.golden_answer);
       const int grade = rubric_grade(response, item.golden_answer,
@@ -218,6 +266,18 @@ int main(int argc, char** argv) {
       static_cast<long long>(last_stats.steps),
       static_cast<long long>(last_stats.peak_batch),
       last_stats.cache.hit_rate());
+  if (terminated_early > 0) {
+    std::printf(
+        "%lld session(s) ended early (expired/shut down) — see the "
+        "bracketed statuses above; --request-timeout-ms %ld\n",
+        static_cast<long long>(terminated_early), request_timeout_ms);
+  }
+  if (g_interrupted != 0) {
+    std::printf("drained cleanly after signal: %lld completed, "
+                "%lld shut down\n",
+                static_cast<long long>(last_stats.completed),
+                static_cast<long long>(last_stats.shutdown_terminated));
+  }
   std::printf("dtypes: weights %s, KV cache %s (--dtype / --kv-dtype)\n",
               dtype_name(weight_dtype).c_str(), dtype_name(kv_dtype).c_str());
   if (speculative) {

@@ -111,6 +111,9 @@ BOOLEAN_KEYS = [
     "spec_outputs_equal",
     "persist_identical",
     "batch_identical",
+    # Serve lifecycle: a clean drain (every session terminal, no leaked KV
+    # bytes or prefix pins, counters balanced) must never regress.
+    "drain_clean",
 ]
 
 

@@ -304,6 +304,16 @@ void batched_decode_step(const TransformerModel& model,
   }
   for (std::int64_t b = 0; b < batch; ++b) {
     check_step_args(config, *states[b], tokens[b]);
+    // A session state may appear in at most one row: the per-row KV writes
+    // and attention reads assume disjoint caches, and an aliased state would
+    // corrupt both rows silently (the serving engine's batch former must
+    // never emit duplicates — e.g. when re-forming a batch after a mid-batch
+    // cancellation or deadline eviction).
+    for (std::int64_t a = 0; a < b; ++a) {
+      CA_CHECK(states[a] != states[b],
+               "batched_decode_step: session state aliased at rows "
+                   << a << " and " << b);
+    }
   }
 
   const auto d = static_cast<std::size_t>(config.d_model);

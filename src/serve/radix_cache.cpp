@@ -110,6 +110,7 @@ RadixKvCache::Ref RadixKvCache::acquire(std::span<const TokenId> tokens,
                   static_cast<std::size_t>(m) * row_bytes,
                   state.v_raw(l, offset));
     }
+    if (child->refcount == 0) ++stats_.pinned_nodes;
     ++child->refcount;
     child->last_use = ++clock_;
     path.push_back(child);
@@ -217,6 +218,7 @@ void RadixKvCache::release(std::vector<Node*>& path) {
   for (Node* node : path) {
     CA_CHECK(node->refcount > 0, "radix cache refcount underflow");
     --node->refcount;
+    if (node->refcount == 0) --stats_.pinned_nodes;
   }
 }
 

@@ -56,6 +56,9 @@ class RadixKvCache {
     std::int64_t evicted_tokens = 0;
     std::int64_t nodes = 0;        ///< live nodes (excluding the root)
     std::int64_t bytes = 0;        ///< live KV bytes stored
+    std::int64_t pinned_nodes = 0; ///< nodes with at least one live Ref pin;
+                                   ///< must return to 0 after a server drain
+                                   ///< (the no-leaked-pins invariant)
     double hit_rate() const {
       return lookup_tokens > 0
                  ? static_cast<double>(hit_tokens) /

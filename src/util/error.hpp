@@ -34,6 +34,48 @@ class RetriesExhaustedError : public Error {
   explicit RetriesExhaustedError(const std::string& what) : Error(what) {}
 };
 
+// ---- Serving-path taxonomy (src/serve) -------------------------------------
+//
+// submit() rejections are typed so a front end can map each to the right
+// client response (429 / 400 / 503) without string-matching, and so load
+// shedding is always an *explicit* outcome — a request is either accepted
+// (and later delivers a terminal SessionResult) or its submit() throws one
+// of these; it is never silently dropped.
+
+/// Base class for requests the serving engine refused to accept.
+class RejectedError : public Error {
+ public:
+  explicit RejectedError(const std::string& what) : Error(what) {}
+};
+
+/// The bounded admission queue is full (ServeConfig::max_queue) and the
+/// shed-oldest policy is off: backpressure, try again later (HTTP 429).
+class QueueFullError : public RejectedError {
+ public:
+  explicit QueueFullError(const std::string& what) : RejectedError(what) {}
+};
+
+/// The request can never be served: empty/over-context prompt,
+/// out-of-vocab tokens, non-positive budget, or a KV footprint no
+/// admission order could ever fit (HTTP 400).
+class UnservableError : public RejectedError {
+ public:
+  explicit UnservableError(const std::string& what) : RejectedError(what) {}
+};
+
+/// The server is draining: admission is closed for good (HTTP 503).
+class ShuttingDownError : public RejectedError {
+ public:
+  explicit ShuttingDownError(const std::string& what) : RejectedError(what) {}
+};
+
+/// wait_result()/cancel() addressed a SessionId submit() never issued —
+/// fail fast instead of blocking forever on a result that cannot arrive.
+class UnknownSessionError : public Error {
+ public:
+  explicit UnknownSessionError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 /// Appends the source location to a message ("msg [file:line]").
 std::string locate(const char* file, int line, const std::string& msg);

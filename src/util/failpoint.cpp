@@ -29,6 +29,10 @@ const std::vector<std::string> kSites = {
     "ragindex.read",    // index_store: buffer site on loaded index bytes
     "ragindex.save",    // index_store: retrieval-index save entry
     "safetensors.save", // safetensors: single-file save entry
+    "serve.admit",      // serve: admission of a queued session to residency
+    "serve.callback",   // serve: before each streaming on_token callback
+    "serve.prefix_acquire", // serve: prefix-cache acquire during admission
+    "serve.step",       // serve: top of Server::step(), before any mutation
     "shard.create",     // shard_writer: shard file creation / presizing
     "shard.fsync",      // shard_writer: per-shard fsync in finish()
     "shard.write",      // shard_writer: tensor write at its plan offset

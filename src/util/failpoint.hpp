@@ -3,7 +3,9 @@
 /// \brief Deterministic fault injection at named sites.
 ///
 /// A failpoint is a named hook compiled into the persistence path (shard
-/// reads and writes, journal appends, fsyncs, manifest renames). Disarmed —
+/// reads and writes, journal appends, fsyncs, manifest renames) and the
+/// serving hot path (`serve.*`: admission, per-step entry, prefix-cache
+/// acquire, streaming callbacks). Disarmed —
 /// the production state — a site costs one relaxed atomic load. Armed, via
 /// the API or the `CHIPALIGN_FAILPOINTS` environment variable, a site can
 /// inject:

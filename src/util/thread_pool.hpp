@@ -42,12 +42,23 @@ class ThreadPool {
     /// started yet are skipped (their completion is still signalled, so
     /// wait() does not hang). Tasks already running are not interrupted.
     /// Used by the streaming-merge pipeline to cut queued work short after
-    /// the first stage failure.
-    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+    /// the first stage failure, and by the serving engine when a request
+    /// is cancelled mid-flight.
+    ///
+    /// Ordering: the flag itself is advisory — task *visibility* rides the
+    /// pool's queue mutex, which already sequences submit() against the
+    /// worker's dequeue, so relaxed ordering could never lose or duplicate
+    /// a task. The release store / acquire load pair exists for the data
+    /// *around* the flag: a worker that observes cancelled() == true is
+    /// guaranteed to also observe every write the cancelling thread made
+    /// before cancel() (e.g. the failure state that motivated it), so skip
+    /// decisions never act on a half-visible cause. On x86 this costs
+    /// nothing over relaxed; on ARM it is a cheap ld.acq/st.rel.
+    void cancel() { cancelled_.store(true, std::memory_order_release); }
 
     /// True once cancel() has been called.
     bool cancelled() const {
-      return cancelled_.load(std::memory_order_relaxed);
+      return cancelled_.load(std::memory_order_acquire);
     }
 
    private:
